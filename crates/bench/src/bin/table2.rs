@@ -1,0 +1,31 @@
+//! Table II: dataset statistics — rows, categorical/numeric counts, and the
+//! one-hot feature expansion that motivates latent-space synthesis.
+//!
+//! This table is exact: the dataset profiles are constructed to match the
+//! paper's published statistics, and the test suite asserts it
+//! (`profiles_match_table_ii_exactly`).
+
+use silofuse_bench::{emit_report, parse_cli, selected_profiles, TextTable};
+
+fn main() {
+    let opts = parse_cli();
+    let mut table = TextTable::new(&["Dataset", "#Rows", "#Cat.", "#Num.", "#Bef.", "#Aft.", "Incr."]);
+    for p in selected_profiles(&opts) {
+        table.row(vec![
+            p.name.to_string(),
+            p.rows.to_string(),
+            p.categorical_count().to_string(),
+            p.numeric_count().to_string(),
+            p.width().to_string(),
+            p.one_hot_width().to_string(),
+            format!("{:.2}x", p.expansion_factor()),
+        ]);
+    }
+    let mut report = String::from("Table II — Statistics of Datasets (schema-exact reproduction)\n\n");
+    report.push_str(&table.render());
+    report.push_str(
+        "\nOne-hot encoding expands Churn by >200x and Heloc/Adult/Intrusion by 6-10x,\n\
+         the sparsity blow-up SiloFuse's latent encoding avoids (paper §II-C, §III-A).\n",
+    );
+    emit_report("table2", &report);
+}

@@ -1,0 +1,77 @@
+//! Table VII: sensitivity of the privacy score to the number of denoising
+//! (inference) steps — 2, 5, 25 — on Abalone (easy) and Heloc (hard),
+//! using the latent diffusion model as in the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_bench::{cell, emit_report, parse_cli, run_config_for, TextTable};
+use silofuse_core::pipeline::{mean_std, DatasetRun};
+use silofuse_core::{SiloFuse, SiloFuseConfig};
+use silofuse_metrics::{privacy, PrivacyConfig};
+use silofuse_tabular::profiles;
+
+const STEPS: [usize; 3] = [2, 5, 25];
+
+fn main() {
+    let mut opts = parse_cli();
+    if opts.datasets.is_none() {
+        opts.datasets = Some(vec!["Abalone".into(), "Heloc".into()]);
+    }
+
+    let mut table = TextTable::new(&["Dataset", "2 steps", "5 steps", "25 steps"]);
+    for name in opts.datasets.clone().unwrap() {
+        let profile = match profiles::profile_by_name(&name) {
+            Some(p) => p,
+            None => {
+                eprintln!("unknown dataset {name}");
+                continue;
+            }
+        };
+        let mut cells = vec![profile.name.to_string()];
+        let mut per_step: Vec<Vec<f64>> = vec![Vec::new(); STEPS.len()];
+        for trial in 0..opts.trials {
+            let cfg = run_config_for(&profile, &opts, trial);
+            let run = DatasetRun::prepare(&profile, &cfg);
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x77);
+            // Train ONCE, then vary only the number of reverse steps used at
+            // synthesis — the experiment's controlled variable.
+            let mut model = SiloFuse::new(SiloFuseConfig {
+                n_clients: cfg.n_clients,
+                strategy: cfg.strategy,
+                model: cfg.budget.latent_config(cfg.seed),
+            });
+            model.fit(&run.train, &mut rng);
+            for (i, &steps) in STEPS.iter().enumerate() {
+                let synth = model.synthesize_with_steps(cfg.synth_rows, steps, &mut rng);
+                let p = privacy(
+                    &run.train,
+                    &synth,
+                    &PrivacyConfig { seed: cfg.seed, ..Default::default() },
+                );
+                per_step[i].push(p.composite);
+                eprintln!(
+                    "[table7] {:<8} {:>2} steps -> privacy {:.1}",
+                    profile.name, steps, p.composite
+                );
+            }
+        }
+        for scores in &per_step {
+            let (m, s) = mean_std(scores);
+            cells.push(cell(m, s));
+        }
+        table.row(cells);
+    }
+
+    let mut report = format!(
+        "Table VII — Privacy score vs number of denoising (inference) steps;\n\
+         {} trial(s), seed {}\n\n",
+        opts.trials, opts.seed
+    );
+    report.push_str(&table.render());
+    report.push_str(
+        "\nExpected shape (paper): fewer denoising steps leave more residual noise in\n\
+         the synthetic sample, so 2 steps scores highest; the score saturates quickly\n\
+         (5 vs 25 steps differ little).\n",
+    );
+    emit_report("table7", &report);
+}

@@ -1,0 +1,239 @@
+//! # silofuse-bench
+//!
+//! Experiment harness reproducing every table and figure of the SiloFuse
+//! paper's evaluation (§V), plus criterion microbenchmarks.
+//!
+//! Each experiment is a binary:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table2` | Table II — dataset statistics & one-hot expansion |
+//! | `table3` | Table III — resemblance scores, 7 models × 9 datasets |
+//! | `table4` | Table IV — utility scores |
+//! | `table5` | Table V — correlation-difference matrices |
+//! | `table6` | Table VI — privacy scores |
+//! | `table7` | Table VII — privacy vs denoising steps |
+//! | `fig10`  | Fig. 10 — communication bytes vs iterations |
+//! | `fig11`  | Fig. 11 — robustness to #clients & feature permutation |
+//! | `theorem1` | Theorem 1 — latent irreversibility, empirically |
+//!
+//! Common flags: `--quick` (smoke-test sizes), `--trials N`,
+//! `--datasets Loan,Adult,...`, `--seed S`. Reports are printed and written
+//! to `target/experiments/<name>.txt`.
+
+use silofuse_core::pipeline::RunConfig;
+use silofuse_tabular::profiles::{all_profiles, DatasetProfile};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Smoke-test sizes (seconds instead of minutes).
+    pub quick: bool,
+    /// Trials per cell (paper: 5).
+    pub trials: usize,
+    /// Dataset name filter (None = all nine).
+    pub datasets: Option<Vec<String>>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self { quick: false, trials: 1, datasets: None, seed: 17 }
+    }
+}
+
+/// Parses `std::env::args()` into [`CliOptions`].
+///
+/// # Panics
+/// Panics with a usage message on malformed arguments.
+pub fn parse_cli() -> CliOptions {
+    let mut opts = CliOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--trials" => {
+                opts.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials needs a positive integer");
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--datasets" => {
+                let list = args.next().expect("--datasets needs a comma-separated list");
+                opts.datasets =
+                    Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            other => panic!(
+                "unknown argument {other}; supported: --quick --trials N --seed S --datasets A,B"
+            ),
+        }
+    }
+    opts
+}
+
+/// The datasets selected by the CLI options, in Table II order.
+pub fn selected_profiles(opts: &CliOptions) -> Vec<DatasetProfile> {
+    let all = all_profiles();
+    match &opts.datasets {
+        None => all,
+        Some(names) => all
+            .into_iter()
+            .filter(|p| names.iter().any(|n| n.eq_ignore_ascii_case(p.name)))
+            .collect(),
+    }
+}
+
+/// The run configuration for a dataset under the CLI options.
+///
+/// Wide datasets (large one-hot width) get proportionally fewer steps and
+/// rows so the full 7×9 sweep stays CPU-tractable; the scaling is uniform
+/// across models, preserving the comparisons.
+pub fn run_config_for(profile: &DatasetProfile, opts: &CliOptions, trial: usize) -> RunConfig {
+    let seed = opts.seed ^ (trial as u64).wrapping_mul(0x9e37_79b9);
+    let mut cfg = if opts.quick { RunConfig::quick(seed) } else { RunConfig::standard(seed) };
+    let width = profile.one_hot_width();
+    let scale = if width > 1000 {
+        6
+    } else if width > 200 {
+        3
+    } else if width > 80 {
+        2
+    } else {
+        1
+    };
+    cfg.budget = cfg.budget.scaled_down(scale);
+    if width > 1000 {
+        cfg.train_rows = cfg.train_rows.min(768);
+        cfg.synth_rows = cfg.synth_rows.min(768);
+        cfg.budget.batch_size = cfg.budget.batch_size.min(128);
+    }
+    cfg
+}
+
+/// Formats a `mean ± std` cell like the paper's tables.
+pub fn cell(mean: f64, std: f64) -> String {
+    format!("{mean:.1}±{std:.2}")
+}
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..ncols {
+                let _ = write!(line, "{:<w$}", cells[c], w = widths[c] + 2);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Prints a report and writes it to `target/experiments/<name>.txt`.
+pub fn emit_report(name: &str, content: &str) {
+    println!("{content}");
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[report written to {}]", path.display());
+        }
+    }
+}
+
+/// Human-readable byte formatting.
+pub fn human_bytes(b: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = b;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(&["Model", "Score"]);
+        t.row(vec!["SiloFuse".into(), "91.0".into()]);
+        t.row(vec!["GAN".into(), "64.0".into()]);
+        let s = t.render();
+        assert!(s.contains("SiloFuse"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn run_config_scales_with_width() {
+        let opts = CliOptions::default();
+        let churn = silofuse_tabular::profiles::churn();
+        let loan = silofuse_tabular::profiles::loan();
+        let c = run_config_for(&churn, &opts, 0);
+        let l = run_config_for(&loan, &opts, 0);
+        assert!(c.budget.ae_steps < l.budget.ae_steps);
+        assert!(c.train_rows <= 768);
+    }
+
+    #[test]
+    fn selected_profiles_filters_by_name() {
+        let opts = CliOptions {
+            datasets: Some(vec!["loan".into(), "HELOC".into()]),
+            ..Default::default()
+        };
+        let sel = selected_profiles(&opts);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512.0), "512.00 B");
+        assert_eq!(human_bytes(2048.0), "2.00 KiB");
+        assert!(human_bytes(5e9).ends_with("GiB"));
+    }
+}

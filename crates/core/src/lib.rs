@@ -1,0 +1,55 @@
+//! # silofuse-core
+//!
+//! The public API of the SiloFuse reproduction — *SiloFuse: Cross-silo
+//! Synthetic Data Generation with Latent Tabular Diffusion Models*
+//! (ICDE 2024).
+//!
+//! SiloFuse synthesizes tabular data whose features are vertically
+//! partitioned across silos: each client trains a local autoencoder, the
+//! coordinator trains a Gaussian latent diffusion model on the concatenated
+//! latents (uploaded exactly once — stacked training), and synthesis keeps
+//! the generated features partitioned, decoded by each client's private
+//! decoder.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use silofuse_core::{SiloFuse, SiloFuseConfig};
+//! use silofuse_tabular::profiles;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let data = profiles::loan().generate(2048, 42);
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let mut model = SiloFuse::new(SiloFuseConfig::paper_default(42));
+//! model.fit(&data, &mut rng);
+//! let synthetic = model.synthesize(1024, &mut rng);
+//! assert_eq!(synthetic.schema(), data.schema());
+//! println!("one training round: {:?}", model.comm_stats());
+//! ```
+//!
+//! The crate also re-exports the full substrate stack: data
+//! ([`silofuse_tabular`]), neural nets ([`silofuse_nn`]), diffusion
+//! ([`silofuse_diffusion`]), GBDT ([`silofuse_trees`]), the centralized
+//! baselines ([`silofuse_models`]), the distributed runtime
+//! ([`silofuse_distributed`]) and the benchmark framework
+//! ([`silofuse_metrics`]).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod budget;
+pub mod pipeline;
+pub mod silofuse;
+
+pub use baselines::{build_synthesizer, ModelKind};
+pub use budget::TrainBudget;
+pub use pipeline::{evaluate_model, DatasetRun, ModelScores, RunConfig};
+pub use silofuse::{SiloFuse, SiloFuseConfig};
+
+pub use silofuse_diffusion as diffusion;
+pub use silofuse_distributed as distributed;
+pub use silofuse_metrics as metrics;
+pub use silofuse_models as models;
+pub use silofuse_nn as nn;
+pub use silofuse_tabular as tabular;
+pub use silofuse_trees as trees;

@@ -1,0 +1,202 @@
+//! The experiment pipeline: dataset → model → synthetic data → scores.
+//!
+//! This is the code path every table/figure binary in `silofuse-bench`
+//! drives: generate a profile's data, train a synthesizer, sample, and
+//! score resemblance/utility/privacy exactly as §V-B defines them.
+
+use crate::baselines::{build_synthesizer, ModelKind};
+use crate::budget::TrainBudget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_metrics::{
+    privacy, resemblance, utility, PrivacyConfig, PrivacyReport, ResemblanceConfig,
+    ResemblanceReport, UtilityConfig, UtilityReport,
+};
+use silofuse_tabular::partition::PartitionStrategy;
+use silofuse_tabular::profiles::DatasetProfile;
+use silofuse_tabular::table::Table;
+
+/// One experiment's data/model sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Training rows (paper uses full datasets; we cap for CPU scale).
+    pub train_rows: usize,
+    /// Real holdout rows for utility evaluation.
+    pub holdout_rows: usize,
+    /// Synthetic rows to generate.
+    pub synth_rows: usize,
+    /// Clients for distributed models (paper default: 4).
+    pub n_clients: usize,
+    /// Feature-assignment strategy.
+    pub strategy: PartitionStrategy,
+    /// Training budget.
+    pub budget: TrainBudget,
+    /// Master seed (controls data draw, model init, and metric seeds).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Quick configuration for tests.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            train_rows: 256,
+            holdout_rows: 128,
+            synth_rows: 256,
+            n_clients: 4,
+            strategy: PartitionStrategy::Default,
+            budget: TrainBudget::quick(),
+            seed,
+        }
+    }
+
+    /// Standard configuration for the experiment binaries.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            train_rows: 1024,
+            holdout_rows: 512,
+            synth_rows: 1024,
+            n_clients: 4,
+            strategy: PartitionStrategy::Default,
+            budget: TrainBudget::standard(),
+            seed,
+        }
+    }
+}
+
+/// Scores from one (model, dataset) run.
+#[derive(Debug, Clone)]
+pub struct ModelScores {
+    /// Model evaluated.
+    pub model: ModelKind,
+    /// Dataset name.
+    pub dataset: String,
+    /// Resemblance report (Table III).
+    pub resemblance: ResemblanceReport,
+    /// Utility report (Table IV).
+    pub utility: UtilityReport,
+    /// Privacy report (Table VI), when requested.
+    pub privacy: Option<PrivacyReport>,
+}
+
+/// Data bundle shared by all models evaluated on one dataset (so every
+/// model sees the same train/holdout draw, as in the paper).
+#[derive(Debug, Clone)]
+pub struct DatasetRun {
+    /// Training table.
+    pub train: Table,
+    /// Real holdout (never trained on).
+    pub holdout: Table,
+    /// Dataset name.
+    pub name: String,
+}
+
+impl DatasetRun {
+    /// Draws the train/holdout tables for a profile. Training rows are
+    /// capped at the profile's paper row count.
+    pub fn prepare(profile: &DatasetProfile, cfg: &RunConfig) -> Self {
+        let train_rows = cfg.train_rows.min(profile.rows);
+        Self {
+            train: profile.generate(train_rows, cfg.seed),
+            holdout: profile.generate(cfg.holdout_rows, cfg.seed ^ 0x4001_d00d),
+            name: profile.name.to_string(),
+        }
+    }
+}
+
+/// Trains `kind` on the run's data, synthesizes, and scores it.
+pub fn evaluate_model(
+    kind: ModelKind,
+    run: &DatasetRun,
+    cfg: &RunConfig,
+    with_privacy: bool,
+) -> ModelScores {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ kind as u64 ^ 0xe7a1);
+    let mut model =
+        build_synthesizer(kind, &cfg.budget, cfg.n_clients, cfg.strategy, cfg.seed);
+    model.fit(&run.train, &mut rng);
+    let synth = model.synthesize(cfg.synth_rows, &mut rng);
+
+    let resemblance_report = resemblance(
+        &run.train,
+        &synth,
+        &ResemblanceConfig { seed: cfg.seed, ..Default::default() },
+    );
+    let utility_report = utility(
+        &run.train,
+        &synth,
+        &run.holdout,
+        &UtilityConfig { seed: cfg.seed, ..Default::default() },
+    );
+    let privacy_report = with_privacy.then(|| {
+        privacy(
+            &run.train,
+            &synth,
+            &PrivacyConfig { seed: cfg.seed, ..Default::default() },
+        )
+    });
+    ModelScores {
+        model: kind,
+        dataset: run.name.clone(),
+        resemblance: resemblance_report,
+        utility: utility_report,
+        privacy: privacy_report,
+    }
+}
+
+/// Mean and (population) standard deviation of repeated trial scores —
+/// the `mean ± std` cells of Tables III/IV/VI.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silofuse_tabular::profiles;
+
+    #[test]
+    fn pipeline_runs_end_to_end_for_silofuse() {
+        let profile = profiles::loan();
+        let mut cfg = RunConfig::quick(0);
+        cfg.budget = cfg.budget.scaled_down(4);
+        let run = DatasetRun::prepare(&profile, &cfg);
+        let scores = evaluate_model(ModelKind::SiloFuse, &run, &cfg, true);
+        assert!(scores.resemblance.composite > 0.0);
+        assert!((0.0..=100.0).contains(&scores.utility.score));
+        assert!(scores.privacy.is_some());
+    }
+
+    #[test]
+    fn same_seed_reproduces_scores() {
+        let profile = profiles::diabetes();
+        let mut cfg = RunConfig::quick(3);
+        cfg.budget = cfg.budget.scaled_down(8);
+        let run = DatasetRun::prepare(&profile, &cfg);
+        let a = evaluate_model(ModelKind::LatentDiff, &run, &cfg, false);
+        let b = evaluate_model(ModelKind::LatentDiff, &run, &cfg, false);
+        assert_eq!(a.resemblance, b.resemblance);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn dataset_run_caps_training_rows_at_profile_size() {
+        let profile = profiles::diabetes(); // 768 paper rows
+        let mut cfg = RunConfig::quick(1);
+        cfg.train_rows = 10_000;
+        let run = DatasetRun::prepare(&profile, &cfg);
+        assert_eq!(run.train.n_rows(), 768);
+    }
+}

@@ -1,0 +1,388 @@
+//! Multinomial diffusion for categorical features (Hoogeboom et al.),
+//! as used by the TabDDPM baseline.
+//!
+//! The forward process either keeps a category or resamples it uniformly:
+//! `q(x_t | x_0) = Cat(ᾱ_t x_0 + (1 − ᾱ_t) / K)`. The model predicts the
+//! clean one-hot `x̂_0` (via softmax logits); the training loss is the KL
+//! divergence between the true posterior `q(x_{t-1} | x_t, x_0)` and the
+//! model posterior `q(x_{t-1} | x_t, x̂_0)` — the paper's `M^t[v]` term in
+//! Eq. (3).
+
+use crate::schedule::NoiseSchedule;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Multinomial diffusion over one categorical feature with `k` classes.
+#[derive(Debug, Clone)]
+pub struct MultinomialDiffusion {
+    k: usize,
+}
+
+impl MultinomialDiffusion {
+    /// Creates the process for a `k`-class feature.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one class");
+        Self { k }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.k
+    }
+
+    /// Samples `x_t` given the clean code `x0` after `t + 1` noising steps.
+    pub fn q_sample(
+        &self,
+        x0: u32,
+        t: usize,
+        schedule: &NoiseSchedule,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let ab = f64::from(schedule.alpha_bar(t));
+        if rng.gen::<f64>() < ab {
+            x0
+        } else {
+            rng.gen_range(0..self.k) as u32
+        }
+    }
+
+    /// Probability vector of `q(x_t | x_0)`.
+    pub fn q_probs(&self, x0: u32, t: usize, schedule: &NoiseSchedule) -> Vec<f64> {
+        let ab = f64::from(schedule.alpha_bar(t));
+        let base = (1.0 - ab) / self.k as f64;
+        let mut p = vec![base; self.k];
+        p[x0 as usize] += ab;
+        p
+    }
+
+    /// Unnormalised posterior `q(x_{t-1} | x_t, x_0)` where `x0_probs` may be
+    /// a soft (model-predicted) distribution. Returns the normalised
+    /// probability vector.
+    ///
+    /// Derivation: `q(x_{t-1}|x_t, x0) ∝ q(x_t|x_{t-1}) q(x_{t-1}|x0)` with
+    /// `q(x_t|x_{t-1}) = Cat(α_t x_{t-1} + (1-α_t)/K)` and
+    /// `q(x_{t-1}|x0) = Cat(ᾱ_{t-1} x0 + (1-ᾱ_{t-1})/K)`.
+    pub fn posterior(
+        &self,
+        x_t: u32,
+        x0_probs: &[f64],
+        t: usize,
+        schedule: &NoiseSchedule,
+    ) -> Vec<f64> {
+        debug_assert_eq!(x0_probs.len(), self.k);
+        let alpha = f64::from(schedule.alpha(t));
+        let ab_prev = f64::from(schedule.alpha_bar_prev(t));
+        let k = self.k as f64;
+        let mut u = vec![0.0f64; self.k];
+        let mut total = 0.0;
+        for j in 0..self.k {
+            // likelihood that x_{t-1} = j transitions to the observed x_t
+            let like = if j as u32 == x_t { alpha + (1.0 - alpha) / k } else { (1.0 - alpha) / k };
+            // prior of x_{t-1} = j under (soft) x0
+            let prior = ab_prev * x0_probs[j] + (1.0 - ab_prev) / k;
+            u[j] = like * prior;
+            total += u[j];
+        }
+        for v in &mut u {
+            *v /= total.max(1e-300);
+        }
+        u
+    }
+
+    /// KL training loss and its gradient with respect to the model's `x̂_0`
+    /// *logits* for one sample.
+    ///
+    /// `KL(q(x_{t-1}|x_t, x_0) ‖ q(x_{t-1}|x_t, x̂_0))`, with `x̂_0 =
+    /// softmax(logits)`. At `t = 0` the loss degenerates to the negative
+    /// log-likelihood `-log x̂_0[x_0]` (Hoogeboom's `L_0` term).
+    pub fn kl_loss_and_grad(
+        &self,
+        x0: u32,
+        x_t: u32,
+        t: usize,
+        logits: &[f32],
+        schedule: &NoiseSchedule,
+    ) -> (f64, Vec<f32>) {
+        debug_assert_eq!(logits.len(), self.k);
+        let x0_hat = softmax64(logits);
+
+        if t == 0 {
+            // L_0: categorical NLL of the clean class.
+            let p = x0_hat[x0 as usize].max(1e-12);
+            let loss = -p.ln();
+            let grad: Vec<f32> = x0_hat
+                .iter()
+                .enumerate()
+                .map(|(j, &pj)| (pj - f64::from(u8::from(j == x0 as usize))) as f32)
+                .collect();
+            return (loss, grad);
+        }
+
+        let q_true = self.posterior(x_t, &one_hot64(x0, self.k), t, schedule);
+        // Model posterior uses unnormalised weights u_j = c_j * prior(x̂0)_j.
+        let alpha = f64::from(schedule.alpha(t));
+        let ab_prev = f64::from(schedule.alpha_bar_prev(t));
+        let k = self.k as f64;
+        let c: Vec<f64> = (0..self.k)
+            .map(|j| if j as u32 == x_t { alpha + (1.0 - alpha) / k } else { (1.0 - alpha) / k })
+            .collect();
+        let u: Vec<f64> = (0..self.k)
+            .map(|j| c[j] * (ab_prev * x0_hat[j] + (1.0 - ab_prev) / k))
+            .collect();
+        let total: f64 = u.iter().sum();
+
+        // KL = Σ q log q − Σ q log u + log Σ u
+        let mut loss = total.max(1e-300).ln();
+        for j in 0..self.k {
+            if q_true[j] > 0.0 {
+                loss += q_true[j] * (q_true[j].max(1e-300).ln() - u[j].max(1e-300).ln());
+            }
+        }
+
+        // dKL/dx̂0_m = (1/Σu − q_m/u_m) * c_m * ᾱ_{t-1}
+        let dkl_dx0: Vec<f64> = (0..self.k)
+            .map(|m| (1.0 / total.max(1e-300) - q_true[m] / u[m].max(1e-300)) * c[m] * ab_prev)
+            .collect();
+        // Chain through softmax: dL/dlogit_i = x̂0_i (dkl_i − Σ_j dkl_j x̂0_j)
+        let dot: f64 = dkl_dx0.iter().zip(&x0_hat).map(|(d, p)| d * p).sum();
+        let grad: Vec<f32> = (0..self.k)
+            .map(|i| (x0_hat[i] * (dkl_dx0[i] - dot)) as f32)
+            .collect();
+        (loss, grad)
+    }
+
+    /// Posterior `q(x_s | x_t, x_0)` for an arbitrary earlier step `s < t`
+    /// (used for strided/few-step inference). The jump transition
+    /// `q(x_t | x_s)` keeps the class with probability `ᾱ_t / ᾱ_s`.
+    pub fn posterior_between(
+        &self,
+        x_t: u32,
+        x0_probs: &[f64],
+        t: usize,
+        s: usize,
+        schedule: &NoiseSchedule,
+    ) -> Vec<f64> {
+        debug_assert!(s < t, "posterior_between requires s < t");
+        let ab_t = f64::from(schedule.alpha_bar(t));
+        let ab_s = f64::from(schedule.alpha_bar(s));
+        let alpha_eff = (ab_t / ab_s).clamp(0.0, 1.0);
+        let k = self.k as f64;
+        let mut u = vec![0.0f64; self.k];
+        let mut total = 0.0;
+        for j in 0..self.k {
+            let like = if j as u32 == x_t {
+                alpha_eff + (1.0 - alpha_eff) / k
+            } else {
+                (1.0 - alpha_eff) / k
+            };
+            let prior = ab_s * x0_probs[j] + (1.0 - ab_s) / k;
+            u[j] = like * prior;
+            total += u[j];
+        }
+        for v in &mut u {
+            *v /= total.max(1e-300);
+        }
+        u
+    }
+
+    /// Samples `x_s` from the strided model posterior given `x̂_0` logits.
+    pub fn p_sample_between(
+        &self,
+        x_t: u32,
+        t: usize,
+        s: usize,
+        logits: &[f32],
+        schedule: &NoiseSchedule,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let x0_hat = softmax64(logits);
+        let post = self.posterior_between(x_t, &x0_hat, t, s, schedule);
+        sample_categorical(&post, rng)
+    }
+
+    /// Samples `x_{t-1}` from the model posterior given logits for `x̂_0`.
+    pub fn p_sample(
+        &self,
+        x_t: u32,
+        t: usize,
+        logits: &[f32],
+        schedule: &NoiseSchedule,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let x0_hat = softmax64(logits);
+        if t == 0 {
+            return sample_categorical(&x0_hat, rng);
+        }
+        let post = self.posterior(x_t, &x0_hat, t, schedule);
+        sample_categorical(&post, rng)
+    }
+
+    /// Uniform categorical sample — the `t = T` prior of the process.
+    pub fn sample_prior(&self, rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..self.k) as u32
+    }
+}
+
+fn softmax64(logits: &[f32]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| f64::from(v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn one_hot64(code: u32, k: usize) -> Vec<f64> {
+    let mut v = vec![0.0; k];
+    v[code as usize] = 1.0;
+    v
+}
+
+/// Samples an index from a probability vector.
+pub fn sample_categorical(probs: &[f64], rng: &mut StdRng) -> u32 {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i as u32;
+        }
+    }
+    (probs.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleKind;
+    use rand::SeedableRng;
+
+    fn sched(t: usize) -> NoiseSchedule {
+        NoiseSchedule::new(ScheduleKind::Linear, t)
+    }
+
+    #[test]
+    fn q_probs_sum_to_one_and_favour_x0_early() {
+        let m = MultinomialDiffusion::new(5);
+        let s = sched(100);
+        let p = m.q_probs(2, 0, &s);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > 0.99);
+        let p_late = m.q_probs(2, 99, &s);
+        // Late in the process the distribution approaches uniform.
+        assert!(p_late[2] < 0.6);
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let m = MultinomialDiffusion::new(4);
+        let s = sched(50);
+        let post = m.posterior(1, &[0.1, 0.2, 0.3, 0.4], 25, &s);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(post.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn posterior_with_true_x0_prefers_x0_early_in_the_process() {
+        let m = MultinomialDiffusion::new(3);
+        let s = sched(100);
+        // Early (t small): ᾱ_{t-1} ~ 1, so all posterior mass sits on the
+        // clean class and the observed class; unrelated classes get nothing.
+        let post = m.posterior(2, &[1.0, 0.0, 0.0], 1, &s);
+        assert!(post[1] < 1e-4, "posterior {post:?}");
+        assert!(post[0] + post[2] > 0.999, "posterior {post:?}");
+        // And when x_t agrees with x0 the posterior is nearly certain.
+        let agree = m.posterior(0, &[1.0, 0.0, 0.0], 1, &s);
+        assert!(agree[0] > 0.99, "posterior {agree:?}");
+    }
+
+    #[test]
+    fn kl_zero_when_model_predicts_truth() {
+        let m = MultinomialDiffusion::new(3);
+        let s = sched(50);
+        // Logits strongly favouring the true class.
+        let logits = [20.0f32, -20.0, -20.0];
+        let (loss, grad) = m.kl_loss_and_grad(0, 1, 25, &logits, &s);
+        assert!(loss < 1e-3, "loss {loss}");
+        // Gradient should be tiny at the optimum.
+        assert!(grad.iter().all(|g| g.abs() < 1e-2));
+    }
+
+    #[test]
+    fn kl_positive_when_model_is_wrong() {
+        let m = MultinomialDiffusion::new(3);
+        let s = sched(50);
+        let wrong = [-20.0f32, 20.0, -20.0];
+        let right = [20.0f32, -20.0, -20.0];
+        let (l_wrong, _) = m.kl_loss_and_grad(0, 0, 25, &wrong, &s);
+        let (l_right, _) = m.kl_loss_and_grad(0, 0, 25, &right, &s);
+        assert!(l_wrong > l_right);
+    }
+
+    #[test]
+    fn kl_grad_matches_finite_difference() {
+        let m = MultinomialDiffusion::new(4);
+        let s = sched(40);
+        let logits = [0.3f32, -0.5, 0.8, 0.1];
+        for (x0, xt, t) in [(0u32, 2u32, 10usize), (3, 3, 30), (1, 0, 0)] {
+            let (_, grad) = m.kl_loss_and_grad(x0, xt, t, &logits, &s);
+            let eps = 1e-3f32;
+            for i in 0..4 {
+                let mut lp = logits;
+                lp[i] += eps;
+                let mut lm = logits;
+                lm[i] -= eps;
+                let (fp, _) = m.kl_loss_and_grad(x0, xt, t, &lp, &s);
+                let (fm, _) = m.kl_loss_and_grad(x0, xt, t, &lm, &s);
+                let numeric = ((fp - fm) / (2.0 * f64::from(eps))) as f32;
+                assert!(
+                    (numeric - grad[i]).abs() < 1e-3,
+                    "t={t} grad mismatch at {i}: {numeric} vs {}",
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_sample_keeps_class_early_randomises_late() {
+        let m = MultinomialDiffusion::new(10);
+        let s = sched(200);
+        let mut rng = StdRng::seed_from_u64(0);
+        let early_same = (0..1000)
+            .filter(|_| m.q_sample(7, 0, &s, &mut rng) == 7)
+            .count();
+        assert!(early_same > 990);
+        let late_same = (0..1000)
+            .filter(|_| m.q_sample(7, 199, &s, &mut rng) == 7)
+            .count();
+        // ᾱ_T ~ 0.13 -> P(same) ~ 0.13 + 0.87/10 ~ 0.22.
+        assert!(late_same < 400, "late_same {late_same}");
+    }
+
+    #[test]
+    fn posterior_between_agrees_with_adjacent_posterior() {
+        let m = MultinomialDiffusion::new(5);
+        let s = sched(60);
+        let x0 = [0.1, 0.3, 0.2, 0.25, 0.15];
+        for t in [5usize, 20, 59] {
+            let adjacent = m.posterior(2, &x0, t, &s);
+            let between = m.posterior_between(2, &x0, t, t - 1, &s);
+            for (a, b) in adjacent.iter().zip(&between) {
+                assert!((a - b).abs() < 1e-6, "t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_categorical_respects_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = [0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[sample_categorical(&probs, &mut rng) as usize] += 1;
+        }
+        assert!((counts[0] as f64 / 5000.0 - 0.7).abs() < 0.03);
+    }
+}

@@ -1,0 +1,195 @@
+//! Variance (beta) schedules for DDPMs.
+
+/// The supported beta schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Linear interpolation from `1e-4` to `0.02` (Ho et al.).
+    Linear,
+    /// Nichol & Dhariwal cosine schedule (better for few timesteps).
+    Cosine,
+}
+
+/// Precomputed schedule constants for `T` diffusion steps.
+///
+/// Indexing convention: array index `t` in `0..T` describes the transition
+/// producing `x_{t+1}` from `x_t` in the paper's 1-based notation, i.e.
+/// `alpha_bar(t)` is the paper's `ᾱ^{t+1}` — the total signal retention
+/// after `t + 1` noising steps.
+#[derive(Debug, Clone)]
+pub struct NoiseSchedule {
+    betas: Vec<f32>,
+    alphas: Vec<f32>,
+    alpha_bars: Vec<f32>,
+}
+
+impl NoiseSchedule {
+    /// Builds a schedule with `timesteps` steps.
+    ///
+    /// # Panics
+    /// Panics if `timesteps` is zero.
+    pub fn new(kind: ScheduleKind, timesteps: usize) -> Self {
+        assert!(timesteps >= 1, "schedule needs at least one timestep");
+        let betas: Vec<f32> = match kind {
+            ScheduleKind::Linear => {
+                let (lo, hi) = (1e-4f64, 0.02f64);
+                (0..timesteps)
+                    .map(|t| {
+                        let frac = if timesteps == 1 {
+                            0.0
+                        } else {
+                            t as f64 / (timesteps - 1) as f64
+                        };
+                        (lo + (hi - lo) * frac) as f32
+                    })
+                    .collect()
+            }
+            ScheduleKind::Cosine => {
+                let s = 0.008f64;
+                let f = |t: f64| {
+                    let x = (t / timesteps as f64 + s) / (1.0 + s) * std::f64::consts::FRAC_PI_2;
+                    x.cos().powi(2)
+                };
+                let f0 = f(0.0);
+                let mut alpha_bars = Vec::with_capacity(timesteps + 1);
+                for t in 0..=timesteps {
+                    alpha_bars.push(f(t as f64) / f0);
+                }
+                (0..timesteps)
+                    .map(|t| {
+                        let beta = 1.0 - alpha_bars[t + 1] / alpha_bars[t];
+                        beta.clamp(1e-6, 0.999) as f32
+                    })
+                    .collect()
+            }
+        };
+        let alphas: Vec<f32> = betas.iter().map(|&b| 1.0 - b).collect();
+        let mut alpha_bars = Vec::with_capacity(timesteps);
+        let mut acc = 1.0f64;
+        for &a in &alphas {
+            acc *= f64::from(a);
+            alpha_bars.push(acc as f32);
+        }
+        Self { betas, alphas, alpha_bars }
+    }
+
+    /// Number of timesteps `T`.
+    pub fn timesteps(&self) -> usize {
+        self.betas.len()
+    }
+
+    /// `β` at step index `t`.
+    pub fn beta(&self, t: usize) -> f32 {
+        self.betas[t]
+    }
+
+    /// `α = 1 - β` at step index `t`.
+    pub fn alpha(&self, t: usize) -> f32 {
+        self.alphas[t]
+    }
+
+    /// `ᾱ` after `t + 1` noising steps.
+    pub fn alpha_bar(&self, t: usize) -> f32 {
+        self.alpha_bars[t]
+    }
+
+    /// `ᾱ` before step `t` (i.e. `alpha_bar(t - 1)`, or 1 at `t = 0`).
+    pub fn alpha_bar_prev(&self, t: usize) -> f32 {
+        if t == 0 {
+            1.0
+        } else {
+            self.alpha_bars[t - 1]
+        }
+    }
+
+    /// Posterior variance of `q(x_{t-1} | x_t, x_0)`:
+    /// `β * (1 - ᾱ_{t-1}) / (1 - ᾱ_t)`.
+    pub fn posterior_variance(&self, t: usize) -> f32 {
+        let ab = self.alpha_bar(t);
+        let ab_prev = self.alpha_bar_prev(t);
+        (self.beta(t) * (1.0 - ab_prev) / (1.0 - ab)).max(0.0)
+    }
+
+    /// Evenly strided sub-schedule indices for fast inference: `count`
+    /// indices in `0..T`, descending, always including the final step.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds `T`.
+    pub fn inference_steps(&self, count: usize) -> Vec<usize> {
+        let t = self.timesteps();
+        assert!(count >= 1 && count <= t, "invalid inference step count");
+        let mut steps: Vec<usize> = (0..count)
+            .map(|i| ((i as f64 + 0.5) * t as f64 / count as f64) as usize)
+            .map(|s| s.min(t - 1))
+            .collect();
+        steps.dedup();
+        if *steps.last().unwrap() != t - 1 {
+            steps.push(t - 1);
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_schedule_endpoints() {
+        let s = NoiseSchedule::new(ScheduleKind::Linear, 200);
+        assert!((s.beta(0) - 1e-4).abs() < 1e-6);
+        assert!((s.beta(199) - 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_bar_is_strictly_decreasing() {
+        for kind in [ScheduleKind::Linear, ScheduleKind::Cosine] {
+            let s = NoiseSchedule::new(kind, 100);
+            for t in 1..100 {
+                assert!(
+                    s.alpha_bar(t) < s.alpha_bar(t - 1),
+                    "{kind:?} not decreasing at {t}"
+                );
+            }
+            assert!(s.alpha_bar(0) < 1.0 && s.alpha_bar(0) > 0.9);
+        }
+    }
+
+    #[test]
+    fn alpha_bar_matches_product_of_alphas() {
+        let s = NoiseSchedule::new(ScheduleKind::Linear, 50);
+        let mut acc = 1.0f64;
+        for t in 0..50 {
+            acc *= f64::from(s.alpha(t));
+            assert!((s.alpha_bar(t) - acc as f32).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cosine_betas_are_valid_probabilities() {
+        let s = NoiseSchedule::new(ScheduleKind::Cosine, 200);
+        for t in 0..200 {
+            assert!(s.beta(t) > 0.0 && s.beta(t) < 1.0);
+        }
+    }
+
+    #[test]
+    fn posterior_variance_zero_at_first_step() {
+        let s = NoiseSchedule::new(ScheduleKind::Linear, 10);
+        assert_eq!(s.posterior_variance(0), 0.0);
+        assert!(s.posterior_variance(5) > 0.0);
+    }
+
+    #[test]
+    fn inference_steps_cover_range_descending() {
+        let s = NoiseSchedule::new(ScheduleKind::Linear, 200);
+        let steps = s.inference_steps(25);
+        assert_eq!(steps[0], 199);
+        assert!(steps.windows(2).all(|w| w[0] > w[1]));
+        assert!(steps.len() >= 25 && steps.len() <= 26);
+        let full = s.inference_steps(200);
+        assert_eq!(full.len(), 200);
+        assert_eq!(full[0], 199);
+        assert_eq!(*full.last().unwrap(), 0);
+    }
+}

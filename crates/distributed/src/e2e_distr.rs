@@ -1,0 +1,290 @@
+//! E2EDistr: the end-to-end *distributed* baseline (Fig. 9).
+//!
+//! Every training iteration, each client uploads its batch's forward
+//! activations (latents) to the coordinator and downloads the matching
+//! latent gradients — so communication grows as `O(#iterations)`, the
+//! behaviour Fig. 10 contrasts with SiloFuse's single round. The decoders
+//! stay at the clients; the joint loss is `L_G + L_AE`.
+
+use crate::transport::{bump_round, link, new_stats, ClientEndpoint, CommStats, SharedStats};
+use crate::Message;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
+use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
+use silofuse_diffusion::schedule::NoiseSchedule;
+use silofuse_models::latentdiff::LatentDiffConfig;
+use silofuse_models::TabularAutoencoder;
+use silofuse_nn::Tensor;
+use silofuse_tabular::table::Table;
+
+struct ClientState {
+    ae: TabularAutoencoder,
+    endpoint: ClientEndpoint,
+    partition: Table,
+    latent_dim: usize,
+}
+
+/// The end-to-end distributed synthesizer.
+pub struct E2eDistributed {
+    config: LatentDiffConfig,
+    clients: Vec<ClientState>,
+    coord_endpoints: Vec<crate::transport::CoordEndpoint>,
+    ddpm: Option<GaussianDdpm>,
+    stats: SharedStats,
+}
+
+impl std::fmt::Debug for E2eDistributed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "E2eDistributed({} clients)", self.clients.len())
+    }
+}
+
+impl E2eDistributed {
+    /// Jointly trains autoencoders (at clients) and the DDPM (at the
+    /// coordinator) on vertically partitioned data.
+    ///
+    /// # Panics
+    /// Panics if `partitions` is empty or rows are misaligned.
+    pub fn fit(partitions: &[Table], config: LatentDiffConfig, rng: &mut StdRng) -> Self {
+        assert!(!partitions.is_empty(), "need at least one client partition");
+        let rows = partitions[0].n_rows();
+        assert!(
+            partitions.iter().all(|p| p.n_rows() == rows),
+            "partitions must have aligned rows"
+        );
+
+        let stats = new_stats();
+        let mut clients = Vec::with_capacity(partitions.len());
+        let mut coord_endpoints = Vec::with_capacity(partitions.len());
+        for (i, part) in partitions.iter().enumerate() {
+            let (client_ep, coord_ep) = link(std::sync::Arc::clone(&stats));
+            let mut ae_cfg = config.ae;
+            ae_cfg.seed = config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let ae = TabularAutoencoder::new(part, ae_cfg);
+            let latent_dim = ae.latent_dim();
+            clients.push(ClientState { ae, endpoint: client_ep, partition: part.clone(), latent_dim });
+            coord_endpoints.push(coord_ep);
+        }
+
+        let total_latent: usize = clients.iter().map(|c| c.latent_dim).sum();
+        let mut init_rng = StdRng::seed_from_u64(config.seed ^ 0xe2ed);
+        let backbone = DiffusionBackbone::new(
+            BackboneConfig {
+                data_dim: total_latent,
+                hidden_dim: config.ddpm_hidden,
+                depth: 8,
+                time_embed_dim: 16,
+                dropout: 0.01,
+                out_dim: total_latent,
+            },
+            config.seed,
+            &mut init_rng,
+        );
+        let schedule = NoiseSchedule::new(config.schedule, config.timesteps);
+        let diffusion = GaussianDiffusion::new(schedule, Parameterization::PredictX0);
+        let mut ddpm = GaussianDdpm::new(diffusion, backbone, config.ddpm_lr);
+
+        let mut model = Self { config, clients, coord_endpoints, ddpm: None, stats };
+        let total_steps = config.ae_steps + config.diffusion_steps;
+        for _ in 0..total_steps {
+            let idx: Vec<usize> =
+                (0..config.batch_size.min(rows)).map(|_| rng.gen_range(0..rows)).collect();
+            model.joint_step(&mut ddpm, &idx, rng);
+        }
+        model.ddpm = Some(ddpm);
+        model
+    }
+
+    /// One distributed end-to-end step over aligned batch rows `idx`.
+    fn joint_step(&mut self, ddpm: &mut GaussianDdpm, idx: &[usize], rng: &mut StdRng) {
+        let m = self.clients.len();
+
+        // Clients: encoder forward + activation upload.
+        let mut batches = Vec::with_capacity(m);
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let batch = client.partition.select_rows(idx);
+            client.ae.zero_grad();
+            let z_i = client.ae.encoder_forward_train(&batch);
+            client
+                .endpoint
+                .send(&Message::ActivationUpload {
+                    client: i as u32,
+                    rows: z_i.rows() as u32,
+                    cols: z_i.cols() as u32,
+                    data: z_i.as_slice().to_vec(),
+                })
+                .expect("coordinator alive");
+            batches.push((batch, z_i));
+        }
+
+        // Coordinator: concat, DDPM step, gradient download.
+        let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
+        for ep in &self.coord_endpoints {
+            match ep.recv().expect("client alive") {
+                Message::ActivationUpload { client, rows, cols, data } => {
+                    uploads[client as usize] =
+                        Some(Tensor::from_vec(rows as usize, cols as usize, data));
+                }
+                other => panic!("unexpected message in E2E step: {other:?}"),
+            }
+        }
+        let parts: Vec<Tensor> = uploads.into_iter().map(Option::unwrap).collect();
+        let z = Tensor::concat_cols(&parts.iter().collect::<Vec<_>>());
+        let step = ddpm.train_step_with_input_grad(&z, rng);
+        let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
+        let grad_parts = step.input_grad.split_cols(&widths);
+        for (i, g) in grad_parts.iter().enumerate() {
+            self.coord_endpoints[i]
+                .send(&Message::GradientDownload {
+                    client: i as u32,
+                    rows: g.rows() as u32,
+                    cols: g.cols() as u32,
+                    data: g.as_slice().to_vec(),
+                })
+                .expect("client alive");
+        }
+
+        // Clients: local decoder loss + combined backward + step.
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let msg = client.endpoint.recv().expect("gradient arrives");
+            let Message::GradientDownload { rows, cols, data, .. } = msg else {
+                panic!("unexpected message in E2E step");
+            };
+            let grad_ddpm = Tensor::from_vec(rows as usize, cols as usize, data);
+            let (batch, z_i) = &batches[i];
+            let (_recon, grad_dec) = client.ae.decoder_loss_backward(z_i, batch);
+            let grad_z = grad_ddpm.add(&grad_dec);
+            client.ae.encoder_backward(&grad_z);
+            client.ae.opt_step();
+        }
+        bump_round(&self.stats);
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn comm_stats(&self) -> CommStats {
+        *self.stats.lock()
+    }
+
+    /// Average wire bytes per training iteration (for extrapolating Fig. 10
+    /// to the paper's 50k/500k/5M iteration counts).
+    pub fn bytes_per_iteration(&self) -> f64 {
+        let s = self.comm_stats();
+        if s.rounds == 0 {
+            0.0
+        } else {
+            s.total_bytes() as f64 / s.rounds as f64
+        }
+    }
+
+    /// Synthesis: identical stacking of DDPM + local decoders as SiloFuse.
+    pub fn synthesize_partitioned(&mut self, n: usize, rng: &mut StdRng) -> Vec<Table> {
+        let ddpm = self.ddpm.as_mut().expect("model is fitted");
+        let z = ddpm.sample(n, self.config.inference_steps, self.config.eta, rng);
+        let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
+        let parts = z.split_cols(&widths);
+        parts
+            .iter()
+            .zip(self.clients.iter_mut())
+            .map(|(z_i, client)| client.ae.decode(z_i))
+            .collect()
+    }
+
+    /// Synthesis with post-generation sharing (column concat, client order).
+    pub fn synthesize_joined(&mut self, n: usize, rng: &mut StdRng) -> Table {
+        let parts = self.synthesize_partitioned(n, rng);
+        Table::concat_columns(&parts.iter().collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silofuse_models::AutoencoderConfig;
+    use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+    use silofuse_tabular::profiles;
+
+    fn quick_config(seed: u64, steps: usize) -> LatentDiffConfig {
+        LatentDiffConfig {
+            ae: AutoencoderConfig { hidden_dim: 48, lr: 1e-3, seed, ..Default::default() },
+            ddpm_hidden: 48,
+            timesteps: 20,
+            ae_steps: steps / 2,
+            diffusion_steps: steps - steps / 2,
+            batch_size: 32,
+            inference_steps: 5,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn split(table: &Table, m: usize) -> Vec<Table> {
+        PartitionPlan::new(table.n_cols(), m, PartitionStrategy::Default).split(table)
+    }
+
+    #[test]
+    fn fit_and_synthesize() {
+        let t = profiles::loan().generate(96, 0);
+        let parts = split(&t, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = E2eDistributed::fit(&parts, quick_config(0, 30), &mut rng);
+        let synth = model.synthesize_partitioned(16, &mut rng);
+        assert_eq!(synth.len(), 3);
+        for (s, p) in synth.iter().zip(&parts) {
+            assert_eq!(s.schema(), p.schema());
+            assert_eq!(s.n_rows(), 16);
+        }
+    }
+
+    #[test]
+    fn communication_grows_linearly_with_iterations() {
+        let t = profiles::loan().generate(64, 1);
+        let parts = split(&t, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m10 = E2eDistributed::fit(&parts, quick_config(1, 10), &mut rng);
+        let m40 = E2eDistributed::fit(&parts, quick_config(1, 40), &mut rng);
+        let b10 = m10.comm_stats().total_bytes();
+        let b40 = m40.comm_stats().total_bytes();
+        assert_eq!(b40, 4 * b10, "bytes must scale linearly in iterations");
+        assert_eq!(m10.comm_stats().rounds, 10);
+        assert_eq!(m40.comm_stats().rounds, 40);
+    }
+
+    #[test]
+    fn per_round_bytes_are_activations_plus_gradients() {
+        let t = profiles::loan().generate(64, 2);
+        let parts = split(&t, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = quick_config(2, 4);
+        let model = E2eDistributed::fit(&parts, cfg, &mut rng);
+        let latent_total: usize = parts.iter().map(|p| p.schema().width()).sum();
+        // Per round: M uploads + M downloads, each 13 + 4 * batch * s_i.
+        let per_round: u64 = parts
+            .iter()
+            .map(|p| (13 + 4 * cfg.batch_size * p.schema().width()) as u64)
+            .sum::<u64>()
+            * 2;
+        let _ = latent_total;
+        assert_eq!(model.comm_stats().total_bytes(), per_round * 4);
+        assert!((model.bytes_per_iteration() - per_round as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e2e_distr_costs_exceed_stacked_for_nontrivial_iterations() {
+        let t = profiles::loan().generate(64, 3);
+        let parts = split(&t, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let e2e = E2eDistributed::fit(&parts, quick_config(3, 50), &mut rng);
+        let stacked =
+            crate::stacked::SiloFuseModel::fit(&parts, quick_config(3, 50), &mut rng);
+        assert!(
+            e2e.comm_stats().total_bytes() > stacked.comm_stats().total_bytes(),
+            "E2EDistr must communicate more than SiloFuse"
+        );
+    }
+}

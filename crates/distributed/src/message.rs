@@ -1,0 +1,253 @@
+//! Wire protocol between clients and the coordinator.
+//!
+//! Every payload that crosses a silo boundary is serialised through this
+//! codec so the communication experiments (Fig. 10) measure *actual wire
+//! bytes*, not estimates. The format is a compact little-endian layout:
+//! `tag u8 | client u32 | rows u32 | cols u32 | payload f32*`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Messages exchanged during training and synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → coordinator: encoded latents `Z_i` of the training data
+    /// (stacked training, Algorithm 1 — sent exactly once).
+    LatentUpload {
+        /// Sending client index.
+        client: u32,
+        /// Row count.
+        rows: u32,
+        /// Latent width `s_i`.
+        cols: u32,
+        /// Row-major latent values.
+        data: Vec<f32>,
+    },
+    /// Client → coordinator: forward activations for one E2EDistr step.
+    ActivationUpload {
+        /// Sending client index.
+        client: u32,
+        /// Row count.
+        rows: u32,
+        /// Latent width `s_i`.
+        cols: u32,
+        /// Row-major activations.
+        data: Vec<f32>,
+    },
+    /// Coordinator → client: latent gradients for one E2EDistr step.
+    GradientDownload {
+        /// Receiving client index.
+        client: u32,
+        /// Row count.
+        rows: u32,
+        /// Latent width `s_i`.
+        cols: u32,
+        /// Row-major gradients.
+        data: Vec<f32>,
+    },
+    /// Coordinator → client: this client's slice of freshly denoised
+    /// synthetic latents `Z̃_i` (Algorithm 2).
+    SyntheticLatents {
+        /// Receiving client index.
+        client: u32,
+        /// Row count.
+        rows: u32,
+        /// Latent width `s_i`.
+        cols: u32,
+        /// Row-major synthetic latents.
+        data: Vec<f32>,
+    },
+    /// Client → coordinator: request `n` synthetic samples (Algorithm 2,
+    /// line 1).
+    SynthesisRequest {
+        /// Requesting client index.
+        client: u32,
+        /// Number of samples wanted.
+        n: u32,
+    },
+    /// Control acknowledgement.
+    Ack,
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_LATENT: u8 = 1;
+const TAG_ACTIVATION: u8 = 2;
+const TAG_GRADIENT: u8 = 3;
+const TAG_SYNTH: u8 = 4;
+const TAG_REQUEST: u8 = 5;
+const TAG_ACK: u8 = 6;
+
+impl Message {
+    /// Serialises to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        match self {
+            Message::LatentUpload { client, rows, cols, data } => {
+                encode_matrix(&mut buf, TAG_LATENT, *client, *rows, *cols, data);
+            }
+            Message::ActivationUpload { client, rows, cols, data } => {
+                encode_matrix(&mut buf, TAG_ACTIVATION, *client, *rows, *cols, data);
+            }
+            Message::GradientDownload { client, rows, cols, data } => {
+                encode_matrix(&mut buf, TAG_GRADIENT, *client, *rows, *cols, data);
+            }
+            Message::SyntheticLatents { client, rows, cols, data } => {
+                encode_matrix(&mut buf, TAG_SYNTH, *client, *rows, *cols, data);
+            }
+            Message::SynthesisRequest { client, n } => {
+                buf.put_u8(TAG_REQUEST);
+                buf.put_u32_le(*client);
+                buf.put_u32_le(*n);
+            }
+            Message::Ack => buf.put_u8(TAG_ACK),
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises from wire bytes.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, CodecError> {
+        if bytes.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let tag = bytes.get_u8();
+        match tag {
+            TAG_LATENT | TAG_ACTIVATION | TAG_GRADIENT | TAG_SYNTH => {
+                let (client, rows, cols, data) = decode_matrix(&mut bytes)?;
+                Ok(match tag {
+                    TAG_LATENT => Message::LatentUpload { client, rows, cols, data },
+                    TAG_ACTIVATION => Message::ActivationUpload { client, rows, cols, data },
+                    TAG_GRADIENT => Message::GradientDownload { client, rows, cols, data },
+                    _ => Message::SyntheticLatents { client, rows, cols, data },
+                })
+            }
+            TAG_REQUEST => {
+                if bytes.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let client = bytes.get_u32_le();
+                let n = bytes.get_u32_le();
+                Ok(Message::SynthesisRequest { client, n })
+            }
+            TAG_ACK => Ok(Message::Ack),
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+
+    /// Exact serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::LatentUpload { data, .. }
+            | Message::ActivationUpload { data, .. }
+            | Message::GradientDownload { data, .. }
+            | Message::SyntheticLatents { data, .. } => 1 + 12 + 4 * data.len(),
+            Message::SynthesisRequest { .. } => 1 + 8,
+            Message::Ack => 1,
+        }
+    }
+}
+
+fn encode_matrix(buf: &mut BytesMut, tag: u8, client: u32, rows: u32, cols: u32, data: &[f32]) {
+    debug_assert_eq!(data.len(), rows as usize * cols as usize);
+    buf.put_u8(tag);
+    buf.put_u32_le(client);
+    buf.put_u32_le(rows);
+    buf.put_u32_le(cols);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+}
+
+fn decode_matrix(bytes: &mut Bytes) -> Result<(u32, u32, u32, Vec<f32>), CodecError> {
+    if bytes.remaining() < 12 {
+        return Err(CodecError::Truncated);
+    }
+    let client = bytes.get_u32_le();
+    let rows = bytes.get_u32_le();
+    let cols = bytes.get_u32_le();
+    let len = rows as usize * cols as usize;
+    if bytes.remaining() < 4 * len {
+        return Err(CodecError::Truncated);
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(bytes.get_f32_le());
+    }
+    Ok((client, rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_messages_round_trip() {
+        let msgs = [
+            Message::LatentUpload { client: 2, rows: 3, cols: 2, data: vec![1.0; 6] },
+            Message::ActivationUpload { client: 0, rows: 1, cols: 4, data: vec![-0.5; 4] },
+            Message::GradientDownload { client: 1, rows: 2, cols: 2, data: vec![0.25; 4] },
+            Message::SyntheticLatents { client: 3, rows: 1, cols: 1, data: vec![9.0] },
+        ];
+        for m in msgs {
+            let decoded = Message::decode(m.encode()).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for m in [Message::SynthesisRequest { client: 7, n: 1000 }, Message::Ack] {
+            assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let msgs = [
+            Message::LatentUpload { client: 2, rows: 10, cols: 5, data: vec![0.0; 50] },
+            Message::SynthesisRequest { client: 0, n: 1 },
+            Message::Ack,
+        ];
+        for m in msgs {
+            assert_eq!(m.encode().len(), m.wire_size());
+        }
+    }
+
+    #[test]
+    fn payload_dominates_wire_size() {
+        // 1 KiB of floats -> overhead must stay tiny (13 bytes header).
+        let m = Message::LatentUpload { client: 0, rows: 16, cols: 16, data: vec![0.0; 256] };
+        assert_eq!(m.wire_size(), 13 + 1024);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let m = Message::LatentUpload { client: 0, rows: 2, cols: 2, data: vec![0.0; 4] };
+        let enc = m.encode();
+        let cut = enc.slice(0..enc.len() - 3);
+        assert_eq!(Message::decode(cut), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let bytes = Bytes::from_static(&[99u8]);
+        assert_eq!(Message::decode(bytes), Err(CodecError::BadTag(99)));
+    }
+}

@@ -1,0 +1,429 @@
+//! SiloFuse's stacked distributed training and synthesis
+//! (Algorithms 1 and 2).
+//!
+//! Step 1 trains each client's autoencoder locally and *in parallel* (real
+//! threads here). Step 2 uploads each client's training latents to the
+//! coordinator exactly once — a single communication round regardless of
+//! training iterations — where the Gaussian latent DDPM trains on the
+//! concatenated latents, capturing cross-silo feature correlations without
+//! any raw feature leaving its silo. Synthesis (Algorithm 2) denoises
+//! Gaussian noise at the coordinator, partitions the latents, and lets each
+//! client decode its own slice with its privately-held decoder.
+
+use crate::transport::{bump_round, link, new_stats, ClientEndpoint, CommStats, SharedStats};
+use crate::Message;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
+use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
+use silofuse_diffusion::schedule::NoiseSchedule;
+use silofuse_models::latentdiff::{LatentDiffConfig, LatentScaler};
+use silofuse_models::TabularAutoencoder;
+use silofuse_nn::Tensor;
+use silofuse_tabular::table::Table;
+
+/// One client's private state: its autoencoder (encoder + decoder never
+/// leave the silo) plus its transport endpoint.
+struct ClientState {
+    ae: TabularAutoencoder,
+    endpoint: ClientEndpoint,
+    latent_dim: usize,
+}
+
+/// The fitted distributed SiloFuse model.
+pub struct SiloFuseModel {
+    config: LatentDiffConfig,
+    clients: Vec<ClientState>,
+    coordinator: Option<Coordinator>,
+    coord_endpoints: Vec<crate::transport::CoordEndpoint>,
+    stats: SharedStats,
+}
+
+struct Coordinator {
+    ddpm: GaussianDdpm,
+    scaler: LatentScaler,
+    latent_widths: Vec<usize>,
+}
+
+impl std::fmt::Debug for SiloFuseModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SiloFuseModel({} clients)", self.clients.len())
+    }
+}
+
+impl SiloFuseModel {
+    /// Trains SiloFuse on vertically partitioned data: `partitions[i]` is
+    /// client `C_{i+1}`'s private feature set `X_i` (rows aligned across
+    /// clients, as the paper assumes via private-set intersection).
+    ///
+    /// # Panics
+    /// Panics if `partitions` is empty or row counts disagree.
+    pub fn fit(partitions: &[Table], config: LatentDiffConfig, rng: &mut StdRng) -> Self {
+        assert!(!partitions.is_empty(), "need at least one client partition");
+        let rows = partitions[0].n_rows();
+        assert!(
+            partitions.iter().all(|p| p.n_rows() == rows),
+            "partitions must have aligned rows"
+        );
+
+        let stats = new_stats();
+        let m = partitions.len();
+
+        // --- Step 1 (Algorithm 1, lines 1-7): local AE training, parallel.
+        let mut handles = Vec::with_capacity(m);
+        let mut coord_endpoints = Vec::with_capacity(m);
+        for (i, part) in partitions.iter().enumerate() {
+            let (client_ep, coord_ep) = link(std::sync::Arc::clone(&stats));
+            coord_endpoints.push(coord_ep);
+            let part = part.clone();
+            let mut cfg = config;
+            cfg.ae.seed = config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let seed = cfg.ae.seed;
+            handles.push(std::thread::spawn(move || {
+                let mut local_rng = StdRng::seed_from_u64(seed ^ 0xc11e);
+                let mut ae = TabularAutoencoder::new(&part, cfg.ae);
+                ae.fit(&part, cfg.ae_steps, cfg.batch_size, &mut local_rng);
+                // Algorithm 1, lines 8-10: encode local latents and upload
+                // them to the coordinator — once.
+                let mut latents = ae.encode(&part);
+                // DP-style mechanism: perturb latents *before* they leave
+                // the silo (relative to each column's scale).
+                if cfg.latent_noise_std > 0.0 {
+                    let col_stds: Vec<f32> = {
+                        let means = latents.mean_rows();
+                        let mut stds = vec![0.0f32; latents.cols()];
+                        for r in 0..latents.rows() {
+                            for (c, &v) in latents.row(r).iter().enumerate() {
+                                let d = v - means[c];
+                                stds[c] += d * d;
+                            }
+                        }
+                        stds.iter()
+                            .map(|s| (s / latents.rows().max(1) as f32).sqrt().max(1e-6))
+                            .collect()
+                    };
+                    let noise = silofuse_nn::init::randn(
+                        latents.rows(),
+                        latents.cols(),
+                        &mut local_rng,
+                    );
+                    for r in 0..latents.rows() {
+                        for (c, v) in latents.row_mut(r).iter_mut().enumerate() {
+                            *v += cfg.latent_noise_std * col_stds[c] * noise.row(r)[c];
+                        }
+                    }
+                }
+                client_ep
+                    .send(&Message::LatentUpload {
+                        client: i as u32,
+                        rows: latents.rows() as u32,
+                        cols: latents.cols() as u32,
+                        data: latents.as_slice().to_vec(),
+                    })
+                    .expect("coordinator alive during training");
+                (ae, client_ep)
+            }));
+        }
+
+        // --- Coordinator receives each client's latents (one round total).
+        let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
+        for ep in &coord_endpoints {
+            match ep.recv().expect("client alive during training") {
+                Message::LatentUpload { client, rows, cols, data } => {
+                    uploads[client as usize] =
+                        Some(Tensor::from_vec(rows as usize, cols as usize, data));
+                }
+                other => panic!("unexpected message during training: {other:?}"),
+            }
+        }
+        bump_round(&stats);
+
+        let mut clients = Vec::with_capacity(m);
+        for handle in handles {
+            let (ae, endpoint) = handle.join().expect("client thread panicked");
+            let latent_dim = ae.latent_dim();
+            clients.push(ClientState { ae, endpoint, latent_dim });
+        }
+
+        // --- Step 2 (Algorithm 1, lines 11-16): coordinator-local DDPM
+        //     training on the concatenated latents Z = Z_1 || ... || Z_M.
+        let latent_widths: Vec<usize> = clients.iter().map(|c| c.latent_dim).collect();
+        let parts: Vec<Tensor> = uploads.into_iter().map(|u| u.expect("all clients uploaded")).collect();
+        let z_raw = Tensor::concat_cols(&parts.iter().collect::<Vec<_>>());
+        let scaler = if config.scale_latents {
+            LatentScaler::fit(&z_raw)
+        } else {
+            LatentScaler::identity(z_raw.cols())
+        };
+        let z = scaler.scale(&z_raw);
+
+        let mut init_rng = StdRng::seed_from_u64(config.seed ^ 0x51d0);
+        let backbone = DiffusionBackbone::new(
+            BackboneConfig {
+                data_dim: z.cols(),
+                hidden_dim: config.ddpm_hidden,
+                depth: 8,
+                time_embed_dim: 16,
+                dropout: 0.01,
+                out_dim: z.cols(),
+            },
+            config.seed,
+            &mut init_rng,
+        );
+        let schedule = NoiseSchedule::new(config.schedule, config.timesteps);
+        let parameterization = if config.predict_noise {
+            Parameterization::PredictNoise
+        } else {
+            Parameterization::PredictX0
+        };
+        let diffusion = GaussianDiffusion::new(schedule, parameterization);
+        let mut ddpm = GaussianDdpm::new(diffusion, backbone, config.ddpm_lr);
+        let n = z.rows();
+        for _ in 0..config.diffusion_steps {
+            let idx: Vec<usize> =
+                (0..config.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
+            let batch = z.select_rows(&idx);
+            ddpm.train_step(&batch, rng);
+        }
+
+        Self {
+            config,
+            clients,
+            coordinator: Some(Coordinator { ddpm, scaler, latent_widths }),
+            coord_endpoints,
+            stats,
+        }
+    }
+
+    /// Number of participating clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn comm_stats(&self) -> CommStats {
+        *self.stats.lock()
+    }
+
+    /// Algorithm 2: client `requesting_client` asks for `n` samples; the
+    /// coordinator denoises, partitions the synthetic latents, and every
+    /// client decodes its own slice locally. The output stays vertically
+    /// partitioned (`result[i]` belongs to client `i`).
+    pub fn synthesize_partitioned(
+        &mut self,
+        n: usize,
+        requesting_client: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Table> {
+        self.synthesize_partitioned_with_steps(n, requesting_client, None, rng)
+    }
+
+    /// [`SiloFuseModel::synthesize_partitioned`] with an inference-step
+    /// override (Table VII sensitivity experiment).
+    pub fn synthesize_partitioned_with_steps(
+        &mut self,
+        n: usize,
+        requesting_client: usize,
+        inference_steps: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Vec<Table> {
+        assert!(requesting_client < self.clients.len(), "no such client");
+        let coord = self.coordinator.as_mut().expect("model is fitted");
+
+        // Line 1: request travels client -> coordinator.
+        self.clients[requesting_client]
+            .endpoint
+            .send(&Message::SynthesisRequest { client: requesting_client as u32, n: n as u32 })
+            .expect("coordinator alive");
+        let _ = self.coord_endpoints[requesting_client].recv().expect("request arrives");
+
+        // Lines 2-4: sample noise, denoise, partition.
+        let steps = inference_steps.unwrap_or(self.config.inference_steps);
+        let z = coord.ddpm.sample(n, steps, self.config.eta, rng);
+        let latents = coord.scaler.unscale(&z);
+        let parts = latents.split_cols(&coord.latent_widths);
+
+        // Lines 5-7: ship each client its slice; decode locally.
+        let mut outputs = Vec::with_capacity(self.clients.len());
+        for (i, part) in parts.iter().enumerate() {
+            self.coord_endpoints[i]
+                .send(&Message::SyntheticLatents {
+                    client: i as u32,
+                    rows: part.rows() as u32,
+                    cols: part.cols() as u32,
+                    data: part.as_slice().to_vec(),
+                })
+                .expect("client alive");
+            let msg = self.clients[i].endpoint.recv().expect("latents arrive");
+            let Message::SyntheticLatents { rows, cols, data, .. } = msg else {
+                panic!("unexpected message during synthesis");
+            };
+            let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
+            outputs.push(self.clients[i].ae.decode(&z_i));
+        }
+        bump_round(&self.stats);
+        outputs
+    }
+
+    /// Synthesis followed by post-generation sharing: partitions are
+    /// column-concatenated in client order (the paper's second, weaker
+    /// privacy scenario, quantified in Table VI).
+    pub fn synthesize_joined(&mut self, n: usize, rng: &mut StdRng) -> Table {
+        let parts = self.synthesize_partitioned(n, 0, rng);
+        Table::concat_columns(&parts.iter().collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silofuse_models::AutoencoderConfig;
+    use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+    use silofuse_tabular::profiles;
+
+    fn quick_config(seed: u64) -> LatentDiffConfig {
+        LatentDiffConfig {
+            ae: AutoencoderConfig { hidden_dim: 64, lr: 2e-3, seed, ..Default::default() },
+            ddpm_hidden: 64,
+            timesteps: 30,
+            ae_steps: 80,
+            diffusion_steps: 80,
+            batch_size: 64,
+            inference_steps: 8,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn split(table: &Table, m: usize) -> Vec<Table> {
+        PartitionPlan::new(table.n_cols(), m, PartitionStrategy::Default).split(table)
+    }
+
+    #[test]
+    fn fit_synthesize_partitioned_keeps_schemas() {
+        let t = profiles::loan().generate(192, 0);
+        let parts = split(&t, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = SiloFuseModel::fit(&parts, quick_config(0), &mut rng);
+        assert_eq!(model.n_clients(), 4);
+        let synth = model.synthesize_partitioned(32, 1, &mut rng);
+        assert_eq!(synth.len(), 4);
+        for (s, p) in synth.iter().zip(&parts) {
+            assert_eq!(s.n_rows(), 32);
+            assert_eq!(s.schema(), p.schema());
+        }
+    }
+
+    #[test]
+    fn training_communication_is_one_round() {
+        let t = profiles::loan().generate(128, 1);
+        let parts = split(&t, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SiloFuseModel::fit(&parts, quick_config(1), &mut rng);
+        let stats = model.comm_stats();
+        assert_eq!(stats.rounds, 1, "stacked training must use one round");
+        // Exactly one latent upload per client, nothing downstream yet.
+        assert_eq!(stats.messages_up, 3);
+        assert_eq!(stats.messages_down, 0);
+    }
+
+    #[test]
+    fn training_bytes_match_latent_sizes_exactly() {
+        let t = profiles::loan().generate(128, 2);
+        let parts = split(&t, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SiloFuseModel::fit(&parts, quick_config(2), &mut rng);
+        let expected: u64 = parts
+            .iter()
+            .map(|p| {
+                let latent_dim = p.schema().width(); // paper's rule
+                (13 + 4 * 128 * latent_dim) as u64
+            })
+            .sum();
+        assert_eq!(model.comm_stats().bytes_up, expected);
+    }
+
+    #[test]
+    fn more_training_steps_do_not_increase_bytes() {
+        let t = profiles::loan().generate(96, 3);
+        let parts = split(&t, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small = quick_config(3);
+        small.ae_steps = 20;
+        small.diffusion_steps = 20;
+        let mut big = quick_config(3);
+        big.ae_steps = 200;
+        big.diffusion_steps = 200;
+        let m1 = SiloFuseModel::fit(&parts, small, &mut rng);
+        let m2 = SiloFuseModel::fit(&parts, big, &mut rng);
+        assert_eq!(
+            m1.comm_stats().bytes_up,
+            m2.comm_stats().bytes_up,
+            "stacked training cost must be iteration-independent"
+        );
+    }
+
+    #[test]
+    fn synthesis_ships_only_latent_slices() {
+        let t = profiles::loan().generate(96, 4);
+        let parts = split(&t, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = SiloFuseModel::fit(&parts, quick_config(4), &mut rng);
+        let before = model.comm_stats();
+        let _ = model.synthesize_partitioned(16, 0, &mut rng);
+        let after = model.comm_stats();
+        let latent_total: usize = parts.iter().map(|p| p.schema().width()).sum();
+        let expected_down: u64 = (2 * 13 + 4 * 16 * latent_total) as u64;
+        assert_eq!(after.bytes_down - before.bytes_down, expected_down);
+        // Upstream during synthesis: just the 9-byte request.
+        assert_eq!(after.bytes_up - before.bytes_up, 9);
+    }
+
+    #[test]
+    fn ablation_knobs_all_train_and_synthesize() {
+        let t = profiles::diabetes().generate(96, 9);
+        let parts = split(&t, 2);
+        for (noise, predict_noise, scale) in
+            [(0.5f32, false, true), (0.0, true, true), (0.0, false, false)]
+        {
+            let mut cfg = quick_config(9);
+            cfg.ae_steps = 20;
+            cfg.diffusion_steps = 20;
+            cfg.latent_noise_std = noise;
+            cfg.predict_noise = predict_noise;
+            cfg.scale_latents = scale;
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut model = SiloFuseModel::fit(&parts, cfg, &mut rng);
+            let out = model.synthesize_partitioned(8, 0, &mut rng);
+            assert_eq!(out.len(), 2, "noise={noise} pn={predict_noise} scale={scale}");
+            assert_eq!(out[0].n_rows(), 8);
+        }
+    }
+
+    #[test]
+    fn latent_noise_changes_uploaded_latents_but_not_their_size() {
+        let t = profiles::diabetes().generate(64, 10);
+        let parts = split(&t, 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let clean = SiloFuseModel::fit(&parts, quick_config(10), &mut rng);
+        let mut noisy_cfg = quick_config(10);
+        noisy_cfg.latent_noise_std = 1.0;
+        let noisy = SiloFuseModel::fit(&parts, noisy_cfg, &mut rng);
+        assert_eq!(
+            clean.comm_stats().bytes_up,
+            noisy.comm_stats().bytes_up,
+            "noising must not change wire size"
+        );
+    }
+
+    #[test]
+    fn joined_synthesis_matches_original_layout() {
+        let t = profiles::diabetes().generate(128, 5);
+        let parts = split(&t, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = SiloFuseModel::fit(&parts, quick_config(5), &mut rng);
+        let joined = model.synthesize_joined(24, &mut rng);
+        assert_eq!(joined.n_rows(), 24);
+        assert_eq!(joined.n_cols(), t.n_cols());
+    }
+}

@@ -1,0 +1,185 @@
+//! Byte-accounted in-process transport between clients and the coordinator.
+
+use crate::message::{CodecError, Message};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Cumulative communication statistics, shared by every link of a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommStats {
+    /// Bytes sent client → coordinator.
+    pub bytes_up: u64,
+    /// Bytes sent coordinator → client.
+    pub bytes_down: u64,
+    /// Messages sent client → coordinator.
+    pub messages_up: u64,
+    /// Messages sent coordinator → client.
+    pub messages_down: u64,
+    /// Protocol-level communication rounds (incremented by protocols, not
+    /// by the transport).
+    pub rounds: u64,
+}
+
+impl CommStats {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+/// Shared handle to a run's statistics.
+pub type SharedStats = Arc<Mutex<CommStats>>;
+
+/// Creates a fresh statistics handle.
+pub fn new_stats() -> SharedStats {
+    Arc::new(Mutex::new(CommStats::default()))
+}
+
+/// Transport-layer errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer hung up.
+    Disconnected,
+    /// The payload failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The client-side endpoint of a duplex link.
+#[derive(Debug)]
+pub struct ClientEndpoint {
+    to_coord: Sender<Bytes>,
+    from_coord: Receiver<Bytes>,
+    stats: SharedStats,
+}
+
+/// The coordinator-side endpoint of a duplex link.
+#[derive(Debug)]
+pub struct CoordEndpoint {
+    to_client: Sender<Bytes>,
+    from_client: Receiver<Bytes>,
+    stats: SharedStats,
+}
+
+/// Creates a duplex client↔coordinator link whose traffic is counted in
+/// `stats`. Messages are physically serialised on send and deserialised on
+/// receive, so the byte counts are exact wire sizes.
+pub fn link(stats: SharedStats) -> (ClientEndpoint, CoordEndpoint) {
+    let (up_tx, up_rx) = unbounded();
+    let (down_tx, down_rx) = unbounded();
+    (
+        ClientEndpoint { to_coord: up_tx, from_coord: down_rx, stats: Arc::clone(&stats) },
+        CoordEndpoint { to_client: down_tx, from_client: up_rx, stats },
+    )
+}
+
+impl ClientEndpoint {
+    /// Sends a message to the coordinator (counted as upstream bytes).
+    pub fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        let bytes = msg.encode();
+        {
+            let mut s = self.stats.lock();
+            s.bytes_up += bytes.len() as u64;
+            s.messages_up += 1;
+        }
+        self.to_coord.send(bytes).map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Blocks until the coordinator sends a message.
+    pub fn recv(&self) -> Result<Message, TransportError> {
+        let bytes = self.from_coord.recv().map_err(|_| TransportError::Disconnected)?;
+        Message::decode(bytes).map_err(TransportError::Codec)
+    }
+}
+
+impl CoordEndpoint {
+    /// Sends a message to the client (counted as downstream bytes).
+    pub fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        let bytes = msg.encode();
+        {
+            let mut s = self.stats.lock();
+            s.bytes_down += bytes.len() as u64;
+            s.messages_down += 1;
+        }
+        self.to_client.send(bytes).map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Blocks until the client sends a message.
+    pub fn recv(&self) -> Result<Message, TransportError> {
+        let bytes = self.from_client.recv().map_err(|_| TransportError::Disconnected)?;
+        Message::decode(bytes).map_err(TransportError::Codec)
+    }
+}
+
+/// Marks one protocol round completed.
+pub fn bump_round(stats: &SharedStats) {
+    stats.lock().rounds += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_counted_per_direction() {
+        let stats = new_stats();
+        let (client, coord) = link(Arc::clone(&stats));
+        let up = Message::LatentUpload { client: 0, rows: 2, cols: 2, data: vec![1.0; 4] };
+        client.send(&up).unwrap();
+        assert_eq!(coord.recv().unwrap(), up);
+        let down = Message::Ack;
+        coord.send(&down).unwrap();
+        assert_eq!(client.recv().unwrap(), down);
+
+        let s = *stats.lock();
+        assert_eq!(s.bytes_up, up.wire_size() as u64);
+        assert_eq!(s.bytes_down, 1);
+        assert_eq!(s.messages_up, 1);
+        assert_eq!(s.messages_down, 1);
+    }
+
+    #[test]
+    fn links_share_one_stats_ledger() {
+        let stats = new_stats();
+        let (c1, _k1) = link(Arc::clone(&stats));
+        let (c2, _k2) = link(Arc::clone(&stats));
+        c1.send(&Message::Ack).unwrap();
+        c2.send(&Message::Ack).unwrap();
+        assert_eq!(stats.lock().messages_up, 2);
+    }
+
+    #[test]
+    fn disconnect_is_an_error() {
+        let stats = new_stats();
+        let (client, coord) = link(stats);
+        drop(coord);
+        assert!(matches!(client.send(&Message::Ack), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let stats = new_stats();
+        let (client, coord) = link(Arc::clone(&stats));
+        let handle = std::thread::spawn(move || {
+            let msg = coord.recv().unwrap();
+            coord.send(&msg).unwrap();
+        });
+        let m = Message::SynthesisRequest { client: 1, n: 5 };
+        client.send(&m).unwrap();
+        assert_eq!(client.recv().unwrap(), m);
+        handle.join().unwrap();
+        assert_eq!(stats.lock().total_bytes(), 2 * m.wire_size() as u64);
+    }
+}

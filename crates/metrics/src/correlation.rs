@@ -1,0 +1,152 @@
+//! Pairwise association matrices and real-vs-synthetic correlation
+//! differences (Table V's heatmaps).
+
+use crate::stats::{correlation_ratio, pearson, theils_u};
+use silofuse_tabular::schema::ColumnKind;
+use silofuse_tabular::table::{Column, Table};
+
+/// Pairwise association matrix of a table, `d x d` row-major:
+/// Pearson |r| for numeric–numeric pairs, Theil's U for categorical pairs
+/// (symmetrised by averaging both directions), and the correlation ratio η
+/// for mixed pairs. All entries are in `[0, 1]`; the diagonal is 1.
+pub fn association_matrix(table: &Table) -> Vec<f64> {
+    let d = table.n_cols();
+    let mut m = vec![0.0f64; d * d];
+    for i in 0..d {
+        m[i * d + i] = 1.0;
+        for j in (i + 1)..d {
+            let v = association(table, i, j);
+            m[i * d + j] = v;
+            m[j * d + i] = v;
+        }
+    }
+    m
+}
+
+fn cardinality(table: &Table, col: usize) -> usize {
+    match table.schema().columns()[col].kind {
+        ColumnKind::Categorical { cardinality } => cardinality as usize,
+        ColumnKind::Numeric => 0,
+    }
+}
+
+/// Association strength between two columns, in `[0, 1]`.
+pub fn association(table: &Table, i: usize, j: usize) -> f64 {
+    match (table.column(i), table.column(j)) {
+        (Column::Numeric(a), Column::Numeric(b)) => pearson(a, b).abs(),
+        (Column::Categorical(a), Column::Categorical(b)) => {
+            let ci = cardinality(table, i);
+            let cj = cardinality(table, j);
+            0.5 * (theils_u(a, b, ci, cj) + theils_u(b, a, cj, ci))
+        }
+        (Column::Categorical(g), Column::Numeric(v)) => {
+            correlation_ratio(g, v, cardinality(table, i))
+        }
+        (Column::Numeric(v), Column::Categorical(g)) => {
+            correlation_ratio(g, v, cardinality(table, j))
+        }
+    }
+}
+
+/// Element-wise absolute difference between real and synthetic association
+/// matrices, plus its mean over off-diagonal entries — the quantity Table V
+/// visualises (darker = larger difference = worse).
+pub struct CorrelationDifference {
+    /// `d x d` row-major |Δ| matrix.
+    pub matrix: Vec<f64>,
+    /// Number of columns `d`.
+    pub dim: usize,
+    /// Mean off-diagonal |Δ|.
+    pub mean_abs_diff: f64,
+}
+
+/// Computes the correlation-difference summary between `real` and `synth`.
+///
+/// # Panics
+/// Panics if the schemas differ.
+pub fn correlation_difference(real: &Table, synth: &Table) -> CorrelationDifference {
+    assert_eq!(real.schema(), synth.schema(), "schema mismatch");
+    let d = real.n_cols();
+    let mr = association_matrix(real);
+    let ms = association_matrix(synth);
+    let matrix: Vec<f64> = mr.iter().zip(&ms).map(|(a, b)| (a - b).abs()).collect();
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..d {
+        for j in 0..d {
+            if i != j {
+                sum += matrix[i * d + j];
+                count += 1;
+            }
+        }
+    }
+    CorrelationDifference {
+        matrix,
+        dim: d,
+        mean_abs_diff: if count == 0 { 0.0 } else { sum / count as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silofuse_tabular::profiles;
+    use silofuse_tabular::schema::{ColumnMeta, Schema};
+    use silofuse_tabular::table::Column as Col;
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let t = profiles::loan().generate(256, 0);
+        let d = t.n_cols();
+        let m = association_matrix(&t);
+        for i in 0..d {
+            assert!((m[i * d + i] - 1.0).abs() < 1e-12);
+            for j in 0..d {
+                assert!((m[i * d + j] - m[j * d + i]).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&m[i * d + j]));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_tables_have_zero_difference() {
+        let t = profiles::diabetes().generate(128, 1);
+        let diff = correlation_difference(&t, &t);
+        assert_eq!(diff.mean_abs_diff, 0.0);
+        assert!(diff.matrix.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shuffled_columns_increase_difference() {
+        // Breaking the row alignment of one column destroys its
+        // associations, so |Δ| must grow.
+        let t = profiles::loan().generate(512, 2);
+        let mut cols: Vec<Col> = t.columns().to_vec();
+        // Reverse every numeric column independently of the categoricals:
+        // numeric-numeric correlations survive (all reversed in lockstep)
+        // but numeric-categorical associations are destroyed.
+        for &idx in &t.schema().numeric_indices() {
+            if let Col::Numeric(v) = &mut cols[idx] {
+                v.reverse();
+            }
+        }
+        let shuffled = Table::new(t.schema().clone(), cols).unwrap();
+        let diff = correlation_difference(&t, &shuffled);
+        assert!(diff.mean_abs_diff > 0.005, "mean |Δ| = {}", diff.mean_abs_diff);
+        let max = diff.matrix.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 0.05, "max |Δ| = {max}");
+    }
+
+    #[test]
+    fn mixed_pair_association_detects_dependence() {
+        // Numeric column fully determined by the categorical one.
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("g", 2),
+            ColumnMeta::numeric("v"),
+        ]);
+        let g = vec![0u32, 0, 1, 1, 0, 1];
+        let v: Vec<f64> = g.iter().map(|&c| f64::from(c) * 10.0).collect();
+        let t = Table::new(schema, vec![Col::Categorical(g), Col::Numeric(v)]).unwrap();
+        assert!(association(&t, 0, 1) > 0.99);
+    }
+}

@@ -1,0 +1,86 @@
+//! Table → GBDT feature conversion.
+
+use silofuse_tabular::table::{Column, Table};
+use silofuse_trees::Features;
+
+/// Converts a table into column-major GBDT features: numeric columns pass
+/// through, categorical columns become their integer codes (label encoding,
+/// which tree splits handle natively). `exclude` drops one column (the
+/// prediction target).
+pub fn table_to_features(table: &Table, exclude: Option<usize>) -> Features {
+    table
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .map(|(_, col)| match col {
+            Column::Numeric(v) => v.clone(),
+            Column::Categorical(codes) => codes.iter().map(|&c| f64::from(c)).collect(),
+        })
+        .collect()
+}
+
+/// Extracts one column as regression targets.
+///
+/// # Panics
+/// Panics if the column is categorical.
+pub fn numeric_targets(table: &Table, column: usize) -> Vec<f64> {
+    table
+        .column(column)
+        .as_numeric()
+        .expect("numeric target column")
+        .to_vec()
+}
+
+/// Extracts one column as class labels.
+///
+/// # Panics
+/// Panics if the column is numeric.
+pub fn categorical_targets(table: &Table, column: usize) -> Vec<u32> {
+    table
+        .column(column)
+        .as_categorical()
+        .expect("categorical target column")
+        .to_vec()
+}
+
+/// One mixed-type row as a dense `f64` vector (codes for categoricals),
+/// excluding `exclude` if given.
+pub fn row_features(table: &Table, row: usize, exclude: Option<usize>) -> Vec<f64> {
+    table
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .map(|(_, col)| match col {
+            Column::Numeric(v) => v[row],
+            Column::Categorical(codes) => f64::from(codes[row]),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silofuse_tabular::profiles;
+
+    #[test]
+    fn features_have_one_column_per_kept_schema_column() {
+        let t = profiles::loan().generate(32, 0);
+        let f = table_to_features(&t, None);
+        assert_eq!(f.len(), t.n_cols());
+        assert!(f.iter().all(|c| c.len() == 32));
+        let f2 = table_to_features(&t, Some(0));
+        assert_eq!(f2.len(), t.n_cols() - 1);
+    }
+
+    #[test]
+    fn row_features_match_columns() {
+        let t = profiles::loan().generate(8, 1);
+        let f = table_to_features(&t, None);
+        let row = row_features(&t, 3, None);
+        for (j, col) in f.iter().enumerate() {
+            assert_eq!(row[j], col[3]);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # silofuse-metrics
+//!
+//! The paper's benchmark framework (§V-B): a composite **resemblance**
+//! score built from five statistical similarities, a **utility** score from
+//! train-on-synthetic / test-on-real downstream models, and a **privacy**
+//! score from three attacks (singling-out, linkability, attribute
+//! inference). Also provides the association-matrix machinery behind the
+//! Table V correlation-difference heatmaps.
+//!
+//! All scores are on the paper's 0–100 scale with higher = better
+//! (for privacy: higher = more resistant).
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod features;
+pub mod privacy;
+pub mod resemblance;
+pub mod stats;
+pub mod utility;
+
+pub use correlation::{correlation_difference, CorrelationDifference};
+pub use privacy::{privacy, PrivacyConfig, PrivacyReport};
+pub use resemblance::{per_column_report, resemblance, ColumnReport, ResemblanceConfig, ResemblanceReport};
+pub use utility::{utility, UtilityConfig, UtilityReport};

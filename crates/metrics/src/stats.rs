@@ -1,0 +1,417 @@
+//! Statistical primitives shared by the benchmark metrics.
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample is (numerically) constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson needs equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    let denom = (da * db).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        (num / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Shannon entropy (nats) of a discrete sample of codes.
+fn entropy(codes: &[u32], cardinality: usize) -> f64 {
+    let mut counts = vec![0usize; cardinality];
+    for &c in codes {
+        counts[c as usize] += 1;
+    }
+    let n = codes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Theil's uncertainty coefficient `U(x | y)`: the fraction of `x`'s entropy
+/// explained by knowing `y`. In `[0, 1]`; 1 when `y` determines `x`.
+pub fn theils_u(x: &[u32], y: &[u32], card_x: usize, card_y: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "theils_u needs equal lengths");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let h_x = entropy(x, card_x);
+    if h_x < 1e-12 {
+        return 1.0; // constant x is fully "explained"
+    }
+    // Conditional entropy H(x | y).
+    let n = x.len() as f64;
+    let mut joint = vec![0usize; card_x * card_y];
+    let mut y_counts = vec![0usize; card_y];
+    for (&xi, &yi) in x.iter().zip(y) {
+        joint[xi as usize * card_y + yi as usize] += 1;
+        y_counts[yi as usize] += 1;
+    }
+    let mut h_x_given_y = 0.0;
+    for yi in 0..card_y {
+        if y_counts[yi] == 0 {
+            continue;
+        }
+        let p_y = y_counts[yi] as f64 / n;
+        let mut h = 0.0;
+        for xi in 0..card_x {
+            let c = joint[xi * card_y + yi];
+            if c > 0 {
+                let p = c as f64 / y_counts[yi] as f64;
+                h -= p * p.ln();
+            }
+        }
+        h_x_given_y += p_y * h;
+    }
+    ((h_x - h_x_given_y) / h_x).clamp(0.0, 1.0)
+}
+
+/// Correlation ratio `η` between a categorical grouping and a numeric
+/// variable, in `[0, 1]`.
+pub fn correlation_ratio(groups: &[u32], values: &[f64], cardinality: usize) -> f64 {
+    assert_eq!(groups.len(), values.len(), "correlation_ratio needs equal lengths");
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let mut sums = vec![0.0f64; cardinality];
+    let mut counts = vec![0usize; cardinality];
+    for (&g, &v) in groups.iter().zip(values) {
+        sums[g as usize] += v;
+        counts[g as usize] += 1;
+    }
+    let mut between = 0.0;
+    for k in 0..cardinality {
+        if counts[k] > 0 {
+            let gm = sums[k] / counts[k] as f64;
+            between += counts[k] as f64 * (gm - mean) * (gm - mean);
+        }
+    }
+    let total: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if total < 1e-12 {
+        0.0
+    } else {
+        (between / total).clamp(0.0, 1.0).sqrt()
+    }
+}
+
+/// Normalised histogram of a numeric sample over `bins` equal-width bins
+/// spanning `[lo, hi]`.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins >= 1, "need at least one bin");
+    let mut h = vec![0.0f64; bins];
+    if values.is_empty() {
+        return h;
+    }
+    let width = (hi - lo).max(1e-12);
+    for &v in values {
+        let idx = (((v - lo) / width) * bins as f64).floor() as isize;
+        let idx = idx.clamp(0, bins as isize - 1) as usize;
+        h[idx] += 1.0;
+    }
+    let n = values.len() as f64;
+    for v in &mut h {
+        *v /= n;
+    }
+    h
+}
+
+/// Jensen–Shannon distance (square root of the divergence, log base 2, so
+/// the result lies in `[0, 1]`) between two discrete distributions.
+pub fn jensen_shannon_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    let mut div = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let mi = 0.5 * (pi + qi);
+        if pi > 0.0 {
+            div += 0.5 * pi * (pi / mi).log2();
+        }
+        if qi > 0.0 {
+            div += 0.5 * qi * (qi / mi).log2();
+        }
+    }
+    div.max(0.0).sqrt().min(1.0)
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF gap) in `[0, 1]`.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut max_gap = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let gap = (i as f64 / sa.len() as f64 - j as f64 / sb.len() as f64).abs();
+        max_gap = max_gap.max(gap);
+    }
+    max_gap
+}
+
+/// Total-variation distance between two category frequency vectors.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Empirical category frequencies of a code sample.
+pub fn category_frequencies(codes: &[u32], cardinality: usize) -> Vec<f64> {
+    let mut f = vec![0.0f64; cardinality];
+    for &c in codes {
+        f[c as usize] += 1.0;
+    }
+    let n = codes.len().max(1) as f64;
+    for v in &mut f {
+        *v /= n;
+    }
+    f
+}
+
+/// Evenly spaced empirical quantiles (inclusive of min and max).
+pub fn quantile_profile(values: &[f64], points: usize) -> Vec<f64> {
+    assert!(points >= 2, "need at least two quantile points");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.is_empty() {
+        return vec![0.0; points];
+    }
+    (0..points)
+        .map(|k| {
+            let pos = k as f64 / (points - 1) as f64 * (sorted.len() - 1) as f64;
+            let idx = pos.floor() as usize;
+            let frac = pos - idx as f64;
+            if idx + 1 < sorted.len() {
+                sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
+            } else {
+                sorted[idx]
+            }
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 score over `n_classes`.
+pub fn macro_f1(truth: &[u32], pred: &[u32], n_classes: u32) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "macro_f1 needs equal lengths");
+    let k = n_classes as usize;
+    let mut tp = vec![0usize; k];
+    let mut fp = vec![0usize; k];
+    let mut false_n = vec![0usize; k];
+    for (&t, &p) in truth.iter().zip(pred) {
+        if t == p {
+            tp[t as usize] += 1;
+        } else {
+            fp[p as usize] += 1;
+            false_n[t as usize] += 1;
+        }
+    }
+    let mut f1_sum = 0.0;
+    let mut present = 0usize;
+    for c in 0..k {
+        let support = tp[c] + false_n[c];
+        if support == 0 && fp[c] == 0 {
+            continue; // class absent from truth and predictions
+        }
+        present += 1;
+        let precision = tp[c] as f64 / (tp[c] + fp[c]).max(1) as f64;
+        let recall = tp[c] as f64 / (tp[c] + false_n[c]).max(1) as f64;
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+/// D² absolute-error score: `1 - Σ|y - ŷ| / Σ|y - median(y)|` (the
+/// absolute-error analogue of R², as in scikit-learn).
+pub fn d2_absolute_error(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "d2 needs equal lengths");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = truth.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let num: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum();
+    let den: f64 = truth.iter().map(|t| (t - median).abs()).sum();
+    if den < 1e-12 {
+        if num < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - num / den
+    }
+}
+
+/// `p`-th percentile (0–100) of a sample, linear interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = p / 100.0 * (sorted.len() - 1) as f64;
+    let idx = pos.floor() as usize;
+    let frac = pos - idx as f64;
+    if idx + 1 < sorted.len() {
+        sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
+    } else {
+        sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&a, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn theils_u_determined_and_independent() {
+        // y determines x exactly.
+        let y = [0u32, 1, 2, 0, 1, 2, 0, 1, 2];
+        let x = [0u32, 1, 0, 0, 1, 0, 0, 1, 0];
+        assert!(theils_u(&x, &y, 2, 3) > 0.99);
+        // Independent-ish.
+        let x2 = [0u32, 1, 0, 1, 0, 1, 0, 1, 0];
+        let y2 = [0u32, 0, 0, 0, 1, 1, 1, 1, 1];
+        let u = theils_u(&x2, &y2, 2, 2);
+        assert!(u < 0.2, "u = {u}");
+    }
+
+    #[test]
+    fn theils_u_is_asymmetric() {
+        // x = f(y) but y has more classes than x: U(x|y)=1, U(y|x)<1.
+        let y = [0u32, 1, 2, 3, 0, 1, 2, 3];
+        let x: Vec<u32> = y.iter().map(|&v| v % 2).collect();
+        assert!(theils_u(&x, &y, 2, 4) > 0.99);
+        assert!(theils_u(&y, &x, 4, 2) < 0.99);
+    }
+
+    #[test]
+    fn correlation_ratio_detects_group_effect() {
+        let groups = [0u32, 0, 0, 1, 1, 1];
+        let strong = [1.0, 1.1, 0.9, 5.0, 5.1, 4.9];
+        assert!(correlation_ratio(&groups, &strong, 2) > 0.95);
+        let weak = [1.0, 5.0, 3.0, 1.0, 5.0, 3.0];
+        assert!(correlation_ratio(&groups, &weak, 2) < 0.1);
+    }
+
+    #[test]
+    fn js_distance_bounds() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((jensen_shannon_distance(&p, &q) - 1.0).abs() < 1e-9);
+        assert!(jensen_shannon_distance(&p, &p) < 1e-9);
+    }
+
+    #[test]
+    fn ks_statistic_identical_and_disjoint() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(ks_statistic(&a, &a) < 1e-9);
+        let b = [10.0, 11.0, 12.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_statistic_partial_overlap() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [3.0, 4.0, 5.0, 6.0];
+        let ks = ks_statistic(&a, &b);
+        assert!(ks > 0.3 && ks < 0.8, "ks = {ks}");
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let h = histogram(&[0.0, 0.5, 1.0, 1.5, 2.0], 0.0, 2.0, 4);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_profile_monotone() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let q = quantile_profile(&v, 5);
+        assert_eq!(q[0], 1.0);
+        assert_eq!(q[4], 5.0);
+        assert!(q.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_worst() {
+        let t = [0u32, 1, 2, 0, 1, 2];
+        assert!((macro_f1(&t, &t, 3) - 1.0).abs() < 1e-9);
+        let wrong = [1u32, 2, 0, 1, 2, 0];
+        assert!(macro_f1(&t, &wrong, 3) < 1e-9);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        let t = [0u32, 0, 1, 1];
+        let p = [0u32, 0, 1, 1];
+        // Class 2 absent everywhere; score should still be 1.
+        assert!((macro_f1(&t, &p, 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn d2_score_reference_points() {
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((d2_absolute_error(&y, &y) - 1.0).abs() < 1e-9);
+        // Predicting the median everywhere scores exactly 0.
+        let med = [3.0; 5];
+        assert!(d2_absolute_error(&y, &med).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile(&v, 100.0) - 4.0).abs() < 1e-9);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!(total_variation(&[0.5, 0.5], &[0.5, 0.5]) < 1e-9);
+    }
+}

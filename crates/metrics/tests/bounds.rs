@@ -1,0 +1,118 @@
+//! Property-based invariants of the benchmark metrics: every score must be
+//! bounded, symmetric where claimed, and maximal on identical inputs —
+//! regardless of the table contents.
+
+use proptest::prelude::*;
+use silofuse_metrics::correlation::{association_matrix, correlation_difference};
+use silofuse_metrics::stats::{
+    d2_absolute_error, jensen_shannon_distance, ks_statistic, macro_f1, pearson,
+};
+use silofuse_metrics::{privacy, resemblance, PrivacyConfig, ResemblanceConfig};
+use silofuse_tabular::schema::{ColumnMeta, Schema};
+use silofuse_tabular::table::{Column, Table};
+use silofuse_trees::BoostParams;
+
+fn arb_table_pair() -> impl Strategy<Value = (Table, Table)> {
+    (4usize..30, 2usize..6, 0u64..100).prop_map(|(rows, cols, seed)| {
+        let build = |offset: u64| {
+            let mut metas = Vec::new();
+            let mut columns = Vec::new();
+            for i in 0..cols {
+                if i % 2 == 0 {
+                    metas.push(ColumnMeta::numeric(format!("n{i}")));
+                    columns.push(Column::Numeric(
+                        (0..rows)
+                            .map(|r| {
+                                ((r as f64 + seed as f64 + offset as f64) * 0.71 + i as f64)
+                                    .sin()
+                                    * 5.0
+                            })
+                            .collect(),
+                    ));
+                } else {
+                    let card = 3u32;
+                    metas.push(ColumnMeta::categorical(format!("c{i}"), card));
+                    columns.push(Column::Categorical(
+                        (0..rows)
+                            .map(|r| ((r as u64 + seed + offset * 7) % u64::from(card)) as u32)
+                            .collect(),
+                    ));
+                }
+            }
+            Table::new(Schema::new(metas), columns).unwrap()
+        };
+        (build(0), build(13))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All resemblance components stay in [0, 100]; identical inputs score
+    /// the distribution components at (or extremely near) 100.
+    #[test]
+    fn resemblance_bounds((real, synth) in arb_table_pair()) {
+        let cfg = ResemblanceConfig {
+            propensity_params: BoostParams { n_trees: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let r = resemblance(&real, &synth, &cfg);
+        for v in [r.column_similarity, r.correlation_similarity, r.jensen_shannon,
+                  r.kolmogorov_smirnov, r.propensity, r.composite] {
+            prop_assert!((0.0..=100.0).contains(&v), "{r:?}");
+        }
+        let same = resemblance(&real, &real, &cfg);
+        prop_assert!(same.column_similarity > 99.0);
+        prop_assert!(same.jensen_shannon > 99.0);
+        prop_assert!(same.kolmogorov_smirnov > 99.0);
+        prop_assert!(same.correlation_similarity > 99.0);
+    }
+
+    /// Privacy scores are bounded for arbitrary table pairs.
+    #[test]
+    fn privacy_bounds((real, synth) in arb_table_pair()) {
+        let cfg = PrivacyConfig { attempts: 20, ..Default::default() };
+        let p = privacy(&real, &synth, &cfg);
+        for v in [p.singling_out, p.linkability, p.attribute_inference, p.composite] {
+            prop_assert!((0.0..=100.0).contains(&v), "{p:?}");
+        }
+    }
+
+    /// Association matrices are symmetric with entries in [0, 1]; the
+    /// difference of a table with itself is identically zero.
+    #[test]
+    fn association_matrix_invariants((real, _) in arb_table_pair()) {
+        let d = real.n_cols();
+        let m = association_matrix(&real);
+        for i in 0..d {
+            for j in 0..d {
+                prop_assert!((0.0..=1.0).contains(&m[i * d + j]));
+                prop_assert!((m[i * d + j] - m[j * d + i]).abs() < 1e-12);
+            }
+        }
+        prop_assert_eq!(correlation_difference(&real, &real).mean_abs_diff, 0.0);
+    }
+
+    /// Scalar statistics respect their ranges on arbitrary slices.
+    #[test]
+    fn scalar_stat_ranges(a in proptest::collection::vec(-50.0f64..50.0, 2..40),
+                          b in proptest::collection::vec(-50.0f64..50.0, 2..40)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assert!((-1.0..=1.0).contains(&pearson(a, b)));
+        prop_assert!((0.0..=1.0).contains(&ks_statistic(a, b)));
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.5, 0.25, 0.25];
+        prop_assert!((0.0..=1.0).contains(&jensen_shannon_distance(&p, &q)));
+        prop_assert!(d2_absolute_error(a, a) >= 1.0 - 1e-12);
+    }
+
+    /// Macro-F1 is bounded and equals 1 exactly on perfect predictions.
+    #[test]
+    fn macro_f1_bounds(labels in proptest::collection::vec(0u32..4, 4..40)) {
+        prop_assert!((macro_f1(&labels, &labels, 4) - 1.0).abs() < 1e-12);
+        let shifted: Vec<u32> = labels.iter().map(|&v| (v + 1) % 4).collect();
+        let f1 = macro_f1(&labels, &shifted, 4);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+}

@@ -1,0 +1,30 @@
+//! # silofuse-models
+//!
+//! The centralized tabular synthesizers of the SiloFuse evaluation:
+//!
+//! * [`autoencoder::TabularAutoencoder`] — encoder/decoder with Gaussian and
+//!   multinomial distribution heads (paper §III-B, Eq. 4);
+//! * [`tabddpm::TabDdpm`] — the TabDDPM baseline (Gaussian + multinomial
+//!   diffusion on one-hot data, Eq. 3);
+//! * [`latentdiff::LatentDiff`] — centralized latent diffusion with stacked
+//!   training (SiloFuse's single-silo upper bound);
+//! * [`e2e::E2eCentralized`] — the jointly-trained end-to-end baseline (Fig. 8);
+//! * [`gan::TabularGan`] — GAN(linear)/GAN(conv) baselines (§V-A);
+//!
+//! all unified behind [`synthesizer::Synthesizer`].
+
+#![warn(missing_docs)]
+
+pub mod autoencoder;
+pub mod e2e;
+pub mod gan;
+pub mod latentdiff;
+pub mod synthesizer;
+pub mod tabddpm;
+
+pub use autoencoder::{AutoencoderConfig, TabularAutoencoder};
+pub use e2e::E2eCentralized;
+pub use gan::{GanArchitecture, GanConfig, TabularGan};
+pub use latentdiff::{LatentDiff, LatentDiffConfig, LatentScaler};
+pub use synthesizer::Synthesizer;
+pub use tabddpm::{TabDdpm, TabDdpmConfig};

@@ -1,0 +1,110 @@
+//! Inverted dropout.
+
+use super::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: zeroes each element with probability `p` during
+/// training and scales the survivors by `1/(1-p)`; identity at inference.
+///
+/// The layer owns its RNG (seeded at construction) so whole networks stay
+/// bit-for-bit reproducible without threading RNGs through every forward.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        Self { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Infer || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.rows(), input.cols(), |_, _| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_output.mul(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, Mode::Infer), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::full(200, 50, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(4, 4, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::full(4, 4, 1.0));
+        // Gradient must be zero exactly where the output was zero.
+        for (yi, gi) in y.as_slice().iter().zip(g.as_slice().iter()) {
+            assert_eq!(*yi == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::full(8, 8, 2.0);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Composition of layers.
+
+use super::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order; backward runs in reverse.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + Send + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer + Send>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+/// Builds the paper's standard MLP block: `Linear → GELU` repeated, with a
+/// final linear projection and optional dropout between hidden layers
+/// (§V-A: GELU activations, dropout 0.01 in the diffusion backbone).
+pub fn mlp(
+    dims: &[usize],
+    dropout: Option<f32>,
+    seed: u64,
+    rng: &mut impl rand::Rng,
+) -> Sequential {
+    assert!(dims.len() >= 2, "mlp needs at least input and output dims");
+    let mut seq = Sequential::new();
+    for i in 0..dims.len() - 1 {
+        seq.add(Box::new(super::Linear::new(
+            dims[i],
+            dims[i + 1],
+            crate::init::Init::XavierUniform,
+            rng,
+        )));
+        let is_last = i + 2 == dims.len();
+        if !is_last {
+            seq.add(Box::new(super::Activation::new(super::ActivationKind::Gelu)));
+            if let Some(p) = dropout {
+                if p > 0.0 {
+                    seq.add(Box::new(super::Dropout::new(p, seed.wrapping_add(i as u64))));
+                }
+            }
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use crate::layers::{Activation, ActivationKind, Linear};
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_layer_stack_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut net = Sequential::new()
+            .push(Linear::new(4, 8, Init::XavierUniform, &mut rng))
+            .push(Activation::new(ActivationKind::Gelu))
+            .push(Linear::new(8, 2, Init::XavierUniform, &mut rng));
+        let x = crate::init::randn(3, 4, &mut rng);
+        gradcheck::check_input_grad(&mut net, &x, 2e-2);
+        gradcheck::check_param_grads(&mut net, &x, 2e-2);
+    }
+
+    #[test]
+    fn mlp_builder_shapes() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut net = mlp(&[10, 64, 64, 3], Some(0.01), 7, &mut rng);
+        let x = crate::init::randn(5, 10, &mut rng);
+        let y = net.forward(&x, Mode::Infer);
+        assert_eq!(y.shape(), (5, 3));
+        // 10*64+64 + 64*64+64 + 64*3+3
+        assert_eq!(net.param_count(), 10 * 64 + 64 + 64 * 64 + 64 + 64 * 3 + 3);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        assert_eq!(net.forward(&x, Mode::Train), x);
+        assert_eq!(net.backward(&x), x);
+    }
+}

@@ -1,0 +1,48 @@
+//! # silofuse-nn
+//!
+//! A from-scratch, dependency-light neural network substrate for the
+//! SiloFuse reproduction: dense `f32` tensors, layers with explicit manual
+//! backpropagation, losses, and optimizers.
+//!
+//! The crate deliberately implements *exactly* what the paper's models need —
+//! MLPs with GELU, LeakyReLU GAN stacks, Conv1d, LayerNorm/BatchNorm,
+//! dropout, Adam — with each layer caching its forward activations and
+//! exposing a `backward` that returns the gradient with respect to its
+//! input. That compositionality is what makes the end-to-end distributed
+//! baseline (E2EDistr) possible: gradients flow decoder → diffusion backbone
+//! → encoder across simulated silo boundaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use silofuse_nn::layers::{mlp, Layer, Mode};
+//! use silofuse_nn::optim::{Adam, Optimizer};
+//! use silofuse_nn::{loss, init};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = mlp(&[4, 32, 1], None, 0, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! let x = init::randn(64, 4, &mut rng);
+//! let target = x.slice_cols(0, 1).map(|v| v * 0.5);
+//! for _ in 0..50 {
+//!     net.zero_grad();
+//!     let pred = net.forward(&x, Mode::Train);
+//!     let (_l, grad) = loss::mse(&pred, &target);
+//!     net.backward(&grad);
+//!     opt.step(&mut net);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use layers::mlp;
+pub use tensor::Tensor;

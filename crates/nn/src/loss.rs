@@ -1,0 +1,231 @@
+//! Loss functions.
+//!
+//! Every loss returns `(scalar_loss, grad_wrt_prediction)` where the gradient
+//! is already averaged over the batch, so `Layer::backward(grad)` followed by
+//! an optimizer step performs a correct mean-loss update.
+
+use crate::tensor::Tensor;
+
+/// Mean squared error `mean((pred - target)^2)` — Eq. (2)/(5) of the paper.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Binary cross entropy with logits (numerically stable); `target` in {0,1}.
+pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), target.shape(), "bce shape mismatch");
+    let n = logits.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.len() {
+        let x = logits.as_slice()[i];
+        let t = target.as_slice()[i];
+        // log(1 + e^-|x|) + max(x, 0) - x*t
+        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        let sigmoid = 1.0 / (1.0 + (-x).exp());
+        grad.as_mut_slice()[i] = (sigmoid - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax cross entropy over row-wise logit groups.
+///
+/// `groups` gives the width of each categorical feature's logit block inside
+/// a row; `targets[r][g]` is the class index for feature `g` of row `r`.
+/// The loss is averaged over rows and features; the returned gradient has the
+/// same shape as `logits`.
+pub fn grouped_softmax_cross_entropy(
+    logits: &Tensor,
+    groups: &[usize],
+    targets: &[Vec<u32>],
+) -> (f32, Tensor) {
+    let total: usize = groups.iter().sum();
+    assert_eq!(logits.cols(), total, "logit width must equal sum of group widths");
+    assert_eq!(logits.rows(), targets.len(), "one target row per logit row");
+    let rows = logits.rows();
+    let denom = (rows * groups.len().max(1)) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(rows, total);
+    for (r, row_targets) in targets.iter().enumerate() {
+        let row = logits.row(r);
+        let g_row = grad.row_mut(r);
+        let mut offset = 0;
+        for (g, &width) in groups.iter().enumerate() {
+            let block = &row[offset..offset + width];
+            let target = row_targets[g] as usize;
+            debug_assert!(target < width, "target class out of range");
+            let max = block.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for &v in block {
+                sum += (v - max).exp();
+            }
+            let log_sum = sum.ln() + max;
+            loss += log_sum - block[target];
+            for (k, &v) in block.iter().enumerate() {
+                let p = (v - max).exp() / sum;
+                g_row[offset + k] = (p - if k == target { 1.0 } else { 0.0 }) / denom;
+            }
+            offset += width;
+        }
+    }
+    (loss / denom, grad)
+}
+
+/// Gaussian negative log-likelihood with a learned diagonal variance.
+///
+/// `mu` and `log_var` are the decoder head outputs; `target` the observed
+/// values. Per element: `0.5 * (log_var + (x - mu)^2 / exp(log_var))`
+/// (the `log 2π` constant is dropped). Returns `(loss, grad_mu, grad_log_var)`.
+pub fn gaussian_nll(
+    mu: &Tensor,
+    log_var: &Tensor,
+    target: &Tensor,
+) -> (f32, Tensor, Tensor) {
+    assert_eq!(mu.shape(), target.shape(), "gaussian_nll shape mismatch");
+    assert_eq!(mu.shape(), log_var.shape(), "gaussian_nll shape mismatch");
+    let n = mu.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad_mu = Tensor::zeros(mu.rows(), mu.cols());
+    let mut grad_lv = Tensor::zeros(mu.rows(), mu.cols());
+    for i in 0..mu.len() {
+        let m = mu.as_slice()[i];
+        let lv = log_var.as_slice()[i].clamp(-10.0, 10.0);
+        let x = target.as_slice()[i];
+        let inv_var = (-lv).exp();
+        let d = x - m;
+        loss += 0.5 * (lv + d * d * inv_var);
+        grad_mu.as_mut_slice()[i] = -(d * inv_var) / n;
+        grad_lv.as_mut_slice()[i] = 0.5 * (1.0 - d * d * inv_var) / n;
+    }
+    (loss / n, grad_mu, grad_lv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let p = Tensor::from_vec(1, 2, vec![1.0, 3.0]);
+        let t = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 5.0).abs() < 1e-6);
+        assert_eq!(g.as_slice(), &[1.0, 3.0]); // 2*(p-t)/2
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let logits = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let target = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
+        let (l, g) = bce_with_logits(&logits, &target);
+        // -log(0.5) for both entries.
+        assert!((l - 0.6931).abs() < 1e-3);
+        assert!((g.as_slice()[0] + 0.25).abs() < 1e-6);
+        assert!((g.as_slice()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(1, 2, vec![100.0, -100.0]);
+        let target = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
+        let (l, g) = bce_with_logits(&logits, &target);
+        assert!(l.is_finite() && l < 1e-3);
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn grouped_ce_perfect_prediction_has_low_loss() {
+        // Two features with 2 and 3 classes.
+        let logits = Tensor::from_vec(1, 5, vec![10.0, -10.0, -10.0, 10.0, -10.0]);
+        let targets = vec![vec![0u32, 1u32]];
+        let (l, _) = grouped_softmax_cross_entropy(&logits, &[2, 3], &targets);
+        assert!(l < 1e-3, "loss {l}");
+    }
+
+    #[test]
+    fn grouped_ce_grad_sums_to_zero_per_group() {
+        let logits = Tensor::from_vec(2, 5, vec![0.3, -0.2, 0.1, 0.9, -0.5, 1.0, 2.0, -1.0, 0.0, 0.5]);
+        let targets = vec![vec![1u32, 2u32], vec![0u32, 0u32]];
+        let (_, g) = grouped_softmax_cross_entropy(&logits, &[2, 3], &targets);
+        for r in 0..2 {
+            let row = g.row(r);
+            assert!((row[0] + row[1]).abs() < 1e-6);
+            assert!((row[2] + row[3] + row[4]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grouped_ce_finite_difference() {
+        let logits = Tensor::from_vec(1, 4, vec![0.2, -0.3, 0.5, 0.1]);
+        let targets = vec![vec![1u32, 0u32]];
+        let groups = [2, 2];
+        let (_, g) = grouped_softmax_cross_entropy(&logits, &groups, &targets);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = grouped_softmax_cross_entropy(&lp, &groups, &targets);
+            let (fm, _) = grouped_softmax_cross_entropy(&lm, &groups, &targets);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - g.as_slice()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: {numeric} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_nll_minimised_at_target_mean() {
+        let target = Tensor::from_vec(1, 1, vec![2.0]);
+        let lv = Tensor::zeros(1, 1);
+        let (l_at, g_mu, _) = gaussian_nll(&target.clone(), &lv, &target);
+        let off = Tensor::from_vec(1, 1, vec![3.0]);
+        let (l_off, _, _) = gaussian_nll(&off, &lv, &target);
+        assert!(l_at < l_off);
+        assert_eq!(g_mu.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn gaussian_nll_finite_difference() {
+        let mu = Tensor::from_vec(1, 2, vec![0.5, -0.2]);
+        let lv = Tensor::from_vec(1, 2, vec![0.3, -0.6]);
+        let target = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
+        let (_, g_mu, g_lv) = gaussian_nll(&mu, &lv, &target);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut p = mu.clone();
+            p.as_mut_slice()[i] += eps;
+            let mut m = mu.clone();
+            m.as_mut_slice()[i] -= eps;
+            let (fp, _, _) = gaussian_nll(&p, &lv, &target);
+            let (fm, _, _) = gaussian_nll(&m, &lv, &target);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - g_mu.as_slice()[i]).abs() < 1e-3);
+
+            let mut p = lv.clone();
+            p.as_mut_slice()[i] += eps;
+            let mut m = lv.clone();
+            m.as_mut_slice()[i] -= eps;
+            let (fp, _, _) = gaussian_nll(&mu, &p, &target);
+            let (fm, _, _) = gaussian_nll(&mu, &m, &target);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - g_lv.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+}

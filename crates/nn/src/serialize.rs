@@ -1,0 +1,198 @@
+//! State-dict persistence: export/import all parameters of a network.
+//!
+//! The architecture is reconstructible from its configuration (and seed),
+//! so persisting a trained model means persisting its parameter tensors in
+//! visit order — the same contract as a PyTorch `state_dict`. The format is
+//! little-endian: `count u32 | (rows u32, cols u32, data f32*)*`.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Errors raised when importing a state dict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateDictError {
+    /// The byte buffer ended early or had trailing garbage.
+    Malformed,
+    /// Tensor count differs from the network's parameter count.
+    CountMismatch {
+        /// Tensors in the buffer.
+        got: usize,
+        /// Parameters in the network.
+        expected: usize,
+    },
+    /// A tensor's shape differs from the corresponding parameter.
+    ShapeMismatch {
+        /// Parameter index (visit order).
+        index: usize,
+        /// Shape in the buffer.
+        got: (usize, usize),
+        /// Shape in the network.
+        expected: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for StateDictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateDictError::Malformed => write!(f, "malformed state dict"),
+            StateDictError::CountMismatch { got, expected } => {
+                write!(f, "state dict has {got} tensors, network has {expected}")
+            }
+            StateDictError::ShapeMismatch { index, got, expected } => write!(
+                f,
+                "parameter {index}: state dict shape {got:?} vs network {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateDictError {}
+
+/// Serialises every parameter of `layer` (visit order) to bytes.
+pub fn export_state_dict(layer: &mut dyn Layer) -> Vec<u8> {
+    let mut tensors: Vec<Tensor> = Vec::new();
+    layer.visit_params(&mut |p| tensors.push(p.value.clone()));
+    let mut out = Vec::with_capacity(4 + tensors.iter().map(|t| 8 + 4 * t.len()).sum::<usize>());
+    out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in &tensors {
+        out.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+        for &v in t.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Restores parameters exported by [`export_state_dict`] into `layer`.
+///
+/// The network must have the same architecture (parameter count and
+/// shapes, in visit order).
+pub fn import_state_dict(layer: &mut dyn Layer, bytes: &[u8]) -> Result<(), StateDictError> {
+    let mut cursor = 0usize;
+    let read_u32 = |cursor: &mut usize| -> Result<u32, StateDictError> {
+        let end = *cursor + 4;
+        let slice = bytes.get(*cursor..end).ok_or(StateDictError::Malformed)?;
+        *cursor = end;
+        Ok(u32::from_le_bytes(slice.try_into().unwrap()))
+    };
+    let count = read_u32(&mut cursor)? as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rows = read_u32(&mut cursor)? as usize;
+        let cols = read_u32(&mut cursor)? as usize;
+        let len = rows * cols;
+        let end = cursor + 4 * len;
+        let slice = bytes.get(cursor..end).ok_or(StateDictError::Malformed)?;
+        cursor = end;
+        let data: Vec<f32> = slice
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        tensors.push(Tensor::from_vec(rows, cols, data));
+    }
+    if cursor != bytes.len() {
+        return Err(StateDictError::Malformed);
+    }
+
+    // Validate shapes against the network before mutating anything.
+    let mut expected = 0usize;
+    let mut shape_err: Option<StateDictError> = None;
+    layer.visit_params(&mut |p| {
+        if let Some(t) = tensors.get(expected) {
+            if t.shape() != p.value.shape() && shape_err.is_none() {
+                shape_err = Some(StateDictError::ShapeMismatch {
+                    index: expected,
+                    got: t.shape(),
+                    expected: p.value.shape(),
+                });
+            }
+        }
+        expected += 1;
+    });
+    if count != expected {
+        return Err(StateDictError::CountMismatch { got: count, expected });
+    }
+    if let Some(e) = shape_err {
+        return Err(e);
+    }
+
+    let mut idx = 0usize;
+    layer.visit_params(&mut |p| {
+        p.value = tensors[idx].clone();
+        idx += 1;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, Init};
+    use crate::layers::{mlp, Linear, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_restores_exact_outputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(&[4, 16, 2], None, 0, &mut rng);
+        let x = randn(3, 4, &mut rng);
+        let before = net.forward(&x, Mode::Infer);
+        let dict = export_state_dict(&mut net);
+
+        // A fresh network with different init gives different outputs...
+        let mut other = mlp(&[4, 16, 2], None, 99, &mut StdRng::seed_from_u64(99));
+        assert_ne!(other.forward(&x, Mode::Infer), before);
+        // ...until the state dict is loaded.
+        import_state_dict(&mut other, &dict).unwrap();
+        assert_eq!(other.forward(&x, Mode::Infer), before);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_without_mutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = mlp(&[4, 8, 2], None, 1, &mut rng);
+        let dict = export_state_dict(&mut net);
+        let mut wrong = mlp(&[4, 16, 2], None, 1, &mut rng);
+        let x = randn(2, 4, &mut rng);
+        let before = wrong.forward(&x, Mode::Infer);
+        let err = import_state_dict(&mut wrong, &dict).unwrap_err();
+        assert!(matches!(err, StateDictError::ShapeMismatch { .. }));
+        assert_eq!(wrong.forward(&x, Mode::Infer), before, "failed import must not mutate");
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut small = Linear::new(2, 2, Init::XavierUniform, &mut rng);
+        let dict = export_state_dict(&mut small);
+        let mut big = mlp(&[2, 4, 2], None, 2, &mut rng);
+        assert!(matches!(
+            import_state_dict(&mut big, &dict),
+            Err(StateDictError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_padded_buffers_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Linear::new(3, 3, Init::XavierUniform, &mut rng);
+        let dict = export_state_dict(&mut net);
+        assert_eq!(
+            import_state_dict(&mut net, &dict[..dict.len() - 2]),
+            Err(StateDictError::Malformed)
+        );
+        let mut padded = dict.clone();
+        padded.push(0);
+        assert_eq!(import_state_dict(&mut net, &padded), Err(StateDictError::Malformed));
+    }
+
+    #[test]
+    fn empty_network_round_trips() {
+        use crate::layers::{Activation, ActivationKind, Sequential};
+        let mut net = Sequential::new().push(Activation::new(ActivationKind::Relu));
+        let dict = export_state_dict(&mut net);
+        import_state_dict(&mut net, &dict).unwrap();
+    }
+}

@@ -1,0 +1,324 @@
+//! CSV import/export for [`Table`], with schema inference.
+//!
+//! A downstream user's data arrives as CSV; this module turns it into a
+//! validated [`Table`] (inferring numeric vs categorical columns and
+//! building category vocabularies) and writes synthetic tables back out.
+//! The parser handles quoted fields, embedded commas, and doubled quotes;
+//! it is deliberately strict about ragged rows.
+
+use crate::schema::{ColumnMeta, Schema};
+use crate::table::{Column, Table};
+use std::collections::HashMap;
+
+/// Errors raised while reading CSV data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header line.
+    Empty,
+    /// A data row had a different field count than the header.
+    RaggedRow {
+        /// 1-based data row number.
+        row: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A column exceeded `u32::MAX` distinct categories.
+    TooManyCategories {
+        /// Column name.
+        column: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "CSV input is empty"),
+            CsvError::RaggedRow { row, got, expected } => {
+                write!(f, "row {row} has {got} fields, expected {expected}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quote starting at line {line}")
+            }
+            CsvError::TooManyCategories { column } => {
+                write!(f, "column {column} has more than u32::MAX categories")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// A table read from CSV plus the per-column category vocabularies needed to
+/// map codes back to the original string labels.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    /// The parsed, validated table.
+    pub table: Table,
+    /// `vocab[i]` is `Some(labels)` for categorical column `i` (code `c`
+    /// corresponds to `labels[c]`), `None` for numeric columns.
+    pub vocabularies: Vec<Option<Vec<String>>>,
+}
+
+/// Parses CSV text (first line = header) into a table. A column is numeric
+/// when *every* non-empty field parses as `f64`; otherwise it is
+/// categorical with labels ordered by first appearance. Empty numeric
+/// fields become `NaN`-free column means; empty categorical fields become
+/// their own category `""`.
+pub fn read_csv(text: &str) -> Result<CsvTable, CsvError> {
+    let rows = parse_rows(text)?;
+    let mut iter = rows.into_iter();
+    let header = iter.next().ok_or(CsvError::Empty)?;
+    let width = header.len();
+    let data: Vec<Vec<String>> = iter.collect();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != width {
+            return Err(CsvError::RaggedRow { row: i + 1, got: row.len(), expected: width });
+        }
+    }
+
+    let mut metas = Vec::with_capacity(width);
+    let mut columns = Vec::with_capacity(width);
+    let mut vocabularies = Vec::with_capacity(width);
+    for c in 0..width {
+        let fields: Vec<&str> = data.iter().map(|r| r[c].as_str()).collect();
+        let numeric = fields
+            .iter()
+            .filter(|f| !f.is_empty())
+            .all(|f| f.trim().parse::<f64>().is_ok());
+        let any_value = fields.iter().any(|f| !f.is_empty());
+        if numeric && any_value {
+            let parsed: Vec<Option<f64>> =
+                fields.iter().map(|f| f.trim().parse::<f64>().ok()).collect();
+            let present: Vec<f64> = parsed.iter().filter_map(|v| *v).collect();
+            let mean = present.iter().sum::<f64>() / present.len().max(1) as f64;
+            let values = parsed.into_iter().map(|v| v.unwrap_or(mean)).collect();
+            metas.push(ColumnMeta::numeric(header[c].clone()));
+            columns.push(Column::Numeric(values));
+            vocabularies.push(None);
+        } else {
+            let mut vocab: Vec<String> = Vec::new();
+            let mut index: HashMap<&str, u32> = HashMap::new();
+            let mut codes = Vec::with_capacity(fields.len());
+            for f in &fields {
+                let code = match index.get(f) {
+                    Some(&c) => c,
+                    None => {
+                        let c = u32::try_from(vocab.len())
+                            .map_err(|_| CsvError::TooManyCategories {
+                                column: header[c].clone(),
+                            })?;
+                        index.insert(f, c);
+                        vocab.push((*f).to_string());
+                        c
+                    }
+                };
+                codes.push(code);
+            }
+            metas.push(ColumnMeta::categorical(header[c].clone(), vocab.len().max(1) as u32));
+            columns.push(Column::Categorical(codes));
+            vocabularies.push(Some(vocab));
+        }
+    }
+    let table = Table::new(Schema::new(metas), columns).expect("inferred schema is consistent");
+    Ok(CsvTable { table, vocabularies })
+}
+
+/// Serialises a table to CSV. Categorical codes are written through
+/// `vocabularies` when provided (e.g. from [`read_csv`]); otherwise the raw
+/// codes are written.
+pub fn write_csv(table: &Table, vocabularies: Option<&[Option<Vec<String>>]>) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| escape(&c.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in 0..table.n_rows() {
+        let mut fields = Vec::with_capacity(table.n_cols());
+        for (i, col) in table.columns().iter().enumerate() {
+            let field = match col {
+                Column::Numeric(v) => format_float(v[r]),
+                Column::Categorical(codes) => {
+                    let code = codes[r];
+                    match vocabularies.and_then(|v| v[i].as_ref()) {
+                        Some(vocab) if (code as usize) < vocab.len() => {
+                            escape(&vocab[code as usize])
+                        }
+                        _ => code.to_string(),
+                    }
+                }
+            };
+            fields.push(field);
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits CSV text into rows of fields, honouring quotes.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut quote_line = 0usize;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                quote_line = line;
+            }
+            ',' if !in_quotes => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' if !in_quotes => {} // tolerate CRLF
+            '\n' if !in_quotes => {
+                line += 1;
+                row.push(std::mem::take(&mut field));
+                if !(row.len() == 1 && row[0].is_empty()) {
+                    rows.push(std::mem::take(&mut row));
+                } else {
+                    row.clear();
+                }
+            }
+            '\n' => {
+                line += 1;
+                field.push('\n');
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_line });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnKind;
+
+    const SAMPLE: &str = "age,city,income\n34,Delft,51000\n28,The Hague,43000\n45,Delft,87000\n";
+
+    #[test]
+    fn infers_mixed_schema() {
+        let csv = read_csv(SAMPLE).unwrap();
+        let s = csv.table.schema();
+        assert_eq!(s.columns()[0].kind, ColumnKind::Numeric);
+        assert_eq!(s.columns()[1].kind, ColumnKind::Categorical { cardinality: 2 });
+        assert_eq!(s.columns()[2].kind, ColumnKind::Numeric);
+        assert_eq!(csv.table.n_rows(), 3);
+    }
+
+    #[test]
+    fn vocabulary_orders_by_first_appearance() {
+        let csv = read_csv(SAMPLE).unwrap();
+        let vocab = csv.vocabularies[1].as_ref().unwrap();
+        assert_eq!(vocab, &vec!["Delft".to_string(), "The Hague".to_string()]);
+        assert_eq!(csv.table.column(1).as_categorical().unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let csv = read_csv(SAMPLE).unwrap();
+        let written = write_csv(&csv.table, Some(&csv.vocabularies));
+        let reread = read_csv(&written).unwrap();
+        assert_eq!(reread.table, csv.table);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let text = "name,score\n\"Doe, Jane\",10\n\"He said \"\"hi\"\"\",20\n";
+        let csv = read_csv(text).unwrap();
+        let vocab = csv.vocabularies[0].as_ref().unwrap();
+        assert_eq!(vocab[0], "Doe, Jane");
+        assert_eq!(vocab[1], "He said \"hi\"");
+        // And escaping survives a round trip.
+        let rt = read_csv(&write_csv(&csv.table, Some(&csv.vocabularies))).unwrap();
+        assert_eq!(rt.vocabularies[0].as_ref().unwrap()[0], "Doe, Jane");
+    }
+
+    #[test]
+    fn missing_numeric_values_are_imputed_with_mean() {
+        // (Fully blank lines are skipped; a missing value needs a delimiter.)
+        let text = "x,y\n1,a\n,b\n3,c\n";
+        let csv = read_csv(text).unwrap();
+        let v = csv.table.column(0).as_numeric().unwrap();
+        assert_eq!(v, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let text = "a,b\n1,2\n3\n";
+        assert!(matches!(read_csv(text), Err(CsvError::RaggedRow { row: 2, .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        let text = "a\n\"oops\n";
+        assert!(matches!(read_csv(text), Err(CsvError::UnterminatedQuote { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(read_csv("").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_tolerated() {
+        let text = "a,b\r\n1,x\r\n2,y\r\n";
+        let csv = read_csv(text).unwrap();
+        assert_eq!(csv.table.n_rows(), 2);
+        assert_eq!(csv.vocabularies[1].as_ref().unwrap(), &vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn integer_like_floats_print_without_decimals() {
+        let csv = read_csv("v\n1\n2.5\n").unwrap();
+        let out = write_csv(&csv.table, None);
+        assert!(out.contains("\n1\n"));
+        assert!(out.contains("2.5"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Feature encodings: scalers, quantile transforms, and one-hot table
+//! encoding for neural models.
+
+use crate::math::{normal_cdf, normal_ppf};
+use crate::schema::{ColumnKind, Schema};
+use crate::table::{Column, Table, TableError};
+
+/// How numeric columns are scaled before entering a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingKind {
+    /// Zero-mean, unit-variance standardisation.
+    Standard,
+    /// Rescale into `[-1, 1]` (GAN-friendly).
+    MinMax,
+    /// Empirical-CDF mapping onto a standard Gaussian (TabDDPM's
+    /// quantile transformation).
+    QuantileGaussian,
+}
+
+/// Per-column standardisation parameters.
+#[derive(Debug, Clone)]
+enum NumericCodec {
+    Standard { mean: f64, std: f64 },
+    MinMax { min: f64, max: f64 },
+    Quantile(QuantileTransformer),
+}
+
+impl NumericCodec {
+    fn fit(kind: ScalingKind, values: &[f64]) -> Self {
+        match kind {
+            ScalingKind::Standard => {
+                let n = values.len().max(1) as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                NumericCodec::Standard { mean, std: var.sqrt().max(1e-9) }
+            }
+            ScalingKind::MinMax => {
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let (min, max) = if min.is_finite() && max.is_finite() && max > min {
+                    (min, max)
+                } else if min.is_finite() {
+                    // Constant column: any non-degenerate range that keeps the
+                    // observed value inside [-1, 1] round-trips correctly.
+                    (min, min + 1.0)
+                } else {
+                    (0.0, 1.0)
+                };
+                NumericCodec::MinMax { min, max }
+            }
+            ScalingKind::QuantileGaussian => {
+                NumericCodec::Quantile(QuantileTransformer::fit(values))
+            }
+        }
+    }
+
+    fn encode(&self, v: f64) -> f64 {
+        match self {
+            NumericCodec::Standard { mean, std } => (v - mean) / std,
+            NumericCodec::MinMax { min, max } => 2.0 * (v - min) / (max - min) - 1.0,
+            NumericCodec::Quantile(q) => q.transform(v),
+        }
+    }
+
+    fn decode(&self, v: f64) -> f64 {
+        match self {
+            NumericCodec::Standard { mean, std } => v * std + mean,
+            NumericCodec::MinMax { min, max } => (v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (max - min) + min,
+            NumericCodec::Quantile(q) => q.inverse(v),
+        }
+    }
+}
+
+/// Maps a numeric column through its empirical CDF onto `N(0, 1)`.
+///
+/// This is the transformation TabDDPM applies to continuous features; it
+/// makes arbitrary marginals Gaussian so that Gaussian diffusion is a good
+/// fit, and its inverse restores the original marginal exactly (up to
+/// interpolation).
+#[derive(Debug, Clone)]
+pub struct QuantileTransformer {
+    sorted: Vec<f64>,
+}
+
+impl QuantileTransformer {
+    /// Fits on observed values.
+    pub fn fit(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            sorted.push(0.0);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted }
+    }
+
+    /// Maps a value to its Gaussian score.
+    pub fn transform(&self, v: f64) -> f64 {
+        let n = self.sorted.len();
+        // Fraction of the sample <= v, mid-ranked for ties.
+        let lo = self.sorted.partition_point(|&x| x < v);
+        let hi = self.sorted.partition_point(|&x| x <= v);
+        let rank = (lo + hi) as f64 / 2.0;
+        let p = (rank / n as f64).clamp(0.5 / n as f64, 1.0 - 0.5 / n as f64);
+        normal_ppf(p)
+    }
+
+    /// Maps a Gaussian score back to the data scale.
+    pub fn inverse(&self, z: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let p = normal_cdf(z).clamp(0.0, 1.0);
+        let pos = p * (n - 1) as f64;
+        let idx = pos.floor() as usize;
+        if idx + 1 >= n {
+            return self.sorted[n - 1];
+        }
+        let frac = pos - idx as f64;
+        self.sorted[idx] * (1.0 - frac) + self.sorted[idx + 1] * frac
+    }
+}
+
+/// Encodes a [`Table`] into a flat `f32` feature matrix (row-major) and back.
+///
+/// Layout follows schema order: a numeric column contributes one scaled slot,
+/// a categorical column contributes `cardinality` one-hot slots. This is the
+/// encoding every model in the reproduction consumes; its width is the
+/// paper's `#Aft` (Table II).
+#[derive(Debug, Clone)]
+pub struct TableEncoder {
+    schema: Schema,
+    numeric_codecs: Vec<Option<NumericCodec>>,
+}
+
+impl TableEncoder {
+    /// Fits the encoder on a reference table.
+    ///
+    /// # Panics
+    /// Panics if `table`'s schema differs from its own columns (impossible
+    /// for validated tables).
+    pub fn fit(table: &Table, scaling: ScalingKind) -> Self {
+        let schema = table.schema().clone();
+        let numeric_codecs = table
+            .columns()
+            .iter()
+            .map(|col| col.as_numeric().map(|v| NumericCodec::fit(scaling, v)))
+            .collect();
+        Self { schema, numeric_codecs }
+    }
+
+    /// The schema this encoder was fitted on.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Width of an encoded row.
+    pub fn encoded_width(&self) -> usize {
+        self.schema.one_hot_width()
+    }
+
+    /// Widths of the categorical logit groups, in schema order.
+    pub fn categorical_group_widths(&self) -> Vec<usize> {
+        self.schema
+            .columns()
+            .iter()
+            .filter_map(|c| match c.kind {
+                ColumnKind::Categorical { cardinality } => Some(cardinality as usize),
+                ColumnKind::Numeric => None,
+            })
+            .collect()
+    }
+
+    /// Encodes a table into a row-major `f32` buffer of width
+    /// [`Self::encoded_width`].
+    ///
+    /// # Panics
+    /// Panics if the table's schema disagrees with the fitted schema.
+    pub fn encode(&self, table: &Table) -> Vec<f32> {
+        assert_eq!(table.schema(), &self.schema, "encode: schema mismatch");
+        let width = self.encoded_width();
+        let rows = table.n_rows();
+        let mut out = vec![0.0f32; rows * width];
+        let mut offset = 0;
+        for (col_idx, col) in table.columns().iter().enumerate() {
+            match col {
+                Column::Numeric(values) => {
+                    let codec = self.numeric_codecs[col_idx]
+                        .as_ref()
+                        .expect("numeric codec fitted for numeric column");
+                    for (r, &v) in values.iter().enumerate() {
+                        out[r * width + offset] = codec.encode(v) as f32;
+                    }
+                    offset += 1;
+                }
+                Column::Categorical(codes) => {
+                    let card = self.schema.columns()[col_idx].kind.one_hot_width();
+                    for (r, &code) in codes.iter().enumerate() {
+                        out[r * width + offset + code as usize] = 1.0;
+                    }
+                    offset += card;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-row category codes for each categorical column (schema order),
+    /// as targets for grouped cross-entropy losses.
+    pub fn categorical_targets(&self, table: &Table) -> Vec<Vec<u32>> {
+        let cat_cols: Vec<&[u32]> = table
+            .columns()
+            .iter()
+            .filter_map(Column::as_categorical)
+            .collect();
+        (0..table.n_rows())
+            .map(|r| cat_cols.iter().map(|col| col[r]).collect())
+            .collect()
+    }
+
+    /// Decodes a row-major `f32` buffer back into a table. Numeric slots are
+    /// unscaled; categorical blocks are decoded by argmax.
+    ///
+    /// # Errors
+    /// Returns an error if `data.len()` is not a multiple of the encoded
+    /// width (propagated as [`TableError::RaggedColumns`]).
+    pub fn decode(&self, data: &[f32]) -> Result<Table, TableError> {
+        let width = self.encoded_width();
+        if width == 0 || data.len() % width != 0 {
+            return Err(TableError::RaggedColumns);
+        }
+        let rows = data.len() / width;
+        let mut columns: Vec<Column> = Vec::with_capacity(self.schema.width());
+        let mut offset = 0;
+        for (col_idx, meta) in self.schema.columns().iter().enumerate() {
+            match meta.kind {
+                ColumnKind::Numeric => {
+                    let codec = self.numeric_codecs[col_idx]
+                        .as_ref()
+                        .expect("numeric codec fitted for numeric column");
+                    let values = (0..rows)
+                        .map(|r| codec.decode(f64::from(data[r * width + offset])))
+                        .collect();
+                    columns.push(Column::Numeric(values));
+                    offset += 1;
+                }
+                ColumnKind::Categorical { cardinality } => {
+                    let card = cardinality as usize;
+                    let codes = (0..rows)
+                        .map(|r| {
+                            let block = &data[r * width + offset..r * width + offset + card];
+                            argmax(block) as u32
+                        })
+                        .collect();
+                    columns.push(Column::Categorical(codes));
+                    offset += card;
+                }
+            }
+        }
+        Table::new(self.schema.clone(), columns)
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnMeta;
+
+    fn demo() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::numeric("x"),
+            ColumnMeta::categorical("c", 3),
+            ColumnMeta::numeric("y"),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::Numeric(vec![1.0, 2.0, 3.0, 4.0]),
+                Column::Categorical(vec![0, 2, 1, 2]),
+                Column::Numeric(vec![-10.0, 0.0, 10.0, 20.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encoded_width_matches_schema() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        assert_eq!(enc.encoded_width(), 1 + 3 + 1);
+        assert_eq!(enc.categorical_group_widths(), vec![3]);
+    }
+
+    #[test]
+    fn one_hot_block_is_exact() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        let data = enc.encode(&t);
+        let width = enc.encoded_width();
+        // Row 1 has category 2 -> slots [1..4] are [0,0,1].
+        assert_eq!(&data[width + 1..width + 4], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn standard_scaling_round_trips() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        let decoded = enc.decode(&enc.encode(&t)).unwrap();
+        for (a, b) in decoded
+            .column(0)
+            .as_numeric()
+            .unwrap()
+            .iter()
+            .zip(t.column(0).as_numeric().unwrap())
+        {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(decoded.column(1), t.column(1));
+    }
+
+    #[test]
+    fn minmax_bounds_encoded_values() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::MinMax);
+        let data = enc.encode(&t);
+        let width = enc.encoded_width();
+        for r in 0..t.n_rows() {
+            let v = data[r * width]; // column x
+            assert!((-1.0..=1.0).contains(&v));
+        }
+        let decoded = enc.decode(&data).unwrap();
+        for (a, b) in decoded
+            .column(2)
+            .as_numeric()
+            .unwrap()
+            .iter()
+            .zip(t.column(2).as_numeric().unwrap())
+        {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn quantile_transform_round_trips() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64).collect();
+        let q = QuantileTransformer::fit(&values);
+        for &v in values.iter().step_by(37) {
+            let z = q.transform(v);
+            let back = q.inverse(z);
+            assert!((back - v).abs() < 1.5, "{v} -> {z} -> {back}");
+        }
+    }
+
+    #[test]
+    fn quantile_transform_gaussianises() {
+        // Heavily skewed data should map to roughly standard normal scores.
+        let values: Vec<f64> = (1..=1000).map(|i| (i as f64).powi(3)).collect();
+        let q = QuantileTransformer::fit(&values);
+        let scores: Vec<f64> = values.iter().map(|&v| q.transform(v)).collect();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / scores.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn constant_column_does_not_blow_up() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("k")]);
+        let t = Table::new(schema, vec![Column::Numeric(vec![5.0; 10])]).unwrap();
+        for kind in [ScalingKind::Standard, ScalingKind::MinMax, ScalingKind::QuantileGaussian] {
+            let enc = TableEncoder::fit(&t, kind);
+            let data = enc.encode(&t);
+            assert!(data.iter().all(|v| v.is_finite()), "{kind:?}");
+            let back = enc.decode(&data).unwrap();
+            let v = back.column(0).as_numeric().unwrap()[0];
+            assert!((v - 5.0).abs() < 1.0, "{kind:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_ragged_buffer() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        assert!(enc.decode(&[0.0; 7]).is_err());
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+}

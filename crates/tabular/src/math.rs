@@ -1,0 +1,122 @@
+//! Small numeric helpers: standard normal CDF and quantile function.
+
+/// Error function via the Abramowitz–Stegun 7.1.26 approximation
+/// (max absolute error ~1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile function (inverse CDF) via Acklam's rational
+/// approximation, refined with one Newton step.
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_ppf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_ppf requires p in (0, 1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Newton refinement: x' = x - (Phi(x) - p) / phi(x).
+    let e = normal_cdf(x) - p;
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    x - e / pdf.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(1.0) > normal_cdf(0.5));
+        assert!((normal_cdf(-1.3) + normal_cdf(1.3) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ppf_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_ppf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn ppf_standard_quantiles() {
+        assert!(normal_ppf(0.5).abs() < 1e-8);
+        assert!((normal_ppf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_ppf(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "normal_ppf requires")]
+    fn ppf_rejects_unit_boundary() {
+        let _ = normal_ppf(1.0);
+    }
+}

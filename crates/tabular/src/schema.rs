@@ -1,0 +1,182 @@
+//! Column and table schemas for mixed continuous/categorical data.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a tabular column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// A continuous numeric feature.
+    Numeric,
+    /// A categorical feature with codes in `0..cardinality`.
+    Categorical {
+        /// Number of distinct categories.
+        cardinality: u32,
+    },
+}
+
+impl ColumnKind {
+    /// Width of this column after one-hot encoding (1 for numerics).
+    pub fn one_hot_width(self) -> usize {
+        match self {
+            ColumnKind::Numeric => 1,
+            ColumnKind::Categorical { cardinality } => cardinality as usize,
+        }
+    }
+
+    /// True for categorical columns.
+    pub fn is_categorical(self) -> bool {
+        matches!(self, ColumnKind::Categorical { .. })
+    }
+}
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Human-readable column name.
+    pub name: String,
+    /// The column's kind.
+    pub kind: ColumnKind,
+}
+
+impl ColumnMeta {
+    /// Creates a numeric column descriptor.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: ColumnKind::Numeric }
+    }
+
+    /// Creates a categorical column descriptor.
+    ///
+    /// # Panics
+    /// Panics if `cardinality` is zero.
+    pub fn categorical(name: impl Into<String>, cardinality: u32) -> Self {
+        assert!(cardinality >= 1, "categorical cardinality must be >= 1");
+        Self { name: name.into(), kind: ColumnKind::Categorical { cardinality } }
+    }
+}
+
+/// An ordered collection of column descriptors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Creates a schema from column descriptors.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        Self { columns }
+    }
+
+    /// The column descriptors in order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Number of columns (the paper's `#Bef`).
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of categorical columns (`#Cat`).
+    pub fn categorical_count(&self) -> usize {
+        self.columns.iter().filter(|c| c.kind.is_categorical()).count()
+    }
+
+    /// Number of numeric columns (`#Num`).
+    pub fn numeric_count(&self) -> usize {
+        self.width() - self.categorical_count()
+    }
+
+    /// Total width after one-hot encoding every categorical column (`#Aft`).
+    pub fn one_hot_width(&self) -> usize {
+        self.columns.iter().map(|c| c.kind.one_hot_width()).sum()
+    }
+
+    /// Expansion factor from one-hot encoding (`Incr`, Table II).
+    pub fn expansion_factor(&self) -> f64 {
+        self.one_hot_width() as f64 / self.width().max(1) as f64
+    }
+
+    /// Indices of categorical columns.
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind.is_categorical())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of numeric columns.
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.kind.is_categorical())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns a new schema containing only the selected columns, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Finds a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        Schema::new(vec![
+            ColumnMeta::numeric("age"),
+            ColumnMeta::categorical("gender", 2),
+            ColumnMeta::categorical("marital", 3),
+            ColumnMeta::numeric("income"),
+        ])
+    }
+
+    #[test]
+    fn counts_and_widths() {
+        let s = demo();
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.categorical_count(), 2);
+        assert_eq!(s.numeric_count(), 2);
+        assert_eq!(s.one_hot_width(), 1 + 2 + 3 + 1);
+        assert!((s.expansion_factor() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_partitions_cover_all_columns() {
+        let s = demo();
+        let mut all = s.categorical_indices();
+        all.extend(s.numeric_indices());
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn project_selects_in_order() {
+        let s = demo();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.columns()[0].name, "marital");
+        assert_eq!(p.columns()[1].name, "age");
+    }
+
+    #[test]
+    fn index_of_finds_by_name() {
+        let s = demo();
+        assert_eq!(s.index_of("income"), Some(3));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn zero_cardinality_rejected() {
+        let _ = ColumnMeta::categorical("bad", 0);
+    }
+}

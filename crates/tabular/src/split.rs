@@ -1,0 +1,74 @@
+//! Seeded train/holdout splitting.
+
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `table` into `(train, holdout)` with `holdout_fraction` of rows in
+/// the holdout, after a seeded shuffle.
+///
+/// # Panics
+/// Panics if `holdout_fraction` is outside `(0, 1)`.
+pub fn train_holdout_split(table: &Table, holdout_fraction: f64, seed: u64) -> (Table, Table) {
+    assert!(
+        holdout_fraction > 0.0 && holdout_fraction < 1.0,
+        "holdout fraction must be in (0, 1)"
+    );
+    let n = table.n_rows();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_holdout = ((n as f64) * holdout_fraction).round() as usize;
+    let n_holdout = n_holdout.clamp(1, n.saturating_sub(1).max(1));
+    let (holdout_idx, train_idx) = indices.split_at(n_holdout);
+    (table.select_rows(train_idx), table.select_rows(holdout_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnMeta, Schema};
+    use crate::table::Column;
+
+    fn demo(n: usize) -> Table {
+        let schema = Schema::new(vec![ColumnMeta::numeric("x")]);
+        Table::new(schema, vec![Column::Numeric((0..n).map(|i| i as f64).collect())]).unwrap()
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let t = demo(100);
+        let (train, holdout) = train_holdout_split(&t, 0.2, 0);
+        assert_eq!(train.n_rows(), 80);
+        assert_eq!(holdout.n_rows(), 20);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let t = demo(50);
+        let (train, holdout) = train_holdout_split(&t, 0.3, 1);
+        let mut all: Vec<f64> = train.column(0).as_numeric().unwrap().to_vec();
+        all.extend(holdout.column(0).as_numeric().unwrap());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..50).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_determines_split() {
+        let t = demo(40);
+        let (a, _) = train_holdout_split(&t, 0.25, 7);
+        let (b, _) = train_holdout_split(&t, 0.25, 7);
+        let (c, _) = train_holdout_split(&t, 0.25, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_table_keeps_at_least_one_row_each_side() {
+        let t = demo(2);
+        let (train, holdout) = train_holdout_split(&t, 0.1, 0);
+        assert_eq!(train.n_rows(), 1);
+        assert_eq!(holdout.n_rows(), 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! Column-major tables of mixed numeric/categorical data.
+
+use crate::schema::{ColumnKind, ColumnMeta, Schema};
+
+/// One column of data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Continuous values.
+    Numeric(Vec<f64>),
+    /// Category codes; every code must be `< cardinality` of its schema entry.
+    Categorical(Vec<u32>),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numeric values, if this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical(_) => None,
+        }
+    }
+
+    /// Category codes, if this is a categorical column.
+    pub fn as_categorical(&self) -> Option<&[u32]> {
+        match self {
+            Column::Categorical(v) => Some(v),
+            Column::Numeric(_) => None,
+        }
+    }
+}
+
+/// Errors raised when assembling a [`Table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Column count differs from the schema width.
+    ColumnCountMismatch {
+        /// Columns the schema declares.
+        expected: usize,
+        /// Columns provided.
+        got: usize,
+    },
+    /// Two columns have different row counts.
+    RaggedColumns,
+    /// A column's data type disagrees with its schema kind.
+    KindMismatch {
+        /// Index of the offending column.
+        column: usize,
+    },
+    /// A categorical code is `>= cardinality`.
+    CodeOutOfRange {
+        /// Index of the offending column.
+        column: usize,
+        /// The offending code.
+        code: u32,
+        /// The declared cardinality.
+        cardinality: u32,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::ColumnCountMismatch { expected, got } => {
+                write!(f, "schema declares {expected} columns but {got} were provided")
+            }
+            TableError::RaggedColumns => write!(f, "columns have differing row counts"),
+            TableError::KindMismatch { column } => {
+                write!(f, "column {column} data does not match its schema kind")
+            }
+            TableError::CodeOutOfRange { column, code, cardinality } => write!(
+                f,
+                "column {column} has code {code} outside cardinality {cardinality}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A validated, column-major table bound to a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Validates and assembles a table.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self, TableError> {
+        if schema.width() != columns.len() {
+            return Err(TableError::ColumnCountMismatch {
+                expected: schema.width(),
+                got: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (i, (col, meta)) in columns.iter().zip(schema.columns()).enumerate() {
+            if col.len() != rows {
+                return Err(TableError::RaggedColumns);
+            }
+            match (&meta.kind, col) {
+                (ColumnKind::Numeric, Column::Numeric(_)) => {}
+                (ColumnKind::Categorical { cardinality }, Column::Categorical(codes)) => {
+                    if let Some(&bad) = codes.iter().find(|&&c| c >= *cardinality) {
+                        return Err(TableError::CodeOutOfRange {
+                            column: i,
+                            code: bad,
+                            cardinality: *cardinality,
+                        });
+                    }
+                }
+                _ => return Err(TableError::KindMismatch { column: i }),
+            }
+        }
+        Ok(Self { schema, columns, rows })
+    }
+
+    /// Creates an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| match c.kind {
+                ColumnKind::Numeric => Column::Numeric(Vec::new()),
+                ColumnKind::Categorical { .. } => Column::Categorical(Vec::new()),
+            })
+            .collect();
+        Self { schema, columns, rows: 0 }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// One column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Projects the table onto a subset of columns (new table, data cloned).
+    pub fn project(&self, indices: &[usize]) -> Table {
+        let schema = self.schema.project(indices);
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Table { schema, columns, rows: self.rows }
+    }
+
+    /// Selects a subset of rows by index, preserving order.
+    pub fn select_rows(&self, indices: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
+                Column::Categorical(v) => {
+                    Column::Categorical(indices.iter().map(|&i| v[i]).collect())
+                }
+            })
+            .collect();
+        Table { schema: self.schema.clone(), columns, rows: indices.len() }
+    }
+
+    /// Returns the first `n` rows (or all rows if fewer).
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.rows);
+        self.select_rows(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// Column-wise concatenation of tables with identical row counts.
+    ///
+    /// This is the paper's `X = X_1 || X_2 || ... || X_M`.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts disagree.
+    pub fn concat_columns(parts: &[&Table]) -> Table {
+        assert!(!parts.is_empty(), "concat_columns needs at least one table");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|t| t.rows == rows),
+            "concat_columns row count mismatch"
+        );
+        let mut metas: Vec<ColumnMeta> = Vec::new();
+        let mut columns: Vec<Column> = Vec::new();
+        for part in parts {
+            metas.extend(part.schema.columns().iter().cloned());
+            columns.extend(part.columns.iter().cloned());
+        }
+        Table { schema: Schema::new(metas), columns, rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnMeta;
+
+    fn demo() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::numeric("x"),
+            ColumnMeta::categorical("c", 3),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::Numeric(vec![1.0, 2.0, 3.0]),
+                Column::Categorical(vec![0, 2, 1]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let t = demo();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.column_by_name("x").unwrap().as_numeric().unwrap()[1], 2.0);
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("a"), ColumnMeta::numeric("b")]);
+        let err = Table::new(
+            schema,
+            vec![Column::Numeric(vec![1.0]), Column::Numeric(vec![1.0, 2.0])],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::RaggedColumns);
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("a")]);
+        let err = Table::new(schema, vec![Column::Categorical(vec![0])]).unwrap_err();
+        assert_eq!(err, TableError::KindMismatch { column: 0 });
+    }
+
+    #[test]
+    fn rejects_out_of_range_codes() {
+        let schema = Schema::new(vec![ColumnMeta::categorical("c", 2)]);
+        let err = Table::new(schema, vec![Column::Categorical(vec![0, 5])]).unwrap_err();
+        assert!(matches!(err, TableError::CodeOutOfRange { code: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_column_count_mismatch() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("a")]);
+        let err = Table::new(schema, vec![]).unwrap_err();
+        assert_eq!(err, TableError::ColumnCountMismatch { expected: 1, got: 0 });
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let t = demo();
+        let s = t.select_rows(&[2, 0]);
+        assert_eq!(s.column(0).as_numeric().unwrap(), &[3.0, 1.0]);
+        assert_eq!(s.column(1).as_categorical().unwrap(), &[1, 0]);
+    }
+
+    #[test]
+    fn projection_keeps_selected_schema() {
+        let t = demo();
+        let p = t.project(&[1]);
+        assert_eq!(p.n_cols(), 1);
+        assert_eq!(p.schema().columns()[0].name, "c");
+    }
+
+    #[test]
+    fn concat_columns_joins_partitions() {
+        let t = demo();
+        let left = t.project(&[0]);
+        let right = t.project(&[1]);
+        let joined = Table::concat_columns(&[&left, &right]);
+        assert_eq!(joined, t);
+    }
+
+    #[test]
+    fn empty_table_has_zero_rows() {
+        let t = Table::empty(demo().schema().clone());
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Gradient boosting: regression, binary classification, and one-vs-rest
+//! multiclass.
+
+use crate::binning::{BinnedFeatures, Features};
+use crate::tree::{Tree, TreeParams};
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BoostParams {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Per-tree growing parameters.
+    pub tree: TreeParams,
+    /// Maximum histogram bins per feature.
+    pub max_bins: usize,
+}
+
+impl Default for BoostParams {
+    fn default() -> Self {
+        Self { n_trees: 60, learning_rate: 0.15, tree: TreeParams::default(), max_bins: 32 }
+    }
+}
+
+/// Validates that `features` is a non-empty rectangular column-major matrix
+/// aligned with `n_rows` targets.
+fn validate(features: &Features, n_rows: usize) {
+    assert!(!features.is_empty(), "need at least one feature");
+    assert!(
+        features.iter().all(|f| f.len() == n_rows),
+        "feature columns must match target length"
+    );
+}
+
+fn predict_raw(trees: &[Tree], base: f64, lr: f64, row: &[f64]) -> f64 {
+    base + lr * trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+}
+
+fn split_importance(trees: &[Tree], n_features: usize) -> Vec<f64> {
+    let mut counts = vec![0usize; n_features];
+    for tree in trees {
+        tree.count_feature_use(&mut counts);
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; n_features];
+    }
+    counts.into_iter().map(|c| c as f64 / total as f64).collect()
+}
+
+/// Gradient-boosted regressor with squared loss.
+#[derive(Debug, Clone)]
+pub struct GbdtRegressor {
+    trees: Vec<Tree>,
+    base: f64,
+    lr: f64,
+    n_features: usize,
+}
+
+impl GbdtRegressor {
+    /// Fits on column-major `features` and `targets`.
+    pub fn fit(features: &Features, targets: &[f64], params: &BoostParams) -> Self {
+        validate(features, targets.len());
+        let n = targets.len();
+        let base = targets.iter().sum::<f64>() / n.max(1) as f64;
+        let binned = BinnedFeatures::fit(features, params.max_bins);
+        let mut preds = vec![base; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let hess = vec![1.0f64; n];
+        for _ in 0..params.n_trees {
+            let grads: Vec<f64> = preds.iter().zip(targets).map(|(p, y)| p - y).collect();
+            let tree = Tree::fit(&binned, &grads, &hess, &params.tree);
+            for i in 0..n {
+                let row: Vec<f64> = features.iter().map(|f| f[i]).collect();
+                preds[i] += params.learning_rate * tree.predict_row(&row);
+            }
+            trees.push(tree);
+        }
+        Self { trees, base, lr: params.learning_rate, n_features: features.len() }
+    }
+
+    /// Predicts one row (`row[j]` = feature `j`).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        predict_raw(&self.trees, self.base, self.lr, row)
+    }
+
+    /// Predicts every row of a column-major feature matrix.
+    pub fn predict(&self, features: &Features) -> Vec<f64> {
+        let n = features.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|i| {
+                let row: Vec<f64> = features.iter().map(|f| f[i]).collect();
+                self.predict_row(&row)
+            })
+            .collect()
+    }
+
+    /// Split-count feature importance, normalised to sum to 1 (all zeros
+    /// when no split was made).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        split_importance(&self.trees, self.n_features)
+    }
+}
+
+/// Gradient-boosted binary classifier with logistic loss.
+#[derive(Debug, Clone)]
+pub struct GbdtBinaryClassifier {
+    trees: Vec<Tree>,
+    base: f64,
+    lr: f64,
+    n_features: usize,
+}
+
+impl GbdtBinaryClassifier {
+    /// Fits on column-major `features` and 0/1 `labels`.
+    pub fn fit(features: &Features, labels: &[u32], params: &BoostParams) -> Self {
+        validate(features, labels.len());
+        let n = labels.len();
+        let pos = labels.iter().filter(|&&y| y == 1).count() as f64;
+        let p0 = (pos / n.max(1) as f64).clamp(1e-6, 1.0 - 1e-6);
+        let base = (p0 / (1.0 - p0)).ln();
+        let binned = BinnedFeatures::fit(features, params.max_bins);
+        let mut raw = vec![base; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let mut grads = Vec::with_capacity(n);
+            let mut hess = Vec::with_capacity(n);
+            for (r, &y) in raw.iter().zip(labels) {
+                let p = sigmoid(*r);
+                grads.push(p - f64::from(y));
+                hess.push((p * (1.0 - p)).max(1e-9));
+            }
+            let tree = Tree::fit(&binned, &grads, &hess, &params.tree);
+            for i in 0..n {
+                let row: Vec<f64> = features.iter().map(|f| f[i]).collect();
+                raw[i] += params.learning_rate * tree.predict_row(&row);
+            }
+            trees.push(tree);
+        }
+        Self { trees, base, lr: params.learning_rate, n_features: features.len() }
+    }
+
+    /// Probability of class 1 for one row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        sigmoid(predict_raw(&self.trees, self.base, self.lr, row))
+    }
+
+    /// Class-1 probabilities for a column-major feature matrix.
+    pub fn predict_proba(&self, features: &Features) -> Vec<f64> {
+        let n = features.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|i| {
+                let row: Vec<f64> = features.iter().map(|f| f[i]).collect();
+                self.predict_proba_row(&row)
+            })
+            .collect()
+    }
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    pub fn predict(&self, features: &Features) -> Vec<u32> {
+        self.predict_proba(features)
+            .into_iter()
+            .map(|p| u32::from(p >= 0.5))
+            .collect()
+    }
+
+    /// Split-count feature importance, normalised to sum to 1.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        split_importance(&self.trees, self.n_features)
+    }
+}
+
+/// One-vs-rest multiclass classifier built from binary boosters.
+#[derive(Debug, Clone)]
+pub struct GbdtMulticlass {
+    per_class: Vec<GbdtBinaryClassifier>,
+}
+
+impl GbdtMulticlass {
+    /// Fits `n_classes` one-vs-rest binary classifiers.
+    ///
+    /// # Panics
+    /// Panics if `n_classes < 2` or a label is out of range.
+    pub fn fit(features: &Features, labels: &[u32], n_classes: u32, params: &BoostParams) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(
+            labels.iter().all(|&y| y < n_classes),
+            "label out of range"
+        );
+        let per_class = (0..n_classes)
+            .map(|c| {
+                let binary: Vec<u32> = labels.iter().map(|&y| u32::from(y == c)).collect();
+                GbdtBinaryClassifier::fit(features, &binary, params)
+            })
+            .collect();
+        Self { per_class }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// Normalised per-class probabilities for one row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut p: Vec<f64> = self.per_class.iter().map(|m| m.predict_proba_row(row)).collect();
+        let total: f64 = p.iter().sum();
+        if total > 0.0 {
+            for v in &mut p {
+                *v /= total;
+            }
+        }
+        p
+    }
+
+    /// Hard class predictions for a column-major feature matrix.
+    pub fn predict(&self, features: &Features) -> Vec<u32> {
+        let n = features.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|i| {
+                let row: Vec<f64> = features.iter().map(|f| f[i]).collect();
+                let p = self.predict_proba_row(&row);
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(c, _)| c as u32)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_linear(n: usize, seed: u64) -> (Features, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let y: Vec<f64> = x0
+            .iter()
+            .zip(&x1)
+            .map(|(a, b)| 2.0 * a - b + rng.gen_range(-0.1..0.1))
+            .collect();
+        (vec![x0, x1], y)
+    }
+
+    #[test]
+    fn regressor_fits_linear_function() {
+        let (features, y) = noisy_linear(500, 1);
+        let model = GbdtRegressor::fit(&features, &y, &BoostParams::default());
+        let preds = model.predict(&features);
+        let mse: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
+        let var: f64 = {
+            let m = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / y.len() as f64
+        };
+        assert!(mse < var * 0.1, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn regressor_base_is_target_mean_with_no_trees() {
+        let (features, y) = noisy_linear(100, 2);
+        let params = BoostParams { n_trees: 0, ..Default::default() };
+        let model = GbdtRegressor::fit(&features, &y, &params);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((model.predict_row(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_classifier_separates_halfspaces() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 600;
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let x1: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let labels: Vec<u32> = x0
+            .iter()
+            .zip(&x1)
+            .map(|(a, b)| u32::from(a + b > 0.0))
+            .collect();
+        let model = GbdtBinaryClassifier::fit(&vec![x0.clone(), x1.clone()], &labels, &BoostParams::default());
+        let preds = model.predict(&vec![x0, x1]);
+        let acc = preds.iter().zip(&labels).filter(|(p, y)| p == y).count() as f64 / n as f64;
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_ordering() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 400;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let labels: Vec<u32> = x.iter().map(|&v| u32::from(v > 0.0)).collect();
+        let model = GbdtBinaryClassifier::fit(&vec![x], &labels, &BoostParams::default());
+        assert!(model.predict_proba_row(&[2.5]) > 0.9);
+        assert!(model.predict_proba_row(&[-2.5]) < 0.1);
+        let p = model.predict_proba_row(&[2.5]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn multiclass_recovers_three_bands() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 900;
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+        let labels: Vec<u32> = x.iter().map(|&v| v.floor() as u32).collect();
+        let model = GbdtMulticlass::fit(&vec![x.clone()], &labels, 3, &BoostParams::default());
+        let preds = model.predict(&vec![x]);
+        let acc = preds.iter().zip(&labels).filter(|(p, y)| p == y).count() as f64 / n as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+        let proba = model.predict_proba_row(&[0.5]);
+        assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn multiclass_rejects_bad_labels() {
+        let _ = GbdtMulticlass::fit(&vec![vec![1.0, 2.0]], &[0, 5], 3, &BoostParams::default());
+    }
+
+    #[test]
+    fn feature_importance_identifies_informative_features() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 400;
+        let signal: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let noise: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let labels: Vec<u32> = signal.iter().map(|&v| u32::from(v > 0.0)).collect();
+        // Few shallow trees with a gain threshold: splits concentrate on the
+        // informative feature before residuals degenerate to noise-fitting.
+        let params = BoostParams {
+            n_trees: 8,
+            tree: crate::tree::TreeParams { max_depth: 2, gamma: 0.5, ..Default::default() },
+            ..Default::default()
+        };
+        let model = GbdtBinaryClassifier::fit(&vec![noise, signal], &labels, &params);
+        let imp = model.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[1] > 0.7, "signal feature importance {imp:?}");
+    }
+
+    #[test]
+    fn regressor_importance_sums_to_one() {
+        let (features, y) = noisy_linear(200, 7);
+        let model = GbdtRegressor::fit(&features, &y, &BoostParams::default());
+        let imp = model.feature_importance();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_class_labels_do_not_panic() {
+        // Degenerate but must not crash (privacy attacks may hit this).
+        let model =
+            GbdtBinaryClassifier::fit(&vec![vec![1.0, 2.0, 3.0]], &[1, 1, 1], &BoostParams::default());
+        assert!(model.predict_proba_row(&[2.0]) > 0.9);
+    }
+}

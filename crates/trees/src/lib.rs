@@ -1,0 +1,31 @@
+//! # silofuse-trees
+//!
+//! Histogram-based gradient-boosted decision trees — the reproduction's
+//! stand-in for XGBoost, which the paper's benchmark framework uses for the
+//! propensity discriminator (resemblance score 5) and every downstream
+//! utility model (§V-B).
+//!
+//! Supports squared-loss regression, logistic binary classification, and
+//! one-vs-rest multiclass, with quantile-binned histogram splits, L2 leaf
+//! regularisation, and shrinkage.
+//!
+//! ## Example
+//!
+//! ```
+//! use silofuse_trees::{BoostParams, GbdtBinaryClassifier};
+//!
+//! let x: Vec<f64> = (0..200).map(|i| i as f64 / 100.0 - 1.0).collect();
+//! let labels: Vec<u32> = x.iter().map(|&v| u32::from(v > 0.0)).collect();
+//! let model = GbdtBinaryClassifier::fit(&vec![x], &labels, &BoostParams::default());
+//! assert!(model.predict_proba_row(&[0.9]) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod boosting;
+pub mod tree;
+
+pub use binning::{BinnedFeatures, Features};
+pub use boosting::{BoostParams, GbdtBinaryClassifier, GbdtMulticlass, GbdtRegressor};
+pub use tree::{Tree, TreeParams};

@@ -1,0 +1,96 @@
+//! The paper's motivating scenario (Fig. 1): a cardiac centre and a
+//! psychiatric centre hold different features of the same patients and want
+//! to collaborate without sharing raw records.
+//!
+//! This example builds the two-silo dataset explicitly (no profile), trains
+//! SiloFuse on the *pre-partitioned* tables through the distributed API,
+//! keeps the synthetic output vertically partitioned, and shows that
+//! cross-silo correlations (heart rate ↔ stress level) survive synthesis
+//! even though neither silo ever saw the other's data.
+//!
+//! ```bash
+//! cargo run --release --example healthcare_silos
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_core::TrainBudget;
+use silofuse_distributed::stacked::SiloFuseModel;
+use silofuse_metrics::correlation::association;
+use silofuse_tabular::synthetic::{GeneratorConfig, Marginal, TaskKind};
+use silofuse_tabular::table::Table;
+
+fn patient_population() -> GeneratorConfig {
+    GeneratorConfig {
+        marginals: vec![
+            // --- Cardiac centre (client 1) ---
+            ("heart_rate".into(), Marginal::Gaussian { mean: 74.0, std: 11.0 }),
+            ("systolic_bp".into(), Marginal::Gaussian { mean: 122.0, std: 14.0 }),
+            ("cholesterol".into(), Marginal::LogNormal { mu: 5.3, sigma: 0.2 }),
+            ("arrhythmia".into(), Marginal::Categorical { weights: vec![8.0, 1.5, 0.5] }),
+            // --- Psychiatric centre (client 2) ---
+            ("stress_level".into(), Marginal::Uniform { lo: 0.0, hi: 10.0 }),
+            ("sleep_hours".into(), Marginal::Gaussian { mean: 6.8, std: 1.2 }),
+            ("medication".into(), Marginal::Categorical { weights: vec![5.0, 3.0, 1.0, 1.0] }),
+        ],
+        task: TaskKind::Classification { classes: 2 }, // joint-treatment indicator
+        correlation_strength: 0.75,
+        seed: 2024,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let population = patient_population();
+    let joined = population.generate(2048, 7);
+
+    // Vertical partition: cardiac features (+ the shared outcome) vs
+    // psychiatric features. In production these tables never co-exist;
+    // here we split them to simulate the two sites.
+    let cardiac = joined.project(&[0, 1, 2, 3]);
+    let psychiatric = joined.project(&[4, 5, 6, 7]);
+    println!(
+        "cardiac silo: {} columns | psychiatric silo: {} columns | {} aligned patients",
+        cardiac.n_cols(),
+        psychiatric.n_cols(),
+        joined.n_rows()
+    );
+
+    // Train the distributed model directly on the partitions.
+    let config = TrainBudget::quick().latent_config(7);
+    let partitions = [cardiac.clone(), psychiatric.clone()];
+    let mut model = SiloFuseModel::fit(&partitions, config, &mut rng);
+    let stats = model.comm_stats();
+    println!(
+        "stacked training finished: {} round(s), {} KiB uploaded total",
+        stats.rounds,
+        stats.bytes_up / 1024
+    );
+
+    // Synthesis keeps the partition: each centre receives only its own
+    // synthetic features (Algorithm 2).
+    let synth_parts = model.synthesize_partitioned(1024, 1, &mut rng);
+    println!(
+        "synthetic output stays partitioned: cardiac {}x{}, psychiatric {}x{}",
+        synth_parts[0].n_rows(),
+        synth_parts[0].n_cols(),
+        synth_parts[1].n_rows(),
+        synth_parts[1].n_cols()
+    );
+
+    // Cross-silo correlation check: heart_rate (silo 1) vs stress_level
+    // (silo 2). Join the synthetic partitions only for this audit.
+    let synth_joined = Table::concat_columns(&[&synth_parts[0], &synth_parts[1]]);
+    let hr = joined.schema().index_of("heart_rate").unwrap();
+    let stress = joined.schema().index_of("stress_level").unwrap();
+    let real_assoc = association(&joined, hr, stress);
+    let synth_assoc = association(&synth_joined, hr, stress);
+    println!(
+        "heart_rate <-> stress_level association: real {real_assoc:.3}, synthetic {synth_assoc:.3}"
+    );
+    println!(
+        "cross-silo correlation preserved within |delta| = {:.3} — captured in the shared \
+         latent space without either silo exposing raw features",
+        (real_assoc - synth_assoc).abs()
+    );
+}

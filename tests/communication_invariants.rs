@@ -1,0 +1,100 @@
+//! Integration tests of the paper's communication claims (Fig. 10) through
+//! the public distributed API.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_core::distributed::e2e_distr::E2eDistributed;
+use silofuse_core::distributed::stacked::SiloFuseModel;
+use silofuse_core::TrainBudget;
+use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+use silofuse_tabular::profiles;
+
+fn partitions(rows: usize, clients: usize, seed: u64) -> Vec<silofuse_tabular::Table> {
+    let t = profiles::loan().generate(rows, seed);
+    PartitionPlan::new(t.n_cols(), clients, PartitionStrategy::Default).split(&t)
+}
+
+fn config(ae_steps: usize, diffusion_steps: usize, seed: u64) -> silofuse_core::models::LatentDiffConfig {
+    let mut cfg = TrainBudget::quick().scaled_down(4).latent_config(seed);
+    cfg.ae_steps = ae_steps;
+    cfg.diffusion_steps = diffusion_steps;
+    cfg
+}
+
+#[test]
+fn stacked_cost_is_constant_in_iterations_e2e_cost_is_linear() {
+    let parts = partitions(128, 4, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let sf_short = SiloFuseModel::fit(&parts, config(10, 10, 1), &mut rng);
+    let sf_long = SiloFuseModel::fit(&parts, config(80, 80, 1), &mut rng);
+    assert_eq!(
+        sf_short.comm_stats().total_bytes(),
+        sf_long.comm_stats().total_bytes(),
+        "SiloFuse communication must not grow with iterations"
+    );
+
+    let e2e_short = E2eDistributed::fit(&parts, config(5, 5, 1), &mut rng);
+    let e2e_long = E2eDistributed::fit(&parts, config(20, 20, 1), &mut rng);
+    assert_eq!(
+        e2e_long.comm_stats().total_bytes(),
+        4 * e2e_short.comm_stats().total_bytes(),
+        "E2EDistr communication must be linear in iterations"
+    );
+}
+
+#[test]
+fn stacked_upload_bytes_scale_with_rows_not_steps() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let small = SiloFuseModel::fit(&partitions(64, 2, 2), config(10, 10, 2), &mut rng);
+    let big = SiloFuseModel::fit(&partitions(128, 2, 2), config(10, 10, 2), &mut rng);
+    let b_small = small.comm_stats().bytes_up;
+    let b_big = big.comm_stats().bytes_up;
+    // Latent payload doubles with rows (headers are constant).
+    assert!(b_big > b_small, "{b_big} !> {b_small}");
+    let payload_small = b_small - 2 * 13;
+    let payload_big = b_big - 2 * 13;
+    assert_eq!(payload_big, 2 * payload_small);
+}
+
+#[test]
+fn e2e_per_iteration_bytes_scale_with_batch_size() {
+    let parts = partitions(128, 2, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut small = config(5, 5, 3);
+    small.batch_size = 16;
+    let mut big = config(5, 5, 3);
+    big.batch_size = 32;
+    let m_small = E2eDistributed::fit(&parts, small, &mut rng);
+    let m_big = E2eDistributed::fit(&parts, big, &mut rng);
+    // Per-round payload is proportional to the batch (headers constant).
+    assert!(m_big.bytes_per_iteration() > 1.9 * (m_small.bytes_per_iteration() - 60.0));
+}
+
+#[test]
+fn message_counts_match_protocol_structure() {
+    let parts = partitions(96, 3, 4);
+    let mut rng = StdRng::seed_from_u64(4);
+    let steps = 7usize;
+    let model = E2eDistributed::fit(&parts, config(3, 4, 4), &mut rng);
+    let stats = model.comm_stats();
+    // Per step: 3 activation uploads + 3 gradient downloads.
+    assert_eq!(stats.messages_up, (steps * 3) as u64);
+    assert_eq!(stats.messages_down, (steps * 3) as u64);
+    assert_eq!(stats.rounds, steps as u64);
+}
+
+#[test]
+fn both_protocols_share_synthesis_quality_path() {
+    // Synthesis after either protocol yields schema-valid partitioned data.
+    let parts = partitions(96, 2, 5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sf = SiloFuseModel::fit(&parts, config(20, 20, 5), &mut rng);
+    let mut e2e = E2eDistributed::fit(&parts, config(20, 20, 5), &mut rng);
+    let sf_parts = sf.synthesize_partitioned(16, 0, &mut rng);
+    let e2e_parts = e2e.synthesize_partitioned(16, &mut rng);
+    for ((a, b), orig) in sf_parts.iter().zip(&e2e_parts).zip(&parts) {
+        assert_eq!(a.schema(), orig.schema());
+        assert_eq!(b.schema(), orig.schema());
+    }
+}

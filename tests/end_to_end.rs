@@ -1,0 +1,122 @@
+//! End-to-end integration: the full SiloFuse pipeline through the public
+//! API, spanning tabular → models → distributed → metrics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_core::{SiloFuse, SiloFuseConfig, TrainBudget};
+use silofuse_metrics::{privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig};
+use silofuse_tabular::partition::PartitionStrategy;
+use silofuse_tabular::profiles;
+
+fn quick_model(seed: u64) -> SiloFuseConfig {
+    SiloFuseConfig {
+        n_clients: 4,
+        strategy: PartitionStrategy::Default,
+        model: TrainBudget::quick().scaled_down(2).latent_config(seed),
+    }
+}
+
+#[test]
+fn silofuse_full_pipeline_produces_usable_synthetic_data() {
+    let profile = profiles::loan();
+    let train = profile.generate(512, 100);
+    let holdout = profile.generate(256, 101);
+    let mut rng = StdRng::seed_from_u64(100);
+
+    let mut model = SiloFuse::new(quick_model(100));
+    model.fit(&train, &mut rng);
+
+    // Stacked training communicated exactly once.
+    let stats = model.comm_stats();
+    assert_eq!(stats.rounds, 1);
+    assert!(stats.bytes_up > 0);
+    assert_eq!(stats.bytes_down, 0);
+
+    let synth = model.synthesize(512, &mut rng);
+    assert_eq!(synth.schema(), train.schema());
+    assert_eq!(synth.n_rows(), 512);
+
+    // Quality floor: even a quick run must clearly beat garbage.
+    let r = resemblance(&train, &synth, &ResemblanceConfig::default());
+    assert!(r.composite > 50.0, "resemblance {}", r.composite);
+
+    let u = utility(&train, &synth, &holdout, &UtilityConfig::default());
+    assert!(u.score > 30.0, "utility {}", u.score);
+
+    let p = privacy(&train, &synth, &PrivacyConfig { attempts: 60, ..Default::default() });
+    assert!(p.composite > 20.0, "privacy {}", p.composite);
+}
+
+#[test]
+fn partitioned_synthesis_preserves_vertical_privacy_layout() {
+    let profile = profiles::diabetes();
+    let train = profile.generate(256, 200);
+    let mut rng = StdRng::seed_from_u64(200);
+
+    let mut config = quick_model(200);
+    config.n_clients = 3;
+    let mut model = SiloFuse::new(config);
+    model.fit(&train, &mut rng);
+
+    let parts = model.synthesize_partitioned(64, &mut rng);
+    assert_eq!(parts.len(), 3);
+    let plan = model.partition_plan().unwrap().clone();
+    // Each client's synthetic partition matches its assigned columns.
+    for (part, cols) in parts.iter().zip(plan.assignments()) {
+        assert_eq!(part.n_cols(), cols.len());
+        assert_eq!(part.n_rows(), 64);
+        for (meta, &orig) in part.schema().columns().iter().zip(cols) {
+            assert_eq!(meta, &train.schema().columns()[orig]);
+        }
+    }
+}
+
+#[test]
+fn permuted_partitioning_reassembles_original_order() {
+    let profile = profiles::loan();
+    let train = profile.generate(256, 300);
+    let mut rng = StdRng::seed_from_u64(300);
+
+    let mut config = quick_model(300);
+    config.strategy = PartitionStrategy::Permuted { seed: 12343 };
+    let mut model = SiloFuse::new(config);
+    model.fit(&train, &mut rng);
+    let synth = model.synthesize(64, &mut rng);
+    assert_eq!(synth.schema(), train.schema());
+}
+
+#[test]
+fn varying_inference_steps_changes_output_noise() {
+    let profile = profiles::diabetes();
+    let train = profile.generate(256, 400);
+    let mut rng = StdRng::seed_from_u64(400);
+    let mut model = SiloFuse::new(quick_model(400));
+    model.fit(&train, &mut rng);
+
+    // Fewer denoising steps = noisier output = lower resemblance
+    // (Table VII's mechanism). Use a clearly separated pair.
+    let coarse = model.synthesize_with_steps(512, 2, &mut rng);
+    let fine = model.synthesize_with_steps(512, 25, &mut rng);
+    let r_coarse = resemblance(&train, &coarse, &ResemblanceConfig::default());
+    let r_fine = resemblance(&train, &fine, &ResemblanceConfig::default());
+    assert!(
+        r_fine.composite >= r_coarse.composite - 2.0,
+        "25-step sampling ({}) should not lose badly to 2-step ({})",
+        r_fine.composite,
+        r_coarse.composite
+    );
+}
+
+#[test]
+fn comm_stats_grow_only_with_synthesis_after_training() {
+    let profile = profiles::diabetes();
+    let train = profile.generate(192, 500);
+    let mut rng = StdRng::seed_from_u64(500);
+    let mut model = SiloFuse::new(quick_model(500));
+    model.fit(&train, &mut rng);
+    let after_fit = model.comm_stats();
+    let _ = model.synthesize(32, &mut rng);
+    let after_synth = model.comm_stats();
+    assert_eq!(after_fit.bytes_up + 9, after_synth.bytes_up, "only the 9-byte request goes up");
+    assert!(after_synth.bytes_down > after_fit.bytes_down, "latents ship down");
+}
