@@ -54,11 +54,8 @@ fn bench_diffusion(c: &mut Criterion) {
         let mut init_rng = StdRng::seed_from_u64(3);
         let schedule = NoiseSchedule::new(ScheduleKind::Linear, 200);
         let diffusion = GaussianDiffusion::new(schedule, Parameterization::PredictX0);
-        let backbone = DiffusionBackbone::new(
-            BackboneConfig::paper_latent(13, 128),
-            3,
-            &mut init_rng,
-        );
+        let backbone =
+            DiffusionBackbone::new(BackboneConfig::paper_latent(13, 128), 3, &mut init_rng);
         GaussianDdpm::new(diffusion, backbone, 1e-3)
     };
     let data = randn(128, 13, &mut rng);
@@ -106,12 +103,10 @@ fn bench_trees(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);
     use rand::Rng;
     let n = 1024;
-    let features: Vec<Vec<f64>> = (0..10)
-        .map(|_| (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect())
-        .collect();
-    let labels: Vec<u32> = (0..n)
-        .map(|i| u32::from(features[0][i] + features[1][i] > 0.0))
-        .collect();
+    let features: Vec<Vec<f64>> =
+        (0..10).map(|_| (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
+    let labels: Vec<u32> =
+        (0..n).map(|i| u32::from(features[0][i] + features[1][i] > 0.0)).collect();
     c.bench_function("gbdt_fit_40_trees_1024x10", |bench| {
         bench.iter(|| {
             GbdtBinaryClassifier::fit(
@@ -132,12 +127,7 @@ fn bench_metrics(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
-    let msg = Message::LatentUpload {
-        client: 1,
-        rows: 256,
-        cols: 16,
-        data: vec![0.5; 256 * 16],
-    };
+    let msg = Message::LatentUpload { client: 1, rows: 256, cols: 16, data: vec![0.5; 256 * 16] };
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Bytes(msg.wire_size() as u64));
     group.bench_function("encode_16KiB_latents", |bench| bench.iter(|| msg.encode()));

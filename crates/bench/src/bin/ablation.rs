@@ -17,6 +17,7 @@ use silofuse_tabular::profiles;
 
 fn main() {
     let mut opts = parse_cli();
+    silofuse_bench::init_trace("ablation", &opts);
     if opts.datasets.is_none() {
         opts.datasets = Some(vec!["Loan".into()]);
     }
@@ -49,12 +50,8 @@ fn main() {
             &ResemblanceConfig { seed: cfg.seed, ..Default::default() },
         );
         let p = with_privacy.then(|| {
-            privacy(
-                &run.train,
-                &synth,
-                &PrivacyConfig { seed: cfg.seed, ..Default::default() },
-            )
-            .attribute_inference
+            privacy(&run.train, &synth, &PrivacyConfig { seed: cfg.seed, ..Default::default() })
+                .attribute_inference
         });
         (r.composite, p)
     };
@@ -67,11 +64,7 @@ fn main() {
         model_cfg.latent_noise_std = noise;
         let (res, p) = evaluate(model_cfg, true);
         eprintln!("[ablation] noise {noise:>4}: resemblance {res:.1} privacy {:?}", p);
-        t1.row(vec![
-            format!("{noise:.2}"),
-            format!("{res:.1}"),
-            format!("{:.1}", p.unwrap()),
-        ]);
+        t1.row(vec![format!("{noise:.2}"), format!("{res:.1}"), format!("{:.1}", p.unwrap())]);
     }
     report.push_str(&t1.render());
     report.push_str(
@@ -109,4 +102,5 @@ fn main() {
     );
 
     emit_report("ablation", &report);
+    silofuse_bench::finish_trace();
 }

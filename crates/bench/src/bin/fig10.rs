@@ -20,6 +20,7 @@ const ITERATIONS: [u64; 3] = [50_000, 500_000, 5_000_000];
 
 fn main() {
     let mut opts = parse_cli();
+    silofuse_bench::init_trace("fig10", &opts);
     if opts.datasets.is_none() {
         opts.datasets = Some(vec!["Abalone".into(), "Intrusion".into()]);
     }
@@ -92,4 +93,5 @@ fn main() {
          worse still: it would ship one-hot features inflated per Table II.\n",
     );
     emit_report("fig10", &report);
+    silofuse_bench::finish_trace();
 }

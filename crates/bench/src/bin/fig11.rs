@@ -14,6 +14,7 @@ use silofuse_tabular::profiles;
 
 fn main() {
     let mut opts = parse_cli();
+    silofuse_bench::init_trace("fig11", &opts);
     if opts.datasets.is_none() {
         opts.datasets = Some(vec!["Heloc".into(), "Loan".into(), "Churn".into()]);
     }
@@ -93,4 +94,5 @@ fn main() {
          points.\n",
     );
     emit_report("fig11", &report);
+    silofuse_bench::finish_trace();
 }

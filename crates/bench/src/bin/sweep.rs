@@ -10,6 +10,7 @@ use silofuse_core::ModelKind;
 
 fn main() {
     let opts = parse_cli();
+    silofuse_bench::init_trace("sweep", &opts);
     let profiles = selected_profiles(&opts);
     let models = ModelKind::all();
     let privacy_models = [ModelKind::TabDdpm, ModelKind::LatentDiff, ModelKind::SiloFuse];
@@ -27,8 +28,9 @@ fn main() {
             for trial in 0..opts.trials {
                 let cfg = run_config_for(profile, &opts, trial);
                 let run = DatasetRun::prepare(profile, &cfg);
-                let start = std::time::Instant::now();
+                let trial_span = silofuse_observe::span("trial");
                 let s = evaluate_model(kind, &run, &cfg, with_privacy);
+                let elapsed = trial_span.stop();
                 res_t.push(s.resemblance.composite);
                 util_t.push(s.utility.score);
                 if let Some(p) = s.privacy {
@@ -41,10 +43,8 @@ fn main() {
                     trial,
                     s.resemblance.composite,
                     s.utility.score,
-                    s.privacy
-                        .map(|p| format!(" priv {:>5.1}", p.composite))
-                        .unwrap_or_default(),
-                    start.elapsed().as_secs_f64()
+                    s.privacy.map(|p| format!(" priv {:>5.1}", p.composite)).unwrap_or_default(),
+                    elapsed.as_secs_f64()
                 );
             }
             res[m][d] = mean_std(&res_t);
@@ -72,8 +72,7 @@ fn main() {
         if let Some((silofuse, gans)) = with_ppd {
             let mut ppd = vec!["PPD (vs GAN)".to_string()];
             for d in 0..profiles.len() {
-                let best_gan =
-                    gans.iter().map(|g| g[d].0).fold(f64::NEG_INFINITY, f64::max);
+                let best_gan = gans.iter().map(|g| g[d].0).fold(f64::NEG_INFINITY, f64::max);
                 ppd.push(format!("{:+.1}", silofuse[d].0 - best_gan));
             }
             table.row(ppd);
@@ -109,20 +108,14 @@ fn main() {
         .map(|(i, _)| &util[i])
         .collect();
     let t4 = render(
-        &format!(
-            "Table IV — Utility Scores (0-100); {} trial(s), seed {}",
-            opts.trials, opts.seed
-        ),
+        &format!("Table IV — Utility Scores (0-100); {} trial(s), seed {}", opts.trials, opts.seed),
         &util_rows,
         Some((&util[silofuse_idx], gan_rows_u)),
     );
     emit_report("table4", &t4);
 
-    let priv_rows: Vec<(&str, &Vec<(f64, f64)>)> = privacy_models
-        .iter()
-        .enumerate()
-        .map(|(m, k)| (k.name(), &priv_scores[m]))
-        .collect();
+    let priv_rows: Vec<(&str, &Vec<(f64, f64)>)> =
+        privacy_models.iter().enumerate().map(|(m, k)| (k.name(), &priv_scores[m])).collect();
     let t6 = render(
         &format!(
             "Table VI — Privacy Scores (0-100, higher = safer); {} trial(s), seed {}",
@@ -132,4 +125,5 @@ fn main() {
         None,
     );
     emit_report("table6", &t6);
+    silofuse_bench::finish_trace();
 }

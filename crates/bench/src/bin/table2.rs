@@ -9,7 +9,9 @@ use silofuse_bench::{emit_report, parse_cli, selected_profiles, TextTable};
 
 fn main() {
     let opts = parse_cli();
-    let mut table = TextTable::new(&["Dataset", "#Rows", "#Cat.", "#Num.", "#Bef.", "#Aft.", "Incr."]);
+    silofuse_bench::init_trace("table2", &opts);
+    let mut table =
+        TextTable::new(&["Dataset", "#Rows", "#Cat.", "#Num.", "#Bef.", "#Aft.", "Incr."]);
     for p in selected_profiles(&opts) {
         table.row(vec![
             p.name.to_string(),
@@ -21,11 +23,13 @@ fn main() {
             format!("{:.2}x", p.expansion_factor()),
         ]);
     }
-    let mut report = String::from("Table II — Statistics of Datasets (schema-exact reproduction)\n\n");
+    let mut report =
+        String::from("Table II — Statistics of Datasets (schema-exact reproduction)\n\n");
     report.push_str(&table.render());
     report.push_str(
         "\nOne-hot encoding expands Churn by >200x and Heloc/Adult/Intrusion by 6-10x,\n\
          the sparsity blow-up SiloFuse's latent encoding avoids (paper §II-C, §III-A).\n",
     );
     emit_report("table2", &report);
+    silofuse_bench::finish_trace();
 }

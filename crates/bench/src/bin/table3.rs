@@ -8,6 +8,7 @@ use silofuse_core::ModelKind;
 
 fn main() {
     let opts = parse_cli();
+    silofuse_bench::init_trace("table3", &opts);
     let profiles = selected_profiles(&opts);
     let models = ModelKind::all();
 
@@ -67,4 +68,5 @@ fn main() {
          stacked models; latent models lead on wide/sparse datasets (Churn, Intrusion, Heloc).\n",
     );
     emit_report("table3", &report);
+    silofuse_bench::finish_trace();
 }

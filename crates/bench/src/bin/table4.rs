@@ -8,6 +8,7 @@ use silofuse_core::ModelKind;
 
 fn main() {
     let opts = parse_cli();
+    silofuse_bench::init_trace("table4", &opts);
     let profiles = selected_profiles(&opts);
     let models = ModelKind::all();
 
@@ -65,4 +66,5 @@ fn main() {
          small negative PPDs are consistent with the paper (Cardio -0.8, Diabetes -1.0).\n",
     );
     emit_report("table4", &report);
+    silofuse_bench::finish_trace();
 }

@@ -23,6 +23,7 @@ fn shade(v: f64) -> char {
 
 fn main() {
     let mut opts = parse_cli();
+    silofuse_bench::init_trace("table5", &opts);
     if opts.datasets.is_none() {
         opts.datasets = Some(vec!["Cardio".into(), "Intrusion".into()]);
     }
@@ -61,11 +62,16 @@ fn main() {
                 diff.mean_abs_diff
             );
 
-            let _ = writeln!(report, "{} / {} (mean |Δ| {:.4}):", profile.name, kind.name(), diff.mean_abs_diff);
+            let _ = writeln!(
+                report,
+                "{} / {} (mean |Δ| {:.4}):",
+                profile.name,
+                kind.name(),
+                diff.mean_abs_diff
+            );
             let d = diff.dim;
             for i in 0..d {
-                let line: String =
-                    (0..d).map(|j| shade(diff.matrix[i * d + j])).collect();
+                let line: String = (0..d).map(|j| shade(diff.matrix[i * d + j])).collect();
                 let _ = writeln!(report, "  {line}");
             }
             report.push('\n');
@@ -81,4 +87,5 @@ fn main() {
          the sparse, high-cardinality Intrusion.\n",
     );
     emit_report("table5", &report);
+    silofuse_bench::finish_trace();
 }

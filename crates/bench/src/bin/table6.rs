@@ -9,6 +9,7 @@ use silofuse_core::ModelKind;
 
 fn main() {
     let opts = parse_cli();
+    silofuse_bench::init_trace("table6", &opts);
     let profiles = selected_profiles(&opts);
     let models = [ModelKind::TabDdpm, ModelKind::LatentDiff, ModelKind::SiloFuse];
 
@@ -53,4 +54,5 @@ fn main() {
          datasets) trades off against privacy — the privacy-quality tradeoff of §V-F.\n",
     );
     emit_report("table6", &report);
+    silofuse_bench::finish_trace();
 }

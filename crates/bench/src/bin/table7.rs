@@ -14,6 +14,7 @@ const STEPS: [usize; 3] = [2, 5, 25];
 
 fn main() {
     let mut opts = parse_cli();
+    silofuse_bench::init_trace("table7", &opts);
     if opts.datasets.is_none() {
         opts.datasets = Some(vec!["Abalone".into(), "Heloc".into()]);
     }
@@ -74,4 +75,5 @@ fn main() {
          (5 vs 25 steps differ little).\n",
     );
     emit_report("table7", &report);
+    silofuse_bench::finish_trace();
 }

@@ -16,6 +16,7 @@ use silofuse_tabular::profiles;
 
 fn main() {
     let mut opts = parse_cli();
+    silofuse_bench::init_trace("theorem1", &opts);
     if opts.datasets.is_none() {
         opts.datasets = Some(vec!["Loan".into(), "Diabetes".into()]);
     }
@@ -91,4 +92,5 @@ fn main() {
          which SiloFuse's protocol never transmits.\n",
     );
     emit_report("theorem1", &report);
+    silofuse_bench::finish_trace();
 }

@@ -37,11 +37,14 @@ pub struct CliOptions {
     pub datasets: Option<Vec<String>>,
     /// Master seed.
     pub seed: u64,
+    /// Collect run telemetry (spans, metrics, events) and write a JSONL
+    /// trace under `target/experiments/telemetry/`.
+    pub trace: bool,
 }
 
 impl Default for CliOptions {
     fn default() -> Self {
-        Self { quick: false, trials: 1, datasets: None, seed: 17 }
+        Self { quick: false, trials: 1, datasets: None, seed: 17, trace: false }
     }
 }
 
@@ -55,6 +58,7 @@ pub fn parse_cli() -> CliOptions {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--trace" => opts.trace = true,
             "--trials" => {
                 opts.trials = args
                     .next()
@@ -73,7 +77,7 @@ pub fn parse_cli() -> CliOptions {
                     Some(list.split(',').map(|s| s.trim().to_string()).collect());
             }
             other => panic!(
-                "unknown argument {other}; supported: --quick --trials N --seed S --datasets A,B"
+                "unknown argument {other}; supported: --quick --trace --trials N --seed S --datasets A,B"
             ),
         }
     }
@@ -167,6 +171,37 @@ impl TextTable {
         }
         out
     }
+}
+
+/// Turns on run telemetry when `--trace` was passed, naming the run after
+/// the experiment binary. Call once at the top of `main`.
+pub fn init_trace(name: &str, opts: &CliOptions) {
+    if opts.trace {
+        let _ = silofuse_observe::init(name);
+        eprintln!("[trace] telemetry enabled for run '{name}'");
+    }
+}
+
+/// Prints the aggregated span tree and writes the JSONL trace, then shuts
+/// telemetry down. A no-op unless [`init_trace`] enabled tracing.
+pub fn finish_trace() {
+    let Some(t) = silofuse_observe::handle() else { return };
+    let mut table = TextTable::new(&["span", "calls", "total", "mean", "max"]);
+    for row in t.span_rows() {
+        table.row(vec![
+            format!("{}{}", "  ".repeat(row.depth), row.name),
+            row.stat.calls.to_string(),
+            silofuse_observe::fmt_duration(row.stat.total),
+            silofuse_observe::fmt_duration(row.stat.mean()),
+            silofuse_observe::fmt_duration(row.stat.max),
+        ]);
+    }
+    eprintln!("\n[trace] span tree for run '{}':\n{}", t.run(), table.render());
+    match silofuse_observe::export::write_jsonl(&t) {
+        Ok(path) => eprintln!("[trace] telemetry written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write telemetry: {e}"),
+    }
+    silofuse_observe::shutdown();
 }
 
 /// Prints a report and writes it to `target/experiments/<name>.txt`.

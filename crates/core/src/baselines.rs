@@ -103,11 +103,9 @@ pub fn build_synthesizer(
         ModelKind::E2eDistr => {
             Box::new(E2eDistrSynthesizer { config: latent, n_clients, strategy, state: None })
         }
-        ModelKind::SiloFuse => Box::new(SiloFuse::new(SiloFuseConfig {
-            n_clients,
-            strategy,
-            model: latent,
-        })),
+        ModelKind::SiloFuse => {
+            Box::new(SiloFuse::new(SiloFuseConfig { n_clients, strategy, model: latent }))
+        }
     }
 }
 
@@ -152,8 +150,7 @@ mod tests {
         let budget = TrainBudget::quick().scaled_down(8);
         let mut rng = StdRng::seed_from_u64(0);
         for kind in ModelKind::all() {
-            let mut model =
-                build_synthesizer(kind, &budget, 2, PartitionStrategy::Default, 0);
+            let mut model = build_synthesizer(kind, &budget, 2, PartitionStrategy::Default, 0);
             assert_eq!(model.name(), kind.name());
             model.fit(&t, &mut rng);
             let s = model.synthesize(8, &mut rng);

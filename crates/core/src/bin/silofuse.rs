@@ -12,7 +12,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use silofuse_core::{build_synthesizer, ModelKind, TrainBudget};
-use silofuse_metrics::{privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig};
+use silofuse_metrics::{
+    privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig,
+};
 use silofuse_tabular::csv::{read_csv, write_csv, CsvTable};
 use silofuse_tabular::partition::PartitionStrategy;
 use silofuse_tabular::profiles;
@@ -32,6 +34,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if flags.contains_key("trace") {
+        let _ = silofuse_observe::init(&format!("silofuse-{command}"));
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "synth" => cmd_synth(&flags),
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    finish_trace();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -50,6 +56,17 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Prints the span tree and writes the telemetry JSONL when `--trace` is on.
+fn finish_trace() {
+    let Some(t) = silofuse_observe::handle() else { return };
+    eprintln!("\n[trace] span tree for run '{}':\n{}", t.run(), t.render_span_tree());
+    match silofuse_observe::export::write_jsonl(&t) {
+        Ok(path) => eprintln!("[trace] telemetry written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write telemetry: {e}"),
+    }
+    silofuse_observe::shutdown();
 }
 
 const USAGE: &str = "silofuse — cross-silo synthetic tabular data (SiloFuse, ICDE 2024)
@@ -69,7 +86,10 @@ USAGE:
       Score resemblance (+ utility when a holdout is given) and privacy.
 
   silofuse inspect --input <data.csv>
-      Print the inferred schema and Table II-style statistics.";
+      Print the inferred schema and Table II-style statistics.
+
+  Any command also accepts --trace: collect span/metric/event telemetry,
+  print the span tree, and write target/experiments/telemetry/<run>.jsonl.";
 
 type Flags = HashMap<String, String>;
 
@@ -80,7 +100,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{arg}`"));
         };
-        if name == "quick" {
+        if name == "quick" || name == "trace" {
             flags.insert(name.to_string(), "true".to_string());
         } else {
             let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -121,19 +141,15 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
         .columns()
         .iter()
         .map(|meta| match meta.kind {
-            silofuse_tabular::ColumnKind::Categorical { cardinality } => Some(
-                (0..cardinality).map(|c| format!("{}_v{c}", meta.name)).collect(),
-            ),
+            silofuse_tabular::ColumnKind::Categorical { cardinality } => {
+                Some((0..cardinality).map(|c| format!("{}_v{c}", meta.name)).collect())
+            }
             silofuse_tabular::ColumnKind::Numeric => None,
         })
         .collect();
     std::fs::write(out, write_csv(&table, Some(&vocabularies)))
         .map_err(|e| format!("{out}: {e}"))?;
-    println!(
-        "wrote {rows} rows x {} columns of {} to {out}",
-        table.n_cols(),
-        profile.name
-    );
+    println!("wrote {rows} rows x {} columns of {} to {out}", table.n_cols(), profile.name);
     Ok(())
 }
 
@@ -157,11 +173,8 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let seed: u64 = parse_num(flags, "seed", 42)?;
     let clients: usize = parse_num(flags, "clients", 4)?;
     let kind = model_kind(flags.get("model").map(String::as_str).unwrap_or("silofuse"))?;
-    let budget = if flags.contains_key("quick") {
-        TrainBudget::quick()
-    } else {
-        TrainBudget::standard()
-    };
+    let budget =
+        if flags.contains_key("quick") { TrainBudget::quick() } else { TrainBudget::standard() };
 
     let csv = load_csv(input)?;
     let clients = clients.min(csv.table.n_cols()).max(1);
@@ -174,8 +187,7 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
         clients
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut model =
-        build_synthesizer(kind, &budget, clients, PartitionStrategy::Default, seed);
+    let mut model = build_synthesizer(kind, &budget, clients, PartitionStrategy::Default, seed);
     model.fit(&csv.table, &mut rng);
     let synth = model.synthesize(rows, &mut rng);
     std::fs::write(out, write_csv(&synth, Some(&csv.vocabularies)))
@@ -192,11 +204,8 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
         return Err("real and synthetic schemas differ (column names/kinds must match)".into());
     }
 
-    let r = resemblance(
-        &real.table,
-        &synth.table,
-        &ResemblanceConfig { seed, ..Default::default() },
-    );
+    let r =
+        resemblance(&real.table, &synth.table, &ResemblanceConfig { seed, ..Default::default() });
     println!("resemblance (0-100, higher better):");
     println!("  column similarity        {:.1}", r.column_similarity);
     println!("  correlation similarity   {:.1}", r.correlation_similarity);
@@ -236,19 +245,14 @@ fn cmd_inspect(flags: &Flags) -> Result<(), String> {
         s.categorical_count(),
         s.numeric_count()
     );
-    println!(
-        "one-hot width {} ({:.2}x expansion)",
-        s.one_hot_width(),
-        s.expansion_factor()
-    );
+    println!("one-hot width {} ({:.2}x expansion)", s.one_hot_width(), s.expansion_factor());
     for (meta, vocab) in s.columns().iter().zip(&csv.vocabularies) {
         match (&meta.kind, vocab) {
             (silofuse_tabular::ColumnKind::Numeric, _) => {
                 println!("  {:<24} numeric", meta.name);
             }
             (silofuse_tabular::ColumnKind::Categorical { cardinality }, Some(v)) => {
-                let preview: Vec<&str> =
-                    v.iter().take(4).map(String::as_str).collect();
+                let preview: Vec<&str> = v.iter().take(4).map(String::as_str).collect();
                 println!(
                     "  {:<24} categorical ({cardinality} classes: {}{})",
                     meta.name,

@@ -12,6 +12,7 @@ use silofuse_metrics::{
     privacy, resemblance, utility, PrivacyConfig, PrivacyReport, ResemblanceConfig,
     ResemblanceReport, UtilityConfig, UtilityReport,
 };
+use silofuse_observe as observe;
 use silofuse_tabular::partition::PartitionStrategy;
 use silofuse_tabular::profiles::DatasetProfile;
 use silofuse_tabular::table::Table;
@@ -110,29 +111,35 @@ pub fn evaluate_model(
     cfg: &RunConfig,
     with_privacy: bool,
 ) -> ModelScores {
+    let _span = observe::span(&format!("evaluate:{}:{}", kind.name(), run.name));
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ kind as u64 ^ 0xe7a1);
-    let mut model =
-        build_synthesizer(kind, &cfg.budget, cfg.n_clients, cfg.strategy, cfg.seed);
-    model.fit(&run.train, &mut rng);
-    let synth = model.synthesize(cfg.synth_rows, &mut rng);
+    let mut model = build_synthesizer(kind, &cfg.budget, cfg.n_clients, cfg.strategy, cfg.seed);
+    {
+        let _fit = observe::span("fit");
+        model.fit(&run.train, &mut rng);
+    }
+    let synth = {
+        let _synth = observe::span("synthesize");
+        model.synthesize(cfg.synth_rows, &mut rng)
+    };
 
-    let resemblance_report = resemblance(
-        &run.train,
-        &synth,
-        &ResemblanceConfig { seed: cfg.seed, ..Default::default() },
-    );
-    let utility_report = utility(
-        &run.train,
-        &synth,
-        &run.holdout,
-        &UtilityConfig { seed: cfg.seed, ..Default::default() },
-    );
-    let privacy_report = with_privacy.then(|| {
-        privacy(
+    let _phase = observe::phase("score");
+    let resemblance_report = {
+        let _s = observe::span("resemblance");
+        resemblance(&run.train, &synth, &ResemblanceConfig { seed: cfg.seed, ..Default::default() })
+    };
+    let utility_report = {
+        let _s = observe::span("utility");
+        utility(
             &run.train,
             &synth,
-            &PrivacyConfig { seed: cfg.seed, ..Default::default() },
+            &run.holdout,
+            &UtilityConfig { seed: cfg.seed, ..Default::default() },
         )
+    };
+    let privacy_report = with_privacy.then(|| {
+        let _s = observe::span("privacy");
+        privacy(&run.train, &synth, &PrivacyConfig { seed: cfg.seed, ..Default::default() })
     });
     ModelScores {
         model: kind,

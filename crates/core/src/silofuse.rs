@@ -55,12 +55,7 @@ pub struct SiloFuse {
 
 impl std::fmt::Debug for SiloFuse {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "SiloFuse(clients={}, fitted={})",
-            self.config.n_clients,
-            self.state.is_some()
-        )
+        write!(f, "SiloFuse(clients={}, fitted={})", self.config.n_clients, self.state.is_some())
     }
 }
 
@@ -72,8 +67,7 @@ impl SiloFuse {
 
     /// Trains the distributed model on `table`.
     pub fn fit(&mut self, table: &Table, rng: &mut StdRng) {
-        let plan =
-            PartitionPlan::new(table.n_cols(), self.config.n_clients, self.config.strategy);
+        let plan = PartitionPlan::new(table.n_cols(), self.config.n_clients, self.config.strategy);
         let partitions = plan.split(table);
         let model = SiloFuseModel::fit(&partitions, self.config.model, rng);
         self.state = Some((model, plan));
@@ -108,8 +102,7 @@ impl SiloFuse {
         rng: &mut StdRng,
     ) -> Table {
         let (model, plan) = self.state.as_mut().expect("SiloFuse::fit must be called first");
-        let parts =
-            model.synthesize_partitioned_with_steps(n, 0, Some(inference_steps), rng);
+        let parts = model.synthesize_partitioned_with_steps(n, 0, Some(inference_steps), rng);
         plan.reassemble(&parts.iter().collect::<Vec<_>>())
     }
 

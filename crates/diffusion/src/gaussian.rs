@@ -52,11 +52,8 @@ impl GaussianDiffusion {
         for (r, &t_r) in t.iter().enumerate() {
             let ab = self.schedule.alpha_bar(t_r);
             let (sa, sn) = (ab.sqrt(), (1.0 - ab).sqrt());
-            for ((o, &x), &e) in out
-                .row_mut(r)
-                .iter_mut()
-                .zip(x0.row(r).iter())
-                .zip(noise.row(r).iter())
+            for ((o, &x), &e) in
+                out.row_mut(r).iter_mut().zip(x0.row(r).iter()).zip(noise.row(r).iter())
             {
                 *o = sa * x + sn * e;
             }
@@ -137,6 +134,7 @@ impl GaussianDdpm {
 
     /// One optimisation step on a batch of clean data; returns the loss.
     pub fn train_step(&mut self, x0: &Tensor, rng: &mut StdRng) -> f32 {
+        silofuse_observe::count("diffusion.train_steps", 1);
         let (loss, _, _) = self.step_inner(x0, rng, false);
         loss
     }
@@ -194,7 +192,15 @@ impl GaussianDdpm {
     ///
     /// `eta` interpolates between deterministic DDIM (`0.0`) and
     /// DDPM-style ancestral sampling (`1.0`).
-    pub fn sample(&mut self, n: usize, inference_steps: usize, eta: f32, rng: &mut StdRng) -> Tensor {
+    pub fn sample(
+        &mut self,
+        n: usize,
+        inference_steps: usize,
+        eta: f32,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let _span = silofuse_observe::span("ddpm-sample");
+        silofuse_observe::count("diffusion.sampled_rows", n as u64);
         let dim = self.backbone.config().data_dim;
         let steps = self.diffusion.schedule.inference_steps(inference_steps);
         let mut x = randn(n, dim, rng);
@@ -213,9 +219,8 @@ impl GaussianDdpm {
             let eps_hat = x.zip_with(&x0_hat, |xt, x0| {
                 (xt - ab_t.sqrt() * x0) / (1.0 - ab_t).sqrt().max(1e-8)
             });
-            let sigma = eta
-                * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt()
-                * (1.0 - ab_t / ab_prev).sqrt();
+            let sigma =
+                eta * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt() * (1.0 - ab_t / ab_prev).sqrt();
             let dir_scale = (1.0 - ab_prev - sigma * sigma).max(0.0).sqrt();
             let mut next = x0_hat.scale(ab_prev.sqrt());
             next.add_scaled(&eps_hat, dir_scale);

@@ -34,13 +34,7 @@ impl MultinomialDiffusion {
     }
 
     /// Samples `x_t` given the clean code `x0` after `t + 1` noising steps.
-    pub fn q_sample(
-        &self,
-        x0: u32,
-        t: usize,
-        schedule: &NoiseSchedule,
-        rng: &mut StdRng,
-    ) -> u32 {
+    pub fn q_sample(&self, x0: u32, t: usize, schedule: &NoiseSchedule, rng: &mut StdRng) -> u32 {
         let ab = f64::from(schedule.alpha_bar(t));
         if rng.gen::<f64>() < ab {
             x0
@@ -129,9 +123,8 @@ impl MultinomialDiffusion {
         let c: Vec<f64> = (0..self.k)
             .map(|j| if j as u32 == x_t { alpha + (1.0 - alpha) / k } else { (1.0 - alpha) / k })
             .collect();
-        let u: Vec<f64> = (0..self.k)
-            .map(|j| c[j] * (ab_prev * x0_hat[j] + (1.0 - ab_prev) / k))
-            .collect();
+        let u: Vec<f64> =
+            (0..self.k).map(|j| c[j] * (ab_prev * x0_hat[j] + (1.0 - ab_prev) / k)).collect();
         let total: f64 = u.iter().sum();
 
         // KL = Σ q log q − Σ q log u + log Σ u
@@ -148,9 +141,7 @@ impl MultinomialDiffusion {
             .collect();
         // Chain through softmax: dL/dlogit_i = x̂0_i (dkl_i − Σ_j dkl_j x̂0_j)
         let dot: f64 = dkl_dx0.iter().zip(&x0_hat).map(|(d, p)| d * p).sum();
-        let grad: Vec<f32> = (0..self.k)
-            .map(|i| (x0_hat[i] * (dkl_dx0[i] - dot)) as f32)
-            .collect();
+        let grad: Vec<f32> = (0..self.k).map(|i| (x0_hat[i] * (dkl_dx0[i] - dot)) as f32).collect();
         (loss, grad)
     }
 
@@ -350,13 +341,9 @@ mod tests {
         let m = MultinomialDiffusion::new(10);
         let s = sched(200);
         let mut rng = StdRng::seed_from_u64(0);
-        let early_same = (0..1000)
-            .filter(|_| m.q_sample(7, 0, &s, &mut rng) == 7)
-            .count();
+        let early_same = (0..1000).filter(|_| m.q_sample(7, 0, &s, &mut rng) == 7).count();
         assert!(early_same > 990);
-        let late_same = (0..1000)
-            .filter(|_| m.q_sample(7, 199, &s, &mut rng) == 7)
-            .count();
+        let late_same = (0..1000).filter(|_| m.q_sample(7, 199, &s, &mut rng) == 7).count();
         // ᾱ_T ~ 0.13 -> P(same) ~ 0.13 + 0.87/10 ~ 0.22.
         assert!(late_same < 400, "late_same {late_same}");
     }

@@ -34,11 +34,8 @@ impl NoiseSchedule {
                 let (lo, hi) = (1e-4f64, 0.02f64);
                 (0..timesteps)
                     .map(|t| {
-                        let frac = if timesteps == 1 {
-                            0.0
-                        } else {
-                            t as f64 / (timesteps - 1) as f64
-                        };
+                        let frac =
+                            if timesteps == 1 { 0.0 } else { t as f64 / (timesteps - 1) as f64 };
                         (lo + (hi - lo) * frac) as f32
                     })
                     .collect()
@@ -146,10 +143,7 @@ mod tests {
         for kind in [ScheduleKind::Linear, ScheduleKind::Cosine] {
             let s = NoiseSchedule::new(kind, 100);
             for t in 1..100 {
-                assert!(
-                    s.alpha_bar(t) < s.alpha_bar(t - 1),
-                    "{kind:?} not decreasing at {t}"
-                );
+                assert!(s.alpha_bar(t) < s.alpha_bar(t - 1), "{kind:?} not decreasing at {t}");
             }
             assert!(s.alpha_bar(0) < 1.0 && s.alpha_bar(0) > 0.9);
         }

@@ -16,6 +16,7 @@ use silofuse_diffusion::schedule::NoiseSchedule;
 use silofuse_models::latentdiff::LatentDiffConfig;
 use silofuse_models::TabularAutoencoder;
 use silofuse_nn::Tensor;
+use silofuse_observe as observe;
 use silofuse_tabular::table::Table;
 
 struct ClientState {
@@ -49,10 +50,7 @@ impl E2eDistributed {
     pub fn fit(partitions: &[Table], config: LatentDiffConfig, rng: &mut StdRng) -> Self {
         assert!(!partitions.is_empty(), "need at least one client partition");
         let rows = partitions[0].n_rows();
-        assert!(
-            partitions.iter().all(|p| p.n_rows() == rows),
-            "partitions must have aligned rows"
-        );
+        assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
 
         let stats = new_stats();
         let mut clients = Vec::with_capacity(partitions.len());
@@ -63,7 +61,12 @@ impl E2eDistributed {
             ae_cfg.seed = config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let ae = TabularAutoencoder::new(part, ae_cfg);
             let latent_dim = ae.latent_dim();
-            clients.push(ClientState { ae, endpoint: client_ep, partition: part.clone(), latent_dim });
+            clients.push(ClientState {
+                ae,
+                endpoint: client_ep,
+                partition: part.clone(),
+                latent_dim,
+            });
             coord_endpoints.push(coord_ep);
         }
 
@@ -87,6 +90,7 @@ impl E2eDistributed {
 
         let mut model = Self { config, clients, coord_endpoints, ddpm: None, stats };
         let total_steps = config.ae_steps + config.diffusion_steps;
+        let _phase = observe::phase("joint-train");
         for _ in 0..total_steps {
             let idx: Vec<usize> =
                 (0..config.batch_size.min(rows)).map(|_| rng.gen_range(0..rows)).collect();
@@ -185,9 +189,13 @@ impl E2eDistributed {
     /// Synthesis: identical stacking of DDPM + local decoders as SiloFuse.
     pub fn synthesize_partitioned(&mut self, n: usize, rng: &mut StdRng) -> Vec<Table> {
         let ddpm = self.ddpm.as_mut().expect("model is fitted");
-        let z = ddpm.sample(n, self.config.inference_steps, self.config.eta, rng);
+        let z = {
+            let _phase = observe::phase("sample");
+            ddpm.sample(n, self.config.inference_steps, self.config.eta, rng)
+        };
         let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
         let parts = z.split_cols(&widths);
+        let _phase = observe::phase("decode");
         parts
             .iter()
             .zip(self.clients.iter_mut())
@@ -280,8 +288,7 @@ mod tests {
         let parts = split(&t, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let e2e = E2eDistributed::fit(&parts, quick_config(3, 50), &mut rng);
-        let stacked =
-            crate::stacked::SiloFuseModel::fit(&parts, quick_config(3, 50), &mut rng);
+        let stacked = crate::stacked::SiloFuseModel::fit(&parts, quick_config(3, 50), &mut rng);
         assert!(
             e2e.comm_stats().total_bytes() > stacked.comm_stats().total_bytes(),
             "E2EDistr must communicate more than SiloFuse"

@@ -96,6 +96,19 @@ const TAG_REQUEST: u8 = 5;
 const TAG_ACK: u8 = 6;
 
 impl Message {
+    /// Stable variant name, used as the telemetry message-kind label
+    /// (`comm.bytes.<kind>.<direction>` histograms).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::LatentUpload { .. } => "LatentUpload",
+            Message::ActivationUpload { .. } => "ActivationUpload",
+            Message::GradientDownload { .. } => "GradientDownload",
+            Message::SyntheticLatents { .. } => "SyntheticLatents",
+            Message::SynthesisRequest { .. } => "SynthesisRequest",
+            Message::Ack => "Ack",
+        }
+    }
+
     /// Serialises to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size());

@@ -41,8 +41,8 @@ pub fn reconstruction_error(reference: &Table, candidate: &Table) -> f64 {
                 count += 1;
             }
             (Column::Categorical(x), Column::Categorical(y)) => {
-                let err = x.iter().zip(y).filter(|(u, v)| u != v).count() as f64
-                    / x.len().max(1) as f64;
+                let err =
+                    x.iter().zip(y).filter(|(u, v)| u != v).count() as f64 / x.len().max(1) as f64;
                 total += err;
                 count += 1;
             }
@@ -94,11 +94,7 @@ pub fn blind_attacker_reconstruction(table: &Table) -> Table {
 /// attacker somehow obtained `leaked_fraction` of the true (latent, row)
 /// pairs and nearest-neighbour matches the rest — quantifying how privacy
 /// erodes as auxiliary knowledge grows.
-pub fn knn_attacker_reconstruction(
-    latents: &Tensor,
-    table: &Table,
-    leaked_rows: usize,
-) -> Table {
+pub fn knn_attacker_reconstruction(latents: &Tensor, table: &Table, leaked_rows: usize) -> Table {
     let n = table.n_rows();
     let leaked = leaked_rows.min(n);
     if leaked == 0 {
@@ -132,9 +128,7 @@ pub fn knn_attacker_reconstruction(
         .columns()
         .iter()
         .map(|col| match col {
-            Column::Numeric(v) => {
-                Column::Numeric(source_row.iter().map(|&s| v[s]).collect())
-            }
+            Column::Numeric(v) => Column::Numeric(source_row.iter().map(|&s| v[s]).collect()),
             Column::Categorical(codes) => {
                 Column::Categorical(source_row.iter().map(|&s| codes[s]).collect())
             }

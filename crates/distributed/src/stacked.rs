@@ -20,6 +20,7 @@ use silofuse_diffusion::schedule::NoiseSchedule;
 use silofuse_models::latentdiff::{LatentDiffConfig, LatentScaler};
 use silofuse_models::TabularAutoencoder;
 use silofuse_nn::Tensor;
+use silofuse_observe as observe;
 use silofuse_tabular::table::Table;
 
 /// One client's private state: its autoencoder (encoder + decoder never
@@ -61,10 +62,7 @@ impl SiloFuseModel {
     pub fn fit(partitions: &[Table], config: LatentDiffConfig, rng: &mut StdRng) -> Self {
         assert!(!partitions.is_empty(), "need at least one client partition");
         let rows = partitions[0].n_rows();
-        assert!(
-            partitions.iter().all(|p| p.n_rows() == rows),
-            "partitions must have aligned rows"
-        );
+        assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
 
         let stats = new_stats();
         let m = partitions.len();
@@ -82,9 +80,13 @@ impl SiloFuseModel {
             handles.push(std::thread::spawn(move || {
                 let mut local_rng = StdRng::seed_from_u64(seed ^ 0xc11e);
                 let mut ae = TabularAutoencoder::new(&part, cfg.ae);
-                ae.fit(&part, cfg.ae_steps, cfg.batch_size, &mut local_rng);
+                {
+                    let _phase = observe::phase("ae-train");
+                    ae.fit(&part, cfg.ae_steps, cfg.batch_size, &mut local_rng);
+                }
                 // Algorithm 1, lines 8-10: encode local latents and upload
                 // them to the coordinator — once.
+                let _phase = observe::phase("encode");
                 let mut latents = ae.encode(&part);
                 // DP-style mechanism: perturb latents *before* they leave
                 // the silo (relative to each column's scale).
@@ -102,11 +104,8 @@ impl SiloFuseModel {
                             .map(|s| (s / latents.rows().max(1) as f32).sqrt().max(1e-6))
                             .collect()
                     };
-                    let noise = silofuse_nn::init::randn(
-                        latents.rows(),
-                        latents.cols(),
-                        &mut local_rng,
-                    );
+                    let noise =
+                        silofuse_nn::init::randn(latents.rows(), latents.cols(), &mut local_rng);
                     for r in 0..latents.rows() {
                         for (c, v) in latents.row_mut(r).iter_mut().enumerate() {
                             *v += cfg.latent_noise_std * col_stds[c] * noise.row(r)[c];
@@ -148,7 +147,8 @@ impl SiloFuseModel {
         // --- Step 2 (Algorithm 1, lines 11-16): coordinator-local DDPM
         //     training on the concatenated latents Z = Z_1 || ... || Z_M.
         let latent_widths: Vec<usize> = clients.iter().map(|c| c.latent_dim).collect();
-        let parts: Vec<Tensor> = uploads.into_iter().map(|u| u.expect("all clients uploaded")).collect();
+        let parts: Vec<Tensor> =
+            uploads.into_iter().map(|u| u.expect("all clients uploaded")).collect();
         let z_raw = Tensor::concat_cols(&parts.iter().collect::<Vec<_>>());
         let scaler = if config.scale_latents {
             LatentScaler::fit(&z_raw)
@@ -179,11 +179,22 @@ impl SiloFuseModel {
         let diffusion = GaussianDiffusion::new(schedule, parameterization);
         let mut ddpm = GaussianDdpm::new(diffusion, backbone, config.ddpm_lr);
         let n = z.rows();
-        for _ in 0..config.diffusion_steps {
+        let _phase = observe::phase("latent-train");
+        let stride = observe::epoch_stride(config.diffusion_steps);
+        for step in 0..config.diffusion_steps {
             let idx: Vec<usize> =
                 (0..config.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = z.select_rows(&idx);
-            ddpm.train_step(&batch, rng);
+            let loss = ddpm.train_step(&batch, rng);
+            if step % stride == 0 {
+                observe::train_epoch(
+                    "latent-ddpm",
+                    step as u64,
+                    f64::from(loss),
+                    f64::from(config.ddpm_lr),
+                    batch.rows() as u64,
+                );
+            }
         }
 
         Self {
@@ -239,11 +250,15 @@ impl SiloFuseModel {
 
         // Lines 2-4: sample noise, denoise, partition.
         let steps = inference_steps.unwrap_or(self.config.inference_steps);
-        let z = coord.ddpm.sample(n, steps, self.config.eta, rng);
+        let z = {
+            let _phase = observe::phase("sample");
+            coord.ddpm.sample(n, steps, self.config.eta, rng)
+        };
         let latents = coord.scaler.unscale(&z);
         let parts = latents.split_cols(&coord.latent_widths);
 
         // Lines 5-7: ship each client its slice; decode locally.
+        let _phase = observe::phase("decode");
         let mut outputs = Vec::with_capacity(self.clients.len());
         for (i, part) in parts.iter().enumerate() {
             self.coord_endpoints[i]

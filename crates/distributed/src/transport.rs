@@ -4,6 +4,7 @@ use crate::message::{CodecError, Message};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use silofuse_observe as observe;
 use std::sync::Arc;
 
 /// Cumulative communication statistics, shared by every link of a run.
@@ -89,6 +90,7 @@ impl ClientEndpoint {
     /// Sends a message to the coordinator (counted as upstream bytes).
     pub fn send(&self, msg: &Message) -> Result<(), TransportError> {
         let bytes = msg.encode();
+        observe::comm(observe::Direction::Up, msg.kind(), bytes.len() as u64);
         {
             let mut s = self.stats.lock();
             s.bytes_up += bytes.len() as u64;
@@ -108,6 +110,7 @@ impl CoordEndpoint {
     /// Sends a message to the client (counted as downstream bytes).
     pub fn send(&self, msg: &Message) -> Result<(), TransportError> {
         let bytes = msg.encode();
+        observe::comm(observe::Direction::Down, msg.kind(), bytes.len() as u64);
         {
             let mut s = self.stats.lock();
             s.bytes_down += bytes.len() as u64;
@@ -145,7 +148,7 @@ mod tests {
 
         let s = *stats.lock();
         assert_eq!(s.bytes_up, up.wire_size() as u64);
-        assert_eq!(s.bytes_down, 1);
+        assert_eq!(s.bytes_down, down.wire_size() as u64);
         assert_eq!(s.messages_up, 1);
         assert_eq!(s.messages_down, 1);
     }

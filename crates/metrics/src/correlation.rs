@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn mixed_pair_association_detects_dependence() {
         // Numeric column fully determined by the categorical one.
-        let schema = Schema::new(vec![
-            ColumnMeta::categorical("g", 2),
-            ColumnMeta::numeric("v"),
-        ]);
+        let schema = Schema::new(vec![ColumnMeta::categorical("g", 2), ColumnMeta::numeric("v")]);
         let g = vec![0u32, 0, 1, 1, 0, 1];
         let v: Vec<f64> = g.iter().map(|&c| f64::from(c) * 10.0).collect();
         let t = Table::new(schema, vec![Col::Categorical(g), Col::Numeric(v)]).unwrap();

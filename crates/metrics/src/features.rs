@@ -25,11 +25,7 @@ pub fn table_to_features(table: &Table, exclude: Option<usize>) -> Features {
 /// # Panics
 /// Panics if the column is categorical.
 pub fn numeric_targets(table: &Table, column: usize) -> Vec<f64> {
-    table
-        .column(column)
-        .as_numeric()
-        .expect("numeric target column")
-        .to_vec()
+    table.column(column).as_numeric().expect("numeric target column").to_vec()
 }
 
 /// Extracts one column as class labels.
@@ -37,11 +33,7 @@ pub fn numeric_targets(table: &Table, column: usize) -> Vec<f64> {
 /// # Panics
 /// Panics if the column is numeric.
 pub fn categorical_targets(table: &Table, column: usize) -> Vec<u32> {
-    table
-        .column(column)
-        .as_categorical()
-        .expect("categorical target column")
-        .to_vec()
+    table.column(column).as_categorical().expect("categorical target column").to_vec()
 }
 
 /// One mixed-type row as a dense `f64` vector (codes for categoricals),

@@ -21,5 +21,7 @@ pub mod utility;
 
 pub use correlation::{correlation_difference, CorrelationDifference};
 pub use privacy::{privacy, PrivacyConfig, PrivacyReport};
-pub use resemblance::{per_column_report, resemblance, ColumnReport, ResemblanceConfig, ResemblanceReport};
+pub use resemblance::{
+    per_column_report, resemblance, ColumnReport, ResemblanceConfig, ResemblanceReport,
+};
 pub use utility::{utility, UtilityConfig, UtilityReport};

@@ -179,7 +179,14 @@ fn sample_columns(d: usize, width: usize, rng: &mut StdRng) -> Vec<usize> {
 /// Gower-style distance between a real row and a synthetic row over the
 /// given columns: normalised absolute difference for numerics, 0/1 mismatch
 /// for categoricals.
-fn gower(real: &Table, r: usize, synth: &Table, s: usize, cols: &[usize], ranges: &[(f64, f64)]) -> f64 {
+fn gower(
+    real: &Table,
+    r: usize,
+    synth: &Table,
+    s: usize,
+    cols: &[usize],
+    ranges: &[(f64, f64)],
+) -> f64 {
     let mut total = 0.0;
     for &c in cols {
         total += match (real.column(c), synth.column(c)) {
@@ -187,9 +194,7 @@ fn gower(real: &Table, r: usize, synth: &Table, s: usize, cols: &[usize], ranges
                 let (lo, hi) = ranges[c];
                 ((a[r] - b[s]).abs() / (hi - lo)).min(1.0)
             }
-            (Column::Categorical(a), Column::Categorical(b)) => {
-                f64::from(u8::from(a[r] != b[s]))
-            }
+            (Column::Categorical(a), Column::Categorical(b)) => f64::from(u8::from(a[r] != b[s])),
             _ => unreachable!("schemas matched"),
         };
     }
@@ -205,9 +210,8 @@ fn top_k_neighbours(
     ranges: &[(f64, f64)],
     k: usize,
 ) -> Vec<usize> {
-    let mut dists: Vec<(f64, usize)> = (0..synth.n_rows())
-        .map(|s| (gower(real, r, synth, s, cols, ranges), s))
-        .collect();
+    let mut dists: Vec<(f64, usize)> =
+        (0..synth.n_rows()).map(|s| (gower(real, r, synth, s, cols, ranges), s)).collect();
     dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     dists.into_iter().take(k).map(|(_, s)| s).collect()
 }

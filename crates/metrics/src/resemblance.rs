@@ -129,8 +129,7 @@ pub fn resemblance(real: &Table, synth: &Table, config: &ResemblanceConfig) -> R
 /// variation between category frequency vectors.
 fn column_similarity(real: &Table, synth: &Table, points: usize) -> f64 {
     let d = real.n_cols();
-    (0..d).map(|idx| column_similarity_at(real, synth, idx, points)).sum::<f64>()
-        / d.max(1) as f64
+    (0..d).map(|idx| column_similarity_at(real, synth, idx, points)).sum::<f64>() / d.max(1) as f64
 }
 
 fn column_similarity_at(real: &Table, synth: &Table, idx: usize, points: usize) -> f64 {
@@ -295,11 +294,8 @@ mod tests {
         }
         let fake = gen.generate(256, 9);
         let report = resemblance(&real, &fake, &ResemblanceConfig::default());
-        let good = resemblance(
-            &real,
-            &profiles::loan().generate(256, 1),
-            &ResemblanceConfig::default(),
-        );
+        let good =
+            resemblance(&real, &profiles::loan().generate(256, 1), &ResemblanceConfig::default());
         assert!(
             report.composite < good.composite - 5.0,
             "bad {} should score below good {}",
@@ -334,8 +330,7 @@ mod tests {
         let agg = resemblance(&real, &synth, &cfg);
         let mean_cs =
             per_col.iter().map(|c| c.column_similarity).sum::<f64>() / per_col.len() as f64;
-        let mean_js =
-            per_col.iter().map(|c| c.jensen_shannon).sum::<f64>() / per_col.len() as f64;
+        let mean_js = per_col.iter().map(|c| c.jensen_shannon).sum::<f64>() / per_col.len() as f64;
         let mean_ks =
             per_col.iter().map(|c| c.kolmogorov_smirnov).sum::<f64>() / per_col.len() as f64;
         assert!((mean_cs - agg.column_similarity).abs() < 1e-9);

@@ -79,21 +79,15 @@ pub fn utility(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut candidates: Vec<usize> = (0..d.saturating_sub(1)).collect();
     candidates.shuffle(&mut rng);
-    let mut targets: Vec<usize> = candidates
-        .into_iter()
-        .take(config.max_targets.saturating_sub(1))
-        .collect();
+    let mut targets: Vec<usize> =
+        candidates.into_iter().take(config.max_targets.saturating_sub(1)).collect();
     targets.push(d - 1);
     targets.sort_unstable();
 
-    let real_scores: Vec<f64> = targets
-        .iter()
-        .map(|&c| column_score(real_train, holdout, c, &config.params))
-        .collect();
-    let synth_scores: Vec<f64> = targets
-        .iter()
-        .map(|&c| column_score(synth, holdout, c, &config.params))
-        .collect();
+    let real_scores: Vec<f64> =
+        targets.iter().map(|&c| column_score(real_train, holdout, c, &config.params)).collect();
+    let synth_scores: Vec<f64> =
+        targets.iter().map(|&c| column_score(synth, holdout, c, &config.params)).collect();
 
     let real_perf = percentile(&real_scores, config.performance_percentile).max(1e-6);
     let synth_perf = percentile(&synth_scores, config.performance_percentile).max(0.0);
@@ -142,11 +136,8 @@ pub fn column_score(train: &Table, holdout: &Table, target: usize, params: &Boos
                     })
                     .collect()
             };
-            let truth_capped: Vec<u32> = if cardinality > 12 {
-                truth.iter().map(|&y| y.min(11)).collect()
-            } else {
-                truth
-            };
+            let truth_capped: Vec<u32> =
+                if cardinality > 12 { truth.iter().map(|&y| y.min(11)).collect() } else { truth };
             macro_f1(&truth_capped, &preds, cardinality.min(12)).clamp(0.0, 1.0)
         }
         ColumnKind::Numeric => {

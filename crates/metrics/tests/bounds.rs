@@ -23,8 +23,7 @@ fn arb_table_pair() -> impl Strategy<Value = (Table, Table)> {
                     columns.push(Column::Numeric(
                         (0..rows)
                             .map(|r| {
-                                ((r as f64 + seed as f64 + offset as f64) * 0.71 + i as f64)
-                                    .sin()
+                                ((r as f64 + seed as f64 + offset as f64) * 0.71 + i as f64).sin()
                                     * 5.0
                             })
                             .collect(),

@@ -13,6 +13,7 @@ use silofuse_nn::layers::{Activation, ActivationKind, Layer, Linear, Mode, Seque
 use silofuse_nn::loss::{gaussian_nll, grouped_softmax_cross_entropy};
 use silofuse_nn::optim::{Adam, Optimizer};
 use silofuse_nn::Tensor;
+use silofuse_observe as observe;
 use silofuse_tabular::encode::{ScalingKind, TableEncoder};
 use silofuse_tabular::schema::ColumnKind;
 use silofuse_tabular::table::Table;
@@ -61,6 +62,7 @@ pub struct TabularAutoencoder {
     table_encoder: TableEncoder,
     heads: HeadLayout,
     latent_dim: usize,
+    lr: f32,
 }
 
 impl std::fmt::Debug for TabularAutoencoder {
@@ -109,6 +111,7 @@ impl TabularAutoencoder {
             table_encoder,
             heads,
             latent_dim,
+            lr: config.lr,
         }
     }
 
@@ -207,12 +210,22 @@ impl TabularAutoencoder {
 
     /// Trains for `steps` minibatch steps of size `batch_size`.
     pub fn fit(&mut self, table: &Table, steps: usize, batch_size: usize, rng: &mut StdRng) -> f32 {
+        let stride = observe::epoch_stride(steps);
         let n = table.n_rows();
         let mut last = 0.0;
-        for _ in 0..steps {
+        for step in 0..steps {
             let idx: Vec<usize> = (0..batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = table.select_rows(&idx);
             last = self.train_step(&batch);
+            if step % stride == 0 {
+                observe::train_epoch(
+                    "autoencoder",
+                    step as u64,
+                    f64::from(last),
+                    f64::from(self.lr),
+                    batch.n_rows() as u64,
+                );
+            }
         }
         last
     }
@@ -459,10 +472,7 @@ mod tests {
         let z_before = trained.encode(&t);
         let blob = trained.export_weights();
 
-        let mut fresh = TabularAutoencoder::new(
-            &t,
-            AutoencoderConfig { seed: 999, ..cfg },
-        );
+        let mut fresh = TabularAutoencoder::new(&t, AutoencoderConfig { seed: 999, ..cfg });
         assert_ne!(fresh.encode(&t), z_before);
         fresh.import_weights(&blob).unwrap();
         assert_eq!(fresh.encode(&t), z_before);
@@ -473,10 +483,8 @@ mod tests {
         let t = toy_table(32);
         let mut a = TabularAutoencoder::new(&t, AutoencoderConfig::default());
         let blob = a.export_weights();
-        let mut b = TabularAutoencoder::new(
-            &t,
-            AutoencoderConfig { hidden_dim: 64, ..Default::default() },
-        );
+        let mut b =
+            TabularAutoencoder::new(&t, AutoencoderConfig { hidden_dim: 64, ..Default::default() });
         assert!(b.import_weights(&blob).is_err());
     }
 

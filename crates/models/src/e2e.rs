@@ -79,14 +79,12 @@ impl E2eCentralized {
         let n = table.n_rows();
         let total_steps = cfg.ae_steps + cfg.diffusion_steps;
         for _ in 0..total_steps {
-            let idx: Vec<usize> =
-                (0..cfg.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
+            let idx: Vec<usize> = (0..cfg.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = table.select_rows(&idx);
             let _ = Self::joint_step(&mut ae, &mut ddpm, &batch, rng);
         }
 
-        self.fitted =
-            Some(Fitted { ae, ddpm, inference_steps: cfg.inference_steps, eta: cfg.eta });
+        self.fitted = Some(Fitted { ae, ddpm, inference_steps: cfg.inference_steps, eta: cfg.eta });
     }
 
     /// One joint optimisation step; exposed for tests and the distributed

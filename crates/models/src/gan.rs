@@ -14,6 +14,7 @@ use silofuse_nn::layers::{
 use silofuse_nn::loss::bce_with_logits;
 use silofuse_nn::optim::{Adam, Optimizer};
 use silofuse_nn::Tensor;
+use silofuse_observe as observe;
 use silofuse_tabular::encode::{ScalingKind, TableEncoder};
 use silofuse_tabular::table::Table;
 
@@ -70,6 +71,7 @@ pub struct TabularGan {
     d_opt: Adam,
     table_encoder: TableEncoder,
     noise_dim: usize,
+    lr: f32,
 }
 
 impl std::fmt::Debug for TabularGan {
@@ -101,6 +103,7 @@ impl TabularGan {
             d_opt: Adam::with_betas(config.lr, 0.5, 0.999),
             table_encoder,
             noise_dim: config.noise_dim,
+            lr: config.lr,
         }
     }
 
@@ -141,11 +144,22 @@ impl TabularGan {
 
     /// Trains for `steps` minibatch steps.
     pub fn fit(&mut self, table: &Table, steps: usize, batch_size: usize, rng: &mut StdRng) {
+        let _span = observe::span("gan-train");
+        let stride = observe::epoch_stride(steps);
         let n = table.n_rows();
-        for _ in 0..steps {
+        for step in 0..steps {
             let idx: Vec<usize> = (0..batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = table.select_rows(&idx);
-            self.train_step(&batch, rng);
+            let losses = self.train_step(&batch, rng);
+            if step % stride == 0 {
+                observe::train_epoch(
+                    "gan",
+                    step as u64,
+                    f64::from(losses.g_loss),
+                    f64::from(self.lr),
+                    batch.n_rows() as u64,
+                );
+            }
         }
     }
 
@@ -153,9 +167,7 @@ impl TabularGan {
     pub fn sample(&mut self, n: usize, rng: &mut StdRng) -> Table {
         let noise = randn(n, self.noise_dim, rng);
         let fake = self.generator.forward(&noise, Mode::Infer);
-        self.table_encoder
-            .decode(fake.as_slice())
-            .expect("generator output width matches encoder")
+        self.table_encoder.decode(fake.as_slice()).expect("generator output width matches encoder")
     }
 }
 
@@ -246,10 +258,8 @@ mod tests {
         // 1-D sanity: data mean strongly positive; after training, generated
         // numerics should drift toward the data's range.
         let t = profiles::diabetes().generate(256, 1);
-        let mut gan = TabularGan::new(
-            &t,
-            GanConfig { hidden_dim: 128, lr: 5e-4, ..Default::default() },
-        );
+        let mut gan =
+            TabularGan::new(&t, GanConfig { hidden_dim: 128, lr: 5e-4, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(2);
         gan.fit(&t, 200, 128, &mut rng);
         let sample = gan.sample(256, &mut rng);

@@ -13,6 +13,7 @@ use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
 use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
 use silofuse_diffusion::schedule::{NoiseSchedule, ScheduleKind};
 use silofuse_nn::Tensor;
+use silofuse_observe as observe;
 use silofuse_tabular::table::Table;
 
 /// LatentDiff hyperparameters (shared by the E2E baselines).
@@ -163,10 +164,16 @@ impl LatentDiff {
         let cfg = self.config;
         // Phase 1: autoencoder.
         let mut ae = TabularAutoencoder::new(table, cfg.ae);
-        ae.fit(table, cfg.ae_steps, cfg.batch_size, rng);
+        {
+            let _phase = observe::phase("ae-train");
+            ae.fit(table, cfg.ae_steps, cfg.batch_size, rng);
+        }
 
         // Phase 2: DDPM on (standardised) latents.
-        let latents = ae.encode(table);
+        let latents = {
+            let _phase = observe::phase("encode");
+            ae.encode(table)
+        };
         let scaler = if cfg.scale_latents {
             LatentScaler::fit(&latents)
         } else {
@@ -201,20 +208,25 @@ impl LatentDiff {
         let mut ddpm = GaussianDdpm::new(diffusion, backbone, cfg.ddpm_lr);
 
         let n = z.rows();
-        for _ in 0..cfg.diffusion_steps {
-            let idx: Vec<usize> =
-                (0..cfg.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
+        let _phase = observe::phase("latent-train");
+        let stride = observe::epoch_stride(cfg.diffusion_steps);
+        for step in 0..cfg.diffusion_steps {
+            let idx: Vec<usize> = (0..cfg.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = z.select_rows(&idx);
-            ddpm.train_step(&batch, rng);
+            let loss = ddpm.train_step(&batch, rng);
+            if step % stride == 0 {
+                observe::train_epoch(
+                    "latent-ddpm",
+                    step as u64,
+                    f64::from(loss),
+                    f64::from(cfg.ddpm_lr),
+                    batch.rows() as u64,
+                );
+            }
         }
 
-        self.fitted = Some(Fitted {
-            ae,
-            ddpm,
-            scaler,
-            inference_steps: cfg.inference_steps,
-            eta: cfg.eta,
-        });
+        self.fitted =
+            Some(Fitted { ae, ddpm, scaler, inference_steps: cfg.inference_steps, eta: cfg.eta });
     }
 
     /// Generates `n` synthetic rows.
@@ -235,8 +247,12 @@ impl LatentDiff {
     ) -> Table {
         let fitted = self.fitted.as_mut().expect("LatentDiff::fit must be called first");
         let steps = inference_steps.unwrap_or(fitted.inference_steps);
-        let z = fitted.ddpm.sample(n, steps, fitted.eta, rng);
+        let z = {
+            let _phase = observe::phase("sample");
+            fitted.ddpm.sample(n, steps, fitted.eta, rng)
+        };
         let latents = fitted.scaler.unscale(&z);
+        let _phase = observe::phase("decode");
         fitted.ae.decode(&latents)
     }
 }
@@ -283,9 +299,8 @@ mod tests {
             let synth = s.column(col).as_numeric().unwrap();
             let om = orig.iter().sum::<f64>() / orig.len() as f64;
             let sm = synth.iter().sum::<f64>() / synth.len() as f64;
-            let ostd = (orig.iter().map(|v| (v - om) * (v - om)).sum::<f64>()
-                / orig.len() as f64)
-                .sqrt();
+            let ostd =
+                (orig.iter().map(|v| (v - om) * (v - om)).sum::<f64>() / orig.len() as f64).sqrt();
             assert!(
                 (om - sm).abs() < 3.0 * ostd.max(1e-6),
                 "col {col}: mean {om} vs synthetic {sm} (std {ostd})"

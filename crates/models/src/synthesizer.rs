@@ -60,10 +60,7 @@ impl Synthesizer for GanSynthesizer {
     }
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
-        self.model
-            .as_mut()
-            .expect("GanSynthesizer::fit must be called first")
-            .sample(n, rng)
+        self.model.as_mut().expect("GanSynthesizer::fit must be called first").sample(n, rng)
     }
 }
 
@@ -82,7 +79,12 @@ pub struct TabDdpmSynthesizer {
 
 impl TabDdpmSynthesizer {
     /// Creates an unfitted TabDDPM synthesizer.
-    pub fn new(config: TabDdpmConfig, steps: usize, batch_size: usize, inference_steps: usize) -> Self {
+    pub fn new(
+        config: TabDdpmConfig,
+        steps: usize,
+        batch_size: usize,
+        inference_steps: usize,
+    ) -> Self {
         Self { config, steps, batch_size, inference_steps, model: None }
     }
 }
@@ -99,10 +101,11 @@ impl Synthesizer for TabDdpmSynthesizer {
     }
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
-        self.model
-            .as_mut()
-            .expect("TabDdpmSynthesizer::fit must be called first")
-            .sample(n, self.inference_steps, rng)
+        self.model.as_mut().expect("TabDdpmSynthesizer::fit must be called first").sample(
+            n,
+            self.inference_steps,
+            rng,
+        )
     }
 }
 

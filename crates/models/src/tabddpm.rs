@@ -13,6 +13,7 @@ use silofuse_nn::layers::{Layer, Mode};
 use silofuse_nn::loss::mse;
 use silofuse_nn::optim::{Adam, Optimizer};
 use silofuse_nn::Tensor;
+use silofuse_observe as observe;
 use silofuse_tabular::encode::QuantileTransformer;
 use silofuse_tabular::schema::Schema;
 use silofuse_tabular::table::{Column, Table};
@@ -50,6 +51,7 @@ pub struct TabDdpm {
     cat_cols: Vec<usize>,
     /// One-hot widths of categorical columns.
     cat_widths: Vec<usize>,
+    lr: f32,
 }
 
 impl std::fmt::Debug for TabDdpm {
@@ -65,10 +67,8 @@ impl TabDdpm {
         let schema = table.schema().clone();
         let numeric_cols = schema.numeric_indices();
         let cat_cols = schema.categorical_indices();
-        let cat_widths: Vec<usize> = cat_cols
-            .iter()
-            .map(|&i| schema.columns()[i].kind.one_hot_width())
-            .collect();
+        let cat_widths: Vec<usize> =
+            cat_cols.iter().map(|&i| schema.columns()[i].kind.one_hot_width()).collect();
         let quantilers = numeric_cols
             .iter()
             .map(|&i| QuantileTransformer::fit(table.column(i).as_numeric().unwrap()))
@@ -94,6 +94,7 @@ impl TabDdpm {
             numeric_cols,
             cat_cols,
             cat_widths,
+            lr: config.lr,
         }
     }
 
@@ -207,12 +208,23 @@ impl TabDdpm {
 
     /// Trains for `steps` minibatch steps.
     pub fn fit(&mut self, table: &Table, steps: usize, batch_size: usize, rng: &mut StdRng) -> f32 {
+        let _span = observe::span("tabddpm-train");
+        let stride = observe::epoch_stride(steps);
         let n = table.n_rows();
         let mut last = 0.0;
-        for _ in 0..steps {
+        for step in 0..steps {
             let idx: Vec<usize> = (0..batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = table.select_rows(&idx);
             last = self.train_step(&batch, rng);
+            if step % stride == 0 {
+                observe::train_epoch(
+                    "tabddpm",
+                    step as u64,
+                    f64::from(last),
+                    f64::from(self.lr),
+                    batch.n_rows() as u64,
+                );
+            }
         }
         last
     }
@@ -258,8 +270,8 @@ impl TabDdpm {
                     x_num = x0_hat;
                 } else {
                     let ab_prev = schedule.alpha_bar(t_prev);
-                    let sigma = ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt()
-                        * (1.0 - ab_t / ab_prev).sqrt();
+                    let sigma =
+                        ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt() * (1.0 - ab_t / ab_prev).sqrt();
                     let dir = (1.0 - ab_prev - sigma * sigma).max(0.0).sqrt();
                     let mut next = x0_hat.scale(ab_prev.sqrt());
                     next.add_scaled(&eps_hat, dir);
@@ -322,7 +334,10 @@ mod tests {
     #[test]
     fn training_reduces_combined_loss() {
         let t = profiles::diabetes().generate(256, 1);
-        let mut model = TabDdpm::new(&t, TabDdpmConfig { timesteps: 50, lr: 2e-3, seed: 1, ..Default::default() });
+        let mut model = TabDdpm::new(
+            &t,
+            TabDdpmConfig { timesteps: 50, lr: 2e-3, seed: 1, ..Default::default() },
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let first: f32 = (0..5).map(|_| model.train_step(&t, &mut rng)).sum::<f32>() / 5.0;
         model.fit(&t, 250, 128, &mut rng);
@@ -333,7 +348,10 @@ mod tests {
     #[test]
     fn sampled_numerics_stay_in_data_range() {
         let t = profiles::diabetes().generate(256, 2);
-        let mut model = TabDdpm::new(&t, TabDdpmConfig { timesteps: 50, lr: 2e-3, seed: 2, ..Default::default() });
+        let mut model = TabDdpm::new(
+            &t,
+            TabDdpmConfig { timesteps: 50, lr: 2e-3, seed: 2, ..Default::default() },
+        );
         let mut rng = StdRng::seed_from_u64(2);
         model.fit(&t, 150, 128, &mut rng);
         let sample = model.sample(64, 10, &mut rng);

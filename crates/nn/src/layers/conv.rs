@@ -40,10 +40,7 @@ impl Conv1d {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(stride >= 1, "stride must be at least 1");
-        assert!(
-            input_len + 2 * padding >= kernel_size,
-            "kernel larger than padded input"
-        );
+        assert!(input_len + 2 * padding >= kernel_size, "kernel larger than padded input");
         let fan_in = in_channels * kernel_size;
         Self {
             in_channels,
@@ -106,8 +103,7 @@ impl Layer for Conv1d {
                     for ic in 0..self.in_channels {
                         let w_base = ic * self.kernel_size;
                         for k in 0..self.kernel_size {
-                            acc += w_row[w_base + k]
-                                * self.signal_at(row, ic, start + k as isize);
+                            acc += w_row[w_base + k] * self.signal_at(row, ic, start + k as isize);
                         }
                     }
                     out.row_mut(r)[oc * out_len + op] = acc;
@@ -152,8 +148,7 @@ impl Layer for Conv1d {
                             self.weight.grad.row_mut(oc)[w_base + k] +=
                                 g * in_row[ic * self.input_len + pos];
                             // dX
-                            grad_in.row_mut(r)[ic * self.input_len + pos] +=
-                                g * w_row[w_base + k];
+                            grad_in.row_mut(r)[ic * self.input_len + pos] += g * w_row[w_base + k];
                         }
                     }
                 }

@@ -60,10 +60,8 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let (x_hat, inv_stds) = self
-            .cache
-            .as_ref()
-            .expect("LayerNorm::backward called without a cached forward pass");
+        let (x_hat, inv_stds) =
+            self.cache.as_ref().expect("LayerNorm::backward called without a cached forward pass");
         let (rows, cols) = grad_output.shape();
         let n = cols as f32;
 
@@ -211,8 +209,8 @@ impl Layer for BatchNorm1d {
             let xh_row = x_hat.row(r);
             for c in 0..cols {
                 let dxhat = g_row[c] * gamma[c];
-                out.row_mut(r)[c] = inv_stds[c] / n
-                    * (n * dxhat - sum_dxhat[c] - xh_row[c] * sum_dxhat_xhat[c]);
+                out.row_mut(r)[c] =
+                    inv_stds[c] / n * (n * dxhat - sum_dxhat[c] - xh_row[c] * sum_dxhat_xhat[c]);
             }
         }
         out

@@ -101,9 +101,9 @@ pub fn mlp(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::init::Init;
     use crate::layers::gradcheck;
     use crate::layers::{Activation, ActivationKind, Linear};
-    use crate::init::Init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -81,11 +81,7 @@ pub fn grouped_softmax_cross_entropy(
 /// `mu` and `log_var` are the decoder head outputs; `target` the observed
 /// values. Per element: `0.5 * (log_var + (x - mu)^2 / exp(log_var))`
 /// (the `log 2π` constant is dropped). Returns `(loss, grad_mu, grad_log_var)`.
-pub fn gaussian_nll(
-    mu: &Tensor,
-    log_var: &Tensor,
-    target: &Tensor,
-) -> (f32, Tensor, Tensor) {
+pub fn gaussian_nll(mu: &Tensor, log_var: &Tensor, target: &Tensor) -> (f32, Tensor, Tensor) {
     assert_eq!(mu.shape(), target.shape(), "gaussian_nll shape mismatch");
     assert_eq!(mu.shape(), log_var.shape(), "gaussian_nll shape mismatch");
     let n = mu.len() as f32;
@@ -132,7 +128,7 @@ mod tests {
         let target = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
         let (l, g) = bce_with_logits(&logits, &target);
         // -log(0.5) for both entries.
-        assert!((l - 0.6931).abs() < 1e-3);
+        assert!((l - std::f32::consts::LN_2).abs() < 1e-3);
         assert!((g.as_slice()[0] + 0.25).abs() < 1e-6);
         assert!((g.as_slice()[1] - 0.25).abs() < 1e-6);
     }
@@ -157,7 +153,8 @@ mod tests {
 
     #[test]
     fn grouped_ce_grad_sums_to_zero_per_group() {
-        let logits = Tensor::from_vec(2, 5, vec![0.3, -0.2, 0.1, 0.9, -0.5, 1.0, 2.0, -1.0, 0.0, 0.5]);
+        let logits =
+            Tensor::from_vec(2, 5, vec![0.3, -0.2, 0.1, 0.9, -0.5, 1.0, 2.0, -1.0, 0.0, 0.5]);
         let targets = vec![vec![1u32, 2u32], vec![0u32, 0u32]];
         let (_, g) = grouped_softmax_cross_entropy(&logits, &[2, 3], &targets);
         for r in 0..2 {

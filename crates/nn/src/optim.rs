@@ -85,6 +85,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, layer: &mut dyn Layer) {
+        silofuse_observe::count("nn.adam.steps", 1);
         self.t += 1;
         let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
         let bc1 = 1.0 - b1.powi(self.t as i32);

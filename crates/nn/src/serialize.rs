@@ -38,10 +38,9 @@ impl std::fmt::Display for StateDictError {
             StateDictError::CountMismatch { got, expected } => {
                 write!(f, "state dict has {got} tensors, network has {expected}")
             }
-            StateDictError::ShapeMismatch { index, got, expected } => write!(
-                f,
-                "parameter {index}: state dict shape {got:?} vs network {expected:?}"
-            ),
+            StateDictError::ShapeMismatch { index, got, expected } => {
+                write!(f, "parameter {index}: state dict shape {got:?} vs network {expected:?}")
+            }
         }
     }
 }
@@ -85,10 +84,8 @@ pub fn import_state_dict(layer: &mut dyn Layer, bytes: &[u8]) -> Result<(), Stat
         let end = cursor + 4 * len;
         let slice = bytes.get(cursor..end).ok_or(StateDictError::Malformed)?;
         cursor = end;
-        let data: Vec<f32> = slice
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let data: Vec<f32> =
+            slice.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         tensors.push(Tensor::from_vec(rows, cols, data));
     }
     if cursor != bytes.len() {

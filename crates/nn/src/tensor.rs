@@ -247,12 +247,7 @@ impl Tensor {
     /// Element-wise combination of two same-shape tensors.
     pub fn zip_with(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip_with shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Tensor { rows: self.rows, cols: self.cols, data }
     }
 
@@ -286,11 +281,7 @@ impl Tensor {
 
     /// Applies `f` element-wise into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies `f` element-wise in place.
@@ -355,10 +346,7 @@ impl Tensor {
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
         let rows = parts[0].rows;
-        assert!(
-            parts.iter().all(|p| p.rows == rows),
-            "concat_cols row count mismatch"
-        );
+        assert!(parts.iter().all(|p| p.rows == rows), "concat_cols row count mismatch");
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Tensor::zeros(rows, cols);
         for r in 0..rows {
@@ -379,8 +367,7 @@ impl Tensor {
     pub fn split_cols(&self, widths: &[usize]) -> Vec<Tensor> {
         let total: usize = widths.iter().sum();
         assert_eq!(total, self.cols, "split widths must sum to column count");
-        let mut parts: Vec<Tensor> =
-            widths.iter().map(|&w| Tensor::zeros(self.rows, w)).collect();
+        let mut parts: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros(self.rows, w)).collect();
         for r in 0..self.rows {
             let src = self.row(r);
             let mut offset = 0;
@@ -435,10 +422,7 @@ impl Tensor {
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
         let cols = parts[0].cols;
-        assert!(
-            parts.iter().all(|p| p.cols == cols),
-            "concat_rows column count mismatch"
-        );
+        assert!(parts.iter().all(|p| p.cols == cols), "concat_rows column count mismatch");
         let rows: usize = parts.iter().map(|p| p.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
         for p in parts {

@@ -1,0 +1,108 @@
+//! Telemetry event types and the pluggable [`TelemetrySink`] trait.
+
+/// Which way a message crossed the client↔coordinator link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → coordinator.
+    Up,
+    /// Coordinator → client.
+    Down,
+}
+
+impl Direction {
+    /// Lowercase wire/metric label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::Up => "up",
+            Direction::Down => "down",
+        }
+    }
+}
+
+/// Model-training progress events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainEvent {
+    /// One (possibly throttled) training epoch/step report.
+    Epoch {
+        /// Which model emitted it (`"autoencoder"`, `"ddpm"`, ...).
+        model: &'static str,
+        /// Step or epoch index within the fit.
+        epoch: u64,
+        /// Loss at this step.
+        loss: f64,
+        /// Learning rate in effect.
+        lr: f64,
+        /// Rows in the batch/table this step trained on.
+        rows: u64,
+    },
+}
+
+/// One message crossing the simulated network link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommEvent {
+    /// Transfer direction.
+    pub direction: Direction,
+    /// `Message::kind()` of the payload.
+    pub msg_kind: &'static str,
+    /// Wire size in bytes.
+    pub bytes: u64,
+}
+
+/// Entry into a named pipeline phase (encode, latent-train, sample, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Phase name.
+    pub phase: &'static str,
+    /// Global phase entry counter (order across the whole run).
+    pub seq: u64,
+}
+
+/// Receiver for telemetry events. Every method defaults to a no-op, so a
+/// sink only pays for what it overrides — and instrumented code behind a
+/// disabled [`crate::enabled`] check never constructs events at all.
+pub trait TelemetrySink: Send + Sync {
+    /// A training progress event.
+    fn train(&self, _event: &TrainEvent) {}
+
+    /// A network transfer event.
+    fn comm(&self, _event: &CommEvent) {}
+
+    /// A pipeline phase entry.
+    fn phase(&self, _event: &PhaseEvent) {}
+}
+
+/// A sink that drops everything (the trait's defaults, reified).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+/// A recorded event, preserved in arrival order for export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// See [`TrainEvent`].
+    Train(TrainEvent),
+    /// See [`CommEvent`].
+    Comm(CommEvent),
+    /// See [`PhaseEvent`].
+    Phase(PhaseEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let sink = NoopSink;
+        sink.train(&TrainEvent::Epoch { model: "ae", epoch: 0, loss: 0.0, lr: 0.0, rows: 0 });
+        sink.comm(&CommEvent { direction: Direction::Up, msg_kind: "Ack", bytes: 1 });
+        sink.phase(&PhaseEvent { phase: "encode", seq: 0 });
+    }
+
+    #[test]
+    fn direction_labels() {
+        assert_eq!(Direction::Up.as_str(), "up");
+        assert_eq!(Direction::Down.as_str(), "down");
+    }
+}

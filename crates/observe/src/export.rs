@@ -1,0 +1,196 @@
+//! Hand-rolled JSONL export of a telemetry run.
+//!
+//! One JSON object per line, written to
+//! `target/experiments/telemetry/<run>.jsonl` (relative to the working
+//! directory, matching where the bench harness puts its reports):
+//!
+//! ```text
+//! {"type":"run","run":"table3","unix_ms":1754480000000}
+//! {"type":"phase","phase":"encode","seq":0}
+//! {"type":"train_epoch","model":"autoencoder","epoch":8,"loss":0.41,"lr":0.001,"rows":4096}
+//! {"type":"comm","dir":"up","kind":"LatentUpload","bytes":16396}
+//! {"type":"span","path":"fit/latent-train","calls":1,"total_s":1.24,"mean_s":1.24,"max_s":1.24}
+//! {"type":"counter","name":"nn.adam.steps","value":1200}
+//! {"type":"gauge","name":"train.loss.final","value":0.31}
+//! {"type":"histogram","name":"comm.bytes.LatentUpload.up","count":4,"sum":65584,"p50":32768,"p90":32768,"p99":32768}
+//! ```
+//!
+//! Events appear in arrival order, then the span tree, then metrics.
+
+use crate::events::Event;
+use crate::{Telemetry, TrainEvent};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Directory JSONL files land in, relative to the working directory.
+pub const TELEMETRY_DIR: &str = "target/experiments/telemetry";
+
+/// Serializes `telemetry` to `target/experiments/telemetry/<run>.jsonl`
+/// and returns the written path.
+pub fn write_jsonl(telemetry: &Telemetry) -> std::io::Result<PathBuf> {
+    let dir = Path::new(TELEMETRY_DIR);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.jsonl", sanitize(telemetry.run())));
+    std::fs::write(&path, render_jsonl(telemetry))?;
+    Ok(path)
+}
+
+/// The full JSONL document for `telemetry` (one object per line).
+pub fn render_jsonl(telemetry: &Telemetry) -> String {
+    let mut out = String::new();
+    let unix_ms = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"run\",\"run\":{},\"unix_ms\":{unix_ms}}}",
+        json_str(telemetry.run()),
+    );
+    for event in telemetry.events() {
+        match event {
+            Event::Phase(p) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"phase\",\"phase\":{},\"seq\":{}}}",
+                    json_str(p.phase),
+                    p.seq,
+                );
+            }
+            Event::Train(TrainEvent::Epoch { model, epoch, loss, lr, rows }) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"train_epoch\",\"model\":{},\"epoch\":{epoch},\
+                     \"loss\":{},\"lr\":{},\"rows\":{rows}}}",
+                    json_str(model),
+                    json_num(loss),
+                    json_num(lr),
+                );
+            }
+            Event::Comm(c) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"comm\",\"dir\":{},\"kind\":{},\"bytes\":{}}}",
+                    json_str(c.direction.as_str()),
+                    json_str(c.msg_kind),
+                    c.bytes,
+                );
+            }
+        }
+    }
+    for row in telemetry.span_rows() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"path\":{},\"calls\":{},\
+             \"total_s\":{},\"mean_s\":{},\"max_s\":{}}}",
+            json_str(&row.path),
+            row.stat.calls,
+            json_num(row.stat.total.as_secs_f64()),
+            json_num(row.stat.mean().as_secs_f64()),
+            json_num(row.stat.max.as_secs_f64()),
+        );
+    }
+    let metrics = telemetry.metrics();
+    for (name, value) in metrics.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
+            json_str(&name),
+        );
+    }
+    for (name, value) in metrics.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            json_str(&name),
+            json_num(value),
+        );
+    }
+    for (name, hist) in metrics.histograms() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json_str(&name),
+            hist.count(),
+            json_num(hist.sum()),
+            json_num(hist.quantile(0.5)),
+            json_num(hist.quantile(0.9)),
+            json_num(hist.quantile(0.99)),
+        );
+    }
+    out
+}
+
+/// JSON string literal (quotes included) with minimal escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite values become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Keeps run names filesystem-safe.
+fn sanitize(run: &str) -> String {
+    run.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommEvent, Direction, PhaseEvent, TelemetrySink};
+    use std::time::Duration;
+
+    #[test]
+    fn renders_one_valid_looking_object_per_line() {
+        let t = Telemetry::new("unit \"run\"");
+        t.phase(&PhaseEvent { phase: "encode", seq: 0 });
+        t.train(&TrainEvent::Epoch { model: "ae", epoch: 2, loss: 0.5, lr: 1e-3, rows: 64 });
+        t.comm(&CommEvent { direction: Direction::Up, msg_kind: "Ack", bytes: 1 });
+        t.record_span("fit", Duration::from_millis(250));
+        t.metrics().counter("steps").add(7);
+        t.metrics().gauge("loss").set(f64::NAN);
+
+        let doc = render_jsonl(&t);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert!(lines.len() >= 7);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines[0].contains("\\\"run\\\""));
+        assert!(doc.contains("\"type\":\"phase\",\"phase\":\"encode\",\"seq\":0"));
+        assert!(doc.contains("\"model\":\"ae\",\"epoch\":2"));
+        assert!(doc.contains("\"kind\":\"Ack\",\"bytes\":1"));
+        assert!(doc.contains("\"path\":\"fit\",\"calls\":1"));
+        assert!(doc.contains("\"name\":\"steps\",\"value\":7"));
+        // Comm events feed the per-kind histogram too.
+        assert!(doc.contains("\"name\":\"comm.bytes.Ack.up\",\"count\":1"));
+        // Non-finite gauge serialises as null, not NaN.
+        assert!(doc.contains("\"name\":\"loss\",\"value\":null"));
+    }
+
+    #[test]
+    fn sanitize_strips_path_separators() {
+        assert_eq!(sanitize("table3/quick run"), "table3-quick-run");
+    }
+}

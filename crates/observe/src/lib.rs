@@ -1,0 +1,293 @@
+//! Spans, metrics, and run telemetry for the SiloFuse stack.
+//!
+//! Everything routes through one process-global [`Telemetry`] instance
+//! behind an `AtomicBool` fast path: until [`init`] is called, every
+//! instrumentation entry point ([`span`], [`comm`], [`train_epoch`], ...)
+//! is a single relaxed atomic load and an immediate return, so
+//! instrumented code pays nothing when tracing is off.
+//!
+//! The pieces:
+//! - [`spans`] — scoped RAII wall-clock timers that nest into a span tree
+//!   (per-path call counts, total/mean/max), thread-aware via a
+//!   thread-local span stack.
+//! - [`metrics`] — a registry of counters, gauges, and fixed-bucket
+//!   log₂ histograms with p50/p90/p99 readout.
+//! - [`events`] — the [`TelemetrySink`] trait plus the concrete
+//!   train/comm/phase event types; sink methods default to no-ops.
+//! - [`export`] — a hand-rolled JSONL exporter writing
+//!   `target/experiments/telemetry/<run>.jsonl` and the human-readable
+//!   span-tree renderer.
+
+pub mod events;
+pub mod export;
+pub mod metrics;
+pub mod spans;
+
+pub use events::{CommEvent, Direction, Event, NoopSink, PhaseEvent, TelemetrySink, TrainEvent};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use spans::{fmt_duration, SpanGuard, SpanRow, SpanStat};
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<RwLock<Option<Arc<Telemetry>>>> = OnceLock::new();
+
+fn slot() -> &'static RwLock<Option<Arc<Telemetry>>> {
+    GLOBAL.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs a fresh [`Telemetry`] named `run` and enables instrumentation.
+///
+/// Replaces any previously installed instance (its data is dropped unless
+/// another `Arc` to it is held), so tests can re-init freely.
+pub fn init(run: &str) -> Arc<Telemetry> {
+    let telemetry = Arc::new(Telemetry::new(run));
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = Some(telemetry.clone());
+    ENABLED.store(true, Ordering::SeqCst);
+    telemetry
+}
+
+/// Disables instrumentation and drops the installed [`Telemetry`].
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether instrumentation is currently live. One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed telemetry, if tracing is enabled.
+pub fn handle() -> Option<Arc<Telemetry>> {
+    if !enabled() {
+        return None;
+    }
+    slot().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Opens a scoped span timer; see [`spans::span`].
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    spans::span(name)
+}
+
+/// Opens a pipeline-phase span: emits a [`PhaseEvent`] with a global
+/// sequence number, then behaves exactly like [`span`].
+pub fn phase(name: &'static str) -> SpanGuard {
+    if let Some(t) = handle() {
+        let event = PhaseEvent { phase: name, seq: t.next_phase_seq() };
+        TelemetrySink::phase(&*t, &event);
+    }
+    spans::span(name)
+}
+
+/// Emits a per-epoch training event; no-op when tracing is off.
+pub fn train_epoch(model: &'static str, epoch: u64, loss: f64, lr: f64, rows: u64) {
+    if let Some(t) = handle() {
+        t.train(&TrainEvent::Epoch { model, epoch, loss, lr, rows });
+    }
+}
+
+/// Emits a communication event and feeds the per-message-kind byte
+/// histogram `comm.bytes.<kind>.<up|down>`; no-op when tracing is off.
+pub fn comm(direction: Direction, msg_kind: &'static str, bytes: u64) {
+    if let Some(t) = handle() {
+        t.comm(&CommEvent { direction, msg_kind, bytes });
+    }
+}
+
+/// Adds `n` to the named counter; no-op when tracing is off.
+pub fn count(name: &str, n: u64) {
+    if let Some(t) = handle() {
+        t.metrics().counter(name).add(n);
+    }
+}
+
+/// Sets the named gauge; no-op when tracing is off.
+pub fn gauge(name: &str, value: f64) {
+    if let Some(t) = handle() {
+        t.metrics().gauge(name).set(value);
+    }
+}
+
+/// Records `value` into the named histogram; no-op when tracing is off.
+pub fn record(name: &str, value: f64) {
+    if let Some(t) = handle() {
+        t.metrics().histogram(name).observe(value);
+    }
+}
+
+/// Event-throttling stride: emit roughly 32 epoch events over `steps`
+/// training steps (always including step 0).
+pub fn epoch_stride(steps: usize) -> usize {
+    (steps / 32).max(1)
+}
+
+/// The concrete telemetry store: span tree, metrics registry, and the
+/// recorded event log. Implements [`TelemetrySink`] by recording.
+pub struct Telemetry {
+    run: String,
+    spans: Mutex<HashMap<String, SpanEntry>>,
+    span_order: AtomicU64,
+    metrics: Registry,
+    events: Mutex<Vec<Event>>,
+    phase_seq: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SpanEntry {
+    stat: SpanStat,
+    order: u64,
+}
+
+impl Telemetry {
+    /// A fresh, empty store for run `run`.
+    pub fn new(run: &str) -> Self {
+        Self {
+            run: run.to_string(),
+            spans: Mutex::new(HashMap::new()),
+            span_order: AtomicU64::new(0),
+            metrics: Registry::new(),
+            events: Mutex::new(Vec::new()),
+            phase_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The run name this telemetry was installed under.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Snapshot of every recorded event, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn next_phase_seq(&self) -> u64 {
+        self.phase_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Folds one timed call into the span tree under `path`
+    /// (`"/"`-separated). Called by [`SpanGuard`] on drop.
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = spans.entry(path.to_string()).or_insert_with(|| SpanEntry {
+            stat: SpanStat::default(),
+            order: self.span_order.fetch_add(1, Ordering::Relaxed),
+        });
+        entry.stat.calls += 1;
+        entry.stat.total += elapsed;
+        entry.stat.max = entry.stat.max.max(elapsed);
+    }
+
+    /// The aggregated span tree flattened depth-first, siblings in
+    /// first-recorded order. Parents that never completed themselves
+    /// appear with zero calls.
+    pub fn span_rows(&self) -> Vec<SpanRow> {
+        let spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        spans::build_rows(spans.iter().map(|(path, e)| (path.as_str(), e.stat, e.order)))
+    }
+
+    /// Plain-text span-tree summary (indented, aligned columns).
+    pub fn render_span_tree(&self) -> String {
+        spans::render_rows(&self.span_rows())
+    }
+}
+
+impl TelemetrySink for Telemetry {
+    fn train(&self, event: &TrainEvent) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(Event::Train(event.clone()));
+    }
+
+    fn comm(&self, event: &CommEvent) {
+        let name = format!("comm.bytes.{}.{}", event.msg_kind, event.direction.as_str());
+        self.metrics.histogram(&name).observe(event.bytes as f64);
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(Event::Comm(event.clone()));
+    }
+
+    fn phase(&self, event: &PhaseEvent) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(Event::Phase(event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global telemetry slot is process-wide; serialize the tests
+    // that install into it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_instrumentation_is_inert() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        shutdown();
+        assert!(!enabled());
+        assert!(handle().is_none());
+        let g = span("never-recorded");
+        assert!(!g.is_active());
+        drop(g);
+        train_epoch("ae", 0, 1.0, 1e-3, 64);
+        comm(Direction::Up, "LatentUpload", 128);
+        count("c", 1);
+    }
+
+    #[test]
+    fn init_records_spans_events_and_metrics() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let t = init("unit");
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        train_epoch("ae", 3, 0.5, 1e-3, 64);
+        comm(Direction::Down, "Ack", 1);
+        count("steps", 2);
+        count("steps", 3);
+        shutdown();
+
+        assert_eq!(t.run(), "unit");
+        let rows = t.span_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "outer");
+        assert_eq!(rows[1].name, "inner");
+        assert_eq!(rows[1].depth, 1);
+        assert!(rows[0].stat.total >= rows[1].stat.total);
+
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Train(TrainEvent::Epoch { epoch: 3, .. })));
+        assert!(matches!(events[1], Event::Comm(CommEvent { bytes: 1, .. })));
+        assert_eq!(t.metrics().counter("steps").get(), 5);
+        assert_eq!(t.metrics().histogram("comm.bytes.Ack.down").count(), 1);
+    }
+
+    #[test]
+    fn phase_events_carry_increasing_seq() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let t = init("phases");
+        drop(phase("encode"));
+        drop(phase("sample"));
+        shutdown();
+        let phases: Vec<_> = t
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Phase(p) => Some((p.phase, p.seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases, vec![("encode", 0), ("sample", 1)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Counters, gauges, and fixed-bucket histograms behind cheap handles.
+//!
+//! All handles are `Arc`-backed and lock-free on the hot path: counters
+//! and gauges are single atomics, histograms use one atomic per log₂
+//! bucket plus a CAS loop for the exact running sum. The [`Registry`]
+//! only takes a lock to create or look up a handle by name.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter handle. Clone freely; clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins `f64` gauge handle (stored as bits in one atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets.
+pub const BUCKETS: usize = 64;
+
+// Bucket `i` covers values in `(upper_bound(i-1), upper_bound(i)]` with
+// `upper_bound(i) = 2^(i + MIN_EXP)`; bucket 0 additionally absorbs
+// everything at or below its bound, the last bucket everything above.
+const MIN_EXP: i32 = -20;
+
+/// Upper bound of bucket `i`: `2^(i - 20)`, from ~1e-6 up to ~4.4e12.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    (2.0f64).powi(i as i32 + MIN_EXP)
+}
+
+fn bucket_index(value: f64) -> usize {
+    if !value.is_finite() || value <= bucket_upper_bound(0) {
+        return 0;
+    }
+    let idx = value.log2().ceil() as i64 - i64::from(MIN_EXP);
+    idx.clamp(0, BUCKETS as i64 - 1) as usize
+}
+
+/// Fixed-bucket log₂ histogram handle with exact count/sum and
+/// bucket-resolution quantiles.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) at bucket resolution: the upper
+    /// bound of the bucket containing the rank-`⌈q·n⌉` observation, i.e.
+    /// correct to within a factor of 2. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Per-bucket observation counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("p50", &self.quantile(0.5))
+            .finish()
+    }
+}
+
+/// Named metric handles, created on first use.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<String, Counter>>,
+    gauges: Mutex<HashMap<String, Gauge>>,
+    histograms: Mutex<HashMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created zeroed if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created zeroed if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        out.sort();
+        out
+    }
+
+    /// All gauges as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// All histograms as `(name, handle)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}

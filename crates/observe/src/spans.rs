@@ -1,0 +1,268 @@
+//! Scoped RAII span timers aggregating into a per-path span tree.
+//!
+//! Each thread keeps its own stack of open span names; a span's identity
+//! is the `"/"`-joined path of names open on that thread when it started.
+//! Stats (call count, total/mean/max wall-clock) are folded into the
+//! global [`crate::Telemetry`] keyed by path, so the same code path called
+//! from several threads aggregates into one row.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// Aggregated timings for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed calls.
+    pub calls: u64,
+    /// Total wall-clock across calls.
+    pub total: Duration,
+    /// Longest single call.
+    pub max: Duration,
+}
+
+impl SpanStat {
+    /// Mean wall-clock per call (zero when no calls completed).
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.calls as u32
+        }
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span named `name` nested under this thread's currently open
+/// spans. Timing stops when the returned guard drops (or on
+/// [`SpanGuard::stop`]). When tracing is off the guard still measures
+/// elapsed time — so `stop()` doubles as a plain timer — but records
+/// nothing and stays off the thread's span stack.
+pub fn span(name: &str) -> SpanGuard {
+    let active = crate::enabled();
+    if active {
+        STACK.with(|s| s.borrow_mut().push(name.to_string()));
+    }
+    SpanGuard { start: Some(Instant::now()), active }
+}
+
+/// RAII handle for an open span; records elapsed time when dropped.
+#[must_use = "dropping the guard immediately records a ~zero-length span"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Whether this guard records into the span tree (tracing was on at
+    /// open). Inactive guards still time, but record nothing.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Ends the span now and returns its elapsed wall-clock time.
+    pub fn stop(mut self) -> Duration {
+        self.finish().unwrap_or(Duration::ZERO)
+    }
+
+    fn finish(&mut self) -> Option<Duration> {
+        let start = self.start.take()?;
+        let elapsed = start.elapsed();
+        if self.active {
+            let path = STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let path = stack.join("/");
+                stack.pop();
+                path
+            });
+            if let Some(t) = crate::handle() {
+                t.record_span(&path, elapsed);
+            }
+        }
+        Some(elapsed)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One row of the flattened span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+    /// Last path segment.
+    pub name: String,
+    /// Full `"/"`-joined path.
+    pub path: String,
+    /// Aggregated timings.
+    pub stat: SpanStat,
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    stat: SpanStat,
+    order: u64,
+    children: Vec<Node>,
+}
+
+/// Flattens `(path, stat, first-recorded order)` triples into a
+/// depth-first row list, siblings ordered by first recording. Interior
+/// paths that were never recorded themselves appear with zero calls.
+pub fn build_rows<'a>(entries: impl Iterator<Item = (&'a str, SpanStat, u64)>) -> Vec<SpanRow> {
+    let mut roots: Vec<Node> = Vec::new();
+    for (path, stat, order) in entries {
+        let mut level = &mut roots;
+        let segments: Vec<&str> = path.split('/').collect();
+        for (i, segment) in segments.iter().enumerate() {
+            let pos = match level.iter().position(|n| n.name == *segment) {
+                Some(pos) => pos,
+                None => {
+                    level.push(Node {
+                        name: segment.to_string(),
+                        stat: SpanStat::default(),
+                        order: u64::MAX,
+                        children: Vec::new(),
+                    });
+                    level.len() - 1
+                }
+            };
+            if i + 1 == segments.len() {
+                level[pos].stat = stat;
+                level[pos].order = order;
+            }
+            let descend = level;
+            level = &mut descend[pos].children;
+        }
+    }
+    sort_nodes(&mut roots);
+    let mut rows = Vec::new();
+    flatten(&roots, 0, "", &mut rows);
+    rows
+}
+
+fn min_order(node: &Node) -> u64 {
+    node.children.iter().map(min_order).fold(node.order, u64::min)
+}
+
+fn sort_nodes(nodes: &mut [Node]) {
+    nodes.sort_by_key(min_order);
+    for node in nodes {
+        sort_nodes(&mut node.children);
+    }
+}
+
+fn flatten(nodes: &[Node], depth: usize, prefix: &str, rows: &mut Vec<SpanRow>) {
+    for node in nodes {
+        let path =
+            if prefix.is_empty() { node.name.clone() } else { format!("{prefix}/{}", node.name) };
+        rows.push(SpanRow { depth, name: node.name.clone(), path: path.clone(), stat: node.stat });
+        flatten(&node.children, depth + 1, &path, rows);
+    }
+}
+
+/// Plain-text table of span rows: indented name, calls, total/mean/max.
+pub fn render_rows(rows: &[SpanRow]) -> String {
+    let mut out = String::new();
+    let name_width = rows
+        .iter()
+        .map(|r| 2 * r.depth + r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    out.push_str(&format!(
+        "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+        "span", "calls", "total", "mean", "max"
+    ));
+    for row in rows {
+        let label = format!("{}{}", "  ".repeat(row.depth), row.name);
+        out.push_str(&format!(
+            "{label:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+            row.stat.calls,
+            fmt_duration(row.stat.total),
+            fmt_duration(row.stat.mean()),
+            fmt_duration(row.stat.max),
+        ));
+    }
+    out
+}
+
+/// Compact human-readable duration (`1.23s`, `45.6ms`, `789us`).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.0}us", secs * 1e6)
+    } else if secs == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{:.0}ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(calls: u64, millis: u64) -> SpanStat {
+        SpanStat { calls, total: Duration::from_millis(millis), max: Duration::from_millis(millis) }
+    }
+
+    #[test]
+    fn rows_follow_first_recorded_order_not_alphabetical() {
+        let rows = build_rows(
+            [
+                ("run/score", stat(1, 5), 2),
+                ("run/encode", stat(1, 10), 0),
+                ("run/sample", stat(3, 30), 1),
+                ("run", stat(1, 50), 3),
+            ]
+            .into_iter(),
+        );
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["run", "encode", "sample", "score"]);
+        assert_eq!(rows[0].depth, 0);
+        assert!(rows[1..].iter().all(|r| r.depth == 1));
+        assert_eq!(rows[2].stat.mean(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn unrecorded_interior_nodes_get_zero_stats() {
+        let rows = build_rows([("a/b/c", stat(2, 8), 0)].into_iter());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].path, "a");
+        assert_eq!(rows[0].stat.calls, 0);
+        assert_eq!(rows[2].path, "a/b/c");
+        assert_eq!(rows[2].stat.calls, 2);
+    }
+
+    #[test]
+    fn render_includes_header_and_all_rows() {
+        let rows =
+            build_rows([("fit", stat(1, 1500), 0), ("fit/train", stat(4, 1200), 1)].into_iter());
+        let text = render_rows(&rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("span"));
+        assert!(lines[1].contains("1.50s"));
+        assert!(lines[2].contains("  train"));
+        assert!(lines[2].contains("300.0ms"));
+    }
+
+    #[test]
+    fn fmt_duration_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(45)), "45.0ms");
+        assert_eq!(fmt_duration(Duration::from_micros(789)), "789us");
+        assert_eq!(fmt_duration(Duration::ZERO), "0");
+    }
+}

@@ -1,0 +1,159 @@
+//! Black-box tests for the metrics registry: bucket boundaries, quantiles
+//! on known distributions, and concurrency. These exercise only the public
+//! API — the registry is per-instance, so no global telemetry is touched.
+
+use silofuse_observe::metrics::{bucket_upper_bound, BUCKETS};
+use silofuse_observe::Registry;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn bucket_bounds_are_powers_of_two_spanning_micro_to_tera() {
+    assert_eq!(bucket_upper_bound(20), 1.0, "bucket 20 tops out at 2^0");
+    assert_eq!(bucket_upper_bound(21), 2.0);
+    assert_eq!(bucket_upper_bound(30), 1024.0);
+    assert!(bucket_upper_bound(0) < 1e-6, "covers sub-microsecond values");
+    assert!(bucket_upper_bound(BUCKETS - 1) > 4e12, "covers multi-tera values");
+    for i in 1..BUCKETS {
+        assert_eq!(bucket_upper_bound(i), 2.0 * bucket_upper_bound(i - 1));
+    }
+}
+
+#[test]
+fn observations_land_in_the_tightest_bucket() {
+    let reg = Registry::new();
+    let h = reg.histogram("bytes");
+    // A power of two belongs to its own bucket (bounds are inclusive);
+    // anything just above it spills into the next.
+    h.observe(1024.0);
+    h.observe(1024.1);
+    h.observe(1025.0);
+    let counts = h.bucket_counts();
+    assert_eq!(counts[30], 1, "1024 = 2^10 sits in bucket 30 exactly");
+    assert_eq!(counts[31], 2, "values just above spill to the next bucket");
+    assert_eq!(counts.iter().sum::<u64>(), h.count());
+}
+
+#[test]
+fn outliers_clamp_to_the_edge_buckets() {
+    let reg = Registry::new();
+    let h = reg.histogram("edges");
+    h.observe(0.0);
+    h.observe(-5.0);
+    h.observe(1e-12);
+    h.observe(1e30);
+    h.observe(f64::NAN);
+    let counts = h.bucket_counts();
+    assert_eq!(counts[0], 4, "zero/negative/tiny/non-finite all hit bucket 0");
+    assert_eq!(counts[BUCKETS - 1], 1, "huge values hit the last bucket");
+}
+
+#[test]
+fn quantiles_on_a_known_uniform_distribution() {
+    let reg = Registry::new();
+    let h = reg.histogram("latency");
+    // 1000 observations uniform on (0, 1000]: the true p50/p90/p99 are
+    // 500/900/990, and bucket quantiles must be right within a factor of 2.
+    for i in 1..=1000 {
+        h.observe(f64::from(i));
+    }
+    assert_eq!(h.count(), 1000);
+    assert_eq!(h.sum(), 500_500.0, "sum is exact, not bucketed");
+    assert_eq!(h.mean(), 500.5);
+    for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+        let est = h.quantile(q);
+        assert!(
+            est >= exact && est < 2.0 * exact,
+            "p{} estimate {est} outside [{exact}, {})",
+            (q * 100.0) as u32,
+            2.0 * exact
+        );
+    }
+    assert_eq!(h.quantile(1.0), 1024.0, "max rounds up to its bucket bound");
+}
+
+#[test]
+fn quantiles_on_a_point_mass_are_exact_at_the_bucket_bound() {
+    let reg = Registry::new();
+    let h = reg.histogram("constant");
+    for _ in 0..100 {
+        h.observe(64.0);
+    }
+    // Every quantile of a point mass at a power of two is that value.
+    for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 64.0);
+    }
+}
+
+#[test]
+fn empty_histogram_reports_zeros() {
+    let reg = Registry::new();
+    let h = reg.histogram("empty");
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0.0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.quantile(0.99), 0.0);
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let reg = Arc::new(Registry::new());
+    let threads = 8;
+    let per_thread = 10_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let c = reg.counter("steps");
+                for _ in 0..per_thread {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(reg.counter("steps").get(), threads * per_thread);
+}
+
+#[test]
+fn concurrent_histogram_observations_keep_count_and_sum_consistent() {
+    let reg = Arc::new(Registry::new());
+    let threads = 4u32;
+    let per_thread = 5_000u32;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let h = reg.histogram("concurrent");
+                for i in 0..per_thread {
+                    h.observe(f64::from(1 + (i % 7)));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let h = reg.histogram("concurrent");
+    let n = u64::from(threads * per_thread);
+    assert_eq!(h.count(), n);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), n);
+    // Sum is maintained by a CAS loop, so no observation may be dropped:
+    // each thread contributes sum(1..=7 cycled) exactly.
+    let per_thread_sum: f64 = (0..per_thread).map(|i| f64::from(1 + (i % 7))).sum();
+    assert_eq!(h.sum(), f64::from(threads) * per_thread_sum);
+}
+
+#[test]
+fn registry_hands_out_shared_handles_by_name() {
+    let reg = Registry::new();
+    reg.counter("a").add(3);
+    reg.counter("a").add(4);
+    assert_eq!(reg.counter("a").get(), 7, "same name, same underlying cell");
+    reg.gauge("g").set(2.5);
+    assert_eq!(reg.gauge("g").get(), 2.5);
+    let names: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+    assert_eq!(names, vec!["a".to_string()], "snapshot is sorted and deduped");
+}

@@ -88,10 +88,8 @@ pub fn read_csv(text: &str) -> Result<CsvTable, CsvError> {
     let mut vocabularies = Vec::with_capacity(width);
     for c in 0..width {
         let fields: Vec<&str> = data.iter().map(|r| r[c].as_str()).collect();
-        let numeric = fields
-            .iter()
-            .filter(|f| !f.is_empty())
-            .all(|f| f.trim().parse::<f64>().is_ok());
+        let numeric =
+            fields.iter().filter(|f| !f.is_empty()).all(|f| f.trim().parse::<f64>().is_ok());
         let any_value = fields.iter().any(|f| !f.is_empty());
         if numeric && any_value {
             let parsed: Vec<Option<f64>> =
@@ -110,10 +108,9 @@ pub fn read_csv(text: &str) -> Result<CsvTable, CsvError> {
                 let code = match index.get(f) {
                     Some(&c) => c,
                     None => {
-                        let c = u32::try_from(vocab.len())
-                            .map_err(|_| CsvError::TooManyCategories {
-                                column: header[c].clone(),
-                            })?;
+                        let c = u32::try_from(vocab.len()).map_err(|_| {
+                            CsvError::TooManyCategories { column: header[c].clone() }
+                        })?;
                         index.insert(f, c);
                         vocab.push((*f).to_string());
                         c
@@ -135,12 +132,7 @@ pub fn read_csv(text: &str) -> Result<CsvTable, CsvError> {
 /// codes are written.
 pub fn write_csv(table: &Table, vocabularies: Option<&[Option<Vec<String>>]>) -> String {
     let mut out = String::new();
-    let header: Vec<String> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| escape(&c.name))
-        .collect();
+    let header: Vec<String> = table.schema().columns().iter().map(|c| escape(&c.name)).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for r in 0..table.n_rows() {

@@ -65,7 +65,9 @@ impl NumericCodec {
     fn decode(&self, v: f64) -> f64 {
         match self {
             NumericCodec::Standard { mean, std } => v * std + mean,
-            NumericCodec::MinMax { min, max } => (v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (max - min) + min,
+            NumericCodec::MinMax { min, max } => {
+                (v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (max - min) + min
+            }
             NumericCodec::Quantile(q) => q.inverse(v),
         }
     }
@@ -208,14 +210,9 @@ impl TableEncoder {
     /// Per-row category codes for each categorical column (schema order),
     /// as targets for grouped cross-entropy losses.
     pub fn categorical_targets(&self, table: &Table) -> Vec<Vec<u32>> {
-        let cat_cols: Vec<&[u32]> = table
-            .columns()
-            .iter()
-            .filter_map(Column::as_categorical)
-            .collect();
-        (0..table.n_rows())
-            .map(|r| cat_cols.iter().map(|col| col[r]).collect())
-            .collect()
+        let cat_cols: Vec<&[u32]> =
+            table.columns().iter().filter_map(Column::as_categorical).collect();
+        (0..table.n_rows()).map(|r| cat_cols.iter().map(|col| col[r]).collect()).collect()
     }
 
     /// Decodes a row-major `f32` buffer back into a table. Numeric slots are
@@ -319,12 +316,8 @@ mod tests {
         let t = demo();
         let enc = TableEncoder::fit(&t, ScalingKind::Standard);
         let decoded = enc.decode(&enc.encode(&t)).unwrap();
-        for (a, b) in decoded
-            .column(0)
-            .as_numeric()
-            .unwrap()
-            .iter()
-            .zip(t.column(0).as_numeric().unwrap())
+        for (a, b) in
+            decoded.column(0).as_numeric().unwrap().iter().zip(t.column(0).as_numeric().unwrap())
         {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
@@ -342,12 +335,8 @@ mod tests {
             assert!((-1.0..=1.0).contains(&v));
         }
         let decoded = enc.decode(&data).unwrap();
-        for (a, b) in decoded
-            .column(2)
-            .as_numeric()
-            .unwrap()
-            .iter()
-            .zip(t.column(2).as_numeric().unwrap())
+        for (a, b) in
+            decoded.column(2).as_numeric().unwrap().iter().zip(t.column(2).as_numeric().unwrap())
         {
             assert!((a - b).abs() < 1e-3);
         }
@@ -355,7 +344,8 @@ mod tests {
 
     #[test]
     fn quantile_transform_round_trips() {
-        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64).collect();
+        let values: Vec<f64> =
+            (0..500).map(|i| (i as f64 * 0.37).sin() * 10.0 + i as f64).collect();
         let q = QuantileTransformer::fit(&values);
         for &v in values.iter().step_by(37) {
             let z = q.transform(v);
@@ -371,8 +361,7 @@ mod tests {
         let q = QuantileTransformer::fit(&values);
         let scores: Vec<f64> = values.iter().map(|&v| q.transform(v)).collect();
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / scores.len() as f64;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

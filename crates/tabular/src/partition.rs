@@ -42,10 +42,7 @@ impl PartitionPlan {
     /// Panics if `n_clients` is zero or exceeds `n_cols`.
     pub fn new(n_cols: usize, n_clients: usize, strategy: PartitionStrategy) -> Self {
         assert!(n_clients >= 1, "need at least one client");
-        assert!(
-            n_clients <= n_cols,
-            "cannot split {n_cols} columns across {n_clients} clients"
-        );
+        assert!(n_clients <= n_cols, "cannot split {n_cols} columns across {n_clients} clients");
         let mut order: Vec<usize> = (0..n_cols).collect();
         if let PartitionStrategy::Permuted { seed } = strategy {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -127,9 +124,7 @@ mod tests {
 
     fn demo(n_cols: usize) -> Table {
         let metas = (0..n_cols).map(|i| ColumnMeta::numeric(format!("f{i}"))).collect();
-        let cols = (0..n_cols)
-            .map(|i| Column::Numeric(vec![i as f64, i as f64 + 10.0]))
-            .collect();
+        let cols = (0..n_cols).map(|i| Column::Numeric(vec![i as f64, i as f64 + 10.0])).collect();
         Table::new(Schema::new(metas), cols).unwrap()
     }
 

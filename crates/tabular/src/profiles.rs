@@ -58,8 +58,7 @@ impl DatasetProfile {
             TaskKind::Classification { classes } => classes as usize,
             TaskKind::Regression => 1,
         };
-        cat + self.numeric_count() - usize::from(matches!(self.task, TaskKind::Regression))
-            + target
+        cat + self.numeric_count() - usize::from(matches!(self.task, TaskKind::Regression)) + target
     }
 
     /// Expansion factor (`Incr` in Table II).
@@ -116,6 +115,7 @@ impl DatasetProfile {
     /// seeds give iid samples of the same distribution — exactly what the
     /// train/synthetic/holdout comparisons in the benchmark need.
     pub fn generate(&self, rows: usize, sample_seed: u64) -> Table {
+        let _span = silofuse_observe::span("data-generate");
         self.generator(0).generate(rows, sample_seed)
     }
 }
@@ -132,17 +132,7 @@ fn hash_name(name: &str) -> u64 {
 
 /// All nine paper profiles, in the order of Table II.
 pub fn all_profiles() -> Vec<DatasetProfile> {
-    vec![
-        loan(),
-        adult(),
-        cardio(),
-        abalone(),
-        churn(),
-        diabetes(),
-        cover(),
-        intrusion(),
-        heloc(),
-    ]
+    vec![loan(), adult(), cardio(), abalone(), churn(), diabetes(), cover(), intrusion(), heloc()]
 }
 
 /// Looks a profile up by its (case-insensitive) paper name.
@@ -315,10 +305,8 @@ mod tests {
 
     #[test]
     fn expansion_factor_ranks_churn_worst() {
-        let factors: Vec<(String, f64)> = all_profiles()
-            .iter()
-            .map(|p| (p.name.to_string(), p.expansion_factor()))
-            .collect();
+        let factors: Vec<(String, f64)> =
+            all_profiles().iter().map(|p| (p.name.to_string(), p.expansion_factor())).collect();
         let max = factors.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         assert_eq!(max.0, "Churn");
         assert!(max.1 > 200.0);

@@ -11,10 +11,7 @@ use rand::SeedableRng;
 /// # Panics
 /// Panics if `holdout_fraction` is outside `(0, 1)`.
 pub fn train_holdout_split(table: &Table, holdout_fraction: f64, seed: u64) -> (Table, Table) {
-    assert!(
-        holdout_fraction > 0.0 && holdout_fraction < 1.0,
-        "holdout fraction must be in (0, 1)"
-    );
+    assert!(holdout_fraction > 0.0 && holdout_fraction < 1.0, "holdout fraction must be in (0, 1)");
     let n = table.n_rows();
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);

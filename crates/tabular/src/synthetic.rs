@@ -266,10 +266,7 @@ impl GeneratorConfig {
                     })
                     .collect();
                 Column::Categorical(
-                    scores
-                        .iter()
-                        .map(|&s| thresholds.partition_point(|&t| t < s) as u32)
-                        .collect(),
+                    scores.iter().map(|&s| thresholds.partition_point(|&t| t < s) as u32).collect(),
                 )
             }
         }
@@ -305,11 +302,7 @@ pub fn dirichlet_weights(cardinality: u32, alpha: f64, rng: &mut StdRng) -> Vec<
                     break d * v;
                 }
             };
-            let g = if alpha < 1.0 {
-                g * rng.gen::<f64>().max(1e-12).powf(1.0 / alpha)
-            } else {
-                g
-            };
+            let g = if alpha < 1.0 { g * rng.gen::<f64>().max(1e-12).powf(1.0 / alpha) } else { g };
             g.max(1e-9)
         })
         .collect()
@@ -326,10 +319,7 @@ mod tests {
                 ("income".into(), Marginal::LogNormal { mu: 10.0, sigma: 0.5 }),
                 ("score".into(), Marginal::Uniform { lo: 0.0, hi: 100.0 }),
                 ("gender".into(), Marginal::Categorical { weights: vec![1.0, 1.0] }),
-                (
-                    "city".into(),
-                    Marginal::Categorical { weights: vec![5.0, 3.0, 1.0, 1.0] },
-                ),
+                ("city".into(), Marginal::Categorical { weights: vec![5.0, 3.0, 1.0, 1.0] }),
             ],
             task: TaskKind::Classification { classes: 2 },
             correlation_strength: strength,

@@ -80,10 +80,9 @@ impl std::fmt::Display for TableError {
             TableError::KindMismatch { column } => {
                 write!(f, "column {column} data does not match its schema kind")
             }
-            TableError::CodeOutOfRange { column, code, cardinality } => write!(
-                f,
-                "column {column} has code {code} outside cardinality {cardinality}"
-            ),
+            TableError::CodeOutOfRange { column, code, cardinality } => {
+                write!(f, "column {column} has code {code} outside cardinality {cardinality}")
+            }
         }
     }
 }
@@ -209,10 +208,7 @@ impl Table {
     pub fn concat_columns(parts: &[&Table]) -> Table {
         assert!(!parts.is_empty(), "concat_columns needs at least one table");
         let rows = parts[0].rows;
-        assert!(
-            parts.iter().all(|t| t.rows == rows),
-            "concat_columns row count mismatch"
-        );
+        assert!(parts.iter().all(|t| t.rows == rows), "concat_columns row count mismatch");
         let mut metas: Vec<ColumnMeta> = Vec::new();
         let mut columns: Vec<Column> = Vec::new();
         for part in parts {
@@ -229,16 +225,10 @@ mod tests {
     use crate::schema::ColumnMeta;
 
     fn demo() -> Table {
-        let schema = Schema::new(vec![
-            ColumnMeta::numeric("x"),
-            ColumnMeta::categorical("c", 3),
-        ]);
+        let schema = Schema::new(vec![ColumnMeta::numeric("x"), ColumnMeta::categorical("c", 3)]);
         Table::new(
             schema,
-            vec![
-                Column::Numeric(vec![1.0, 2.0, 3.0]),
-                Column::Categorical(vec![0, 2, 1]),
-            ],
+            vec![Column::Numeric(vec![1.0, 2.0, 3.0]), Column::Categorical(vec![0, 2, 1])],
         )
         .unwrap()
     }
@@ -254,11 +244,9 @@ mod tests {
     #[test]
     fn rejects_ragged_columns() {
         let schema = Schema::new(vec![ColumnMeta::numeric("a"), ColumnMeta::numeric("b")]);
-        let err = Table::new(
-            schema,
-            vec![Column::Numeric(vec![1.0]), Column::Numeric(vec![1.0, 2.0])],
-        )
-        .unwrap_err();
+        let err =
+            Table::new(schema, vec![Column::Numeric(vec![1.0]), Column::Numeric(vec![1.0, 2.0])])
+                .unwrap_err();
         assert_eq!(err, TableError::RaggedColumns);
     }
 

@@ -24,18 +24,12 @@ impl BinnedFeatures {
     pub fn fit(features: &[Vec<f64>], max_bins: usize) -> Self {
         assert!(max_bins >= 2, "need at least two bins");
         let rows = features.first().map_or(0, Vec::len);
-        assert!(
-            features.iter().all(|f| f.len() == rows),
-            "ragged feature columns"
-        );
+        assert!(features.iter().all(|f| f.len() == rows), "ragged feature columns");
         let mut edges = Vec::with_capacity(features.len());
         let mut bins = Vec::with_capacity(features.len());
         for feature in features {
             let e = quantile_edges(feature, max_bins);
-            let b = feature
-                .iter()
-                .map(|&v| e.partition_point(|&edge| edge <= v) as u16)
-                .collect();
+            let b = feature.iter().map(|&v| e.partition_point(|&edge| edge <= v) as u16).collect();
             edges.push(e);
             bins.push(b);
         }

@@ -27,10 +27,7 @@ impl Default for BoostParams {
 /// aligned with `n_rows` targets.
 fn validate(features: &Features, n_rows: usize) {
     assert!(!features.is_empty(), "need at least one feature");
-    assert!(
-        features.iter().all(|f| f.len() == n_rows),
-        "feature columns must match target length"
-    );
+    assert!(features.iter().all(|f| f.len() == n_rows), "feature columns must match target length");
 }
 
 fn predict_raw(trees: &[Tree], base: f64, lr: f64, row: &[f64]) -> f64 {
@@ -116,6 +113,7 @@ pub struct GbdtBinaryClassifier {
 impl GbdtBinaryClassifier {
     /// Fits on column-major `features` and 0/1 `labels`.
     pub fn fit(features: &Features, labels: &[u32], params: &BoostParams) -> Self {
+        let _span = silofuse_observe::span("gbdt-fit");
         validate(features, labels.len());
         let n = labels.len();
         let pos = labels.iter().filter(|&&y| y == 1).count() as f64;
@@ -161,10 +159,7 @@ impl GbdtBinaryClassifier {
 
     /// Hard 0/1 predictions at threshold 0.5.
     pub fn predict(&self, features: &Features) -> Vec<u32> {
-        self.predict_proba(features)
-            .into_iter()
-            .map(|p| u32::from(p >= 0.5))
-            .collect()
+        self.predict_proba(features).into_iter().map(|p| u32::from(p >= 0.5)).collect()
     }
 
     /// Split-count feature importance, normalised to sum to 1.
@@ -186,10 +181,7 @@ impl GbdtMulticlass {
     /// Panics if `n_classes < 2` or a label is out of range.
     pub fn fit(features: &Features, labels: &[u32], n_classes: u32, params: &BoostParams) -> Self {
         assert!(n_classes >= 2, "need at least two classes");
-        assert!(
-            labels.iter().all(|&y| y < n_classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&y| y < n_classes), "label out of range");
         let per_class = (0..n_classes)
             .map(|c| {
                 let binary: Vec<u32> = labels.iter().map(|&y| u32::from(y == c)).collect();
@@ -247,11 +239,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
         let x1: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
-        let y: Vec<f64> = x0
-            .iter()
-            .zip(&x1)
-            .map(|(a, b)| 2.0 * a - b + rng.gen_range(-0.1..0.1))
-            .collect();
+        let y: Vec<f64> =
+            x0.iter().zip(&x1).map(|(a, b)| 2.0 * a - b + rng.gen_range(-0.1..0.1)).collect();
         (vec![x0, x1], y)
     }
 
@@ -260,12 +249,8 @@ mod tests {
         let (features, y) = noisy_linear(500, 1);
         let model = GbdtRegressor::fit(&features, &y, &BoostParams::default());
         let preds = model.predict(&features);
-        let mse: f64 = preds
-            .iter()
-            .zip(&y)
-            .map(|(p, t)| (p - t) * (p - t))
-            .sum::<f64>()
-            / y.len() as f64;
+        let mse: f64 =
+            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
         let var: f64 = {
             let m = y.iter().sum::<f64>() / y.len() as f64;
             y.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / y.len() as f64
@@ -288,12 +273,12 @@ mod tests {
         let n = 600;
         let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
         let x1: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
-        let labels: Vec<u32> = x0
-            .iter()
-            .zip(&x1)
-            .map(|(a, b)| u32::from(a + b > 0.0))
-            .collect();
-        let model = GbdtBinaryClassifier::fit(&vec![x0.clone(), x1.clone()], &labels, &BoostParams::default());
+        let labels: Vec<u32> = x0.iter().zip(&x1).map(|(a, b)| u32::from(a + b > 0.0)).collect();
+        let model = GbdtBinaryClassifier::fit(
+            &vec![x0.clone(), x1.clone()],
+            &labels,
+            &BoostParams::default(),
+        );
         let preds = model.predict(&vec![x0, x1]);
         let acc = preds.iter().zip(&labels).filter(|(p, y)| p == y).count() as f64 / n as f64;
         assert!(acc > 0.93, "accuracy {acc}");
@@ -364,8 +349,11 @@ mod tests {
     #[test]
     fn single_class_labels_do_not_panic() {
         // Degenerate but must not crash (privacy attacks may hit this).
-        let model =
-            GbdtBinaryClassifier::fit(&vec![vec![1.0, 2.0, 3.0]], &[1, 1, 1], &BoostParams::default());
+        let model = GbdtBinaryClassifier::fit(
+            &vec![vec![1.0, 2.0, 3.0]],
+            &[1, 1, 1],
+            &BoostParams::default(),
+        );
         assert!(model.predict_proba_row(&[2.0]) > 0.9);
     }
 }

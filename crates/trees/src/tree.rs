@@ -35,12 +35,7 @@ pub struct Tree {
 
 impl Tree {
     /// Fits a tree to per-row gradients and hessians on binned features.
-    pub fn fit(
-        binned: &BinnedFeatures,
-        grads: &[f64],
-        hess: &[f64],
-        params: &TreeParams,
-    ) -> Self {
+    pub fn fit(binned: &BinnedFeatures, grads: &[f64], hess: &[f64], params: &TreeParams) -> Self {
         assert_eq!(grads.len(), binned.rows(), "one gradient per row");
         assert_eq!(hess.len(), binned.rows(), "one hessian per row");
         let mut tree = Tree { nodes: Vec::new() };
@@ -92,8 +87,8 @@ impl Tree {
                 if hl < params.min_child_weight || hr < params.min_child_weight {
                     continue;
                 }
-                let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                    - parent_score;
+                let gain =
+                    gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score;
                 if gain > params.gamma && best.map_or(true, |(_, _, g)| gain > g) {
                     best = Some((j, b, gain));
                 }
@@ -104,21 +99,16 @@ impl Tree {
             return self.push_leaf(leaf_value);
         };
 
-        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
-            .into_iter()
-            .partition(|&i| (binned.bin(feature, i as usize) as usize) <= bin);
+        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+            rows.into_iter().partition(|&i| (binned.bin(feature, i as usize) as usize) <= bin);
         debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
 
         let node_idx = self.nodes.len();
         self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
         let left = self.grow(binned, grads, hess, params, left_rows, depth + 1);
         let right = self.grow(binned, grads, hess, params, right_rows, depth + 1);
-        self.nodes[node_idx] = Node::Split {
-            feature,
-            threshold: binned.threshold(feature, bin),
-            left,
-            right,
-        };
+        self.nodes[node_idx] =
+            Node::Split { feature, threshold: binned.threshold(feature, bin), left, right };
         node_idx
     }
 
@@ -171,7 +161,12 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|&v| if v < 50.0 { -1.0 } else { 1.0 }).collect();
         let binned = BinnedFeatures::fit(std::slice::from_ref(&x), 32);
         let (g, h) = grads_for(&y);
-        let tree = Tree::fit(&binned, &g, &h, &TreeParams { max_depth: 1, lambda: 0.0, ..Default::default() });
+        let tree = Tree::fit(
+            &binned,
+            &g,
+            &h,
+            &TreeParams { max_depth: 1, lambda: 0.0, ..Default::default() },
+        );
         // Predictions should approximate the step function.
         assert!(tree.predict_row(&[10.0]) < -0.8);
         assert!(tree.predict_row(&[90.0]) > 0.8);
@@ -210,8 +205,18 @@ mod tests {
         let y = vec![10.0; 10];
         let binned = BinnedFeatures::fit(&[x], 4);
         let (g, h) = grads_for(&y);
-        let plain = Tree::fit(&binned, &g, &h, &TreeParams { max_depth: 0, lambda: 0.0, ..Default::default() });
-        let reg = Tree::fit(&binned, &g, &h, &TreeParams { max_depth: 0, lambda: 10.0, ..Default::default() });
+        let plain = Tree::fit(
+            &binned,
+            &g,
+            &h,
+            &TreeParams { max_depth: 0, lambda: 0.0, ..Default::default() },
+        );
+        let reg = Tree::fit(
+            &binned,
+            &g,
+            &h,
+            &TreeParams { max_depth: 0, lambda: 10.0, ..Default::default() },
+        );
         assert!((plain.predict_row(&[0.0]) - 10.0).abs() < 1e-9);
         assert!(reg.predict_row(&[0.0]) < 6.0);
     }

@@ -52,13 +52,8 @@ fn diffusion_models_beat_an_untrained_gan_on_resemblance() {
     let mut rng = StdRng::seed_from_u64(2);
 
     let budget = TrainBudget::quick();
-    let mut latent = build_synthesizer(
-        ModelKind::LatentDiff,
-        &budget,
-        4,
-        PartitionStrategy::Default,
-        2,
-    );
+    let mut latent =
+        build_synthesizer(ModelKind::LatentDiff, &budget, 4, PartitionStrategy::Default, 2);
     latent.fit(&train, &mut rng);
     let synth_latent = latent.synthesize(384, &mut rng);
 

@@ -14,7 +14,11 @@ fn partitions(rows: usize, clients: usize, seed: u64) -> Vec<silofuse_tabular::T
     PartitionPlan::new(t.n_cols(), clients, PartitionStrategy::Default).split(&t)
 }
 
-fn config(ae_steps: usize, diffusion_steps: usize, seed: u64) -> silofuse_core::models::LatentDiffConfig {
+fn config(
+    ae_steps: usize,
+    diffusion_steps: usize,
+    seed: u64,
+) -> silofuse_core::models::LatentDiffConfig {
     let mut cfg = TrainBudget::quick().scaled_down(4).latent_config(seed);
     cfg.ae_steps = ae_steps;
     cfg.diffusion_steps = diffusion_steps;

@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use silofuse_core::{SiloFuse, SiloFuseConfig, TrainBudget};
-use silofuse_metrics::{privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig};
+use silofuse_metrics::{
+    privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig,
+};
 use silofuse_tabular::partition::PartitionStrategy;
 use silofuse_tabular::profiles;
 

@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by
+//! this workspace (the byte-accounted transport), so that is all the stub
+//! provides, backed by `std::sync::mpsc`. Disconnect semantics match:
+//! sending after the peer endpoint is dropped returns an error.
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error: the receiving side hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: the sending side hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors if all senders were dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive attempt.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.inner.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(41).unwrap();
+            assert_eq!(rx.recv(), Ok(41));
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn works_across_threads() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || rx.recv().unwrap());
+            tx.send(String::from("ping")).unwrap();
+            assert_eq!(handle.join().unwrap(), "ping");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags a handful of schema types with `#[derive(Serialize,
+//! Deserialize)]` but never serialises through serde, so the traits are
+//! empty markers and the derives (re-exported from the stub
+//! `serde_derive`) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
