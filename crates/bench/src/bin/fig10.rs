@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use silofuse_bench::{emit_report, human_bytes, parse_cli, run_config_for, TextTable};
+use silofuse_bench::{emit_report, human_bytes, net_config, parse_cli, run_config_for, TextTable};
 use silofuse_core::pipeline::DatasetRun;
 use silofuse_distributed::e2e_distr::E2eDistributed;
 use silofuse_distributed::stacked::SiloFuseModel;
@@ -25,10 +25,15 @@ fn main() {
         opts.datasets = Some(vec!["Abalone".into(), "Intrusion".into()]);
     }
 
+    let net = net_config(&opts);
     let mut report = format!(
         "Fig. 10 — Bytes communicated during training, SiloFuse vs E2EDistr;\n\
-         4 clients, seed {}\n\n",
-        opts.seed
+         4 clients, seed {}{}\n\n",
+        opts.seed,
+        match &opts.faults {
+            Some(plan) => format!(", link faults {plan:?}"),
+            None => String::new(),
+        }
     );
 
     for name in opts.datasets.clone().unwrap() {
@@ -46,14 +51,17 @@ fn main() {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let model_cfg = cfg.budget.latent_config(cfg.seed);
-        let stacked = SiloFuseModel::fit(&partitions, model_cfg, &mut rng);
-        let sf_bytes = stacked.comm_stats().total_bytes();
+        let stacked = SiloFuseModel::try_fit(&partitions, model_cfg, &net, &mut rng)
+            .unwrap_or_else(|e| panic!("SiloFuse training failed: {e}"));
+        let sf_stats = stacked.comm_stats();
+        let sf_bytes = sf_stats.total_bytes();
 
         // Short measured E2EDistr run for the per-iteration constant.
         let mut short = model_cfg;
         short.ae_steps = 20;
         short.diffusion_steps = 20;
-        let e2e = E2eDistributed::fit(&partitions, short, &mut rng);
+        let e2e = E2eDistributed::try_fit(&partitions, short, &net, &mut rng)
+            .unwrap_or_else(|e| panic!("E2EDistr training failed: {e}"));
         let per_iter = e2e.bytes_per_iteration();
 
         report.push_str(&format!(
@@ -74,10 +82,27 @@ fn main() {
         }
         report.push_str(&table.render());
         report.push_str(&format!(
-            "SiloFuse rounds: {} | E2EDistr: {} per iteration, O(#iterations) total\n\n",
-            stacked.comm_stats().rounds,
+            "SiloFuse rounds: {} | E2EDistr: {} per iteration, O(#iterations) total\n",
+            sf_stats.rounds,
             human_bytes(per_iter)
         ));
+        // Retransmitted bytes are recovery overhead, not protocol payload:
+        // they are ledgered separately so the Fig. 10 numbers above stay
+        // comparable between clean and faulty runs.
+        if opts.faults.is_some() {
+            let e2e_stats = e2e.comm_stats();
+            report.push_str(&format!(
+                "fault recovery overhead (excluded above): SiloFuse {} retransmits ({} + {} acks), \
+                 E2EDistr {} retransmits ({} + {} acks)\n",
+                sf_stats.retransmits,
+                human_bytes(sf_stats.bytes_retried as f64),
+                human_bytes(sf_stats.bytes_ack as f64),
+                e2e_stats.retransmits,
+                human_bytes(e2e_stats.bytes_retried as f64),
+                human_bytes(e2e_stats.bytes_ack as f64),
+            ));
+        }
+        report.push('\n');
         eprintln!(
             "[fig10] {:<10} SiloFuse {} fixed vs E2EDistr {}/iter",
             profile.name,

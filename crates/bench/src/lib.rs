@@ -22,6 +22,7 @@
 //! to `target/experiments/<name>.txt`.
 
 use silofuse_core::pipeline::RunConfig;
+use silofuse_distributed::{FaultPlan, NetConfig};
 use silofuse_tabular::profiles::{all_profiles, DatasetProfile};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -40,11 +41,22 @@ pub struct CliOptions {
     /// Collect run telemetry (spans, metrics, events) and write a JSONL
     /// trace under `target/experiments/telemetry/`.
     pub trace: bool,
+    /// Seeded link-fault plan for the distributed models
+    /// (`--faults drop=0.05,delay=10ms,seed=7`). None = perfect network.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CliOptions {
     fn default() -> Self {
-        Self { quick: false, trials: 1, datasets: None, seed: 17, trace: false }
+        Self { quick: false, trials: 1, datasets: None, seed: 17, trace: false, faults: None }
+    }
+}
+
+/// The network configuration implied by `--faults` (default: perfect links).
+pub fn net_config(opts: &CliOptions) -> NetConfig {
+    match &opts.faults {
+        Some(plan) => NetConfig::faulty(plan.clone()),
+        None => NetConfig::default(),
     }
 }
 
@@ -66,18 +78,20 @@ pub fn parse_cli() -> CliOptions {
                     .expect("--trials needs a positive integer");
             }
             "--seed" => {
-                opts.seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs an integer");
+                opts.seed =
+                    args.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
             }
             "--datasets" => {
                 let list = args.next().expect("--datasets needs a comma-separated list");
-                opts.datasets =
-                    Some(list.split(',').map(|s| s.trim().to_string()).collect());
+                opts.datasets = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--faults" => {
+                let spec = args.next().expect("--faults needs a spec like drop=0.05,seed=7");
+                opts.faults = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}")));
             }
             other => panic!(
-                "unknown argument {other}; supported: --quick --trace --trials N --seed S --datasets A,B"
+                "unknown argument {other}; supported: --quick --trace --trials N --seed S \
+                 --datasets A,B --faults drop=0.05,delay=10ms,seed=7"
             ),
         }
     }

@@ -5,6 +5,7 @@ use crate::budget::TrainBudget;
 use crate::silofuse::{SiloFuse, SiloFuseConfig};
 use rand::rngs::StdRng;
 use silofuse_distributed::e2e_distr::E2eDistributed;
+use silofuse_distributed::NetConfig;
 use silofuse_models::synthesizer::{GanSynthesizer, TabDdpmSynthesizer};
 use silofuse_models::{
     E2eCentralized, GanArchitecture, GanConfig, LatentDiff, Synthesizer, TabDdpmConfig,
@@ -67,13 +68,31 @@ impl ModelKind {
 /// Builds a fresh synthesizer of the given kind.
 ///
 /// Distributed kinds use `n_clients`/`strategy` (paper default: 4 clients,
-/// unshuffled); centralized kinds ignore them.
+/// unshuffled) over a perfect in-process network; centralized kinds ignore
+/// them. To inject link faults, use [`build_synthesizer_with_net`].
 pub fn build_synthesizer(
     kind: ModelKind,
     budget: &TrainBudget,
     n_clients: usize,
     strategy: PartitionStrategy,
     seed: u64,
+) -> Box<dyn Synthesizer> {
+    build_synthesizer_with_net(kind, budget, n_clients, strategy, seed, NetConfig::default())
+}
+
+/// [`build_synthesizer`] with an explicit network configuration for the
+/// distributed kinds (fault injection + retry policy). Centralized kinds
+/// ignore `net`. Under a faulty `net`, a silo dead past the retry budget
+/// makes `fit`/`synthesize` panic with the underlying
+/// [`ProtocolError`](silofuse_distributed::ProtocolError); the facade's
+/// `try_*` methods expose it as a typed error instead.
+pub fn build_synthesizer_with_net(
+    kind: ModelKind,
+    budget: &TrainBudget,
+    n_clients: usize,
+    strategy: PartitionStrategy,
+    seed: u64,
+    net: NetConfig,
 ) -> Box<dyn Synthesizer> {
     let latent = budget.latent_config(seed);
     match kind {
@@ -101,10 +120,10 @@ pub fn build_synthesizer(
         ModelKind::LatentDiff => Box::new(LatentDiff::new(latent)),
         ModelKind::E2e => Box::new(E2eCentralized::new(latent)),
         ModelKind::E2eDistr => {
-            Box::new(E2eDistrSynthesizer { config: latent, n_clients, strategy, state: None })
+            Box::new(E2eDistrSynthesizer { config: latent, n_clients, strategy, net, state: None })
         }
         ModelKind::SiloFuse => {
-            Box::new(SiloFuse::new(SiloFuseConfig { n_clients, strategy, model: latent }))
+            Box::new(SiloFuse::with_net(SiloFuseConfig { n_clients, strategy, model: latent }, net))
         }
     }
 }
@@ -115,6 +134,7 @@ pub struct E2eDistrSynthesizer {
     config: silofuse_models::LatentDiffConfig,
     n_clients: usize,
     strategy: PartitionStrategy,
+    net: NetConfig,
     state: Option<(E2eDistributed, PartitionPlan)>,
 }
 
@@ -126,7 +146,8 @@ impl Synthesizer for E2eDistrSynthesizer {
     fn fit(&mut self, table: &Table, rng: &mut StdRng) {
         let plan = PartitionPlan::new(table.n_cols(), self.n_clients, self.strategy);
         let partitions = plan.split(table);
-        let model = E2eDistributed::fit(&partitions, self.config, rng);
+        let model = E2eDistributed::try_fit(&partitions, self.config, &self.net, rng)
+            .unwrap_or_else(|e| panic!("distributed training failed: {e}"));
         self.state = Some((model, plan));
     }
 

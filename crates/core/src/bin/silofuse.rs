@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use silofuse_core::{build_synthesizer, ModelKind, TrainBudget};
+use silofuse_core::{build_synthesizer_with_net, FaultPlan, ModelKind, NetConfig, TrainBudget};
 use silofuse_metrics::{
     privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig,
 };
@@ -78,8 +78,11 @@ USAGE:
 
   silofuse synth --input <real.csv> --rows <N> --out <synth.csv>
       [--model silofuse|latentdiff|tabddpm|gan-linear|gan-conv|e2e|e2e-distr]
-      [--clients M] [--quick] [--seed S]
+      [--clients M] [--quick] [--seed S] [--faults SPEC]
       Fit a synthesizer on the CSV (schema inferred) and write synthetic rows.
+      --faults injects seeded link faults into the distributed models, e.g.
+      `--faults drop=0.05,delay=10ms,dup=0.02,seed=7`; the transport retries
+      with exponential backoff and reports retransmits separately.
 
   silofuse evaluate --real <real.csv> --synth <synth.csv>
       [--holdout <holdout.csv>] [--seed S]
@@ -175,6 +178,20 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let kind = model_kind(flags.get("model").map(String::as_str).unwrap_or("silofuse"))?;
     let budget =
         if flags.contains_key("quick") { TrainBudget::quick() } else { TrainBudget::standard() };
+    let net = match flags.get("faults") {
+        None => NetConfig::default(),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec)?;
+            if !kind.is_distributed() {
+                return Err(format!(
+                    "--faults only applies to distributed models, not {}",
+                    kind.name()
+                ));
+            }
+            eprintln!("injecting link faults: {spec}");
+            NetConfig::faulty(plan)
+        }
+    };
 
     let csv = load_csv(input)?;
     let clients = clients.min(csv.table.n_cols()).max(1);
@@ -187,7 +204,8 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
         clients
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut model = build_synthesizer(kind, &budget, clients, PartitionStrategy::Default, seed);
+    let mut model =
+        build_synthesizer_with_net(kind, &budget, clients, PartitionStrategy::Default, seed, net);
     model.fit(&csv.table, &mut rng);
     let synth = model.synthesize(rows, &mut rng);
     std::fs::write(out, write_csv(&synth, Some(&csv.vocabularies)))

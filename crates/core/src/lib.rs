@@ -41,10 +41,11 @@ pub mod budget;
 pub mod pipeline;
 pub mod silofuse;
 
-pub use baselines::{build_synthesizer, ModelKind};
+pub use baselines::{build_synthesizer, build_synthesizer_with_net, ModelKind};
 pub use budget::TrainBudget;
 pub use pipeline::{evaluate_model, DatasetRun, ModelScores, RunConfig};
 pub use silofuse::{SiloFuse, SiloFuseConfig};
+pub use silofuse_distributed::{FaultPlan, NetConfig, ProtocolError, RetryPolicy};
 
 pub use silofuse_diffusion as diffusion;
 pub use silofuse_distributed as distributed;

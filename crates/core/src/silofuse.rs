@@ -3,7 +3,7 @@
 use crate::budget::TrainBudget;
 use rand::rngs::StdRng;
 use silofuse_distributed::stacked::SiloFuseModel;
-use silofuse_distributed::CommStats;
+use silofuse_distributed::{CommStats, NetConfig, ProtocolError};
 use silofuse_models::latentdiff::LatentDiffConfig;
 use silofuse_models::Synthesizer;
 use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
@@ -50,6 +50,7 @@ impl SiloFuseConfig {
 /// [`silofuse_distributed::stacked::SiloFuseModel`] directly.
 pub struct SiloFuse {
     config: SiloFuseConfig,
+    net: NetConfig,
     state: Option<(SiloFuseModel, PartitionPlan)>,
 }
 
@@ -60,17 +61,36 @@ impl std::fmt::Debug for SiloFuse {
 }
 
 impl SiloFuse {
-    /// Creates an unfitted synthesizer.
+    /// Creates an unfitted synthesizer over a perfect (in-process) network.
     pub fn new(config: SiloFuseConfig) -> Self {
-        Self { config, state: None }
+        Self::with_net(config, NetConfig::default())
+    }
+
+    /// Creates an unfitted synthesizer whose cross-silo links follow `net`
+    /// (fault injection + retry policy). With faults enabled, prefer the
+    /// `try_*` entry points — a silo that stays dead past the retry budget
+    /// surfaces as [`ProtocolError`] instead of a hang.
+    pub fn with_net(config: SiloFuseConfig, net: NetConfig) -> Self {
+        Self { config, net, state: None }
     }
 
     /// Trains the distributed model on `table`.
+    ///
+    /// # Panics
+    /// Panics if the protocol fails, which only happens on a faulty
+    /// [`NetConfig`]; use [`SiloFuse::try_fit`] to handle that case.
     pub fn fit(&mut self, table: &Table, rng: &mut StdRng) {
+        self.try_fit(table, rng).unwrap_or_else(|e| panic!("distributed training failed: {e}"));
+    }
+
+    /// Trains the distributed model, surfacing protocol failures
+    /// (dead silos, exhausted retry budgets) as typed errors.
+    pub fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), ProtocolError> {
         let plan = PartitionPlan::new(table.n_cols(), self.config.n_clients, self.config.strategy);
         let partitions = plan.split(table);
-        let model = SiloFuseModel::fit(&partitions, self.config.model, rng);
+        let model = SiloFuseModel::try_fit(&partitions, self.config.model, &self.net, rng)?;
         self.state = Some((model, plan));
+        Ok(())
     }
 
     /// Synthesizes `n` rows, keeping them vertically partitioned (strongest
@@ -87,11 +107,22 @@ impl SiloFuse {
     /// into the original column order (the paper's second scenario).
     ///
     /// # Panics
-    /// Panics if called before [`SiloFuse::fit`].
+    /// Panics if called before [`SiloFuse::fit`] or if the synthesis
+    /// protocol fails (faulty [`NetConfig`] only); see
+    /// [`SiloFuse::try_synthesize`].
     pub fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
+        self.try_synthesize(n, rng).unwrap_or_else(|e| panic!("synthesis failed: {e}"))
+    }
+
+    /// Synthesizes `n` reassembled rows, surfacing protocol failures as
+    /// typed errors.
+    ///
+    /// # Panics
+    /// Panics if called before [`SiloFuse::fit`].
+    pub fn try_synthesize(&mut self, n: usize, rng: &mut StdRng) -> Result<Table, ProtocolError> {
         let (model, plan) = self.state.as_mut().expect("SiloFuse::fit must be called first");
-        let parts = model.synthesize_partitioned(n, 0, rng);
-        plan.reassemble(&parts.iter().collect::<Vec<_>>())
+        let parts = model.try_synthesize_partitioned_with_steps(n, 0, None, rng)?;
+        Ok(plan.reassemble(&parts.iter().collect::<Vec<_>>()))
     }
 
     /// Synthesis with an inference-step override (Table VII).
@@ -156,6 +187,36 @@ mod tests {
         assert_eq!(s.schema(), t.schema());
         assert_eq!(s.n_rows(), 32);
         assert_eq!(model.comm_stats().rounds, 2); // train + synthesis
+    }
+
+    #[test]
+    fn faulty_links_leave_output_and_payload_bytes_unchanged() {
+        let t = profiles::loan().generate(96, 2);
+        let mut cfg = SiloFuseConfig::quick(2);
+        cfg.n_clients = 2;
+        cfg.model.ae_steps = 15;
+        cfg.model.diffusion_steps = 15;
+
+        let fit_once = |net: NetConfig| {
+            let mut model = SiloFuse::with_net(cfg, net);
+            let mut rng = StdRng::seed_from_u64(2);
+            model.try_fit(&t, &mut rng).expect("fit survives the fault plan");
+            let s = model.try_synthesize(16, &mut rng).expect("synthesis survives");
+            (s, model.comm_stats())
+        };
+
+        let (clean, clean_stats) = fit_once(NetConfig::default());
+        // Scripted drop of the first transmission on every link guarantees
+        // at least one retransmission regardless of the RNG draw.
+        let plan = silofuse_distributed::FaultPlan::parse("drop_nth=0,dup=0.2,seed=5").unwrap();
+        let (faulty, faulty_stats) = fit_once(NetConfig::faulty(plan));
+
+        // Loss/duplication on the links must not change WHAT is computed,
+        // only how often frames travel.
+        assert_eq!(clean, faulty);
+        assert_eq!(clean_stats.messages_up, faulty_stats.messages_up);
+        assert_eq!(clean_stats.bytes_retried, 0);
+        assert!(faulty_stats.retransmits > 0, "a scripted drop must trigger a retry");
     }
 
     #[test]

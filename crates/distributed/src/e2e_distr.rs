@@ -6,7 +6,11 @@
 //! behaviour Fig. 10 contrasts with SiloFuse's single round. The decoders
 //! stay at the clients; the joint loss is `L_G + L_AE`.
 
-use crate::transport::{bump_round, link, new_stats, ClientEndpoint, CommStats, SharedStats};
+use crate::error::ProtocolError;
+use crate::faults::NetConfig;
+use crate::transport::{
+    bump_round, link_with, new_stats, recv_retrying, ClientEndpoint, CommStats, SharedStats,
+};
 use crate::Message;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +33,7 @@ struct ClientState {
 /// The end-to-end distributed synthesizer.
 pub struct E2eDistributed {
     config: LatentDiffConfig,
+    net: NetConfig,
     clients: Vec<ClientState>,
     coord_endpoints: Vec<crate::transport::CoordEndpoint>,
     ddpm: Option<GaussianDdpm>,
@@ -46,8 +51,25 @@ impl E2eDistributed {
     /// coordinator) on vertically partitioned data.
     ///
     /// # Panics
-    /// Panics if `partitions` is empty or rows are misaligned.
+    /// Panics if `partitions` is empty or rows are misaligned, or if the
+    /// (perfect, in-process) network fails — use
+    /// [`E2eDistributed::try_fit`] to train under an injected
+    /// [`crate::faults::FaultPlan`].
     pub fn fit(partitions: &[Table], config: LatentDiffConfig, rng: &mut StdRng) -> Self {
+        Self::try_fit(partitions, config, &NetConfig::default(), rng)
+            .expect("protocol failed on a perfect network")
+    }
+
+    /// [`E2eDistributed::fit`] under an explicit network configuration.
+    /// Every joint step runs with both endpoint halves on this thread, so
+    /// lost transmissions are recovered via peer-kick retransmission; a
+    /// link dead past the retry budget returns [`ProtocolError::SiloDead`].
+    pub fn try_fit(
+        partitions: &[Table],
+        config: LatentDiffConfig,
+        net: &NetConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, ProtocolError> {
         assert!(!partitions.is_empty(), "need at least one client partition");
         let rows = partitions[0].n_rows();
         assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
@@ -56,7 +78,7 @@ impl E2eDistributed {
         let mut clients = Vec::with_capacity(partitions.len());
         let mut coord_endpoints = Vec::with_capacity(partitions.len());
         for (i, part) in partitions.iter().enumerate() {
-            let (client_ep, coord_ep) = link(std::sync::Arc::clone(&stats));
+            let (client_ep, coord_ep) = link_with(std::sync::Arc::clone(&stats), i as u64, net);
             let mut ae_cfg = config.ae;
             ae_cfg.seed = config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let ae = TabularAutoencoder::new(part, ae_cfg);
@@ -88,21 +110,32 @@ impl E2eDistributed {
         let diffusion = GaussianDiffusion::new(schedule, Parameterization::PredictX0);
         let mut ddpm = GaussianDdpm::new(diffusion, backbone, config.ddpm_lr);
 
-        let mut model = Self { config, clients, coord_endpoints, ddpm: None, stats };
+        let mut model =
+            Self { config, net: net.clone(), clients, coord_endpoints, ddpm: None, stats };
         let total_steps = config.ae_steps + config.diffusion_steps;
         let _phase = observe::phase("joint-train");
         for _ in 0..total_steps {
             let idx: Vec<usize> =
                 (0..config.batch_size.min(rows)).map(|_| rng.gen_range(0..rows)).collect();
-            model.joint_step(&mut ddpm, &idx, rng);
+            model.joint_step(&mut ddpm, &idx, rng)?;
         }
         model.ddpm = Some(ddpm);
-        model
+        Ok(model)
     }
 
     /// One distributed end-to-end step over aligned batch rows `idx`.
-    fn joint_step(&mut self, ddpm: &mut GaussianDdpm, idx: &[usize], rng: &mut StdRng) {
+    /// This thread holds both halves of every link, so under a fault plan
+    /// each bounded receive kicks the sending endpoint to retransmit its
+    /// unacknowledged frames (nobody else can).
+    fn joint_step(
+        &mut self,
+        ddpm: &mut GaussianDdpm,
+        idx: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<(), ProtocolError> {
         let m = self.clients.len();
+        let reliable = self.net.reliable();
+        let policy = self.net.retry;
 
         // Clients: encoder forward + activation upload.
         let mut batches = Vec::with_capacity(m);
@@ -118,19 +151,41 @@ impl E2eDistributed {
                     cols: z_i.cols() as u32,
                     data: z_i.as_slice().to_vec(),
                 })
-                .expect("coordinator alive");
+                .map_err(|source| ProtocolError::SiloDead {
+                    client: i,
+                    phase: "activation-upload",
+                    source,
+                })?;
             batches.push((batch, z_i));
         }
 
         // Coordinator: concat, DDPM step, gradient download.
         let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
-        for ep in &self.coord_endpoints {
-            match ep.recv().expect("client alive") {
+        for (i, ep) in self.coord_endpoints.iter().enumerate() {
+            let got = if reliable {
+                recv_retrying(
+                    &policy,
+                    |d| ep.recv_timeout(d),
+                    || self.clients[i].endpoint.retransmit_unacked(),
+                )
+            } else {
+                ep.recv()
+            };
+            match got.map_err(|source| ProtocolError::SiloDead {
+                client: i,
+                phase: "activation-upload",
+                source,
+            })? {
                 Message::ActivationUpload { client, rows, cols, data } => {
                     uploads[client as usize] =
                         Some(Tensor::from_vec(rows as usize, cols as usize, data));
                 }
-                other => panic!("unexpected message in E2E step: {other:?}"),
+                other => {
+                    return Err(ProtocolError::Unexpected {
+                        phase: "activation-upload",
+                        got: format!("{other:?}"),
+                    })
+                }
             }
         }
         let parts: Vec<Tensor> = uploads.into_iter().map(Option::unwrap).collect();
@@ -146,14 +201,34 @@ impl E2eDistributed {
                     cols: g.cols() as u32,
                     data: g.as_slice().to_vec(),
                 })
-                .expect("client alive");
+                .map_err(|source| ProtocolError::SiloDead {
+                    client: i,
+                    phase: "grad-download",
+                    source,
+                })?;
         }
 
         // Clients: local decoder loss + combined backward + step.
         for (i, client) in self.clients.iter_mut().enumerate() {
-            let msg = client.endpoint.recv().expect("gradient arrives");
+            let got = if reliable {
+                recv_retrying(
+                    &policy,
+                    |d| client.endpoint.recv_timeout(d),
+                    || self.coord_endpoints[i].retransmit_unacked(),
+                )
+            } else {
+                client.endpoint.recv()
+            };
+            let msg = got.map_err(|source| ProtocolError::SiloDead {
+                client: i,
+                phase: "grad-download",
+                source,
+            })?;
             let Message::GradientDownload { rows, cols, data, .. } = msg else {
-                panic!("unexpected message in E2E step");
+                return Err(ProtocolError::Unexpected {
+                    phase: "grad-download",
+                    got: format!("{msg:?}"),
+                });
             };
             let grad_ddpm = Tensor::from_vec(rows as usize, cols as usize, data);
             let (batch, z_i) = &batches[i];
@@ -163,6 +238,7 @@ impl E2eDistributed {
             client.ae.opt_step();
         }
         bump_round(&self.stats);
+        Ok(())
     }
 
     /// Number of clients.

@@ -1,0 +1,69 @@
+//! Typed protocol failures.
+//!
+//! Under a [`crate::faults::FaultPlan`], every blocking receive is bounded
+//! and every retransmission budgeted; when a silo stays silent past the
+//! budget the protocols return one of these instead of hanging on an
+//! unbounded channel or panicking through an `expect`.
+
+use crate::transport::TransportError;
+
+/// A distributed protocol run failed.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// A silo exhausted its retry/timeout budget during `phase`.
+    SiloDead {
+        /// Client index (coordinator-relative link id).
+        client: usize,
+        /// Protocol phase that gave up (`"latent-upload"`, `"grad-download"`, ...).
+        phase: &'static str,
+        /// The transport-level cause.
+        source: TransportError,
+    },
+    /// A peer sent a message the protocol state machine cannot accept.
+    Unexpected {
+        /// Protocol phase that received it.
+        phase: &'static str,
+        /// Debug rendering of the offending message.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::SiloDead { client, phase, source } => {
+                write!(f, "silo {client} declared dead during {phase}: {source}")
+            }
+            ProtocolError::Unexpected { phase, got } => {
+                write!(f, "unexpected message during {phase}: {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::SiloDead { source, .. } => Some(source),
+            ProtocolError::Unexpected { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_silo_and_phase() {
+        let e = ProtocolError::SiloDead {
+            client: 2,
+            phase: "latent-upload",
+            source: TransportError::Timeout,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("silo 2"), "{msg}");
+        assert!(msg.contains("latent-upload"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic fault injection for the cross-silo transport.
+//!
+//! A [`FaultPlan`] describes, per link and direction, how the simulated
+//! network misbehaves: independent drop/duplicate probabilities, a bounded
+//! uniform delivery delay, a scripted "drop transmission N" schedule, and a
+//! hard disconnect after N transmissions (the link turns into a black
+//! hole). Every decision is drawn from a [`StdRng`] seeded from
+//! `plan.seed`, the link id, and the direction, so a given plan replays
+//! identically across runs — the property the fault-matrix integration
+//! test pins down.
+//!
+//! Injection happens *beneath* [`crate::transport::link_with`]: protocols
+//! never see a fault directly, only its consequences (a recv timeout, a
+//! retransmission, a deduplicated replay, or a dead peer once the retry
+//! budget is exhausted).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silofuse_observe as observe;
+use std::time::Duration;
+
+/// A seeded, per-link fault schedule. `FaultPlan::default()` injects
+/// nothing (but still routes traffic through the reliable delivery layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a transmission is silently dropped.
+    pub drop: f64,
+    /// Probability that a transmission is delivered twice.
+    pub duplicate: f64,
+    /// Maximum injected delivery delay (uniform in `[0, delay]`).
+    pub delay: Duration,
+    /// Kill the link (black hole both ways) after this many transmissions
+    /// on a direction.
+    pub disconnect_after: Option<u64>,
+    /// Scripted schedule: drop exactly the N-th transmission (0-based,
+    /// counted per link direction), regardless of `drop`.
+    pub drop_nth: Vec<u64>,
+    /// Master seed for all per-link RNG streams.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: Duration::ZERO,
+            disconnect_after: None,
+            drop_nth: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the CLI syntax
+    /// `drop=0.05,delay=10ms,dup=0.02,disconnect_after=40,drop_nth=3;9,seed=7`.
+    ///
+    /// Every key is optional; unknown keys are an error. `delay` accepts
+    /// `10ms`, `2s`, or a bare number of milliseconds.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--faults: expected key=value, got `{part}`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "drop" => plan.drop = parse_prob(key, value)?,
+                "dup" | "duplicate" => plan.duplicate = parse_prob(key, value)?,
+                "delay" => plan.delay = parse_duration(value)?,
+                "disconnect_after" => {
+                    plan.disconnect_after = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("--faults: bad disconnect_after `{value}`"))?,
+                    );
+                }
+                "drop_nth" => {
+                    plan.drop_nth = value
+                        .split(';')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .map_err(|_| format!("--faults: bad drop_nth entry `{v}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "seed" => {
+                    plan.seed =
+                        value.parse().map_err(|_| format!("--faults: bad seed `{value}`"))?;
+                }
+                other => return Err(format!("--faults: unknown key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan can never perturb a message.
+    pub fn is_noop(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.delay == Duration::ZERO
+            && self.disconnect_after.is_none()
+            && self.drop_nth.is_empty()
+    }
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, String> {
+    let p: f64 =
+        value.parse().map_err(|_| format!("--faults: bad probability for `{key}`: `{value}`"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--faults: `{key}` must be in [0, 1], got {p}"));
+    }
+    Ok(p)
+}
+
+fn parse_duration(value: &str) -> Result<Duration, String> {
+    let (digits, unit) = match value.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => value.split_at(i),
+        None => (value, "ms"),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("--faults: bad delay `{value}`"))?;
+    match unit {
+        "ms" => Ok(Duration::from_millis(n)),
+        "us" => Ok(Duration::from_micros(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        other => Err(format!("--faults: unknown delay unit `{other}`")),
+    }
+}
+
+/// Retransmission and timeout policy of the reliable delivery layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Initial recv poll interval; doubles per silent tick (exponential
+    /// backoff) up to [`RetryPolicy::max_backoff`].
+    pub tick: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Retransmission rounds a protocol attempts before declaring the
+    /// peer silo dead.
+    pub max_retries: u32,
+    /// Overall budget for a single blocking receive; a peer that stays
+    /// silent this long is dead (replaces the seed's block-forever recv).
+    pub recv_deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(64),
+            max_retries: 16,
+            recv_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A tight policy for tests: millisecond ticks, sub-second deadline.
+    pub fn fast() -> Self {
+        Self {
+            tick: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            max_retries: 10,
+            recv_deadline: Duration::from_millis(400),
+        }
+    }
+}
+
+/// Network configuration handed to protocols: an optional fault plan plus
+/// the retry policy. `NetConfig::default()` is the perfect network the
+/// seed assumed — the transport then behaves byte-identically to the
+/// fault-free implementation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetConfig {
+    /// Fault schedule; `None` disables the reliability layer entirely.
+    pub faults: Option<FaultPlan>,
+    /// Retransmission policy (only consulted when `faults` is set).
+    pub retry: RetryPolicy,
+}
+
+impl NetConfig {
+    /// A faulty network with the default retry policy.
+    pub fn faulty(plan: FaultPlan) -> Self {
+        Self { faults: Some(plan), retry: RetryPolicy::default() }
+    }
+
+    /// Whether the reliability layer (framing, acks, dedup) is active.
+    pub fn reliable(&self) -> bool {
+        self.faults.is_some()
+    }
+}
+
+/// What the injector decided for one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Deliver normally; `extra_copy` requests a duplicate delivery.
+    Deliver {
+        /// Deliver a second copy of the frame.
+        extra_copy: bool,
+        /// Sleep this long before enqueuing (sender-side, preserves FIFO).
+        delay: Duration,
+    },
+    /// Silently drop this transmission.
+    Drop,
+    /// The link is dead: swallow this and every later transmission.
+    Blackhole,
+}
+
+/// Per-link, per-direction injector state.
+#[derive(Debug)]
+pub(crate) struct LinkFaults {
+    plan: FaultPlan,
+    rng: StdRng,
+    sent: u64,
+    dead: bool,
+}
+
+impl LinkFaults {
+    pub(crate) fn new(plan: FaultPlan, link_id: u64, direction_salt: u64) -> Self {
+        let seed = plan
+            .seed
+            .wrapping_add(link_id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(direction_salt.wrapping_mul(0xd1b5_4a32_d192_ed03));
+        Self { plan, rng: StdRng::seed_from_u64(seed), sent: 0, dead: false }
+    }
+
+    /// Decides the fate of the next transmission. Always draws the same
+    /// number of RNG values so the stream stays aligned across outcomes.
+    pub(crate) fn next(&mut self) -> FaultAction {
+        let n = self.sent;
+        self.sent += 1;
+        if self.dead {
+            return FaultAction::Blackhole;
+        }
+        if self.plan.disconnect_after.is_some_and(|k| n >= k) {
+            self.dead = true;
+            observe::count(observe::names::FAULT_DISCONNECT, 1);
+            return FaultAction::Blackhole;
+        }
+        let drop_draw: f64 = self.rng.gen();
+        let dup_draw: f64 = self.rng.gen();
+        let delay_draw: f64 = self.rng.gen();
+        if self.plan.drop_nth.contains(&n) || drop_draw < self.plan.drop {
+            observe::count(observe::names::FAULT_DROP, 1);
+            return FaultAction::Drop;
+        }
+        let extra_copy = dup_draw < self.plan.duplicate;
+        if extra_copy {
+            observe::count(observe::names::FAULT_DUPLICATE, 1);
+        }
+        let delay = self.plan.delay.mul_f64(delay_draw);
+        if !delay.is_zero() {
+            observe::count(observe::names::FAULT_DELAY, 1);
+        }
+        FaultAction::Deliver { extra_copy, delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse(
+            "drop=0.05,delay=10ms,dup=0.02,disconnect_after=40,drop_nth=3;9,seed=7",
+        )
+        .unwrap();
+        assert_eq!(plan.drop, 0.05);
+        assert_eq!(plan.duplicate, 0.02);
+        assert_eq!(plan.delay, Duration::from_millis(10));
+        assert_eq!(plan.disconnect_after, Some(40));
+        assert_eq!(plan.drop_nth, vec![3, 9]);
+        assert_eq!(plan.seed, 7);
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn parse_defaults_and_units() {
+        assert!(FaultPlan::parse("").unwrap().is_noop());
+        assert_eq!(FaultPlan::parse("delay=2s").unwrap().delay, Duration::from_secs(2));
+        assert_eq!(FaultPlan::parse("delay=5").unwrap().delay, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("nope=1").is_err());
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("delay=1h").is_err());
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_link() {
+        let plan = FaultPlan { drop: 0.3, duplicate: 0.3, seed: 11, ..Default::default() };
+        let run = |link: u64| {
+            let mut f = LinkFaults::new(plan.clone(), link, 1);
+            (0..64).map(|_| f.next()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0), "same link replays identically");
+        assert_ne!(run(0), run(1), "links draw independent streams");
+    }
+
+    #[test]
+    fn scripted_drops_and_disconnect_fire_exactly() {
+        let plan = FaultPlan { drop_nth: vec![1], disconnect_after: Some(3), ..Default::default() };
+        let mut f = LinkFaults::new(plan, 0, 0);
+        assert!(matches!(f.next(), FaultAction::Deliver { .. }));
+        assert_eq!(f.next(), FaultAction::Drop);
+        assert!(matches!(f.next(), FaultAction::Deliver { .. }));
+        assert_eq!(f.next(), FaultAction::Blackhole);
+        assert_eq!(f.next(), FaultAction::Blackhole);
+    }
+}

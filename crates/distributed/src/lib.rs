@@ -30,12 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod e2e_distr;
+pub mod error;
+pub mod faults;
 pub mod message;
 pub mod privacy;
 pub mod stacked;
 pub mod transport;
 
 pub use e2e_distr::E2eDistributed;
+pub use error::ProtocolError;
+pub use faults::{FaultPlan, NetConfig, RetryPolicy};
 pub use message::Message;
 pub use stacked::SiloFuseModel;
 pub use transport::CommStats;

@@ -195,15 +195,106 @@ fn decode_matrix(bytes: &mut Bytes) -> Result<(u32, u32, u32, Vec<f32>), CodecEr
     let client = bytes.get_u32_le();
     let rows = bytes.get_u32_le();
     let cols = bytes.get_u32_le();
-    let len = rows as usize * cols as usize;
-    if bytes.remaining() < 4 * len {
+    // Validate the declared shape against the remaining buffer BEFORE any
+    // allocation, in u64 so adversarial `rows * cols` (or `4 * len`) cannot
+    // overflow usize and sneak past the bound — a malformed frame must cost
+    // a `CodecError`, never a panic or a multi-gigabyte `Vec`.
+    let len = u64::from(rows) * u64::from(cols);
+    let need = len.checked_mul(4).ok_or(CodecError::Truncated)?;
+    if (bytes.remaining() as u64) < need {
         return Err(CodecError::Truncated);
     }
+    let len = len as usize;
     let mut data = Vec::with_capacity(len);
     for _ in 0..len {
         data.push(bytes.get_f32_le());
     }
     Ok((client, rows, cols, data))
+}
+
+const FRAME_DATA: u8 = 0xD1;
+const FRAME_ACK: u8 = 0xA1;
+
+/// Transport frame wrapping [`Message`] payloads when the reliable
+/// delivery layer is active (a [`crate::faults::FaultPlan`] is installed).
+///
+/// `Data` carries a per-link monotonically increasing sequence number plus
+/// a piggybacked cumulative acknowledgement (`ack` = the sender has
+/// delivered every peer frame with `seq < ack`); standalone `Ack` frames
+/// carry the same cumulative watermark. Together they give the transport
+/// at-least-once delivery with exactly-once *effective* delivery through
+/// the receiver's dedup window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// An application payload.
+    Data {
+        /// Sender's sequence number for this payload.
+        seq: u64,
+        /// Cumulative ack of the peer's frames (all `< ack` delivered).
+        ack: u64,
+        /// Encoded [`Message`] bytes.
+        payload: Bytes,
+    },
+    /// A standalone cumulative acknowledgement.
+    Ack {
+        /// All peer frames with `seq < ack` have been delivered.
+        ack: u64,
+    },
+}
+
+impl Frame {
+    /// Serialises to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            Frame::Data { seq, ack, payload } => {
+                let mut buf = BytesMut::with_capacity(17 + payload.len());
+                buf.put_u8(FRAME_DATA);
+                buf.put_u64_le(*seq);
+                buf.put_u64_le(*ack);
+                buf.put_slice(payload.as_slice());
+                buf.freeze()
+            }
+            Frame::Ack { ack } => {
+                let mut buf = BytesMut::with_capacity(9);
+                buf.put_u8(FRAME_ACK);
+                buf.put_u64_le(*ack);
+                buf.freeze()
+            }
+        }
+    }
+
+    /// Deserialises from wire bytes.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, CodecError> {
+        if bytes.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        match bytes.get_u8() {
+            FRAME_DATA => {
+                if bytes.remaining() < 16 {
+                    return Err(CodecError::Truncated);
+                }
+                let seq = bytes.get_u64_le();
+                let ack = bytes.get_u64_le();
+                let payload = bytes.slice(0..bytes.remaining());
+                Ok(Frame::Data { seq, ack, payload })
+            }
+            FRAME_ACK => {
+                if bytes.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(Frame::Ack { ack: bytes.get_u64_le() })
+            }
+            other => Err(CodecError::BadTag(other)),
+        }
+    }
+
+    /// Exact serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Frame::Data { payload, .. } => 17 + payload.len(),
+            Frame::Ack { .. } => 9,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +353,92 @@ mod tests {
     fn bad_tag_is_rejected() {
         let bytes = Bytes::from_static(&[99u8]);
         assert_eq!(Message::decode(bytes), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn oversized_declared_shape_is_rejected_without_allocating() {
+        // Header claims u32::MAX x u32::MAX floats with an empty body: the
+        // codec must bail on the length check, not allocate ~2^64 bytes.
+        let mut buf = BytesMut::new();
+        buf.put_u8(super::TAG_LATENT);
+        buf.put_u32_le(0); // client
+        buf.put_u32_le(u32::MAX); // rows
+        buf.put_u32_le(u32::MAX); // cols
+        assert_eq!(Message::decode(buf.freeze()), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = Message::SynthesisRequest { client: 3, n: 9 }.encode();
+        let data = Frame::Data { seq: 42, ack: 17, payload: payload.clone() };
+        let ack = Frame::Ack { ack: 5 };
+        for f in [data, ack] {
+            assert_eq!(f.encode().len(), f.wire_size());
+            assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+        // The inner payload survives the framing intact.
+        let Frame::Data { payload: p, .. } =
+            Frame::decode(Frame::Data { seq: 0, ack: 0, payload: payload.clone() }.encode())
+                .unwrap()
+        else {
+            panic!("decoded wrong frame kind")
+        };
+        assert_eq!(Message::decode(p).unwrap(), Message::SynthesisRequest { client: 3, n: 9 });
+    }
+
+    /// Decode fuzz over mutated valid frames: every truncation, a sweep of
+    /// single-byte corruptions, and adversarial header rewrites must
+    /// return a `Result` — never panic, never over-allocate.
+    #[test]
+    fn decode_survives_mutated_frames() {
+        let valid: Vec<Bytes> = vec![
+            Message::LatentUpload { client: 1, rows: 4, cols: 3, data: vec![0.5; 12] }.encode(),
+            Message::SynthesisRequest { client: 0, n: 77 }.encode(),
+            Message::Ack.encode(),
+            Frame::Data {
+                seq: 9,
+                ack: 2,
+                payload: Message::GradientDownload {
+                    client: 0,
+                    rows: 2,
+                    cols: 2,
+                    data: vec![1.0; 4],
+                }
+                .encode(),
+            }
+            .encode(),
+            Frame::Ack { ack: 1 }.encode(),
+        ];
+        // Deterministic SplitMix64 mutation stream.
+        let mut state = 0x5_1110_f05e_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for frame in &valid {
+            // Every prefix truncation.
+            for cut in 0..frame.len() {
+                let _ = Message::decode(frame.slice(0..cut));
+                let _ = Frame::decode(frame.slice(0..cut));
+            }
+            // 64 random single-byte corruptions each.
+            for _ in 0..64 {
+                let mut bytes = frame.as_slice().to_vec();
+                let idx = (next() as usize) % bytes.len();
+                bytes[idx] ^= (next() as u8) | 1;
+                let _ = Message::decode(Bytes::from(bytes.clone()));
+                let _ = Frame::decode(Bytes::from(bytes));
+            }
+            // Adversarial shape rewrite: blow up rows/cols in matrix frames.
+            if frame.len() >= 13 {
+                let mut bytes = frame.as_slice().to_vec();
+                bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+                bytes[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+                let _ = Message::decode(Bytes::from(bytes));
+            }
+        }
     }
 }

@@ -10,7 +10,12 @@
 //! Gaussian noise at the coordinator, partitions the latents, and lets each
 //! client decode its own slice with its privately-held decoder.
 
-use crate::transport::{bump_round, link, new_stats, ClientEndpoint, CommStats, SharedStats};
+use crate::error::ProtocolError;
+use crate::faults::NetConfig;
+use crate::transport::{
+    bump_round, link_with, new_stats, recv_retrying, ClientEndpoint, CommStats, SharedStats,
+    TransportError,
+};
 use crate::Message;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +39,7 @@ struct ClientState {
 /// The fitted distributed SiloFuse model.
 pub struct SiloFuseModel {
     config: LatentDiffConfig,
+    net: NetConfig,
     clients: Vec<ClientState>,
     coordinator: Option<Coordinator>,
     coord_endpoints: Vec<crate::transport::CoordEndpoint>,
@@ -58,20 +64,39 @@ impl SiloFuseModel {
     /// clients, as the paper assumes via private-set intersection).
     ///
     /// # Panics
-    /// Panics if `partitions` is empty or row counts disagree.
+    /// Panics if `partitions` is empty or row counts disagree, or if the
+    /// (perfect, in-process) network fails — use [`SiloFuseModel::try_fit`]
+    /// to train under an injected [`crate::faults::FaultPlan`].
     pub fn fit(partitions: &[Table], config: LatentDiffConfig, rng: &mut StdRng) -> Self {
+        Self::try_fit(partitions, config, &NetConfig::default(), rng)
+            .expect("protocol failed on a perfect network")
+    }
+
+    /// [`SiloFuseModel::fit`] under an explicit network configuration.
+    /// With a fault plan installed, lost or duplicated transmissions are
+    /// absorbed by the reliable transport (retransmission + dedup) and an
+    /// application-level upload acknowledgement, and a silo that stays
+    /// silent past the retry budget surfaces as [`ProtocolError::SiloDead`]
+    /// instead of a hang.
+    pub fn try_fit(
+        partitions: &[Table],
+        config: LatentDiffConfig,
+        net: &NetConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, ProtocolError> {
         assert!(!partitions.is_empty(), "need at least one client partition");
         let rows = partitions[0].n_rows();
         assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
 
         let stats = new_stats();
         let m = partitions.len();
+        let reliable = net.reliable();
 
         // --- Step 1 (Algorithm 1, lines 1-7): local AE training, parallel.
         let mut handles = Vec::with_capacity(m);
         let mut coord_endpoints = Vec::with_capacity(m);
         for (i, part) in partitions.iter().enumerate() {
-            let (client_ep, coord_ep) = link(std::sync::Arc::clone(&stats));
+            let (client_ep, coord_ep) = link_with(std::sync::Arc::clone(&stats), i as u64, net);
             coord_endpoints.push(coord_ep);
             let part = part.clone();
             let mut cfg = config;
@@ -112,6 +137,11 @@ impl SiloFuseModel {
                         }
                     }
                 }
+                let dead = |source: TransportError| ProtocolError::SiloDead {
+                    client: i,
+                    phase: "latent-upload",
+                    source,
+                };
                 client_ep
                     .send(&Message::LatentUpload {
                         client: i as u32,
@@ -119,27 +149,67 @@ impl SiloFuseModel {
                         cols: latents.cols() as u32,
                         data: latents.as_slice().to_vec(),
                     })
-                    .expect("coordinator alive during training");
-                (ae, client_ep)
+                    .map_err(dead)?;
+                if reliable {
+                    // Two-generals closure: hold the silo open until the
+                    // coordinator confirms the upload at the application
+                    // level. The bounded recv keeps retransmitting the
+                    // (possibly dropped) upload on its silent ticks.
+                    match client_ep.recv().map_err(dead)? {
+                        Message::Ack => {}
+                        other => {
+                            return Err(ProtocolError::Unexpected {
+                                phase: "latent-upload",
+                                got: format!("{other:?}"),
+                            })
+                        }
+                    }
+                }
+                Ok((ae, client_ep))
             }));
         }
 
         // --- Coordinator receives each client's latents (one round total).
+        // Loss self-heals without coordinator-side kicks: a client whose
+        // upload was dropped is blocked in its own bounded recv (waiting
+        // for the app-level ack) and retransmits the upload on every tick.
         let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
-        for ep in &coord_endpoints {
-            match ep.recv().expect("client alive during training") {
+        for (i, ep) in coord_endpoints.iter().enumerate() {
+            let dead = |source: TransportError| ProtocolError::SiloDead {
+                client: i,
+                phase: "latent-upload",
+                source,
+            };
+            match ep.recv().map_err(dead)? {
                 Message::LatentUpload { client, rows, cols, data } => {
                     uploads[client as usize] =
                         Some(Tensor::from_vec(rows as usize, cols as usize, data));
                 }
-                other => panic!("unexpected message during training: {other:?}"),
+                other => {
+                    return Err(ProtocolError::Unexpected {
+                        phase: "latent-upload",
+                        got: format!("{other:?}"),
+                    })
+                }
+            }
+            if reliable {
+                ep.send(&Message::Ack).map_err(dead)?;
+            }
+        }
+        if reliable {
+            // Drive each link until the app-level acks are transport-acked
+            // (bounded, non-fatal: the uploads themselves are all in hand).
+            for ep in &coord_endpoints {
+                if !ep.flush(net.retry.recv_deadline) {
+                    observe::count(observe::names::TRANSPORT_TIMEOUT, 1);
+                }
             }
         }
         bump_round(&stats);
 
         let mut clients = Vec::with_capacity(m);
         for handle in handles {
-            let (ae, endpoint) = handle.join().expect("client thread panicked");
+            let (ae, endpoint) = handle.join().expect("client thread panicked")?;
             let latent_dim = ae.latent_dim();
             clients.push(ClientState { ae, endpoint, latent_dim });
         }
@@ -197,13 +267,14 @@ impl SiloFuseModel {
             }
         }
 
-        Self {
+        Ok(Self {
             config,
+            net: net.clone(),
             clients,
             coordinator: Some(Coordinator { ddpm, scaler, latent_widths }),
             coord_endpoints,
             stats,
-        }
+        })
     }
 
     /// Number of participating clients.
@@ -238,17 +309,52 @@ impl SiloFuseModel {
         inference_steps: Option<usize>,
         rng: &mut StdRng,
     ) -> Vec<Table> {
+        self.try_synthesize_partitioned_with_steps(n, requesting_client, inference_steps, rng)
+            .expect("synthesis protocol failed")
+    }
+
+    /// Fallible [`SiloFuseModel::synthesize_partitioned_with_steps`]: under
+    /// a fault plan, lost request/latent transmissions are recovered by
+    /// peer-kick retransmission (this thread holds both endpoint halves),
+    /// and exhausting the retry budget returns [`ProtocolError`].
+    pub fn try_synthesize_partitioned_with_steps(
+        &mut self,
+        n: usize,
+        requesting_client: usize,
+        inference_steps: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Table>, ProtocolError> {
         assert!(requesting_client < self.clients.len(), "no such client");
-        let coord = self.coordinator.as_mut().expect("model is fitted");
+        let reliable = self.net.reliable();
+        let policy = self.net.retry;
 
         // Line 1: request travels client -> coordinator.
         self.clients[requesting_client]
             .endpoint
             .send(&Message::SynthesisRequest { client: requesting_client as u32, n: n as u32 })
-            .expect("coordinator alive");
-        let _ = self.coord_endpoints[requesting_client].recv().expect("request arrives");
+            .map_err(|source| ProtocolError::SiloDead {
+                client: requesting_client,
+                phase: "synthesis-request",
+                source,
+            })?;
+        let req_ep = &self.coord_endpoints[requesting_client];
+        let req = if reliable {
+            recv_retrying(
+                &policy,
+                |d| req_ep.recv_timeout(d),
+                || self.clients[requesting_client].endpoint.retransmit_unacked(),
+            )
+        } else {
+            req_ep.recv()
+        };
+        let _ = req.map_err(|source| ProtocolError::SiloDead {
+            client: requesting_client,
+            phase: "synthesis-request",
+            source,
+        })?;
 
         // Lines 2-4: sample noise, denoise, partition.
+        let coord = self.coordinator.as_mut().expect("model is fitted");
         let steps = inference_steps.unwrap_or(self.config.inference_steps);
         let z = {
             let _phase = observe::phase("sample");
@@ -261,6 +367,11 @@ impl SiloFuseModel {
         let _phase = observe::phase("decode");
         let mut outputs = Vec::with_capacity(self.clients.len());
         for (i, part) in parts.iter().enumerate() {
+            let dead = |source: TransportError| ProtocolError::SiloDead {
+                client: i,
+                phase: "synthetic-latents",
+                source,
+            };
             self.coord_endpoints[i]
                 .send(&Message::SyntheticLatents {
                     client: i as u32,
@@ -268,16 +379,29 @@ impl SiloFuseModel {
                     cols: part.cols() as u32,
                     data: part.as_slice().to_vec(),
                 })
-                .expect("client alive");
-            let msg = self.clients[i].endpoint.recv().expect("latents arrive");
+                .map_err(dead)?;
+            let client_ep = &self.clients[i].endpoint;
+            let msg = if reliable {
+                recv_retrying(
+                    &policy,
+                    |d| client_ep.recv_timeout(d),
+                    || self.coord_endpoints[i].retransmit_unacked(),
+                )
+            } else {
+                client_ep.recv()
+            }
+            .map_err(dead)?;
             let Message::SyntheticLatents { rows, cols, data, .. } = msg else {
-                panic!("unexpected message during synthesis");
+                return Err(ProtocolError::Unexpected {
+                    phase: "synthetic-latents",
+                    got: format!("{msg:?}"),
+                });
             };
             let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
             outputs.push(self.clients[i].ae.decode(&z_i));
         }
         bump_round(&self.stats);
-        outputs
+        Ok(outputs)
     }
 
     /// Synthesis followed by post-generation sharing: partitions are

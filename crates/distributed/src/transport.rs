@@ -1,18 +1,41 @@
 //! Byte-accounted in-process transport between clients and the coordinator.
+//!
+//! Two operating modes share one endpoint API:
+//!
+//! - **Plain** ([`link`], or [`link_with`] without a fault plan): messages
+//!   cross the channel as raw encoded [`Message`] bytes, exactly as the
+//!   original implementation — byte counts, message counts, and blocking
+//!   semantics are unchanged.
+//! - **Reliable** ([`link_with`] with a [`FaultPlan`] installed): every
+//!   payload is wrapped in a sequenced [`Frame`], transmissions pass
+//!   through the deterministic fault injector, receivers deduplicate and
+//!   reorder through a cumulative-ack window, and silent peers trigger
+//!   exponential-backoff retransmission bounded by the [`RetryPolicy`].
+//!
+//! Accounting contract: `bytes_up`/`bytes_down`/`messages_*` and the
+//! `comm.bytes.*` histograms count each application payload's **first
+//! transmission exactly once** (framed size in reliable mode), so Fig. 10
+//! reconciliation holds under faults. Retransmissions land in
+//! `bytes_retried`/`retransmits`, standalone ack frames in `bytes_ack`,
+//! replays discarded by the dedup window in `duplicates_dropped`, and
+//! expired bounded receives in `timeouts`.
 
-use crate::message::{CodecError, Message};
+use crate::faults::{FaultAction, LinkFaults, NetConfig, RetryPolicy};
+use crate::message::{CodecError, Frame, Message};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use silofuse_observe as observe;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cumulative communication statistics, shared by every link of a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CommStats {
-    /// Bytes sent client → coordinator.
+    /// Bytes sent client → coordinator (first transmissions only).
     pub bytes_up: u64,
-    /// Bytes sent coordinator → client.
+    /// Bytes sent coordinator → client (first transmissions only).
     pub bytes_down: u64,
     /// Messages sent client → coordinator.
     pub messages_up: u64,
@@ -21,12 +44,29 @@ pub struct CommStats {
     /// Protocol-level communication rounds (incremented by protocols, not
     /// by the transport).
     pub rounds: u64,
+    /// Bytes retransmitted by the reliability layer (both directions);
+    /// reported separately so Fig. 10 byte counts stay loss-free.
+    pub bytes_retried: u64,
+    /// Data frames retransmitted by the reliability layer.
+    pub retransmits: u64,
+    /// Standalone ack frame bytes (reliability-layer overhead).
+    pub bytes_ack: u64,
+    /// Replayed frames discarded by the receive-side dedup window.
+    pub duplicates_dropped: u64,
+    /// Bounded receives that expired without delivering a message.
+    pub timeouts: u64,
 }
 
 impl CommStats {
-    /// Total bytes in both directions.
+    /// Total first-transmission bytes in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_up + self.bytes_down
+    }
+
+    /// Total reliability-layer overhead (retransmitted + ack bytes) that
+    /// is deliberately excluded from [`CommStats::total_bytes`].
+    pub fn overhead_bytes(&self) -> u64 {
+        self.bytes_retried + self.bytes_ack
     }
 }
 
@@ -45,6 +85,10 @@ pub enum TransportError {
     Disconnected,
     /// The payload failed to decode.
     Codec(CodecError),
+    /// A bounded receive expired without delivering a message.
+    Timeout,
+    /// The retry budget was exhausted without the peer responding.
+    RetryExhausted,
 }
 
 impl std::fmt::Display for TransportError {
@@ -52,78 +96,451 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Disconnected => write!(f, "peer disconnected"),
             TransportError::Codec(e) => write!(f, "codec error: {e}"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::RetryExhausted => write!(f, "retry budget exhausted"),
         }
     }
 }
 
 impl std::error::Error for TransportError {}
 
+/// Direction-tagged half of a duplex link; both endpoint types wrap one.
+#[derive(Debug)]
+struct Half {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    dir: observe::Direction,
+    stats: SharedStats,
+    reliable: Option<Reliable>,
+}
+
+/// Reliability-layer state: retry policy plus the mutable window.
+#[derive(Debug)]
+struct Reliable {
+    policy: RetryPolicy,
+    state: Mutex<ReliableState>,
+}
+
+#[derive(Debug)]
+struct ReliableState {
+    /// Next sequence number assigned to an outgoing data frame.
+    next_seq: u64,
+    /// Sent-but-unacknowledged payloads, in sequence order.
+    unacked: VecDeque<(u64, Bytes)>,
+    /// Next peer sequence number this side will deliver.
+    next_expected: u64,
+    /// Out-of-order peer payloads buffered until the gap fills.
+    buffered: BTreeMap<u64, Bytes>,
+    /// In-order payloads ready for `recv`.
+    delivered: VecDeque<Bytes>,
+    /// Fault injector for this half's outgoing direction.
+    faults: LinkFaults,
+}
+
+impl ReliableState {
+    fn new(faults: LinkFaults) -> Self {
+        Self {
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            next_expected: 0,
+            buffered: BTreeMap::new(),
+            delivered: VecDeque::new(),
+            faults,
+        }
+    }
+}
+
+impl Half {
+    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        let payload = msg.encode();
+        let Some(rel) = &self.reliable else {
+            observe::comm(self.dir, msg.kind(), payload.len() as u64);
+            self.count_first(payload.len() as u64);
+            return self.tx.send(payload).map_err(|_| TransportError::Disconnected);
+        };
+        let mut st = rel.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let frame = Frame::Data { seq, ack: st.next_expected, payload: payload.clone() };
+        let bytes = frame.encode();
+        st.unacked.push_back((seq, payload));
+        observe::comm(self.dir, msg.kind(), bytes.len() as u64);
+        self.count_first(bytes.len() as u64);
+        self.transmit(&mut st.faults, bytes)
+    }
+
+    /// Ledgers one first transmission for this half's direction.
+    fn count_first(&self, bytes: u64) {
+        let mut s = self.stats.lock();
+        match self.dir {
+            observe::Direction::Up => {
+                s.bytes_up += bytes;
+                s.messages_up += 1;
+            }
+            observe::Direction::Down => {
+                s.bytes_down += bytes;
+                s.messages_down += 1;
+            }
+        }
+    }
+
+    /// Pushes raw frame bytes through the fault injector onto the wire.
+    /// `Drop`/`Blackhole` swallow the transmission *successfully* — the
+    /// sender only learns through missing acks.
+    fn transmit(&self, faults: &mut LinkFaults, bytes: Bytes) -> Result<(), TransportError> {
+        let action = {
+            let _g = observe::span(observe::names::FAULT_INJECT_SPAN);
+            faults.next()
+        };
+        match action {
+            FaultAction::Deliver { extra_copy, delay } => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                self.tx.send(bytes.clone()).map_err(|_| TransportError::Disconnected)?;
+                if extra_copy {
+                    // The duplicate races the original only on a real
+                    // network; in-process FIFO keeps it adjacent.
+                    let _ = self.tx.send(bytes);
+                }
+                Ok(())
+            }
+            FaultAction::Drop | FaultAction::Blackhole => Ok(()),
+        }
+    }
+
+    fn recv(&self) -> Result<Message, TransportError> {
+        match &self.reliable {
+            None => {
+                let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
+                Message::decode(bytes).map_err(TransportError::Codec)
+            }
+            Some(rel) => self.recv_reliable(rel, rel.policy.recv_deadline),
+        }
+    }
+
+    fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError> {
+        match &self.reliable {
+            None => match self.rx.recv_timeout(budget) {
+                Ok(bytes) => Message::decode(bytes).map_err(TransportError::Codec),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.note_timeout();
+                    Err(TransportError::Timeout)
+                }
+                Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+            },
+            Some(rel) => self.recv_reliable(rel, budget),
+        }
+    }
+
+    /// Bounded reliable receive: drains frames, retransmits this half's
+    /// own unacked payloads on silent ticks (exponential backoff), and
+    /// returns [`TransportError::Timeout`] once `budget` expires.
+    fn recv_reliable(&self, rel: &Reliable, budget: Duration) -> Result<Message, TransportError> {
+        let deadline = Instant::now() + budget;
+        let mut tick = rel.policy.tick.max(Duration::from_micros(100));
+        loop {
+            if let Some(payload) = rel.state.lock().delivered.pop_front() {
+                return Message::decode(payload).map_err(TransportError::Codec);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.note_timeout();
+                return Err(TransportError::Timeout);
+            }
+            match self.rx.recv_timeout(tick.min(deadline - now)) {
+                Ok(bytes) => {
+                    self.process_frame(rel, bytes)?;
+                    tick = rel.policy.tick.max(Duration::from_micros(100));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.retransmit_unacked(rel);
+                    tick = (tick * 2).min(rel.policy.max_backoff);
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Disconnected),
+            }
+        }
+    }
+
+    fn note_timeout(&self) {
+        self.stats.lock().timeouts += 1;
+        observe::count(observe::names::TRANSPORT_TIMEOUT, 1);
+    }
+
+    /// Applies one incoming frame: clears acked payloads, deduplicates or
+    /// buffers data, and acks the new cumulative watermark.
+    fn process_frame(&self, rel: &Reliable, bytes: Bytes) -> Result<(), TransportError> {
+        let frame = Frame::decode(bytes).map_err(TransportError::Codec)?;
+        let mut st = rel.state.lock();
+        match frame {
+            Frame::Ack { ack } => {
+                Self::apply_ack(&mut st, ack);
+            }
+            Frame::Data { seq, ack, payload } => {
+                Self::apply_ack(&mut st, ack);
+                if seq < st.next_expected {
+                    self.note_duplicate();
+                } else if seq == st.next_expected {
+                    st.next_expected += 1;
+                    st.delivered.push_back(payload);
+                    while let Some(p) = {
+                        let next = st.next_expected;
+                        st.buffered.remove(&next)
+                    } {
+                        st.delivered.push_back(p);
+                        st.next_expected += 1;
+                    }
+                } else if st.buffered.insert(seq, payload).is_some() {
+                    self.note_duplicate();
+                }
+                self.send_ack(&st);
+            }
+        }
+        Ok(())
+    }
+
+    fn note_duplicate(&self) {
+        self.stats.lock().duplicates_dropped += 1;
+        observe::count(observe::names::TRANSPORT_DUPLICATE, 1);
+    }
+
+    fn apply_ack(st: &mut ReliableState, ack: u64) {
+        while st.unacked.front().is_some_and(|(seq, _)| *seq < ack) {
+            st.unacked.pop_front();
+        }
+    }
+
+    /// Emits a standalone cumulative ack. Acks bypass fault injection:
+    /// they are idempotent watermarks, and perturbing them only changes
+    /// retransmission timing, never delivery semantics. A dead peer is
+    /// not an error here — the payload was already delivered locally.
+    fn send_ack(&self, st: &ReliableState) {
+        let bytes = Frame::Ack { ack: st.next_expected }.encode();
+        self.stats.lock().bytes_ack += bytes.len() as u64;
+        let _ = self.tx.send(bytes);
+    }
+
+    /// Re-sends every unacknowledged payload (through fault injection),
+    /// ledgered as `bytes_retried`/`retransmits`.
+    fn retransmit_unacked(&self, rel: &Reliable) {
+        let mut st = rel.state.lock();
+        if st.unacked.is_empty() {
+            return;
+        }
+        let ack = st.next_expected;
+        let frames: Vec<(u64, Bytes)> = st.unacked.iter().cloned().collect();
+        for (seq, payload) in frames {
+            let bytes = Frame::Data { seq, ack, payload }.encode();
+            {
+                let mut s = self.stats.lock();
+                s.bytes_retried += bytes.len() as u64;
+                s.retransmits += 1;
+            }
+            observe::count(observe::names::TRANSPORT_RETRANSMIT, 1);
+            let _ = self.transmit(&mut st.faults, bytes);
+        }
+    }
+
+    /// Drives the link until every payload this half sent is acked or
+    /// `budget` expires; returns whether the send window drained. Frames
+    /// received along the way are buffered for later `recv`.
+    fn flush(&self, budget: Duration) -> bool {
+        let Some(rel) = &self.reliable else {
+            return true;
+        };
+        let deadline = Instant::now() + budget;
+        let mut tick = rel.policy.tick.max(Duration::from_micros(100));
+        loop {
+            if rel.state.lock().unacked.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            match self.rx.recv_timeout(tick.min(deadline - now)) {
+                Ok(bytes) => {
+                    if self.process_frame(rel, bytes).is_err() {
+                        return false;
+                    }
+                    tick = rel.policy.tick.max(Duration::from_micros(100));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.retransmit_unacked(rel);
+                    tick = (tick * 2).min(rel.policy.max_backoff);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return rel.state.lock().unacked.is_empty();
+                }
+            }
+        }
+    }
+
+    fn has_unacked(&self) -> bool {
+        self.reliable.as_ref().is_some_and(|rel| !rel.state.lock().unacked.is_empty())
+    }
+}
+
 /// The client-side endpoint of a duplex link.
 #[derive(Debug)]
 pub struct ClientEndpoint {
-    to_coord: Sender<Bytes>,
-    from_coord: Receiver<Bytes>,
-    stats: SharedStats,
+    half: Half,
 }
 
 /// The coordinator-side endpoint of a duplex link.
 #[derive(Debug)]
 pub struct CoordEndpoint {
-    to_client: Sender<Bytes>,
-    from_client: Receiver<Bytes>,
-    stats: SharedStats,
+    half: Half,
 }
 
 /// Creates a duplex client↔coordinator link whose traffic is counted in
 /// `stats`. Messages are physically serialised on send and deserialised on
-/// receive, so the byte counts are exact wire sizes.
+/// receive, so the byte counts are exact wire sizes. Equivalent to
+/// [`link_with`] on a perfect network.
 pub fn link(stats: SharedStats) -> (ClientEndpoint, CoordEndpoint) {
+    link_with(stats, 0, &NetConfig::default())
+}
+
+/// Salt distinguishing the up-direction fault stream from the down one.
+const SALT_UP: u64 = 0;
+const SALT_DOWN: u64 = 1;
+
+/// Creates a duplex link under `net`: with a fault plan installed the
+/// reliability layer (framing, acks, dedup, retransmission) activates and
+/// the per-direction injectors are seeded from `(plan.seed, link_id,
+/// direction)`; without one the link is byte-identical to [`link`].
+pub fn link_with(
+    stats: SharedStats,
+    link_id: u64,
+    net: &NetConfig,
+) -> (ClientEndpoint, CoordEndpoint) {
     let (up_tx, up_rx) = unbounded();
     let (down_tx, down_rx) = unbounded();
+    let reliable = |salt: u64| {
+        net.faults.clone().map(|plan| Reliable {
+            policy: net.retry,
+            state: Mutex::new(ReliableState::new(LinkFaults::new(plan, link_id, salt))),
+        })
+    };
     (
-        ClientEndpoint { to_coord: up_tx, from_coord: down_rx, stats: Arc::clone(&stats) },
-        CoordEndpoint { to_client: down_tx, from_client: up_rx, stats },
+        ClientEndpoint {
+            half: Half {
+                tx: up_tx,
+                rx: down_rx,
+                dir: observe::Direction::Up,
+                stats: Arc::clone(&stats),
+                reliable: reliable(SALT_UP),
+            },
+        },
+        CoordEndpoint {
+            half: Half {
+                tx: down_tx,
+                rx: up_rx,
+                dir: observe::Direction::Down,
+                stats,
+                reliable: reliable(SALT_DOWN),
+            },
+        },
     )
 }
 
 impl ClientEndpoint {
     /// Sends a message to the coordinator (counted as upstream bytes).
     pub fn send(&self, msg: &Message) -> Result<(), TransportError> {
-        let bytes = msg.encode();
-        observe::comm(observe::Direction::Up, msg.kind(), bytes.len() as u64);
-        {
-            let mut s = self.stats.lock();
-            s.bytes_up += bytes.len() as u64;
-            s.messages_up += 1;
-        }
-        self.to_coord.send(bytes).map_err(|_| TransportError::Disconnected)
+        self.half.send(msg)
     }
 
-    /// Blocks until the coordinator sends a message.
+    /// Blocks until the coordinator sends a message. Under a fault plan
+    /// the wait is bounded by [`RetryPolicy::recv_deadline`].
     pub fn recv(&self) -> Result<Message, TransportError> {
-        let bytes = self.from_coord.recv().map_err(|_| TransportError::Disconnected)?;
-        Message::decode(bytes).map_err(TransportError::Codec)
+        self.half.recv()
+    }
+
+    /// Receives with an explicit time budget.
+    pub fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError> {
+        self.half.recv_timeout(budget)
+    }
+
+    /// Re-sends every unacknowledged payload; no-op on a plain link.
+    /// Same-thread protocol loops call this on the *peer* endpoint when
+    /// their own bounded receive times out (see [`recv_retrying`]).
+    pub fn retransmit_unacked(&self) {
+        if let Some(rel) = &self.half.reliable {
+            self.half.retransmit_unacked(rel);
+        }
+    }
+
+    /// Drives the link until all sent payloads are acked or `budget`
+    /// expires; `true` on a drained window (always `true` when plain).
+    pub fn flush(&self, budget: Duration) -> bool {
+        self.half.flush(budget)
+    }
+
+    /// Whether any sent payload is still awaiting a transport ack.
+    pub fn has_unacked(&self) -> bool {
+        self.half.has_unacked()
     }
 }
 
 impl CoordEndpoint {
     /// Sends a message to the client (counted as downstream bytes).
     pub fn send(&self, msg: &Message) -> Result<(), TransportError> {
-        let bytes = msg.encode();
-        observe::comm(observe::Direction::Down, msg.kind(), bytes.len() as u64);
-        {
-            let mut s = self.stats.lock();
-            s.bytes_down += bytes.len() as u64;
-            s.messages_down += 1;
-        }
-        self.to_client.send(bytes).map_err(|_| TransportError::Disconnected)
+        self.half.send(msg)
     }
 
-    /// Blocks until the client sends a message.
+    /// Blocks until the client sends a message. Under a fault plan the
+    /// wait is bounded by [`RetryPolicy::recv_deadline`].
     pub fn recv(&self) -> Result<Message, TransportError> {
-        let bytes = self.from_client.recv().map_err(|_| TransportError::Disconnected)?;
-        Message::decode(bytes).map_err(TransportError::Codec)
+        self.half.recv()
     }
+
+    /// Receives with an explicit time budget.
+    pub fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError> {
+        self.half.recv_timeout(budget)
+    }
+
+    /// Re-sends every unacknowledged payload; no-op on a plain link.
+    pub fn retransmit_unacked(&self) {
+        if let Some(rel) = &self.half.reliable {
+            self.half.retransmit_unacked(rel);
+        }
+    }
+
+    /// Drives the link until all sent payloads are acked or `budget`
+    /// expires; `true` on a drained window (always `true` when plain).
+    pub fn flush(&self, budget: Duration) -> bool {
+        self.half.flush(budget)
+    }
+
+    /// Whether any sent payload is still awaiting a transport ack.
+    pub fn has_unacked(&self) -> bool {
+        self.half.has_unacked()
+    }
+}
+
+/// Bounded receive with a peer "kick" between attempts, for protocol
+/// phases where one thread holds **both** ends of a link (stacked
+/// synthesis, every E2EDistr step): nobody else can retransmit the peer's
+/// lost frame, so on each timeout `kick` should call
+/// `retransmit_unacked()` on the peer endpoint. Gives up with
+/// [`TransportError::RetryExhausted`] after [`RetryPolicy::max_retries`]
+/// silent attempts.
+pub fn recv_retrying(
+    policy: &RetryPolicy,
+    mut recv: impl FnMut(Duration) -> Result<Message, TransportError>,
+    mut kick: impl FnMut(),
+) -> Result<Message, TransportError> {
+    let mut wait = policy.tick.max(Duration::from_micros(100));
+    for _ in 0..=policy.max_retries {
+        match recv(wait) {
+            Err(TransportError::Timeout) => {
+                kick();
+                wait = (wait * 2).min(policy.max_backoff);
+            }
+            other => return other,
+        }
+    }
+    Err(TransportError::RetryExhausted)
 }
 
 /// Marks one protocol round completed.
@@ -134,6 +551,7 @@ pub fn bump_round(stats: &SharedStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
 
     #[test]
     fn bytes_are_counted_per_direction() {
@@ -151,6 +569,7 @@ mod tests {
         assert_eq!(s.bytes_down, down.wire_size() as u64);
         assert_eq!(s.messages_up, 1);
         assert_eq!(s.messages_down, 1);
+        assert_eq!(s.overhead_bytes(), 0);
     }
 
     #[test]
@@ -184,5 +603,108 @@ mod tests {
         assert_eq!(client.recv().unwrap(), m);
         handle.join().unwrap();
         assert_eq!(stats.lock().total_bytes(), 2 * m.wire_size() as u64);
+    }
+
+    fn fast_net(plan: FaultPlan) -> NetConfig {
+        NetConfig { faults: Some(plan), retry: RetryPolicy::fast() }
+    }
+
+    #[test]
+    fn reliable_noop_plan_delivers_and_counts_framed_bytes() {
+        let stats = new_stats();
+        let net = fast_net(FaultPlan::default());
+        let (client, coord) = link_with(Arc::clone(&stats), 0, &net);
+        let m = Message::SynthesisRequest { client: 1, n: 5 };
+        client.send(&m).unwrap();
+        assert_eq!(coord.recv().unwrap(), m);
+        let s = *stats.lock();
+        // Framed first transmission: 17-byte header + payload.
+        assert_eq!(s.bytes_up, 17 + m.wire_size() as u64);
+        assert_eq!(s.messages_up, 1);
+        assert_eq!(s.bytes_retried, 0);
+        // Delivery triggered exactly one standalone ack.
+        assert_eq!(s.bytes_ack, 9);
+    }
+
+    #[test]
+    fn scripted_drop_recovers_via_kick_retransmission() {
+        let stats = new_stats();
+        let net = fast_net(FaultPlan { drop_nth: vec![0], ..Default::default() });
+        let (client, coord) = link_with(Arc::clone(&stats), 0, &net);
+        let m = Message::LatentUpload { client: 0, rows: 2, cols: 2, data: vec![0.5; 4] };
+        client.send(&m).unwrap(); // transmission 0: dropped
+        let got =
+            recv_retrying(&net.retry, |d| coord.recv_timeout(d), || client.retransmit_unacked())
+                .unwrap();
+        assert_eq!(got, m);
+        let s = *stats.lock();
+        assert!(s.retransmits >= 1, "drop must force a retransmission");
+        assert!(s.bytes_retried > 0);
+        assert_eq!(s.messages_up, 1, "retries are not new messages");
+        assert!(s.timeouts >= 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_exactly_once_effective() {
+        let stats = new_stats();
+        let net = fast_net(FaultPlan { duplicate: 1.0, ..Default::default() });
+        let (client, coord) = link_with(Arc::clone(&stats), 0, &net);
+        let m = Message::SynthesisRequest { client: 0, n: 3 };
+        client.send(&m).unwrap(); // delivered twice by the injector
+        assert_eq!(coord.recv().unwrap(), m);
+        // The replay must be eaten by the dedup window, not delivered.
+        assert!(matches!(
+            coord.recv_timeout(Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+        assert!(stats.lock().duplicates_dropped >= 1);
+    }
+
+    #[test]
+    fn blackhole_exhausts_retry_budget() {
+        let stats = new_stats();
+        let net = fast_net(FaultPlan { disconnect_after: Some(0), ..Default::default() });
+        let (client, coord) = link_with(stats, 0, &net);
+        let m = Message::Ack;
+        client.send(&m).unwrap(); // swallowed by the black hole
+        let err = recv_retrying(
+            &RetryPolicy { recv_deadline: Duration::from_millis(50), ..RetryPolicy::fast() },
+            |d| coord.recv_timeout(d),
+            || client.retransmit_unacked(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::RetryExhausted), "{err:?}");
+        assert!(client.has_unacked());
+    }
+
+    #[test]
+    fn reordered_frames_are_delivered_in_sequence() {
+        // Drop transmission 1 (the second message); after both sends the
+        // kick retransmits it and the receiver must deliver 0 then 1.
+        let stats = new_stats();
+        let net = fast_net(FaultPlan { drop_nth: vec![1], ..Default::default() });
+        let (client, coord) = link_with(stats, 0, &net);
+        let a = Message::SynthesisRequest { client: 0, n: 1 };
+        let b = Message::SynthesisRequest { client: 0, n: 2 };
+        client.send(&a).unwrap();
+        client.send(&b).unwrap(); // dropped
+        let recv = |_| {
+            recv_retrying(&net.retry, |d| coord.recv_timeout(d), || client.retransmit_unacked())
+                .unwrap()
+        };
+        assert_eq!(recv(()), a);
+        assert_eq!(recv(()), b);
+    }
+
+    #[test]
+    fn flush_drains_the_send_window() {
+        let stats = new_stats();
+        let net = fast_net(FaultPlan::default());
+        let (client, coord) = link_with(stats, 0, &net);
+        client.send(&Message::Ack).unwrap();
+        assert!(client.has_unacked());
+        assert_eq!(coord.recv().unwrap(), Message::Ack); // acks seq 0
+        assert!(client.flush(Duration::from_millis(200)), "ack should drain the window");
+        assert!(!client.has_unacked());
     }
 }

@@ -1,0 +1,158 @@
+//! Fault-matrix integration test: sweeps drop/duplicate/delay injection
+//! over both distributed protocols and asserts the tentpole guarantees —
+//! every run either completes with synthetic output **byte-identical** to
+//! the fault-free run (the reliability layer is invisible above the
+//! transport), or fails with a typed [`ProtocolError`] in bounded time.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_distributed::e2e_distr::E2eDistributed;
+use silofuse_distributed::faults::{FaultPlan, NetConfig, RetryPolicy};
+use silofuse_distributed::stacked::SiloFuseModel;
+use silofuse_distributed::ProtocolError;
+use silofuse_models::latentdiff::LatentDiffConfig;
+use silofuse_models::AutoencoderConfig;
+use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+use silofuse_tabular::profiles;
+use silofuse_tabular::table::Table;
+use std::time::{Duration, Instant};
+
+fn tiny_config(seed: u64) -> LatentDiffConfig {
+    LatentDiffConfig {
+        ae: AutoencoderConfig { hidden_dim: 32, lr: 2e-3, seed, ..Default::default() },
+        ddpm_hidden: 32,
+        timesteps: 8,
+        ae_steps: 10,
+        diffusion_steps: 10,
+        batch_size: 32,
+        inference_steps: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn partitions(seed: u64) -> Vec<Table> {
+    let t = profiles::loan().generate(48, seed);
+    PartitionPlan::new(t.n_cols(), 2, PartitionStrategy::Default).split(&t)
+}
+
+fn test_policy() -> RetryPolicy {
+    RetryPolicy {
+        tick: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        max_retries: 12,
+        recv_deadline: Duration::from_secs(5),
+    }
+}
+
+fn net(plan: FaultPlan) -> NetConfig {
+    NetConfig { faults: Some(plan), retry: test_policy() }
+}
+
+fn stacked_run(parts: &[Table], cfg: LatentDiffConfig, net_cfg: &NetConfig) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut model = SiloFuseModel::try_fit(parts, cfg, net_cfg, &mut rng)
+        .expect("faulty run below the budget must complete");
+    model
+        .try_synthesize_partitioned_with_steps(16, 0, None, &mut rng)
+        .expect("synthesis below the budget must complete")
+}
+
+#[test]
+fn stacked_fault_matrix_output_is_byte_identical_to_clean_run() {
+    let parts = partitions(7);
+    let clean = stacked_run(&parts, tiny_config(7), &NetConfig::default());
+    let matrix = [
+        FaultPlan { drop: 0.15, seed: 3, ..Default::default() },
+        FaultPlan { duplicate: 0.25, seed: 4, ..Default::default() },
+        FaultPlan { delay: Duration::from_micros(300), seed: 5, ..Default::default() },
+        FaultPlan {
+            drop: 0.10,
+            duplicate: 0.10,
+            delay: Duration::from_micros(200),
+            seed: 6,
+            ..Default::default()
+        },
+    ];
+    for plan in matrix {
+        let first = stacked_run(&parts, tiny_config(7), &net(plan.clone()));
+        let second = stacked_run(&parts, tiny_config(7), &net(plan.clone()));
+        assert_eq!(first, second, "same fault seed must replay identically ({plan:?})");
+        assert_eq!(first, clean, "faults must not leak into the synthetic output ({plan:?})");
+    }
+}
+
+#[test]
+fn e2e_distr_fault_run_matches_clean_run() {
+    let parts = partitions(11);
+    let mut cfg = tiny_config(11);
+    cfg.ae_steps = 3;
+    cfg.diffusion_steps = 3;
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut clean_model = E2eDistributed::fit(&parts, cfg, &mut rng);
+    let clean = clean_model.synthesize_partitioned(12, &mut rng);
+
+    let plan = FaultPlan {
+        drop: 0.12,
+        duplicate: 0.12,
+        delay: Duration::from_micros(200),
+        seed: 13,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut faulty_model = E2eDistributed::try_fit(&parts, cfg, &net(plan), &mut rng)
+        .expect("faulty E2EDistr run below the budget must complete");
+    let faulty = faulty_model.synthesize_partitioned(12, &mut rng);
+
+    assert_eq!(faulty, clean, "faults must not leak into E2EDistr output");
+    let s = faulty_model.comm_stats();
+    assert_eq!(s.rounds, clean_model.comm_stats().rounds);
+    assert_eq!(s.messages_up, clean_model.comm_stats().messages_up);
+}
+
+#[test]
+fn scripted_drop_reports_bytes_retried_separately() {
+    let parts = partitions(17);
+    // Drop the very first upstream transmission on link 0 — client 0's
+    // latent upload — forcing at least one retransmission.
+    let plan = FaultPlan { drop_nth: vec![0], ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = SiloFuseModel::try_fit(&parts, tiny_config(17), &net(plan), &mut rng)
+        .expect("a single scripted drop must be recovered");
+    let s = model.comm_stats();
+    assert!(s.retransmits >= 1, "scripted drop must force a retransmission: {s:?}");
+    assert!(s.bytes_retried > 0);
+    assert_eq!(s.messages_up, 2, "retries must not inflate the Fig. 10 message ledger: {s:?}");
+}
+
+#[test]
+fn dead_silo_fails_with_typed_error_in_bounded_time() {
+    let parts = partitions(23);
+    let plan = FaultPlan { disconnect_after: Some(0), ..Default::default() };
+    let cfg = tiny_config(23);
+    let bounded = NetConfig {
+        faults: Some(plan.clone()),
+        retry: RetryPolicy { recv_deadline: Duration::from_millis(300), ..test_policy() },
+    };
+
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(31);
+    let err = match SiloFuseModel::try_fit(&parts, cfg, &bounded, &mut rng) {
+        Ok(_) => panic!("blackholed links must fail, not hang"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, ProtocolError::SiloDead { .. }), "expected SiloDead, got {err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "failure must be bounded, took {:?}",
+        started.elapsed()
+    );
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let err = match E2eDistributed::try_fit(&parts, cfg, &bounded, &mut rng) {
+        Ok(_) => panic!("blackholed E2EDistr links must fail, not hang"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, ProtocolError::SiloDead { .. }), "expected SiloDead, got {err}");
+}

@@ -212,7 +212,7 @@ fn top_k_neighbours(
 ) -> Vec<usize> {
     let mut dists: Vec<(f64, usize)> =
         (0..synth.n_rows()).map(|s| (gower(real, r, synth, s, cols, ranges), s)).collect();
-    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    dists.sort_by(|a, b| a.0.total_cmp(&b.0));
     dists.into_iter().take(k).map(|(_, s)| s).collect()
 }
 
@@ -304,7 +304,7 @@ fn attribute_inference_score(
         let baseline_pred = match synth.column(secret) {
             Column::Numeric(v) => {
                 let mut sorted = v.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                sorted.sort_by(|a, b| a.total_cmp(b));
                 sorted[sorted.len() / 2]
             }
             Column::Categorical(codes) => {

@@ -150,14 +150,19 @@ pub fn jensen_shannon_distance(p: &[f64], q: &[f64]) -> f64 {
 }
 
 /// Two-sample Kolmogorov–Smirnov statistic (max CDF gap) in `[0, 1]`.
+///
+/// NaN values are treated as missing and ignored; a sample that is empty
+/// (or all-NaN) is maximally distant. They must not reach the merge below:
+/// `NaN <= x` is always false, so a NaN in both samples would stop either
+/// index from advancing and loop forever.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    if a.is_empty() || b.is_empty() {
+    let mut sa: Vec<f64> = a.iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut sb: Vec<f64> = b.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sa.is_empty() || sb.is_empty() {
         return 1.0;
     }
-    let mut sa: Vec<f64> = a.to_vec();
-    let mut sb: Vec<f64> = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
     let (mut i, mut j) = (0usize, 0usize);
     let mut max_gap = 0.0f64;
     while i < sa.len() && j < sb.len() {
@@ -197,7 +202,7 @@ pub fn category_frequencies(codes: &[u32], cardinality: usize) -> Vec<f64> {
 pub fn quantile_profile(values: &[f64], points: usize) -> Vec<f64> {
     assert!(points >= 2, "need at least two quantile points");
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     if sorted.is_empty() {
         return vec![0.0; points];
     }
@@ -259,7 +264,7 @@ pub fn d2_absolute_error(truth: &[f64], pred: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = truth.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = sorted[sorted.len() / 2];
     let num: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum();
     let den: f64 = truth.iter().map(|t| (t - median).abs()).sum();
@@ -281,7 +286,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = p / 100.0 * (sorted.len() - 1) as f64;
     let idx = pos.floor() as usize;
     let frac = pos - idx as f64;
@@ -351,6 +356,26 @@ mod tests {
         assert!(ks_statistic(&a, &a) < 1e-9);
         let b = [10.0, 11.0, 12.0];
         assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_statistic_ignores_nans_and_terminates() {
+        // NaNs in *both* samples used to be the worst case: the sorted
+        // merge compared against NaN and neither index advanced.
+        let a = [1.0, f64::NAN, 2.0, 3.0, f64::NAN];
+        let b = [f64::NAN, 1.0, 2.0, 3.0];
+        let ks = ks_statistic(&a, &b);
+        assert!(ks.is_finite() && ks < 1e-9, "NaNs are missing values, ks = {ks}");
+        // All-NaN collapses to the empty-sample convention.
+        assert!((ks_statistic(&[f64::NAN, f64::NAN], &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_bearing_columns_do_not_panic_summary_stats() {
+        let vals = [1.0, f64::NAN, 3.0, 2.0];
+        let q = quantile_profile(&vals, 3);
+        assert_eq!(q.len(), 3);
+        let _ = histogram(&vals, 0.0, 4.0, 4);
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub fn column_score(train: &Table, holdout: &Table, target: usize, params: &Boos
                         let p = model.predict_proba_row(&row);
                         p.iter()
                             .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .max_by(|a, b| a.1.total_cmp(b.1))
                             .map(|(c, _)| c as u32)
                             .unwrap_or(0)
                     })

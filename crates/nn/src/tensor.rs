@@ -166,11 +166,15 @@ impl Tensor {
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
         let n = other.cols;
+        // Skipping `a == 0` rows is only sound when every entry of `other`
+        // is finite: `0 * NaN` and `0 * Inf` are NaN, and dropping them
+        // would silently mask a divergent operand.
+        let skip_zero = other.data.iter().all(|v| v.is_finite());
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zero && a == 0.0 {
                     continue;
                 }
                 let b_row = &other.data[k * n..(k + 1) * n];
@@ -213,11 +217,14 @@ impl Tensor {
         );
         let mut out = Tensor::zeros(self.cols, other.cols);
         let n = other.cols;
+        // Same soundness condition as `matmul`: only skip zero entries
+        // when `other` cannot contribute a NaN/Inf through them.
+        let skip_zero = other.data.iter().all(|v| v.is_finite());
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zero && a == 0.0 {
                     continue;
                 }
                 let out_row = &mut out.data[k * n..(k + 1) * n];
@@ -568,6 +575,28 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_zero_rows_do_not_mask_nan_or_inf() {
+        // A zero row in the left operand must still propagate a NaN/Inf
+        // sitting in the right operand: 0 * NaN = NaN, 0 * Inf = NaN. The
+        // zero-skip fast path silently produced 0.0 here before.
+        let zero = t(1, 2, &[0.0, 0.0]);
+        let nan_b = t(2, 2, &[f32::NAN, 1.0, 2.0, 3.0]);
+        assert!(zero.matmul(&nan_b).as_slice()[0].is_nan(), "NaN must reach the output");
+        let inf_b = t(2, 2, &[f32::INFINITY, 1.0, 2.0, 3.0]);
+        assert!(inf_b.as_slice()[0].is_infinite());
+        assert!(zero.matmul(&inf_b).as_slice()[0].is_nan(), "0 * Inf is NaN");
+
+        let zero_col = t(2, 1, &[0.0, 0.0]);
+        let got = zero_col.transpose_matmul(&nan_b);
+        assert!(got.as_slice()[0].is_nan(), "transpose_matmul must propagate too");
+
+        // Finite inputs keep exact zero-skip semantics.
+        let a = t(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        let b = t(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.matmul(&b).as_slice(), &[7.0, 8.0, 0.0, 0.0]);
     }
 
     #[test]

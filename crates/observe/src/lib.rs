@@ -23,6 +23,28 @@ pub mod export;
 pub mod metrics;
 pub mod spans;
 
+/// Canonical metric and span names emitted by the transport fault layer,
+/// so producers (`silofuse-distributed`) and consumers (bench reports,
+/// tests) cannot drift apart on spelling.
+pub mod names {
+    /// Counter: transmissions silently dropped by the fault injector.
+    pub const FAULT_DROP: &str = "fault.drop";
+    /// Counter: transmissions delivered twice by the fault injector.
+    pub const FAULT_DUPLICATE: &str = "fault.duplicate";
+    /// Counter: transmissions delayed by the fault injector.
+    pub const FAULT_DELAY: &str = "fault.delay";
+    /// Counter: links killed by a scripted disconnect.
+    pub const FAULT_DISCONNECT: &str = "fault.disconnect";
+    /// Span wrapping each fault-injection decision on the send path.
+    pub const FAULT_INJECT_SPAN: &str = "fault-inject";
+    /// Counter: data frames retransmitted by the reliability layer.
+    pub const TRANSPORT_RETRANSMIT: &str = "transport.retransmit";
+    /// Counter: bounded receives that expired without a frame.
+    pub const TRANSPORT_TIMEOUT: &str = "transport.timeout";
+    /// Counter: replayed frames discarded by the dedup window.
+    pub const TRANSPORT_DUPLICATE: &str = "transport.duplicate_dropped";
+}
+
 pub use events::{CommEvent, Direction, Event, NoopSink, PhaseEvent, TelemetrySink, TrainEvent};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use spans::{fmt_duration, SpanGuard, SpanRow, SpanStat};

@@ -91,7 +91,7 @@ impl QuantileTransformer {
         if sorted.is_empty() {
             sorted.push(0.0);
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self { sorted }
     }
 
@@ -291,6 +291,16 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn nan_bearing_numeric_column_does_not_panic() {
+        // Fitting on a column with NaN holes must not panic in the
+        // quantile sort; NaNs are filtered as non-finite.
+        let qt = QuantileTransformer::fit(&[1.0, f64::NAN, 3.0, 2.0, f64::NAN]);
+        let z = qt.transform(2.0);
+        assert!(z.is_finite());
+        assert!((qt.inverse(z) - 2.0).abs() < 1e-6);
     }
 
     #[test]

@@ -307,7 +307,7 @@ mod tests {
     fn expansion_factor_ranks_churn_worst() {
         let factors: Vec<(String, f64)> =
             all_profiles().iter().map(|p| (p.name.to_string(), p.expansion_factor())).collect();
-        let max = factors.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let max = factors.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(max.0, "Churn");
         assert!(max.1 > 200.0);
     }

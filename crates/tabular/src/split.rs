@@ -47,7 +47,7 @@ mod tests {
         let (train, holdout) = train_holdout_split(&t, 0.3, 1);
         let mut all: Vec<f64> = train.column(0).as_numeric().unwrap().to_vec();
         all.extend(holdout.column(0).as_numeric().unwrap());
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(all, (0..50).map(|i| i as f64).collect::<Vec<_>>());
     }
 

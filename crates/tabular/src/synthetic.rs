@@ -255,7 +255,7 @@ impl GeneratorConfig {
             TaskKind::Regression => Column::Numeric(scores.to_vec()),
             TaskKind::Classification { classes } => {
                 let mut sorted = scores.to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                sorted.sort_by(|a, b| a.total_cmp(b));
                 // Skewed class sizes: thresholds at p^1.3 quantiles so class 0
                 // is the majority, mimicking real benchmark label imbalance.
                 let thresholds: Vec<f64> = (1..classes)

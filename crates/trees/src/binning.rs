@@ -70,7 +70,7 @@ fn quantile_edges(values: &[f64], max_bins: usize) -> Vec<f64> {
     if sorted.is_empty() {
         return Vec::new();
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     let mut edges = Vec::with_capacity(max_bins - 1);
     for k in 1..max_bins {
@@ -98,6 +98,16 @@ mod tests {
             assert!(b.bin(0, i) >= b.bin(0, i - 1));
         }
         assert!(b.n_bins(0) <= 10);
+    }
+
+    #[test]
+    fn nan_bearing_feature_does_not_panic() {
+        let mut vals: Vec<f64> = (0..40).map(f64::from).collect();
+        vals[7] = f64::NAN;
+        vals[23] = f64::INFINITY;
+        let b = BinnedFeatures::fit(&[vals], 8);
+        assert_eq!(b.rows(), 40);
+        assert!(b.n_bins(0) >= 1, "finite values must still be binned");
     }
 
     #[test]

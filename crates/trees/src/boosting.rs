@@ -217,7 +217,7 @@ impl GbdtMulticlass {
                 let p = self.predict_proba_row(&row);
                 p.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(c, _)| c as u32)
                     .unwrap_or(0)
             })
@@ -355,5 +355,19 @@ mod tests {
             &BoostParams::default(),
         );
         assert!(model.predict_proba_row(&[2.0]) > 0.9);
+    }
+
+    #[test]
+    fn all_negative_labels_keep_base_score_finite() {
+        // The mirror-image degenerate case: p0 = 0 would give base score
+        // ln(0) = -Inf without the clamp, poisoning every later residual.
+        let model = GbdtBinaryClassifier::fit(
+            &vec![vec![1.0, 2.0, 3.0, 4.0]],
+            &[0, 0, 0, 0],
+            &BoostParams::default(),
+        );
+        let p = model.predict_proba_row(&[2.5]);
+        assert!(p.is_finite(), "probability must stay finite, got {p}");
+        assert!(p < 0.1, "all-negative training data must predict near zero, got {p}");
     }
 }

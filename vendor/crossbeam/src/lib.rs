@@ -8,6 +8,7 @@
 /// Multi-producer channels.
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Sending half of an unbounded channel.
     #[derive(Debug, Clone)]
@@ -29,6 +30,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// All senders were dropped.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Sends a value; errors if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -45,6 +55,14 @@ pub mod channel {
         /// Non-blocking receive attempt.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             self.inner.try_recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks for the next value at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -65,6 +83,19 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(41));
             drop(rx);
             assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err::<i32, _>(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
