@@ -51,8 +51,15 @@ fn main() {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let model_cfg = cfg.budget.latent_config(cfg.seed);
-        let stacked = SiloFuseModel::try_fit(&partitions, model_cfg, &net, &mut rng)
-            .unwrap_or_else(|e| panic!("SiloFuse training failed: {e}"));
+        let sf_ckpt = silofuse_bench::checkpointer(&opts, &format!("fig10-{name}-stacked"));
+        let stacked = SiloFuseModel::try_fit_with_checkpoints(
+            &partitions,
+            model_cfg,
+            &net,
+            sf_ckpt.as_ref(),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("SiloFuse training failed: {e}"));
         let sf_stats = stacked.comm_stats();
         let sf_bytes = sf_stats.total_bytes();
 
@@ -60,8 +67,15 @@ fn main() {
         let mut short = model_cfg;
         short.ae_steps = 20;
         short.diffusion_steps = 20;
-        let e2e = E2eDistributed::try_fit(&partitions, short, &net, &mut rng)
-            .unwrap_or_else(|e| panic!("E2EDistr training failed: {e}"));
+        let e2e_ckpt = silofuse_bench::checkpointer(&opts, &format!("fig10-{name}-e2e"));
+        let e2e = E2eDistributed::try_fit_with_checkpoints(
+            &partitions,
+            short,
+            &net,
+            e2e_ckpt.as_ref(),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("E2EDistr training failed: {e}"));
         let per_iter = e2e.bytes_per_iteration();
 
         report.push_str(&format!(

@@ -21,6 +21,7 @@
 //! `--datasets Loan,Adult,...`, `--seed S`. Reports are printed and written
 //! to `target/experiments/<name>.txt`.
 
+use silofuse_checkpoint::Checkpointer;
 use silofuse_core::pipeline::RunConfig;
 use silofuse_distributed::{FaultPlan, NetConfig};
 use silofuse_tabular::profiles::{all_profiles, DatasetProfile};
@@ -44,11 +45,29 @@ pub struct CliOptions {
     /// Seeded link-fault plan for the distributed models
     /// (`--faults drop=0.05,delay=10ms,seed=7`). None = perfect network.
     pub faults: Option<FaultPlan>,
+    /// Directory for crash-safe training checkpoints (`--checkpoint-dir`).
+    /// None = checkpointing off.
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in training steps (`--checkpoint-every`).
+    pub checkpoint_every: u64,
+    /// Resume the distributed runs from the latest checkpoints in
+    /// `checkpoint_dir` (`--resume`).
+    pub resume: bool,
 }
 
 impl Default for CliOptions {
     fn default() -> Self {
-        Self { quick: false, trials: 1, datasets: None, seed: 17, trace: false, faults: None }
+        Self {
+            quick: false,
+            trials: 1,
+            datasets: None,
+            seed: 17,
+            trace: false,
+            faults: None,
+            checkpoint_dir: None,
+            checkpoint_every: 50,
+            resume: false,
+        }
     }
 }
 
@@ -58,6 +77,16 @@ pub fn net_config(opts: &CliOptions) -> NetConfig {
         Some(plan) => NetConfig::faulty(plan.clone()),
         None => NetConfig::default(),
     }
+}
+
+/// The crash-safe checkpointer implied by `--checkpoint-dir`,
+/// `--checkpoint-every`, and `--resume`, scoped under `tag` so concurrent
+/// experiments (or datasets within one) don't clobber each other's files.
+/// None when checkpointing is off.
+pub fn checkpointer(opts: &CliOptions, tag: &str) -> Option<Checkpointer> {
+    let dir = opts.checkpoint_dir.as_ref()?;
+    let scoped = PathBuf::from(dir).join(tag);
+    Some(Checkpointer::new(scoped, opts.checkpoint_every).with_resume(opts.resume))
 }
 
 /// Parses `std::env::args()` into [`CliOptions`].
@@ -89,11 +118,26 @@ pub fn parse_cli() -> CliOptions {
                 let spec = args.next().expect("--faults needs a spec like drop=0.05,seed=7");
                 opts.faults = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}")));
             }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a path"));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--checkpoint-every needs a positive integer");
+            }
+            "--resume" => opts.resume = true,
             other => panic!(
                 "unknown argument {other}; supported: --quick --trace --trials N --seed S \
-                 --datasets A,B --faults drop=0.05,delay=10ms,seed=7"
+                 --datasets A,B --faults drop=0.05,delay=10ms,seed=7 \
+                 --checkpoint-dir D --checkpoint-every N --resume"
             ),
         }
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        panic!("--resume needs --checkpoint-dir to load from");
     }
     opts
 }

@@ -1,0 +1,526 @@
+//! # silofuse-checkpoint
+//!
+//! Crash-safe checkpoint files for every training loop in the SiloFuse
+//! stack. The design goals, in order:
+//!
+//! 1. **Never a torn checkpoint.** Files are written to a `.tmp` sibling,
+//!    fsynced, then atomically renamed into place; a crash mid-write
+//!    leaves the previous checkpoint intact.
+//! 2. **Never a silent bad resume.** Every file carries a magic number, a
+//!    format version, a payload kind (the pipeline phase that wrote it),
+//!    and a CRC-32 over everything before it. Corruption, truncation,
+//!    version skew, and phase mix-ups all surface as a typed
+//!    [`CheckpointError`], not a panic or garbage parameters.
+//! 3. **Bit-identical resume.** The payload is opaque to this crate;
+//!    producers (silofuse-models, silofuse-distributed) put full
+//!    training-state dicts plus RNG states in it so a resumed run replays
+//!    the exact stream an uninterrupted run would have produced.
+//!
+//! File layout (all little-endian):
+//!
+//! ```text
+//! magic    [u8; 8]  = b"SILOCKPT"
+//! version  u32      = 1
+//! kind     u16 len | utf-8 bytes     (pipeline phase, e.g. "ae-train")
+//! step     u64                       (completed steps at snapshot time)
+//! payload  u32 len | bytes
+//! crc      u32                       (CRC-32/IEEE over all prior bytes)
+//! ```
+
+#![warn(missing_docs)]
+
+use silofuse_observe as observe;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a SiloFuse checkpoint.
+pub const MAGIC: [u8; 8] = *b"SILOCKPT";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Canonical metric names (defined centrally in [`silofuse_observe::names`]).
+pub mod names {
+    pub use silofuse_observe::names::{
+        CHECKPOINT_BYTES, CHECKPOINT_CRASH, CHECKPOINT_LOADS, CHECKPOINT_LOAD_SPAN,
+        CHECKPOINT_WRITES, CHECKPOINT_WRITE_SPAN,
+    };
+}
+
+/// Errors raised by checkpoint reads, writes, and injected crashes.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure while reading or writing.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        got: u32,
+    },
+    /// The file ended before the declared contents.
+    Truncated,
+    /// The CRC over the file contents does not match the stored CRC.
+    CrcMismatch {
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC computed over the contents.
+        got: u32,
+    },
+    /// The checkpoint was written by a different pipeline phase.
+    KindMismatch {
+        /// Kind stored in the file.
+        got: String,
+        /// Kind the reader expected.
+        expected: String,
+    },
+    /// The payload failed to restore into the live model (shape or count
+    /// mismatch, malformed training-state dict, ...).
+    State(String),
+    /// An injected process crash fired ([`Checkpointer::crash_due`]); the
+    /// run should be restarted from its last checkpoint.
+    Crashed {
+        /// Phase in which the crash fired.
+        phase: String,
+        /// Completed steps at the moment of the crash.
+        step: u64,
+    },
+}
+
+impl CheckpointError {
+    /// Wraps any displayable restore failure as [`CheckpointError::State`].
+    pub fn state(err: impl fmt::Display) -> Self {
+        CheckpointError::State(err.to_string())
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint i/o on {}: {source}", path.display())
+            }
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion { got } => {
+                write!(f, "unsupported checkpoint version {got} (this build reads {VERSION})")
+            }
+            CheckpointError::Truncated => write!(f, "truncated checkpoint file"),
+            CheckpointError::CrcMismatch { expected, got } => {
+                write!(f, "checkpoint CRC mismatch: stored {expected:#010x}, computed {got:#010x}")
+            }
+            CheckpointError::KindMismatch { got, expected } => {
+                write!(f, "checkpoint was written by phase `{got}`, expected `{expected}`")
+            }
+            CheckpointError::State(msg) => write!(f, "checkpoint state restore failed: {msg}"),
+            CheckpointError::Crashed { phase, step } => {
+                write!(f, "injected crash at {phase}:{step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// CRC-32/IEEE (the zlib polynomial), bit-reflected, computed without a
+/// lookup table — checkpoint payloads are megabytes at most, so the
+/// byte-at-a-time loop is plenty.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A decoded checkpoint: phase kind, step counter, and the opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Pipeline phase that wrote the checkpoint.
+    pub kind: String,
+    /// Completed steps at snapshot time.
+    pub step: u64,
+    /// Producer-defined state blob.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a checkpoint into the on-disk byte format (including CRC).
+pub fn encode(kind: &str, step: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 2 + kind.len() + 8 + 4 + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+    out.extend_from_slice(kind.as_bytes());
+    out.extend_from_slice(&step.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes and verifies checkpoint bytes (magic, version, CRC, bounds).
+pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion { got: version });
+    }
+    // CRC covers everything before the trailing 4 bytes; verify it before
+    // trusting any length field.
+    let crc_at = bytes.len() - 4;
+    let expected = u32::from_le_bytes(bytes[crc_at..].try_into().unwrap());
+    let got = crc32(&bytes[..crc_at]);
+    if expected != got {
+        return Err(CheckpointError::CrcMismatch { expected, got });
+    }
+    let body = &bytes[..crc_at];
+    let mut cursor = 12usize;
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+        let end = cursor.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        let slice = body.get(*cursor..end).ok_or(CheckpointError::Truncated)?;
+        *cursor = end;
+        Ok(slice)
+    };
+    let kind_len = u16::from_le_bytes(take(&mut cursor, 2)?.try_into().unwrap()) as usize;
+    let kind = std::str::from_utf8(take(&mut cursor, kind_len)?)
+        .map_err(|_| CheckpointError::BadMagic)?
+        .to_string();
+    let step = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().unwrap());
+    let payload_len = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().unwrap()) as usize;
+    let payload = take(&mut cursor, payload_len)?.to_vec();
+    if cursor != body.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(Checkpoint { kind, step, payload })
+}
+
+/// Writes `bytes` to `path` atomically: a `.tmp` sibling is written and
+/// fsynced first, then renamed over the destination, so readers only ever
+/// observe either the old complete file or the new complete file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let io = |source: std::io::Error| CheckpointError::Io { path: path.to_path_buf(), source };
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    file.write_all(bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Reads, verifies, and decodes the checkpoint at `path`.
+pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let bytes = std::fs::read(path)
+        .map_err(|source| CheckpointError::Io { path: path.to_path_buf(), source })?;
+    decode(&bytes)
+}
+
+/// An injected process-crash point: fire when `step` steps of `phase` have
+/// completed. Step 0 means "at entry to the phase" (after the phase's
+/// work-so-far has been checkpointed, before any further step runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Phase label the crash is armed for.
+    pub phase: String,
+    /// Completed-step count that triggers the crash.
+    pub step: u64,
+}
+
+impl CrashPoint {
+    /// Parses `"<phase>:<step>"`, e.g. `"ae-train:40"`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (phase, step) = spec
+            .rsplit_once(':')
+            .ok_or_else(|| format!("crash point: expected `phase:step`, got `{spec}`"))?;
+        if phase.is_empty() {
+            return Err(format!("crash point: empty phase in `{spec}`"));
+        }
+        let step = step.trim().parse().map_err(|_| format!("crash point: bad step in `{spec}`"))?;
+        Ok(Self { phase: phase.trim().to_string(), step })
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.phase, self.step)
+    }
+}
+
+/// Checkpoint policy handed to training loops: where to write, how often,
+/// whether to resume, and an optional armed crash injection.
+///
+/// A *disabled* checkpointer ([`Checkpointer::disabled`]) turns `save` and
+/// `load` into no-ops — plain `fit` calls route through the same resumable
+/// loops with one of these, paying nothing — but an armed crash point
+/// still fires, which is how "crash with no checkpoint configured" is
+/// exercised.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    enabled: bool,
+    dir: PathBuf,
+    every: u64,
+    resume: bool,
+    crash: Option<CrashPoint>,
+}
+
+impl Checkpointer {
+    /// A checkpointer writing to `dir` every `every` steps (and at every
+    /// phase boundary regardless of `every`).
+    pub fn new(dir: impl Into<PathBuf>, every: u64) -> Self {
+        Self { enabled: true, dir: dir.into(), every, resume: false, crash: None }
+    }
+
+    /// A checkpointer that never writes or reads; crash points still fire.
+    pub fn disabled() -> Self {
+        Self { enabled: false, dir: PathBuf::new(), every: 0, resume: false, crash: None }
+    }
+
+    /// Whether saves and loads are live.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Enables (or disables) resuming from existing checkpoints.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Arms an injected crash point.
+    pub fn with_crash(mut self, crash: Option<CrashPoint>) -> Self {
+        self.crash = crash;
+        self
+    }
+
+    /// Whether resume is requested.
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    /// The armed crash point, if any.
+    pub fn crash(&self) -> Option<&CrashPoint> {
+        self.crash.as_ref()
+    }
+
+    /// Whether a checkpoint is due after `completed` of `total` steps:
+    /// always at the end of the phase, else every `every` steps.
+    pub fn due(&self, completed: u64, total: u64) -> bool {
+        completed == total || (self.every > 0 && completed % self.every == 0)
+    }
+
+    /// Whether the armed crash point fires at `completed` steps of `phase`.
+    pub fn crash_due(&self, phase: &str, completed: u64) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.phase == phase && c.step == completed)
+    }
+
+    /// Returns [`CheckpointError::Crashed`] if the armed crash point fires
+    /// at `completed` steps of `phase`; counts the injection.
+    pub fn maybe_crash(&self, phase: &str, completed: u64) -> Result<(), CheckpointError> {
+        if self.crash_due(phase, completed) {
+            observe::count(names::CHECKPOINT_CRASH, 1);
+            return Err(CheckpointError::Crashed { phase: phase.to_string(), step: completed });
+        }
+        Ok(())
+    }
+
+    /// Path of the checkpoint file for logical name `name`.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.ckpt"))
+    }
+
+    /// Atomically writes a checkpoint named `name` for `phase` at `step`.
+    /// No-op when the checkpointer is disabled.
+    pub fn save(
+        &self,
+        name: &str,
+        phase: &str,
+        step: u64,
+        payload: &[u8],
+    ) -> Result<(), CheckpointError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let _span = observe::span(names::CHECKPOINT_WRITE_SPAN);
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|source| CheckpointError::Io { path: self.dir.clone(), source })?;
+        let bytes = encode(phase, step, payload);
+        let path = self.path(name);
+        write_atomic(&path, &bytes)?;
+        observe::count(names::CHECKPOINT_WRITES, 1);
+        observe::count(names::CHECKPOINT_BYTES, bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Loads the checkpoint named `name`, verifying it was written by
+    /// `phase`. Returns `Ok(None)` when the checkpointer is disabled,
+    /// resume is off, or no file exists; a file that exists but fails
+    /// verification is an error, never a silent fresh start.
+    pub fn load(&self, name: &str, phase: &str) -> Result<Option<Checkpoint>, CheckpointError> {
+        if !self.enabled || !self.resume {
+            return Ok(None);
+        }
+        let path = self.path(name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let _span = observe::span(names::CHECKPOINT_LOAD_SPAN);
+        let ckpt = read(&path)?;
+        if ckpt.kind != phase {
+            return Err(CheckpointError::KindMismatch {
+                got: ckpt.kind,
+                expected: phase.to_string(),
+            });
+        }
+        observe::count(names::CHECKPOINT_LOADS, 1);
+        Ok(Some(ckpt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("silofuse-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let payload = (0u16..600).flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>();
+        let bytes = encode("ae-train", 42, &payload);
+        let ckpt = decode(&bytes).unwrap();
+        assert_eq!(ckpt.kind, "ae-train");
+        assert_eq!(ckpt.step, 42);
+        assert_eq!(ckpt.payload, payload);
+    }
+
+    #[test]
+    fn corruption_truncation_and_version_skew_are_typed_errors() {
+        let bytes = encode("phase", 7, b"payload");
+
+        let mut flipped = bytes.clone();
+        flipped[20] ^= 0xff;
+        assert!(matches!(decode(&flipped), Err(CheckpointError::CrcMismatch { .. })));
+
+        for cut in [0, 4, 11, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Truncated | CheckpointError::CrcMismatch { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(decode(&wrong_magic), Err(CheckpointError::BadMagic)));
+
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&9u32.to_le_bytes());
+        // Re-stamp the CRC so version skew is what's detected, not the CRC.
+        let crc_at = future.len() - 4;
+        let crc = crc32(&future[..crc_at]);
+        future[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&future), Err(CheckpointError::UnsupportedVersion { got: 9 })));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_and_survives_overwrite() {
+        let dir = tmp_dir("atomic");
+        let ck = Checkpointer::new(&dir, 10).with_resume(true);
+        ck.save("model", "train", 5, b"first").unwrap();
+        ck.save("model", "train", 9, b"second").unwrap();
+        assert!(!ck.path("model").with_extension("tmp").exists(), "tmp file must be renamed");
+        let loaded = ck.load("model", "train").unwrap().unwrap();
+        assert_eq!(loaded.step, 9);
+        assert_eq!(loaded.payload, b"second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_policies() {
+        let dir = tmp_dir("policies");
+        let ck = Checkpointer::new(&dir, 10);
+        // Resume off → None even though nothing exists either way.
+        assert!(ck.load("x", "p").unwrap().is_none());
+        let ck = ck.with_resume(true);
+        // Missing file → None (fresh start).
+        assert!(ck.load("x", "p").unwrap().is_none());
+        ck.save("x", "p", 1, b"data").unwrap();
+        // Wrong phase → typed error, not a silent bad resume.
+        assert!(matches!(ck.load("x", "other"), Err(CheckpointError::KindMismatch { .. })));
+        // Torn file on disk → typed error.
+        std::fs::write(ck.path("torn"), b"SILOCKPT\x01\x00").unwrap();
+        assert!(ck.load("torn", "p").is_err());
+        // Disabled → complete no-op.
+        let off = Checkpointer::disabled();
+        assert!(off.load("x", "p").unwrap().is_none());
+        off.save("x", "p", 1, b"ignored").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn due_and_crash_points() {
+        let dir = tmp_dir("due");
+        let ck = Checkpointer::new(&dir, 50);
+        assert!(ck.due(50, 200) && ck.due(100, 200) && ck.due(200, 200));
+        assert!(!ck.due(51, 200) && !ck.due(199, 200));
+        // every = 0 → only the phase end is due.
+        let end_only = Checkpointer::new(&dir, 0);
+        assert!(end_only.due(200, 200) && !end_only.due(100, 200));
+
+        let cp = CrashPoint::parse("ae-train:40").unwrap();
+        assert_eq!(cp, CrashPoint { phase: "ae-train".into(), step: 40 });
+        assert!(CrashPoint::parse("no-colon").is_err());
+        assert!(CrashPoint::parse(":3").is_err());
+        assert!(CrashPoint::parse("p:x").is_err());
+
+        let armed = Checkpointer::disabled().with_crash(Some(cp));
+        assert!(armed.crash_due("ae-train", 40));
+        assert!(!armed.crash_due("ae-train", 41));
+        assert!(!armed.crash_due("latent-train", 40));
+        assert!(matches!(
+            armed.maybe_crash("ae-train", 40),
+            Err(CheckpointError::Crashed { step: 40, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

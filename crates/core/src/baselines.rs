@@ -4,6 +4,7 @@
 use crate::budget::TrainBudget;
 use crate::silofuse::{SiloFuse, SiloFuseConfig};
 use rand::rngs::StdRng;
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_distributed::e2e_distr::E2eDistributed;
 use silofuse_distributed::NetConfig;
 use silofuse_models::synthesizer::{GanSynthesizer, TabDdpmSynthesizer};
@@ -119,9 +120,14 @@ pub fn build_synthesizer_with_net(
         )),
         ModelKind::LatentDiff => Box::new(LatentDiff::new(latent)),
         ModelKind::E2e => Box::new(E2eCentralized::new(latent)),
-        ModelKind::E2eDistr => {
-            Box::new(E2eDistrSynthesizer { config: latent, n_clients, strategy, net, state: None })
-        }
+        ModelKind::E2eDistr => Box::new(E2eDistrSynthesizer {
+            config: latent,
+            n_clients,
+            strategy,
+            net,
+            ckpt: Checkpointer::disabled(),
+            state: None,
+        }),
         ModelKind::SiloFuse => {
             Box::new(SiloFuse::with_net(SiloFuseConfig { n_clients, strategy, model: latent }, net))
         }
@@ -135,6 +141,7 @@ pub struct E2eDistrSynthesizer {
     n_clients: usize,
     strategy: PartitionStrategy,
     net: NetConfig,
+    ckpt: Checkpointer,
     state: Option<(E2eDistributed, PartitionPlan)>,
 }
 
@@ -144,11 +151,26 @@ impl Synthesizer for E2eDistrSynthesizer {
     }
 
     fn fit(&mut self, table: &Table, rng: &mut StdRng) {
+        self.try_fit(table, rng).unwrap_or_else(|e| panic!("distributed training failed: {e}"));
+    }
+
+    fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
         let plan = PartitionPlan::new(table.n_cols(), self.n_clients, self.strategy);
         let partitions = plan.split(table);
-        let model = E2eDistributed::try_fit(&partitions, self.config, &self.net, rng)
-            .unwrap_or_else(|e| panic!("distributed training failed: {e}"));
+        let model = E2eDistributed::try_fit_with_checkpoints(
+            &partitions,
+            self.config,
+            &self.net,
+            Some(&self.ckpt),
+            rng,
+        )
+        .map_err(crate::silofuse::protocol_to_checkpoint)?;
         self.state = Some((model, plan));
+        Ok(())
+    }
+
+    fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        self.ckpt = ckpt;
     }
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {

@@ -11,7 +11,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use silofuse_core::{build_synthesizer_with_net, FaultPlan, ModelKind, NetConfig, TrainBudget};
+use silofuse_core::{
+    build_synthesizer_with_net, Checkpointer, FaultPlan, ModelKind, NetConfig, TrainBudget,
+};
 use silofuse_metrics::{
     privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig,
 };
@@ -79,10 +81,16 @@ USAGE:
   silofuse synth --input <real.csv> --rows <N> --out <synth.csv>
       [--model silofuse|latentdiff|tabddpm|gan-linear|gan-conv|e2e|e2e-distr]
       [--clients M] [--quick] [--seed S] [--faults SPEC]
+      [--checkpoint-dir D] [--checkpoint-every N] [--resume]
       Fit a synthesizer on the CSV (schema inferred) and write synthetic rows.
       --faults injects seeded link faults into the distributed models, e.g.
       `--faults drop=0.05,delay=10ms,dup=0.02,seed=7`; the transport retries
-      with exponential backoff and reports retransmits separately.
+      with exponential backoff and reports retransmits separately. Adding
+      `crash_at=<phase>:<step>[,crash_client=i]` kills that node mid-run.
+      --checkpoint-dir makes every training phase write crash-safe
+      checkpoints (CRC-checked, atomically renamed) every N steps (default
+      50); with --resume a relaunched run continues from the latest
+      checkpoint, bit-identical to an uninterrupted run.
 
   silofuse evaluate --real <real.csv> --synth <synth.csv>
       [--holdout <holdout.csv>] [--seed S]
@@ -103,7 +111,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{arg}`"));
         };
-        if name == "quick" || name == "trace" {
+        if name == "quick" || name == "trace" || name == "resume" {
             flags.insert(name.to_string(), "true".to_string());
         } else {
             let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -169,6 +177,32 @@ fn model_kind(name: &str) -> Result<ModelKind, String> {
     })
 }
 
+/// Builds the crash-safe checkpointer requested by `--checkpoint-dir`,
+/// `--checkpoint-every`, and `--resume`, or `None` when checkpointing is
+/// off. `--resume`/`--checkpoint-every` without a directory is an error.
+fn checkpointer_from_flags(flags: &Flags) -> Result<Option<Checkpointer>, String> {
+    let every: u64 = parse_num(flags, "checkpoint-every", 50)?;
+    match flags.get("checkpoint-dir") {
+        Some(dir) => {
+            if every == 0 {
+                return Err("--checkpoint-every must be at least 1".into());
+            }
+            eprintln!(
+                "checkpointing every {every} steps to {dir}{}",
+                if flags.contains_key("resume") { " (resuming)" } else { "" }
+            );
+            Ok(Some(Checkpointer::new(dir, every).with_resume(flags.contains_key("resume"))))
+        }
+        None if flags.contains_key("resume") => {
+            Err("--resume needs --checkpoint-dir to load from".into())
+        }
+        None if flags.contains_key("checkpoint-every") => {
+            Err("--checkpoint-every needs --checkpoint-dir to write to".into())
+        }
+        None => Ok(None),
+    }
+}
+
 fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let input = required(flags, "input")?;
     let out = required(flags, "out")?;
@@ -193,6 +227,8 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
         }
     };
 
+    let ckpt = checkpointer_from_flags(flags)?;
+
     let csv = load_csv(input)?;
     let clients = clients.min(csv.table.n_cols()).max(1);
     eprintln!(
@@ -206,7 +242,10 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model =
         build_synthesizer_with_net(kind, &budget, clients, PartitionStrategy::Default, seed, net);
-    model.fit(&csv.table, &mut rng);
+    if let Some(ckpt) = ckpt {
+        model.set_checkpointer(ckpt);
+    }
+    model.try_fit(&csv.table, &mut rng).map_err(|e| format!("training failed: {e}"))?;
     let synth = model.synthesize(rows, &mut rng);
     std::fs::write(out, write_csv(&synth, Some(&csv.vocabularies)))
         .map_err(|e| format!("{out}: {e}"))?;

@@ -45,8 +45,10 @@ pub use baselines::{build_synthesizer, build_synthesizer_with_net, ModelKind};
 pub use budget::TrainBudget;
 pub use pipeline::{evaluate_model, DatasetRun, ModelScores, RunConfig};
 pub use silofuse::{SiloFuse, SiloFuseConfig};
+pub use silofuse_checkpoint::{CheckpointError, Checkpointer, CrashPoint};
 pub use silofuse_distributed::{FaultPlan, NetConfig, ProtocolError, RetryPolicy};
 
+pub use silofuse_checkpoint as checkpoint;
 pub use silofuse_diffusion as diffusion;
 pub use silofuse_distributed as distributed;
 pub use silofuse_metrics as metrics;

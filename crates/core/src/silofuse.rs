@@ -2,6 +2,7 @@
 
 use crate::budget::TrainBudget;
 use rand::rngs::StdRng;
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_distributed::stacked::SiloFuseModel;
 use silofuse_distributed::{CommStats, NetConfig, ProtocolError};
 use silofuse_models::latentdiff::LatentDiffConfig;
@@ -51,6 +52,7 @@ impl SiloFuseConfig {
 pub struct SiloFuse {
     config: SiloFuseConfig,
     net: NetConfig,
+    ckpt: Checkpointer,
     state: Option<(SiloFuseModel, PartitionPlan)>,
 }
 
@@ -71,7 +73,15 @@ impl SiloFuse {
     /// `try_*` entry points — a silo that stays dead past the retry budget
     /// surfaces as [`ProtocolError`] instead of a hang.
     pub fn with_net(config: SiloFuseConfig, net: NetConfig) -> Self {
-        Self { config, net, state: None }
+        Self { config, net, ckpt: Checkpointer::disabled(), state: None }
+    }
+
+    /// Installs crash-safe checkpointing: every node of the distributed
+    /// run saves its training state under the checkpointer's directory,
+    /// and (with resume enabled) a relaunched run fast-forwards to the
+    /// latest checkpoint instead of training from scratch.
+    pub fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        self.ckpt = ckpt;
     }
 
     /// Trains the distributed model on `table`.
@@ -88,7 +98,13 @@ impl SiloFuse {
     pub fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), ProtocolError> {
         let plan = PartitionPlan::new(table.n_cols(), self.config.n_clients, self.config.strategy);
         let partitions = plan.split(table);
-        let model = SiloFuseModel::try_fit(&partitions, self.config.model, &self.net, rng)?;
+        let model = SiloFuseModel::try_fit_with_checkpoints(
+            &partitions,
+            self.config.model,
+            &self.net,
+            Some(&self.ckpt),
+            rng,
+        )?;
         self.state = Some((model, plan));
         Ok(())
     }
@@ -151,6 +167,17 @@ impl SiloFuse {
     }
 }
 
+/// Adapts a distributed-protocol failure to the [`Synthesizer::try_fit`]
+/// error type: checkpoint failures keep their precise variant (CRC
+/// mismatch, truncation, ...), everything else is wrapped with its full
+/// protocol message.
+pub(crate) fn protocol_to_checkpoint(err: ProtocolError) -> CheckpointError {
+    match err {
+        ProtocolError::Checkpoint { source, .. } => source,
+        other => CheckpointError::state(other),
+    }
+}
+
 impl Synthesizer for SiloFuse {
     fn name(&self) -> &'static str {
         "SiloFuse"
@@ -158,6 +185,14 @@ impl Synthesizer for SiloFuse {
 
     fn fit(&mut self, table: &Table, rng: &mut StdRng) {
         SiloFuse::fit(self, table, rng);
+    }
+
+    fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
+        SiloFuse::try_fit(self, table, rng).map_err(protocol_to_checkpoint)
+    }
+
+    fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        SiloFuse::set_checkpointer(self, ckpt);
     }
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {

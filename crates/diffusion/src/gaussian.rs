@@ -4,6 +4,7 @@ use crate::backbone::DiffusionBackbone;
 use crate::schedule::NoiseSchedule;
 use rand::rngs::StdRng;
 use rand::Rng;
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_nn::init::randn;
 use silofuse_nn::layers::{Layer, Mode};
 use silofuse_nn::loss::mse;
@@ -130,6 +131,108 @@ impl GaussianDdpm {
         bytes: &[u8],
     ) -> Result<(), silofuse_nn::serialize::StateDictError> {
         silofuse_nn::serialize::import_state_dict(self.backbone.net_mut(), bytes)
+    }
+
+    /// Exports the full training state — backbone parameters, buffers,
+    /// internal RNGs, and the complete Adam state — for checkpointing.
+    /// Unlike [`GaussianDdpm::export_weights`], restoring this and
+    /// continuing to train is bit-identical to never having stopped.
+    pub fn export_train_state(&mut self) -> Vec<u8> {
+        silofuse_nn::serialize::export_train_state(self.backbone.net_mut(), &self.optimizer)
+    }
+
+    /// Restores state exported by [`GaussianDdpm::export_train_state`].
+    ///
+    /// # Errors
+    /// Propagates shape/count mismatches from the state-dict layer; a
+    /// failed import leaves the model untouched.
+    pub fn import_train_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), silofuse_nn::serialize::StateDictError> {
+        silofuse_nn::serialize::import_train_state(
+            self.backbone.net_mut(),
+            &mut self.optimizer,
+            bytes,
+        )
+    }
+
+    /// The resumable latent-DDPM training loop shared by the centralized
+    /// LatentDiff model and the SiloFuse coordinator: `steps` minibatch
+    /// steps over the latent matrix `z`, checkpointed through `ckpt` under
+    /// (`name`, `phase`), emitting `latent-ddpm` train events.
+    ///
+    /// Checkpoint payloads carry the caller's RNG state alongside the full
+    /// training state, so a resumed loop replays the exact random stream —
+    /// for a fixed seed, crash-at-step-N + resume is byte-identical to an
+    /// uninterrupted run. With [`Checkpointer::disabled`] the loop is
+    /// byte-identical to the pre-checkpoint implementation (nothing here
+    /// consumes RNG beyond the training steps themselves).
+    ///
+    /// # Errors
+    /// Checkpoint I/O or restore failures, and
+    /// [`CheckpointError::Crashed`] when an armed crash point fires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_latent(
+        &mut self,
+        z: &Tensor,
+        steps: usize,
+        batch_size: usize,
+        lr_for_log: f32,
+        rng: &mut StdRng,
+        ckpt: &Checkpointer,
+        name: &str,
+        phase: &str,
+    ) -> Result<f32, CheckpointError> {
+        let n = z.rows();
+        let mut start = 0usize;
+        if let Some(saved) = ckpt.load(name, phase)? {
+            if saved.payload.len() < 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let state = u64::from_le_bytes(saved.payload[..8].try_into().unwrap());
+            self.import_train_state(&saved.payload[8..]).map_err(CheckpointError::state)?;
+            *rng = StdRng::from_state(state);
+            start = (saved.step as usize).min(steps);
+        } else if ckpt.is_enabled() {
+            // Phase-entry checkpoint: a crash before the first periodic
+            // save must not resume with an already-advanced RNG stream.
+            let payload = self.snapshot_with_rng(rng);
+            ckpt.save(name, phase, 0, &payload)?;
+        }
+        ckpt.maybe_crash(phase, start as u64)?;
+        let stride = silofuse_observe::epoch_stride(steps);
+        let mut last_loss = 0.0f32;
+        for step in start..steps {
+            let idx: Vec<usize> = (0..batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
+            let batch = z.select_rows(&idx);
+            let loss = self.train_step(&batch, rng);
+            last_loss = loss;
+            if step % stride == 0 {
+                silofuse_observe::train_epoch(
+                    "latent-ddpm",
+                    step as u64,
+                    f64::from(loss),
+                    f64::from(lr_for_log),
+                    batch.rows() as u64,
+                );
+            }
+            let done = (step + 1) as u64;
+            if ckpt.is_enabled() && ckpt.due(done, steps as u64) {
+                let payload = self.snapshot_with_rng(rng);
+                ckpt.save(name, phase, done, &payload)?;
+            }
+            ckpt.maybe_crash(phase, done)?;
+        }
+        Ok(last_loss)
+    }
+
+    /// `caller-rng state u64 | training-state dict` — the payload format
+    /// [`GaussianDdpm::fit_latent`] checkpoints.
+    fn snapshot_with_rng(&mut self, rng: &StdRng) -> Vec<u8> {
+        let mut payload = rng.state().to_le_bytes().to_vec();
+        payload.extend_from_slice(&self.export_train_state());
+        payload
     }
 
     /// One optimisation step on a batch of clean data; returns the loss.
@@ -381,6 +484,44 @@ mod tests {
         let mut r1 = StdRng::seed_from_u64(7);
         let mut r2 = StdRng::seed_from_u64(7);
         assert_eq!(trained.sample(8, 5, 0.0, &mut r1), fresh.sample(8, 5, 0.0, &mut r2));
+    }
+
+    #[test]
+    fn fit_latent_crash_and_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("silofuse-ddpm-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rng = StdRng::seed_from_u64(33);
+        let z = randn(64, 2, &mut rng);
+
+        // Uninterrupted reference (disabled checkpointer = plain fit).
+        let mut clean = small_ddpm(2, Parameterization::PredictX0, 33);
+        let mut clean_rng = StdRng::seed_from_u64(34);
+        clean
+            .fit_latent(&z, 30, 16, 2e-3, &mut clean_rng, &Checkpointer::disabled(), "d", "lt")
+            .unwrap();
+
+        // Crash at step 13, then resume into a freshly-built model.
+        let ckpt = Checkpointer::new(&dir, 5);
+        let crash = ckpt
+            .clone()
+            .with_crash(Some(silofuse_checkpoint::CrashPoint { phase: "lt".into(), step: 13 }));
+        let mut victim = small_ddpm(2, Parameterization::PredictX0, 33);
+        let mut victim_rng = StdRng::seed_from_u64(34);
+        let err =
+            victim.fit_latent(&z, 30, 16, 2e-3, &mut victim_rng, &crash, "d", "lt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Crashed { step: 13, .. }));
+        drop(victim); // simulated process death
+        let mut resumed = small_ddpm(2, Parameterization::PredictX0, 33);
+        let mut resumed_rng = StdRng::seed_from_u64(999); // overwritten by the checkpoint
+        resumed
+            .fit_latent(&z, 30, 16, 2e-3, &mut resumed_rng, &ckpt.with_resume(true), "d", "lt")
+            .unwrap();
+
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(clean.sample(8, 5, 1.0, &mut r1), resumed.sample(8, 5, 1.0, &mut r2));
+        assert_eq!(clean_rng, resumed_rng, "caller RNG must land in the same state");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

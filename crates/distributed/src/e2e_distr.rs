@@ -8,12 +8,14 @@
 
 use crate::error::ProtocolError;
 use crate::faults::NetConfig;
+use crate::stacked::{take, take_u32};
 use crate::transport::{
     bump_round, link_with, new_stats, recv_retrying, ClientEndpoint, CommStats, SharedStats,
 };
 use crate::Message;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
 use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
 use silofuse_diffusion::schedule::NoiseSchedule;
@@ -23,11 +25,40 @@ use silofuse_nn::Tensor;
 use silofuse_observe as observe;
 use silofuse_tabular::table::Table;
 
+/// Checkpoint file name for the joint E2E training state.
+const JOINT_CKPT: &str = "e2e-joint";
+/// Phase label crashes and checkpoints are keyed on.
+const JOINT_PHASE: &str = "joint-train";
+
 struct ClientState {
     ae: TabularAutoencoder,
     endpoint: ClientEndpoint,
     partition: Table,
     latent_dim: usize,
+}
+
+/// Deterministic DDPM construction so a restarted coordinator rebuilds the
+/// exact same initial network before loading checkpointed weights.
+fn build_e2e_ddpm(config: &LatentDiffConfig, total_latent: usize) -> GaussianDdpm {
+    let mut init_rng = StdRng::seed_from_u64(config.seed ^ 0xe2ed);
+    let backbone = DiffusionBackbone::new(
+        BackboneConfig {
+            data_dim: total_latent,
+            hidden_dim: config.ddpm_hidden,
+            depth: 8,
+            time_embed_dim: 16,
+            dropout: 0.01,
+            out_dim: total_latent,
+        },
+        config.seed,
+        &mut init_rng,
+    );
+    let schedule = NoiseSchedule::new(config.schedule, config.timesteps);
+    GaussianDdpm::new(
+        GaussianDiffusion::new(schedule, Parameterization::PredictX0),
+        backbone,
+        config.ddpm_lr,
+    )
 }
 
 /// The end-to-end distributed synthesizer.
@@ -70,6 +101,24 @@ impl E2eDistributed {
         net: &NetConfig,
         rng: &mut StdRng,
     ) -> Result<Self, ProtocolError> {
+        Self::try_fit_with_checkpoints(partitions, config, net, None, rng)
+    }
+
+    /// [`E2eDistributed::try_fit`] with crash-safe checkpointing. The whole
+    /// joint state — every client's AE training state plus the
+    /// coordinator's DDPM — snapshots as one `e2e-joint` checkpoint every
+    /// `--checkpoint-every` rounds. A crash injected via `crash_at`
+    /// restarts the run from the latest snapshot and replays forward,
+    /// bit-identically to an uninterrupted run (wire statistics count the
+    /// replayed rounds, model state does not). A crash with `ckpt == None`
+    /// (or a disabled checkpointer) is fatal: [`ProtocolError::Crashed`].
+    pub fn try_fit_with_checkpoints(
+        partitions: &[Table],
+        config: LatentDiffConfig,
+        net: &NetConfig,
+        ckpt: Option<&Checkpointer>,
+        rng: &mut StdRng,
+    ) -> Result<Self, ProtocolError> {
         assert!(!partitions.is_empty(), "need at least one client partition");
         let rows = partitions[0].n_rows();
         assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
@@ -93,34 +142,138 @@ impl E2eDistributed {
         }
 
         let total_latent: usize = clients.iter().map(|c| c.latent_dim).sum();
-        let mut init_rng = StdRng::seed_from_u64(config.seed ^ 0xe2ed);
-        let backbone = DiffusionBackbone::new(
-            BackboneConfig {
-                data_dim: total_latent,
-                hidden_dim: config.ddpm_hidden,
-                depth: 8,
-                time_embed_dim: 16,
-                dropout: 0.01,
-                out_dim: total_latent,
-            },
-            config.seed,
-            &mut init_rng,
-        );
-        let schedule = NoiseSchedule::new(config.schedule, config.timesteps);
-        let diffusion = GaussianDiffusion::new(schedule, Parameterization::PredictX0);
-        let mut ddpm = GaussianDdpm::new(diffusion, backbone, config.ddpm_lr);
+        let mut ddpm = build_e2e_ddpm(&config, total_latent);
+
+        let base = ckpt.cloned().unwrap_or_else(Checkpointer::disabled);
+        let crash_plan =
+            net.faults.as_ref().and_then(|p| p.crash_at.clone()).or_else(|| base.crash().cloned());
+        let mut crash_armed =
+            base.clone().with_crash(crash_plan.filter(|c| c.phase == JOINT_PHASE));
+        let coord_err = |source: CheckpointError| match source {
+            CheckpointError::Crashed { phase, step } => {
+                ProtocolError::Crashed { node: "coordinator".into(), phase, step }
+            }
+            source => ProtocolError::Checkpoint { node: "coordinator".into(), source },
+        };
 
         let mut model =
             Self { config, net: net.clone(), clients, coord_endpoints, ddpm: None, stats };
-        let total_steps = config.ae_steps + config.diffusion_steps;
+        let total = (config.ae_steps + config.diffusion_steps) as u64;
         let _phase = observe::phase("joint-train");
-        for _ in 0..total_steps {
+        let mut round: u64 = match base.load(JOINT_CKPT, JOINT_PHASE).map_err(coord_err)? {
+            Some(saved) => {
+                let step = saved.step;
+                model.import_joint_state(&mut ddpm, &saved.payload, rng).map_err(coord_err)?;
+                step.min(total)
+            }
+            None => {
+                if base.is_enabled() {
+                    // Round-0 snapshot: a crash before the first periodic
+                    // save must not resume with an advanced RNG stream.
+                    let payload = model.snapshot_joint(&mut ddpm, rng);
+                    base.save(JOINT_CKPT, JOINT_PHASE, 0, &payload).map_err(coord_err)?;
+                }
+                0
+            }
+        };
+        if crash_armed.crash_due(JOINT_PHASE, round) {
+            let err = crash_armed.maybe_crash(JOINT_PHASE, round).expect_err("crash is due");
+            if !base.is_enabled() {
+                return Err(coord_err(err));
+            }
+            crash_armed = base.clone();
+            round = model.restore_joint(&mut ddpm, &base, rng).map_err(coord_err)?.min(total);
+        }
+        while round < total {
             let idx: Vec<usize> =
                 (0..config.batch_size.min(rows)).map(|_| rng.gen_range(0..rows)).collect();
             model.joint_step(&mut ddpm, &idx, rng)?;
+            round += 1;
+            if base.is_enabled() && base.due(round, total) {
+                let payload = model.snapshot_joint(&mut ddpm, rng);
+                base.save(JOINT_CKPT, JOINT_PHASE, round, &payload).map_err(coord_err)?;
+            }
+            if crash_armed.crash_due(JOINT_PHASE, round) {
+                // The simulated process dies here: the restarted run falls
+                // back to the latest snapshot and replays the lost rounds
+                // (the crash disarms — it already happened).
+                let err = crash_armed.maybe_crash(JOINT_PHASE, round).expect_err("crash is due");
+                if !base.is_enabled() {
+                    return Err(coord_err(err));
+                }
+                crash_armed = base.clone();
+                round = model.restore_joint(&mut ddpm, &base, rng).map_err(coord_err)?.min(total);
+            }
         }
         model.ddpm = Some(ddpm);
         Ok(model)
+    }
+
+    /// `u64 rng | u32 m | m × (u32 len | AE train state) | DDPM train
+    /// state` — one blob captures every node of the simulated deployment.
+    fn snapshot_joint(&mut self, ddpm: &mut GaussianDdpm, rng: &StdRng) -> Vec<u8> {
+        let mut out = rng.state().to_le_bytes().to_vec();
+        out.extend_from_slice(&(self.clients.len() as u32).to_le_bytes());
+        for client in &mut self.clients {
+            let blob = client.ae.export_train_state();
+            out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        out.extend_from_slice(&ddpm.export_train_state());
+        out
+    }
+
+    /// Restores a [`E2eDistributed::snapshot_joint`] payload into freshly
+    /// rebuilt models. The RNG is restored last, so a failed import leaves
+    /// the caller's stream untouched.
+    fn import_joint_state(
+        &mut self,
+        ddpm: &mut GaussianDdpm,
+        payload: &[u8],
+        rng: &mut StdRng,
+    ) -> Result<(), CheckpointError> {
+        let mut at = 0usize;
+        let rng_state = u64::from_le_bytes(take(payload, &mut at, 8)?.try_into().expect("8 bytes"));
+        let m = take_u32(payload, &mut at)? as usize;
+        if m != self.clients.len() {
+            return Err(CheckpointError::state(format!(
+                "joint checkpoint holds {m} clients, run has {}",
+                self.clients.len()
+            )));
+        }
+        for client in &mut self.clients {
+            let len = take_u32(payload, &mut at)? as usize;
+            let blob = take(payload, &mut at, len)?;
+            client.ae.import_train_state(blob).map_err(CheckpointError::state)?;
+        }
+        ddpm.import_train_state(&payload[at..]).map_err(CheckpointError::state)?;
+        *rng = StdRng::from_state(rng_state);
+        Ok(())
+    }
+
+    /// A restarted joint run: rebuild every client AE and the DDPM
+    /// deterministically from config, load the latest `e2e-joint`
+    /// checkpoint on top, and return the round to resume from. Transport
+    /// endpoints are kept — sequence numbers continue across the restart.
+    fn restore_joint(
+        &mut self,
+        ddpm: &mut GaussianDdpm,
+        base: &Checkpointer,
+        rng: &mut StdRng,
+    ) -> Result<u64, CheckpointError> {
+        let resume = base.clone().with_resume(true);
+        let saved = resume
+            .load(JOINT_CKPT, JOINT_PHASE)?
+            .ok_or_else(|| CheckpointError::state("e2e-joint checkpoint missing"))?;
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let mut ae_cfg = self.config.ae;
+            ae_cfg.seed = self.config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            client.ae = TabularAutoencoder::new(&client.partition, ae_cfg);
+        }
+        let total_latent: usize = self.clients.iter().map(|c| c.latent_dim).sum();
+        *ddpm = build_e2e_ddpm(&self.config, total_latent);
+        self.import_joint_state(ddpm, &saved.payload, rng)?;
+        Ok(saved.step)
     }
 
     /// One distributed end-to-end step over aligned batch rows `idx`.

@@ -6,6 +6,7 @@
 //! unbounded channel or panicking through an `expect`.
 
 use crate::transport::TransportError;
+use silofuse_checkpoint::CheckpointError;
 
 /// A distributed protocol run failed.
 #[derive(Debug)]
@@ -26,6 +27,23 @@ pub enum ProtocolError {
         /// Debug rendering of the offending message.
         got: String,
     },
+    /// A node crashed (injected via `crash_at`) with no checkpointer
+    /// enabled, so it cannot restart and rejoin.
+    Crashed {
+        /// The node that died (`"silo 2"`, `"coordinator"`).
+        node: String,
+        /// Phase the crash fired in.
+        phase: String,
+        /// Completed-step count at the crash.
+        step: u64,
+    },
+    /// Checkpoint I/O or state restoration failed on a node.
+    Checkpoint {
+        /// The node that failed (`"silo 2"`, `"coordinator"`).
+        node: String,
+        /// The checkpoint-level cause.
+        source: CheckpointError,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -37,6 +55,12 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Unexpected { phase, got } => {
                 write!(f, "unexpected message during {phase}: {got}")
             }
+            ProtocolError::Crashed { node, phase, step } => {
+                write!(f, "{node} crashed during {phase} at step {step} with no checkpointer; cannot rejoin")
+            }
+            ProtocolError::Checkpoint { node, source } => {
+                write!(f, "checkpoint failure on {node}: {source}")
+            }
         }
     }
 }
@@ -45,7 +69,8 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::SiloDead { source, .. } => Some(source),
-            ProtocolError::Unexpected { .. } => None,
+            ProtocolError::Checkpoint { source, .. } => Some(source),
+            ProtocolError::Unexpected { .. } | ProtocolError::Crashed { .. } => None,
         }
     }
 }

@@ -16,6 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silofuse_checkpoint::CrashPoint;
 use silofuse_observe as observe;
 use std::time::Duration;
 
@@ -35,6 +36,16 @@ pub struct FaultPlan {
     /// Scripted schedule: drop exactly the N-th transmission (0-based,
     /// counted per link direction), regardless of `drop`.
     pub drop_nth: Vec<u64>,
+    /// Kill a node at `phase:step` (e.g. `ae-train:40`, `latent-upload:0`,
+    /// `latent-train:100`, `joint-train:12`). The node restarts, reloads
+    /// its last checkpoint, and rejoins the protocol; without a
+    /// checkpointer the crash is fatal
+    /// ([`crate::error::ProtocolError::Crashed`]).
+    pub crash_at: Option<CrashPoint>,
+    /// Which client silo the crash targets for client-side phases
+    /// (`ae-train`, `latent-upload`). Coordinator phases (`latent-train`,
+    /// `joint-train`) ignore it.
+    pub crash_client: usize,
     /// Master seed for all per-link RNG streams.
     pub seed: u64,
 }
@@ -47,6 +58,8 @@ impl Default for FaultPlan {
             delay: Duration::ZERO,
             disconnect_after: None,
             drop_nth: Vec::new(),
+            crash_at: None,
+            crash_client: 0,
             seed: 0,
         }
     }
@@ -54,10 +67,12 @@ impl Default for FaultPlan {
 
 impl FaultPlan {
     /// Parses the CLI syntax
-    /// `drop=0.05,delay=10ms,dup=0.02,disconnect_after=40,drop_nth=3;9,seed=7`.
+    /// `drop=0.05,delay=10ms,dup=0.02,disconnect_after=40,drop_nth=3;9,crash_at=ae-train:40,crash_client=1,seed=7`.
     ///
     /// Every key is optional; unknown keys are an error. `delay` accepts
-    /// `10ms`, `2s`, or a bare number of milliseconds.
+    /// `10ms`, `2s`, or a bare number of milliseconds. `crash_at` takes a
+    /// `phase:step` pair (use step `0` for the one-shot `latent-upload`
+    /// phase).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -86,6 +101,15 @@ impl FaultPlan {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "crash_at" => {
+                    plan.crash_at =
+                        Some(CrashPoint::parse(value).map_err(|e| format!("--faults: {e}"))?);
+                }
+                "crash_client" => {
+                    plan.crash_client = value
+                        .parse()
+                        .map_err(|_| format!("--faults: bad crash_client `{value}`"))?;
+                }
                 "seed" => {
                     plan.seed =
                         value.parse().map_err(|_| format!("--faults: bad seed `{value}`"))?;
@@ -96,13 +120,14 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// True when the plan can never perturb a message.
+    /// True when the plan can never perturb a message or kill a node.
     pub fn is_noop(&self) -> bool {
         self.drop == 0.0
             && self.duplicate == 0.0
             && self.delay == Duration::ZERO
             && self.disconnect_after.is_none()
             && self.drop_nth.is_empty()
+            && self.crash_at.is_none()
     }
 }
 
@@ -290,6 +315,20 @@ mod tests {
         assert!(FaultPlan::parse("nope=1").is_err());
         assert!(FaultPlan::parse("drop").is_err());
         assert!(FaultPlan::parse("delay=1h").is_err());
+        assert!(FaultPlan::parse("crash_at=ae-train").is_err());
+        assert!(FaultPlan::parse("crash_at=:3").is_err());
+        assert!(FaultPlan::parse("crash_client=x").is_err());
+    }
+
+    #[test]
+    fn parse_crash_keys() {
+        let plan = FaultPlan::parse("crash_at=latent-train:120,crash_client=2").unwrap();
+        let cp = plan.crash_at.as_ref().unwrap();
+        assert_eq!(cp.phase, "latent-train");
+        assert_eq!(cp.step, 120);
+        assert_eq!(plan.crash_client, 2);
+        assert!(!plan.is_noop(), "a crash plan perturbs the run");
+        assert!(FaultPlan::parse("crash_client=1").unwrap().is_noop());
     }
 
     #[test]

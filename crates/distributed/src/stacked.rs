@@ -18,7 +18,8 @@ use crate::transport::{
 };
 use crate::Message;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use silofuse_checkpoint::{CheckpointError, Checkpointer, CrashPoint};
 use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
 use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
 use silofuse_diffusion::schedule::NoiseSchedule;
@@ -84,6 +85,24 @@ impl SiloFuseModel {
         net: &NetConfig,
         rng: &mut StdRng,
     ) -> Result<Self, ProtocolError> {
+        Self::try_fit_with_checkpoints(partitions, config, net, None, rng)
+    }
+
+    /// [`SiloFuseModel::try_fit`] with crash-safe checkpointing. Each silo
+    /// checkpoints its AE training state as `silo<i>-ae`; the coordinator
+    /// checkpoints its DDPM as `coordinator-ddpm` plus the pipeline-level
+    /// `pipeline-post-upload` / `pipeline-post-latent-train` states. A node
+    /// killed by `crash_at` restarts, reloads its last checkpoint, and
+    /// rejoins the run — bit-identically to an uninterrupted run. A crash
+    /// with `ckpt == None` (or a disabled checkpointer) is fatal:
+    /// [`ProtocolError::Crashed`].
+    pub fn try_fit_with_checkpoints(
+        partitions: &[Table],
+        config: LatentDiffConfig,
+        net: &NetConfig,
+        ckpt: Option<&Checkpointer>,
+        rng: &mut StdRng,
+    ) -> Result<Self, ProtocolError> {
         assert!(!partitions.is_empty(), "need at least one client partition");
         let rows = partitions[0].n_rows();
         assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
@@ -91,6 +110,10 @@ impl SiloFuseModel {
         let stats = new_stats();
         let m = partitions.len();
         let reliable = net.reliable();
+        let base = ckpt.cloned().unwrap_or_else(Checkpointer::disabled);
+        let crash_plan: Option<CrashPoint> =
+            net.faults.as_ref().and_then(|p| p.crash_at.clone()).or_else(|| base.crash().cloned());
+        let crash_client = net.faults.as_ref().map_or(0, |p| p.crash_client);
 
         // --- Step 1 (Algorithm 1, lines 1-7): local AE training, parallel.
         let mut handles = Vec::with_capacity(m);
@@ -102,12 +125,61 @@ impl SiloFuseModel {
             let mut cfg = config;
             cfg.ae.seed = config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let seed = cfg.ae.seed;
-            handles.push(std::thread::spawn(move || {
-                let mut local_rng = StdRng::seed_from_u64(seed ^ 0xc11e);
-                let mut ae = TabularAutoencoder::new(&part, cfg.ae);
-                {
+            let base = base.clone();
+            let my_crash = if i == crash_client { crash_plan.clone() } else { None };
+            handles.push(Some(std::thread::spawn(move || {
+                let node = format!("silo {i}");
+                let name = format!("silo{i}-ae");
+                let ckpt_err = |source: CheckpointError| match source {
+                    CheckpointError::Crashed { phase, step } => {
+                        ProtocolError::Crashed { node: node.clone(), phase, step }
+                    }
+                    source => ProtocolError::Checkpoint { node: node.clone(), source },
+                };
+                // A (re)started silo process: deterministic model + RNG from
+                // config, then state from the latest checkpoint if resuming.
+                let fit_client = |resume: bool, armed: Option<CrashPoint>| {
+                    let c = base.clone().with_resume(base.resume() || resume).with_crash(armed);
+                    let mut local_rng = StdRng::seed_from_u64(seed ^ 0xc11e);
+                    let mut ae = TabularAutoencoder::new(&part, cfg.ae);
                     let _phase = observe::phase("ae-train");
-                    ae.fit(&part, cfg.ae_steps, cfg.batch_size, &mut local_rng);
+                    ae.fit_resumable(
+                        &part,
+                        cfg.ae_steps,
+                        cfg.batch_size,
+                        &mut local_rng,
+                        &c,
+                        &name,
+                        "ae-train",
+                    )?;
+                    Ok::<_, CheckpointError>((ae, local_rng))
+                };
+                let armed_train = my_crash.clone().filter(|c| c.phase == "ae-train");
+                let (mut ae, mut local_rng) = match fit_client(false, armed_train) {
+                    Ok(v) => v,
+                    Err(CheckpointError::Crashed { .. }) if base.is_enabled() => {
+                        // The silo died mid-train; its replacement rebuilds
+                        // from config and resumes from the last checkpoint.
+                        fit_client(true, None).map_err(&ckpt_err)?
+                    }
+                    Err(e) => return Err(ckpt_err(e)),
+                };
+                // Injected death between training and upload: the restarted
+                // silo replays from the end-of-phase checkpoint, which also
+                // restores the RNG at the phase boundary (so the DP-noise
+                // draw below repeats identically).
+                if let Some(cp) = my_crash.clone().filter(|c| c.phase == "latent-upload") {
+                    let step = cp.step;
+                    let armed = base.clone().with_crash(Some(cp));
+                    if let Err(err) = armed.maybe_crash("latent-upload", step) {
+                        if !base.is_enabled() {
+                            return Err(ckpt_err(err));
+                        }
+                        drop(ae);
+                        let (ae2, rng2) = fit_client(true, None).map_err(&ckpt_err)?;
+                        ae = ae2;
+                        local_rng = rng2;
+                    }
                 }
                 // Algorithm 1, lines 8-10: encode local latents and upload
                 // them to the coordinator — once.
@@ -166,7 +238,7 @@ impl SiloFuseModel {
                     }
                 }
                 Ok((ae, client_ep))
-            }));
+            })));
         }
 
         // --- Coordinator receives each client's latents (one round total).
@@ -180,7 +252,19 @@ impl SiloFuseModel {
                 phase: "latent-upload",
                 source,
             };
-            match ep.recv().map_err(dead)? {
+            let got = match ep.recv() {
+                Ok(msg) => msg,
+                Err(source) => {
+                    // A dropped link usually means the silo thread died
+                    // with its own, richer error (injected crash, bad
+                    // checkpoint); surface that verdict over the symptom.
+                    if let Some(handle) = handles[i].take() {
+                        handle.join().expect("client thread panicked")?;
+                    }
+                    return Err(dead(source));
+                }
+            };
+            match got {
                 Message::LatentUpload { client, rows, cols, data } => {
                     uploads[client as usize] =
                         Some(Tensor::from_vec(rows as usize, cols as usize, data));
@@ -208,7 +292,7 @@ impl SiloFuseModel {
         bump_round(&stats);
 
         let mut clients = Vec::with_capacity(m);
-        for handle in handles {
+        for handle in handles.into_iter().flatten() {
             let (ae, endpoint) = handle.join().expect("client thread panicked")?;
             let latent_dim = ae.latent_dim();
             clients.push(ClientState { ae, endpoint, latent_dim });
@@ -225,46 +309,86 @@ impl SiloFuseModel {
         } else {
             LatentScaler::identity(z_raw.cols())
         };
-        let z = scaler.scale(&z_raw);
+        let mut z = scaler.scale(&z_raw);
+        let mut scaler = scaler;
+        let mut latent_widths = latent_widths;
 
-        let mut init_rng = StdRng::seed_from_u64(config.seed ^ 0x51d0);
-        let backbone = DiffusionBackbone::new(
-            BackboneConfig {
-                data_dim: z.cols(),
-                hidden_dim: config.ddpm_hidden,
-                depth: 8,
-                time_embed_dim: 16,
-                dropout: 0.01,
-                out_dim: z.cols(),
-            },
-            config.seed,
-            &mut init_rng,
-        );
-        let schedule = NoiseSchedule::new(config.schedule, config.timesteps);
-        let parameterization = if config.predict_noise {
-            Parameterization::PredictNoise
-        } else {
-            Parameterization::PredictX0
-        };
-        let diffusion = GaussianDiffusion::new(schedule, parameterization);
-        let mut ddpm = GaussianDdpm::new(diffusion, backbone, config.ddpm_lr);
-        let n = z.rows();
-        let _phase = observe::phase("latent-train");
-        let stride = observe::epoch_stride(config.diffusion_steps);
-        for step in 0..config.diffusion_steps {
-            let idx: Vec<usize> =
-                (0..config.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
-            let batch = z.select_rows(&idx);
-            let loss = ddpm.train_step(&batch, rng);
-            if step % stride == 0 {
-                observe::train_epoch(
-                    "latent-ddpm",
-                    step as u64,
-                    f64::from(loss),
-                    f64::from(config.ddpm_lr),
-                    batch.rows() as u64,
-                );
+        let coord_err = |source: CheckpointError| match source {
+            CheckpointError::Crashed { phase, step } => {
+                ProtocolError::Crashed { node: "coordinator".into(), phase, step }
             }
+            source => ProtocolError::Checkpoint { node: "coordinator".into(), source },
+        };
+
+        // Pipeline-level checkpoint: everything the coordinator needs to
+        // restart latent training without asking the silos to re-upload.
+        if base.is_enabled() {
+            let payload = encode_pipeline_state(rng, &z, &scaler, &latent_widths);
+            base.save("pipeline-post-upload", "pipeline", 0, &payload).map_err(coord_err)?;
+        }
+
+        let mut ddpm = build_coordinator_ddpm(&config, z.cols());
+        let coord_crash = crash_plan.clone().filter(|c| c.phase == "latent-train");
+        let armed = base.clone().with_crash(coord_crash);
+        let first = {
+            let _phase = observe::phase("latent-train");
+            ddpm.fit_latent(
+                &z,
+                config.diffusion_steps,
+                config.batch_size,
+                config.ddpm_lr,
+                rng,
+                &armed,
+                "coordinator-ddpm",
+                "latent-train",
+            )
+        };
+        match first {
+            Ok(_) => {}
+            Err(CheckpointError::Crashed { .. }) if base.is_enabled() => {
+                // Coordinator process died mid-train: its replacement
+                // reloads Z / scaler / widths from the post-upload pipeline
+                // checkpoint, rebuilds the DDPM from config, and resumes
+                // from the latest coordinator-ddpm checkpoint.
+                let resume = base.clone().with_resume(true);
+                let saved = resume
+                    .load("pipeline-post-upload", "pipeline")
+                    .map_err(coord_err)?
+                    .ok_or_else(|| {
+                        coord_err(CheckpointError::state("pipeline-post-upload checkpoint missing"))
+                    })?;
+                let (rng_state, z2, scaler2, widths2) =
+                    decode_pipeline_state(&saved.payload).map_err(coord_err)?;
+                *rng = StdRng::from_state(rng_state);
+                z = z2;
+                scaler = scaler2;
+                latent_widths = widths2;
+                ddpm = build_coordinator_ddpm(&config, z.cols());
+                let _phase = observe::phase("latent-train");
+                ddpm.fit_latent(
+                    &z,
+                    config.diffusion_steps,
+                    config.batch_size,
+                    config.ddpm_lr,
+                    rng,
+                    &resume,
+                    "coordinator-ddpm",
+                    "latent-train",
+                )
+                .map_err(coord_err)?;
+            }
+            Err(e) => return Err(coord_err(e)),
+        }
+        if base.is_enabled() {
+            let mut payload = rng.state().to_le_bytes().to_vec();
+            payload.extend_from_slice(&ddpm.export_train_state());
+            base.save(
+                "pipeline-post-latent-train",
+                "pipeline",
+                config.diffusion_steps as u64,
+                &payload,
+            )
+            .map_err(coord_err)?;
         }
 
         Ok(Self {
@@ -411,6 +535,105 @@ impl SiloFuseModel {
         let parts = self.synthesize_partitioned(n, 0, rng);
         Table::concat_columns(&parts.iter().collect::<Vec<_>>())
     }
+}
+
+/// Deterministic coordinator-side DDPM construction: a restarted
+/// coordinator rebuilds the exact same initial network from config before
+/// loading checkpointed weights on top.
+fn build_coordinator_ddpm(config: &LatentDiffConfig, z_cols: usize) -> GaussianDdpm {
+    let mut init_rng = StdRng::seed_from_u64(config.seed ^ 0x51d0);
+    let backbone = DiffusionBackbone::new(
+        BackboneConfig {
+            data_dim: z_cols,
+            hidden_dim: config.ddpm_hidden,
+            depth: 8,
+            time_embed_dim: 16,
+            dropout: 0.01,
+            out_dim: z_cols,
+        },
+        config.seed,
+        &mut init_rng,
+    );
+    let schedule = NoiseSchedule::new(config.schedule, config.timesteps);
+    let parameterization = if config.predict_noise {
+        Parameterization::PredictNoise
+    } else {
+        Parameterization::PredictX0
+    };
+    GaussianDdpm::new(GaussianDiffusion::new(schedule, parameterization), backbone, config.ddpm_lr)
+}
+
+/// Serialises the coordinator's post-upload state — RNG, scaled latent
+/// matrix `Z`, latent scaler, and per-client latent widths — so a restarted
+/// coordinator can resume latent training without fresh uploads.
+///
+/// Layout (little-endian): `u64 rng | u32 rows | u32 cols | f32×rows·cols z
+/// | f32×cols mean | f32×cols std | u32 m | u32×m widths`.
+fn encode_pipeline_state(
+    rng: &StdRng,
+    z: &Tensor,
+    scaler: &LatentScaler,
+    widths: &[usize],
+) -> Vec<u8> {
+    let mut out = rng.state().to_le_bytes().to_vec();
+    out.extend_from_slice(&(z.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(z.cols() as u32).to_le_bytes());
+    for v in z.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in scaler.mean() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in scaler.std() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(widths.len() as u32).to_le_bytes());
+    for w in widths {
+        out.extend_from_slice(&(*w as u32).to_le_bytes());
+    }
+    out
+}
+
+pub(crate) fn take<'a>(
+    payload: &'a [u8],
+    at: &mut usize,
+    n: usize,
+) -> Result<&'a [u8], CheckpointError> {
+    let end = at.checked_add(n).ok_or(CheckpointError::Truncated)?;
+    let s = payload.get(*at..end).ok_or(CheckpointError::Truncated)?;
+    *at = end;
+    Ok(s)
+}
+
+pub(crate) fn take_u32(payload: &[u8], at: &mut usize) -> Result<u32, CheckpointError> {
+    Ok(u32::from_le_bytes(take(payload, at, 4)?.try_into().expect("4-byte slice")))
+}
+
+fn take_f32s(payload: &[u8], at: &mut usize, n: usize) -> Result<Vec<f32>, CheckpointError> {
+    let bytes = take(payload, at, n.checked_mul(4).ok_or(CheckpointError::Truncated)?)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
+}
+
+/// Inverse of [`encode_pipeline_state`]. Every length is validated against
+/// the payload before allocation, so torn or corrupted checkpoints surface
+/// as [`CheckpointError::Truncated`], never a panic or huge allocation.
+fn decode_pipeline_state(
+    payload: &[u8],
+) -> Result<(u64, Tensor, LatentScaler, Vec<usize>), CheckpointError> {
+    let mut at = 0usize;
+    let rng_state = u64::from_le_bytes(take(payload, &mut at, 8)?.try_into().expect("8 bytes"));
+    let rows = take_u32(payload, &mut at)? as usize;
+    let cols = take_u32(payload, &mut at)? as usize;
+    let len = rows.checked_mul(cols).ok_or(CheckpointError::Truncated)?;
+    let data = take_f32s(payload, &mut at, len)?;
+    let mean = take_f32s(payload, &mut at, cols)?;
+    let std = take_f32s(payload, &mut at, cols)?;
+    let m = take_u32(payload, &mut at)? as usize;
+    let mut widths = Vec::new();
+    for _ in 0..m {
+        widths.push(take_u32(payload, &mut at)? as usize);
+    }
+    Ok((rng_state, Tensor::from_vec(rows, cols, data), LatentScaler::from_parts(mean, std), widths))
 }
 
 #[cfg(test)]

@@ -1,0 +1,231 @@
+//! Crash-matrix integration test: kills a node at a chosen `phase:step` of
+//! each distributed protocol and asserts the tentpole guarantee — with a
+//! checkpointer the restarted node rejoins and the final synthetic output
+//! is **byte-identical** to an uninterrupted run; without one the run
+//! fails fast with a typed [`ProtocolError::Crashed`]. Corrupted or torn
+//! checkpoint files surface as [`ProtocolError::Checkpoint`], never a
+//! panic or a silently-wrong resume.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_checkpoint::{Checkpointer, CrashPoint};
+use silofuse_distributed::e2e_distr::E2eDistributed;
+use silofuse_distributed::faults::{FaultPlan, NetConfig, RetryPolicy};
+use silofuse_distributed::stacked::SiloFuseModel;
+use silofuse_distributed::ProtocolError;
+use silofuse_models::latentdiff::LatentDiffConfig;
+use silofuse_models::AutoencoderConfig;
+use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+use silofuse_tabular::profiles;
+use silofuse_tabular::table::Table;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tiny_config(seed: u64) -> LatentDiffConfig {
+    LatentDiffConfig {
+        ae: AutoencoderConfig { hidden_dim: 32, lr: 2e-3, seed, ..Default::default() },
+        ddpm_hidden: 32,
+        timesteps: 8,
+        ae_steps: 10,
+        diffusion_steps: 10,
+        batch_size: 32,
+        inference_steps: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn partitions(seed: u64) -> Vec<Table> {
+    let t = profiles::loan().generate(48, seed);
+    PartitionPlan::new(t.n_cols(), 2, PartitionStrategy::Default).split(&t)
+}
+
+fn crash_net(spec: &str, client: usize) -> NetConfig {
+    let plan = FaultPlan {
+        crash_at: Some(CrashPoint::parse(spec).expect("valid crash spec")),
+        crash_client: client,
+        ..Default::default()
+    };
+    NetConfig {
+        faults: Some(plan),
+        retry: RetryPolicy {
+            tick: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            max_retries: 12,
+            recv_deadline: Duration::from_secs(5),
+        },
+    }
+}
+
+/// Fresh per-test checkpoint directory (stale files would alter resume).
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("silofuse-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn stacked_crash_resume_matrix_is_bit_identical() {
+    let parts = partitions(7);
+    let cfg = tiny_config(7);
+    let clean = {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut model = SiloFuseModel::fit(&parts, cfg, &mut rng);
+        model.synthesize_partitioned(16, 0, &mut rng)
+    };
+    // One crash per pipeline phase: mid-AE-training on a non-zero silo,
+    // between training and upload, and mid-latent-training (coordinator).
+    for (spec, client) in [("ae-train:4", 1), ("latent-upload:0", 0), ("latent-train:6", 0)] {
+        let dir = ckpt_dir(&format!("stacked-{}", spec.split(':').next().unwrap()));
+        let ckpt = Checkpointer::new(&dir, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut model = SiloFuseModel::try_fit_with_checkpoints(
+            &parts,
+            cfg,
+            &crash_net(spec, client),
+            Some(&ckpt),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("crash at {spec} must rejoin, got {e}"));
+        let synth = model
+            .try_synthesize_partitioned_with_steps(16, 0, None, &mut rng)
+            .expect("synthesis after rejoin");
+        assert_eq!(synth, clean, "crash at {spec} must resume bit-identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn e2e_crash_resume_is_bit_identical() {
+    let parts = partitions(8);
+    let cfg = tiny_config(8);
+    let clean = {
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut model = E2eDistributed::fit(&parts, cfg, &mut rng);
+        model.synthesize_partitioned(16, &mut rng)
+    };
+    for spec in ["joint-train:0", "joint-train:9", "joint-train:20"] {
+        let dir = ckpt_dir(&format!("e2e-{}", spec.rsplit(':').next().unwrap()));
+        let ckpt = Checkpointer::new(&dir, 4);
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut model = E2eDistributed::try_fit_with_checkpoints(
+            &parts,
+            cfg,
+            &crash_net(spec, 0),
+            Some(&ckpt),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("crash at {spec} must rejoin, got {e}"));
+        let synth = model.synthesize_partitioned(16, &mut rng);
+        assert_eq!(synth, clean, "crash at {spec} must resume bit-identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_flag_fast_forwards_a_finished_run_to_the_same_model() {
+    let parts = partitions(9);
+    let cfg = tiny_config(9);
+    let dir = ckpt_dir("resume");
+
+    let first = Checkpointer::new(&dir, 5);
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut model = SiloFuseModel::try_fit_with_checkpoints(
+        &parts,
+        cfg,
+        &NetConfig::default(),
+        Some(&first),
+        &mut rng,
+    )
+    .expect("clean checkpointed run");
+    let synth = model.synthesize_partitioned(16, 0, &mut rng);
+
+    // Relaunch with --resume semantics: every phase finds its final
+    // checkpoint, fast-forwards past training, and lands on the same model.
+    let second = Checkpointer::new(&dir, 5).with_resume(true);
+    let mut rng2 = StdRng::seed_from_u64(41);
+    let mut resumed = SiloFuseModel::try_fit_with_checkpoints(
+        &parts,
+        cfg,
+        &NetConfig::default(),
+        Some(&second),
+        &mut rng2,
+    )
+    .expect("resumed run");
+    let synth2 = resumed.synthesize_partitioned(16, 0, &mut rng2);
+    assert_eq!(synth2, synth, "resume of a finished run must reproduce it");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_without_checkpointer_is_fatal_and_typed() {
+    let parts = partitions(3);
+    let cfg = tiny_config(3);
+    for (spec, client) in [("ae-train:4", 1), ("latent-upload:0", 0), ("latent-train:6", 0)] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let err = SiloFuseModel::try_fit(&parts, cfg, &crash_net(spec, client), &mut rng)
+            .expect_err("crash with no checkpointer must be fatal");
+        assert!(matches!(err, ProtocolError::Crashed { .. }), "{spec}: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("cannot rejoin"), "{msg}");
+    }
+    let mut rng = StdRng::seed_from_u64(55);
+    let err = E2eDistributed::try_fit(&parts, cfg, &crash_net("joint-train:5", 0), &mut rng)
+        .expect_err("crash with no checkpointer must be fatal");
+    assert!(matches!(err, ProtocolError::Crashed { .. }), "{err}");
+}
+
+#[test]
+fn corrupted_checkpoint_surfaces_as_typed_error_not_panic() {
+    let parts = partitions(4);
+    let cfg = tiny_config(4);
+    let dir = ckpt_dir("corrupt");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    // Garbage where silo 0's AE checkpoint should be.
+    std::fs::write(dir.join("silo0-ae.ckpt"), b"not a checkpoint").expect("write");
+    let ckpt = Checkpointer::new(&dir, 3).with_resume(true);
+    let mut rng = StdRng::seed_from_u64(12);
+    let err = SiloFuseModel::try_fit_with_checkpoints(
+        &parts,
+        cfg,
+        &NetConfig::default(),
+        Some(&ckpt),
+        &mut rng,
+    )
+    .expect_err("garbage checkpoint must be rejected");
+    assert!(matches!(err, ProtocolError::Checkpoint { .. }), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A torn (truncated mid-write) file must be rejected the same way.
+    let dir = ckpt_dir("torn");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let full = {
+        let tmp = ckpt_dir("torn-src");
+        let c = Checkpointer::new(&tmp, 3);
+        let mut rng = StdRng::seed_from_u64(12);
+        SiloFuseModel::try_fit_with_checkpoints(
+            &parts,
+            cfg,
+            &NetConfig::default(),
+            Some(&c),
+            &mut rng,
+        )
+        .expect("checkpointed run");
+        let bytes = std::fs::read(tmp.join("silo0-ae.ckpt")).expect("read checkpoint");
+        let _ = std::fs::remove_dir_all(&tmp);
+        bytes
+    };
+    std::fs::write(dir.join("silo0-ae.ckpt"), &full[..full.len() / 2]).expect("write torn");
+    let ckpt = Checkpointer::new(&dir, 3).with_resume(true);
+    let mut rng = StdRng::seed_from_u64(12);
+    let err = SiloFuseModel::try_fit_with_checkpoints(
+        &parts,
+        cfg,
+        &NetConfig::default(),
+        Some(&ckpt),
+        &mut rng,
+    )
+    .expect_err("torn checkpoint must be rejected");
+    assert!(matches!(err, ProtocolError::Checkpoint { .. }), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

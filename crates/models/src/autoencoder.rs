@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_nn::init::Init;
 use silofuse_nn::layers::{Activation, ActivationKind, Layer, Linear, Mode, Sequential};
 use silofuse_nn::loss::{gaussian_nll, grouped_softmax_cross_entropy};
@@ -210,10 +211,89 @@ impl TabularAutoencoder {
 
     /// Trains for `steps` minibatch steps of size `batch_size`.
     pub fn fit(&mut self, table: &Table, steps: usize, batch_size: usize, rng: &mut StdRng) -> f32 {
+        self.fit_from(table, 0, steps, batch_size, rng)
+    }
+
+    /// Continues training from minibatch step `start` (exclusive upper bound
+    /// `steps`), without any checkpointing. Callers that restore model and
+    /// RNG state themselves can use this to replay the tail of a run.
+    pub fn fit_from(
+        &mut self,
+        table: &Table,
+        start: usize,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        self.fit_loop(
+            table,
+            start.min(steps),
+            steps,
+            batch_size,
+            rng,
+            &Checkpointer::disabled(),
+            "",
+            "",
+        )
+        .expect("checkpointing disabled: no I/O or injected crash can fail")
+    }
+
+    /// Step-resumable training: periodically checkpoints the full training
+    /// state (weights, Adam moments, caller RNG) under `name`, and resumes
+    /// from the latest checkpoint when `ckpt` has resume enabled.
+    ///
+    /// With checkpointing disabled this is bit-identical to
+    /// [`TabularAutoencoder::fit`]: checkpoints never consume RNG draws.
+    ///
+    /// # Errors
+    /// Propagates checkpoint I/O or decode failures, a corrupt/mismatched
+    /// saved state, or an injected [`CheckpointError::Crashed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_resumable(
+        &mut self,
+        table: &Table,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+        ckpt: &Checkpointer,
+        name: &str,
+        phase: &str,
+    ) -> Result<f32, CheckpointError> {
+        let mut start = 0usize;
+        if let Some(saved) = ckpt.load(name, phase)? {
+            if saved.payload.len() < 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let state = u64::from_le_bytes(saved.payload[..8].try_into().unwrap());
+            self.import_train_state(&saved.payload[8..]).map_err(CheckpointError::state)?;
+            *rng = StdRng::from_state(state);
+            start = (saved.step as usize).min(steps);
+        } else if ckpt.is_enabled() {
+            // Phase-entry checkpoint: a crash before the first periodic save
+            // must not resume with an already-advanced RNG.
+            let payload = self.snapshot_with_rng(rng);
+            ckpt.save(name, phase, 0, &payload)?;
+        }
+        ckpt.maybe_crash(phase, start as u64)?;
+        self.fit_loop(table, start, steps, batch_size, rng, ckpt, name, phase)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fit_loop(
+        &mut self,
+        table: &Table,
+        start: usize,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+        ckpt: &Checkpointer,
+        name: &str,
+        phase: &str,
+    ) -> Result<f32, CheckpointError> {
         let stride = observe::epoch_stride(steps);
         let n = table.n_rows();
         let mut last = 0.0;
-        for step in 0..steps {
+        for step in start..steps {
             let idx: Vec<usize> = (0..batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = table.select_rows(&idx);
             last = self.train_step(&batch);
@@ -226,8 +306,21 @@ impl TabularAutoencoder {
                     batch.n_rows() as u64,
                 );
             }
+            let done = (step + 1) as u64;
+            if ckpt.is_enabled() && ckpt.due(done, steps as u64) {
+                let payload = self.snapshot_with_rng(rng);
+                ckpt.save(name, phase, done, &payload)?;
+            }
+            ckpt.maybe_crash(phase, done)?;
         }
-        last
+        Ok(last)
+    }
+
+    /// Checkpoint payload: caller RNG state (8 LE bytes) then the train state.
+    fn snapshot_with_rng(&mut self, rng: &StdRng) -> Vec<u8> {
+        let mut payload = rng.state().to_le_bytes().to_vec();
+        payload.extend_from_slice(&self.export_train_state());
+        payload
     }
 
     /// Encodes a table into latents `Z_i = E_i(X_i)` (inference mode).
@@ -349,6 +442,40 @@ impl TabularAutoencoder {
         let dec = bytes.get(4 + enc_len..).ok_or(StateDictError::Malformed)?;
         import_state_dict(&mut self.encoder, enc)?;
         import_state_dict(&mut self.decoder, dec)
+    }
+
+    /// Exports the full training state — weights, buffers, layer RNGs and
+    /// both Adam optimizers — framed like [`TabularAutoencoder::export_weights`]
+    /// (`u32 encoder-section length | encoder section | decoder section`).
+    pub fn export_train_state(&mut self) -> Vec<u8> {
+        let enc = silofuse_nn::serialize::export_train_state(&mut self.encoder, &self.enc_opt);
+        let dec = silofuse_nn::serialize::export_train_state(&mut self.decoder, &self.dec_opt);
+        let mut out = Vec::with_capacity(4 + enc.len() + dec.len());
+        out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+        out.extend_from_slice(&enc);
+        out.extend_from_slice(&dec);
+        out
+    }
+
+    /// Restores a training state exported by
+    /// [`TabularAutoencoder::export_train_state`].
+    ///
+    /// # Errors
+    /// Returns a [`StateDictError`](silofuse_nn::serialize::StateDictError)
+    /// if either section is malformed or the architectures differ.
+    pub fn import_train_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), silofuse_nn::serialize::StateDictError> {
+        use silofuse_nn::serialize::{import_train_state, StateDictError};
+        let len_bytes: [u8; 4] =
+            bytes.get(..4).ok_or(StateDictError::Malformed)?.try_into().unwrap();
+        let enc_len = u32::from_le_bytes(len_bytes) as usize;
+        let enc = bytes.get(4..4usize.checked_add(enc_len).ok_or(StateDictError::Malformed)?);
+        let enc = enc.ok_or(StateDictError::Malformed)?;
+        let dec = bytes.get(4 + enc_len..).ok_or(StateDictError::Malformed)?;
+        import_train_state(&mut self.encoder, &mut self.enc_opt, enc)?;
+        import_train_state(&mut self.decoder, &mut self.dec_opt, dec)
     }
 }
 
@@ -476,6 +603,62 @@ mod tests {
         assert_ne!(fresh.encode(&t), z_before);
         fresh.import_weights(&blob).unwrap();
         assert_eq!(fresh.encode(&t), z_before);
+    }
+
+    #[test]
+    fn train_state_round_trips_into_fresh_model() {
+        let t = toy_table(96);
+        let cfg = AutoencoderConfig { hidden_dim: 64, ..Default::default() };
+        let mut trained = TabularAutoencoder::new(&t, cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        trained.fit(&t, 30, 32, &mut rng);
+        let blob = trained.export_train_state();
+
+        let mut fresh = TabularAutoencoder::new(&t, AutoencoderConfig { seed: 777, ..cfg });
+        fresh.import_train_state(&blob).unwrap();
+        // Both copies must continue training bit-identically: same Adam
+        // moments, same step counters, same weights.
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        trained.fit(&t, 10, 32, &mut rng_a);
+        fresh.fit(&t, 10, 32, &mut rng_b);
+        assert_eq!(trained.export_weights(), fresh.export_weights());
+        // Truncated/garbage blobs must be rejected, not panic.
+        assert!(fresh.import_train_state(&blob[..blob.len() / 2]).is_err());
+        assert!(fresh.import_train_state(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn fit_crash_and_resume_is_bit_identical() {
+        use silofuse_checkpoint::CrashPoint;
+        let t = toy_table(128);
+        let cfg = AutoencoderConfig { hidden_dim: 64, ..Default::default() };
+
+        // Uninterrupted baseline.
+        let mut clean = TabularAutoencoder::new(&t, cfg);
+        let mut rng_clean = StdRng::seed_from_u64(11);
+        clean.fit(&t, 40, 32, &mut rng_clean);
+        let z_clean = clean.encode(&t);
+
+        // Crash at step 23 (checkpoint cadence 7 → last save at step 21).
+        let dir = std::env::temp_dir().join(format!("silofuse-ae-crash-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt =
+            Checkpointer::new(&dir, 7).with_crash(Some(CrashPoint::parse("ae-train:23").unwrap()));
+        let mut crashed = TabularAutoencoder::new(&t, cfg);
+        let mut rng = StdRng::seed_from_u64(11);
+        let err = crashed.fit_resumable(&t, 40, 32, &mut rng, &ckpt, "ae", "ae-train");
+        assert!(matches!(err, Err(CheckpointError::Crashed { .. })));
+        drop(crashed); // the "process" died
+
+        // Restart: fresh model, wrong RNG seed; everything comes from disk.
+        let resume = Checkpointer::new(&dir, 7).with_resume(true);
+        let mut revived = TabularAutoencoder::new(&t, cfg);
+        let mut rng2 = StdRng::seed_from_u64(999);
+        revived.fit_resumable(&t, 40, 32, &mut rng2, &resume, "ae", "ae-train").unwrap();
+        assert_eq!(revived.encode(&t), z_clean);
+        assert_eq!(rng2.state(), rng_clean.state());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_nn::init::{randn, Init};
 use silofuse_nn::layers::{
     Activation, ActivationKind, Conv1d, Layer, LayerNorm, Linear, Mode, Sequential,
@@ -144,10 +145,59 @@ impl TabularGan {
 
     /// Trains for `steps` minibatch steps.
     pub fn fit(&mut self, table: &Table, steps: usize, batch_size: usize, rng: &mut StdRng) {
+        self.fit_resumable(
+            table,
+            steps,
+            batch_size,
+            rng,
+            &Checkpointer::disabled(),
+            "",
+            "gan-train",
+        )
+        .expect("checkpointing disabled: no I/O or injected crash can fail");
+    }
+
+    /// Step-resumable training: periodically checkpoints generator,
+    /// discriminator, both Adam optimizers and the caller RNG under `name`,
+    /// resuming from the latest checkpoint when `ckpt` has resume enabled.
+    ///
+    /// With checkpointing disabled this is bit-identical to
+    /// [`TabularGan::fit`]: checkpoints never consume RNG draws.
+    ///
+    /// # Errors
+    /// Propagates checkpoint I/O or decode failures, a corrupt/mismatched
+    /// saved state, or an injected [`CheckpointError::Crashed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_resumable(
+        &mut self,
+        table: &Table,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+        ckpt: &Checkpointer,
+        name: &str,
+        phase: &str,
+    ) -> Result<(), CheckpointError> {
         let _span = observe::span("gan-train");
+        let mut start = 0usize;
+        if let Some(saved) = ckpt.load(name, phase)? {
+            if saved.payload.len() < 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let state = u64::from_le_bytes(saved.payload[..8].try_into().unwrap());
+            self.import_train_state(&saved.payload[8..]).map_err(CheckpointError::state)?;
+            *rng = StdRng::from_state(state);
+            start = (saved.step as usize).min(steps);
+        } else if ckpt.is_enabled() {
+            // Phase-entry checkpoint: a crash before the first periodic save
+            // must not resume with an already-advanced RNG.
+            let payload = self.snapshot_with_rng(rng);
+            ckpt.save(name, phase, 0, &payload)?;
+        }
+        ckpt.maybe_crash(phase, start as u64)?;
         let stride = observe::epoch_stride(steps);
         let n = table.n_rows();
-        for step in 0..steps {
+        for step in start..steps {
             let idx: Vec<usize> = (0..batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let batch = table.select_rows(&idx);
             let losses = self.train_step(&batch, rng);
@@ -160,7 +210,55 @@ impl TabularGan {
                     batch.n_rows() as u64,
                 );
             }
+            let done = (step + 1) as u64;
+            if ckpt.is_enabled() && ckpt.due(done, steps as u64) {
+                let payload = self.snapshot_with_rng(rng);
+                ckpt.save(name, phase, done, &payload)?;
+            }
+            ckpt.maybe_crash(phase, done)?;
         }
+        Ok(())
+    }
+
+    /// Exports the full training state — generator and discriminator weights
+    /// plus both Adam optimizers — framed as
+    /// `u32 generator-section length | generator section | discriminator section`.
+    pub fn export_train_state(&mut self) -> Vec<u8> {
+        let gen = silofuse_nn::serialize::export_train_state(&mut self.generator, &self.g_opt);
+        let disc = silofuse_nn::serialize::export_train_state(&mut self.discriminator, &self.d_opt);
+        let mut out = Vec::with_capacity(4 + gen.len() + disc.len());
+        out.extend_from_slice(&(gen.len() as u32).to_le_bytes());
+        out.extend_from_slice(&gen);
+        out.extend_from_slice(&disc);
+        out
+    }
+
+    /// Restores a training state exported by [`TabularGan::export_train_state`].
+    ///
+    /// # Errors
+    /// Returns a [`StateDictError`](silofuse_nn::serialize::StateDictError)
+    /// if either section is malformed or the architectures differ.
+    pub fn import_train_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), silofuse_nn::serialize::StateDictError> {
+        use silofuse_nn::serialize::{import_train_state, StateDictError};
+        let len_bytes: [u8; 4] =
+            bytes.get(..4).ok_or(StateDictError::Malformed)?.try_into().unwrap();
+        let gen_len = u32::from_le_bytes(len_bytes) as usize;
+        let gen = bytes
+            .get(4..4usize.checked_add(gen_len).ok_or(StateDictError::Malformed)?)
+            .ok_or(StateDictError::Malformed)?;
+        let disc = bytes.get(4 + gen_len..).ok_or(StateDictError::Malformed)?;
+        import_train_state(&mut self.generator, &mut self.g_opt, gen)?;
+        import_train_state(&mut self.discriminator, &mut self.d_opt, disc)
+    }
+
+    /// Checkpoint payload: caller RNG state (8 LE bytes) then the train state.
+    fn snapshot_with_rng(&mut self, rng: &StdRng) -> Vec<u8> {
+        let mut payload = rng.state().to_le_bytes().to_vec();
+        payload.extend_from_slice(&self.export_train_state());
+        payload
     }
 
     /// Generates `n` synthetic rows.
@@ -271,6 +369,40 @@ mod tests {
                 assert!(v.iter().all(|x| x.is_finite()), "{}", meta.name);
             }
         }
+    }
+
+    #[test]
+    fn gan_fit_crash_and_resume_is_bit_identical() {
+        use silofuse_checkpoint::CrashPoint;
+        let t = profiles::loan().generate(128, 9);
+        let cfg = GanConfig { hidden_dim: 64, ..Default::default() };
+
+        // Uninterrupted baseline.
+        let mut clean = TabularGan::new(&t, cfg);
+        let mut rng_clean = StdRng::seed_from_u64(17);
+        clean.fit(&t, 30, 32, &mut rng_clean);
+        let state_after_fit = rng_clean.state();
+        let sample_clean = clean.sample(16, &mut rng_clean);
+
+        // Crash mid-run, then resume a fresh differently-seeded model.
+        let dir = std::env::temp_dir().join(format!("silofuse-gan-crash-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt =
+            Checkpointer::new(&dir, 4).with_crash(Some(CrashPoint::parse("gan-train:14").unwrap()));
+        let mut crashed = TabularGan::new(&t, cfg);
+        let mut rng = StdRng::seed_from_u64(17);
+        let err = crashed.fit_resumable(&t, 30, 32, &mut rng, &ckpt, "gan", "gan-train");
+        assert!(matches!(err, Err(CheckpointError::Crashed { .. })));
+        drop(crashed);
+
+        let resume = Checkpointer::new(&dir, 4).with_resume(true);
+        let mut revived = TabularGan::new(&t, GanConfig { seed: 555, ..cfg });
+        let mut rng2 = StdRng::seed_from_u64(999);
+        revived.fit_resumable(&t, 30, 32, &mut rng2, &resume, "gan", "gan-train").unwrap();
+        assert_eq!(rng2.state(), state_after_fit);
+        let sample_resumed = revived.sample(16, &mut rng2);
+        assert_eq!(sample_resumed, sample_clean, "resumed GAN output differs from clean run");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use crate::autoencoder::{AutoencoderConfig, TabularAutoencoder};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
 use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
 use silofuse_diffusion::schedule::{NoiseSchedule, ScheduleKind};
@@ -94,6 +95,25 @@ impl LatentScaler {
         Self { mean: vec![0.0; cols], std: vec![1.0; cols] }
     }
 
+    /// Rebuilds a scaler from its parts (e.g. from a pipeline checkpoint).
+    ///
+    /// # Panics
+    /// Panics if `mean` and `std` lengths differ.
+    pub fn from_parts(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        assert_eq!(mean.len(), std.len(), "mean/std length mismatch");
+        Self { mean, std }
+    }
+
+    /// Per-column means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-column standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
     /// Fits per-column mean/std on a latent matrix.
     pub fn fit(latents: &Tensor) -> Self {
         let mean = latents.mean_rows();
@@ -144,6 +164,7 @@ struct Fitted {
 /// The centralized latent diffusion synthesizer.
 pub struct LatentDiff {
     config: LatentDiffConfig,
+    ckpt: Checkpointer,
     fitted: Option<Fitted>,
 }
 
@@ -156,17 +177,50 @@ impl std::fmt::Debug for LatentDiff {
 impl LatentDiff {
     /// Creates an unfitted model.
     pub fn new(config: LatentDiffConfig) -> Self {
-        Self { config, fitted: None }
+        Self { config, ckpt: Checkpointer::disabled(), fitted: None }
+    }
+
+    /// Installs a checkpointer: subsequent [`LatentDiff::try_fit`] calls
+    /// periodically persist per-phase training state under it, and resume
+    /// from it when resume is enabled.
+    pub fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        self.ckpt = ckpt;
     }
 
     /// Stacked two-phase training on `table`.
+    ///
+    /// # Panics
+    /// Panics if a configured checkpointer fails; use
+    /// [`LatentDiff::try_fit`] to handle checkpoint errors.
     pub fn fit(&mut self, table: &Table, rng: &mut StdRng) {
+        self.try_fit(table, rng).expect("checkpoint failure during LatentDiff::fit");
+    }
+
+    /// Stacked two-phase training with crash-safe checkpointing: phase
+    /// `ae-train` checkpoints as `latentdiff-ae`, phase `latent-train` as
+    /// `latentdiff-ddpm`. On resume, completed phases fast-forward from
+    /// their final checkpoint (restoring the RNG stream) and the
+    /// interrupted phase continues from its last saved step.
+    ///
+    /// # Errors
+    /// Propagates checkpoint I/O or decode failures, a corrupt/mismatched
+    /// saved state, or an injected [`CheckpointError::Crashed`].
+    pub fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
         let cfg = self.config;
+        let ckpt = self.ckpt.clone();
         // Phase 1: autoencoder.
         let mut ae = TabularAutoencoder::new(table, cfg.ae);
         {
             let _phase = observe::phase("ae-train");
-            ae.fit(table, cfg.ae_steps, cfg.batch_size, rng);
+            ae.fit_resumable(
+                table,
+                cfg.ae_steps,
+                cfg.batch_size,
+                rng,
+                &ckpt,
+                "latentdiff-ae",
+                "ae-train",
+            )?;
         }
 
         // Phase 2: DDPM on (standardised) latents.
@@ -207,26 +261,23 @@ impl LatentDiff {
         let diffusion = GaussianDiffusion::new(schedule, parameterization);
         let mut ddpm = GaussianDdpm::new(diffusion, backbone, cfg.ddpm_lr);
 
-        let n = z.rows();
-        let _phase = observe::phase("latent-train");
-        let stride = observe::epoch_stride(cfg.diffusion_steps);
-        for step in 0..cfg.diffusion_steps {
-            let idx: Vec<usize> = (0..cfg.batch_size.min(n)).map(|_| rng.gen_range(0..n)).collect();
-            let batch = z.select_rows(&idx);
-            let loss = ddpm.train_step(&batch, rng);
-            if step % stride == 0 {
-                observe::train_epoch(
-                    "latent-ddpm",
-                    step as u64,
-                    f64::from(loss),
-                    f64::from(cfg.ddpm_lr),
-                    batch.rows() as u64,
-                );
-            }
+        {
+            let _phase = observe::phase("latent-train");
+            ddpm.fit_latent(
+                &z,
+                cfg.diffusion_steps,
+                cfg.batch_size,
+                cfg.ddpm_lr,
+                rng,
+                &ckpt,
+                "latentdiff-ddpm",
+                "latent-train",
+            )?;
         }
 
         self.fitted =
             Some(Fitted { ae, ddpm, scaler, inference_steps: cfg.inference_steps, eta: cfg.eta });
+        Ok(())
     }
 
     /// Generates `n` synthetic rows.
@@ -373,6 +424,49 @@ mod tests {
         let noisy = sample(1.5);
         assert_ne!(clean, noisy);
         assert_eq!(clean.schema(), noisy.schema());
+    }
+
+    #[test]
+    fn crash_in_either_phase_resumes_bit_identically() {
+        use silofuse_checkpoint::CrashPoint;
+        let t = profiles::loan().generate(192, 8);
+        let mut cfg = quick_config(8);
+        cfg.ae_steps = 30;
+        cfg.diffusion_steps = 30;
+        cfg.latent_noise_std = 0.5; // exercise the rng draw between phases
+
+        // Uninterrupted baseline.
+        let mut clean = LatentDiff::new(cfg);
+        let mut rng_clean = StdRng::seed_from_u64(31);
+        clean.fit(&t, &mut rng_clean);
+        let state_after_fit = rng_clean.state();
+        let sample_clean = clean.synthesize(24, &mut rng_clean);
+
+        for crash_at in ["ae-train:13", "latent-train:17"] {
+            let dir = std::env::temp_dir().join(format!(
+                "silofuse-ld-crash-{}-{}",
+                std::process::id(),
+                crash_at.replace(':', "-")
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let mut victim = LatentDiff::new(cfg);
+            victim.set_checkpointer(
+                Checkpointer::new(&dir, 5).with_crash(Some(CrashPoint::parse(crash_at).unwrap())),
+            );
+            let mut rng = StdRng::seed_from_u64(31);
+            let err = victim.try_fit(&t, &mut rng);
+            assert!(matches!(err, Err(CheckpointError::Crashed { .. })), "{crash_at}");
+            drop(victim); // the "process" died
+
+            let mut revived = LatentDiff::new(cfg);
+            revived.set_checkpointer(Checkpointer::new(&dir, 5).with_resume(true));
+            let mut rng2 = StdRng::seed_from_u64(999);
+            revived.try_fit(&t, &mut rng2).unwrap();
+            assert_eq!(rng2.state(), state_after_fit, "{crash_at}: rng stream diverged");
+            let sample_resumed = revived.synthesize(24, &mut rng2);
+            assert_eq!(sample_resumed, sample_clean, "{crash_at}: output diverged");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

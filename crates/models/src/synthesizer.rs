@@ -6,6 +6,7 @@ use crate::gan::{GanConfig, TabularGan};
 use crate::latentdiff::{LatentDiff, LatentDiffConfig};
 use crate::tabddpm::{TabDdpm, TabDdpmConfig};
 use rand::rngs::StdRng;
+use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_tabular::table::Table;
 
 /// A tabular data synthesizer: fit on real data, then sample synthetic rows.
@@ -22,6 +23,23 @@ pub trait Synthesizer {
     /// # Panics
     /// Implementations panic if called before `fit`.
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table;
+
+    /// Installs a checkpointer so `try_fit` periodically persists training
+    /// state and can resume after a crash. Models without checkpoint
+    /// support ignore it (the default).
+    fn set_checkpointer(&mut self, _ckpt: Checkpointer) {}
+
+    /// Fallible variant of [`Synthesizer::fit`] surfacing checkpoint
+    /// errors. The default delegates to `fit` (infallible for models
+    /// without checkpoint support).
+    ///
+    /// # Errors
+    /// Checkpoint-aware models propagate I/O failures, corrupt saved state
+    /// and injected crashes as [`CheckpointError`].
+    fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
+        self.fit(table, rng);
+        Ok(())
+    }
 }
 
 /// GAN baseline behind the [`Synthesizer`] interface.
@@ -34,17 +52,32 @@ pub struct GanSynthesizer {
     pub batch_size: usize,
     name: &'static str,
     model: Option<TabularGan>,
+    ckpt: Checkpointer,
 }
 
 impl GanSynthesizer {
     /// Creates the linear-backbone GAN (CTGAN-flavoured).
     pub fn linear(config: GanConfig, steps: usize, batch_size: usize) -> Self {
-        Self { config, steps, batch_size, name: "GAN(linear)", model: None }
+        Self {
+            config,
+            steps,
+            batch_size,
+            name: "GAN(linear)",
+            model: None,
+            ckpt: Checkpointer::disabled(),
+        }
     }
 
     /// Creates the convolutional-backbone GAN (CTAB-GAN-flavoured).
     pub fn conv(config: GanConfig, steps: usize, batch_size: usize) -> Self {
-        Self { config, steps, batch_size, name: "GAN(conv)", model: None }
+        Self {
+            config,
+            steps,
+            batch_size,
+            name: "GAN(conv)",
+            model: None,
+            ckpt: Checkpointer::disabled(),
+        }
     }
 }
 
@@ -54,13 +87,30 @@ impl Synthesizer for GanSynthesizer {
     }
 
     fn fit(&mut self, table: &Table, rng: &mut StdRng) {
-        let mut model = TabularGan::new(table, self.config);
-        model.fit(table, self.steps, self.batch_size, rng);
-        self.model = Some(model);
+        self.try_fit(table, rng).expect("checkpoint failure during GanSynthesizer::fit");
     }
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
         self.model.as_mut().expect("GanSynthesizer::fit must be called first").sample(n, rng)
+    }
+
+    fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        self.ckpt = ckpt;
+    }
+
+    fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
+        let mut model = TabularGan::new(table, self.config);
+        model.fit_resumable(
+            table,
+            self.steps,
+            self.batch_size,
+            rng,
+            &self.ckpt,
+            "gan",
+            "gan-train",
+        )?;
+        self.model = Some(model);
+        Ok(())
     }
 }
 
@@ -75,6 +125,7 @@ pub struct TabDdpmSynthesizer {
     /// Reverse-process steps at synthesis.
     pub inference_steps: usize,
     model: Option<TabDdpm>,
+    ckpt: Checkpointer,
 }
 
 impl TabDdpmSynthesizer {
@@ -85,7 +136,14 @@ impl TabDdpmSynthesizer {
         batch_size: usize,
         inference_steps: usize,
     ) -> Self {
-        Self { config, steps, batch_size, inference_steps, model: None }
+        Self {
+            config,
+            steps,
+            batch_size,
+            inference_steps,
+            model: None,
+            ckpt: Checkpointer::disabled(),
+        }
     }
 }
 
@@ -95,9 +153,7 @@ impl Synthesizer for TabDdpmSynthesizer {
     }
 
     fn fit(&mut self, table: &Table, rng: &mut StdRng) {
-        let mut model = TabDdpm::new(table, self.config);
-        model.fit(table, self.steps, self.batch_size, rng);
-        self.model = Some(model);
+        self.try_fit(table, rng).expect("checkpoint failure during TabDdpmSynthesizer::fit");
     }
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
@@ -106,6 +162,25 @@ impl Synthesizer for TabDdpmSynthesizer {
             self.inference_steps,
             rng,
         )
+    }
+
+    fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        self.ckpt = ckpt;
+    }
+
+    fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
+        let mut model = TabDdpm::new(table, self.config);
+        model.fit_resumable(
+            table,
+            self.steps,
+            self.batch_size,
+            rng,
+            &self.ckpt,
+            "tabddpm",
+            "tabddpm-train",
+        )?;
+        self.model = Some(model);
+        Ok(())
     }
 }
 
@@ -120,6 +195,14 @@ impl Synthesizer for LatentDiff {
 
     fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
         LatentDiff::synthesize(self, n, rng)
+    }
+
+    fn set_checkpointer(&mut self, ckpt: Checkpointer) {
+        LatentDiff::set_checkpointer(self, ckpt);
+    }
+
+    fn try_fit(&mut self, table: &Table, rng: &mut StdRng) -> Result<(), CheckpointError> {
+        LatentDiff::try_fit(self, table, rng)
     }
 }
 

@@ -61,6 +61,10 @@ impl Layer for Dropout {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_rngs(&mut self, f: &mut dyn FnMut(&mut StdRng)) {
+        f(&mut self.rng);
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,20 @@ pub trait Layer {
     /// Visits every trainable parameter (stable order across calls).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Visits every internal random stream the layer owns (stable order).
+    ///
+    /// Stochastic layers ([`Dropout`]) expose their generator here so that
+    /// a training-state checkpoint can snapshot and restore the exact
+    /// random stream; deterministic layers keep the default no-op.
+    fn visit_rngs(&mut self, _f: &mut dyn FnMut(&mut rand::rngs::StdRng)) {}
+
+    /// Visits every non-trainable state buffer (stable order).
+    ///
+    /// Buffers are values updated by forward passes rather than the
+    /// optimizer — e.g. [`BatchNorm1d`] running statistics — and must be
+    /// part of a training-state checkpoint for bit-identical resume.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
+
     /// Zeroes all accumulated parameter gradients.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());

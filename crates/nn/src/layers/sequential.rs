@@ -65,6 +65,18 @@ impl Layer for Sequential {
             layer.visit_params(f);
         }
     }
+
+    fn visit_rngs(&mut self, f: &mut dyn FnMut(&mut rand::rngs::StdRng)) {
+        for layer in &mut self.layers {
+            layer.visit_rngs(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
 }
 
 /// Builds the paper's standard MLP block: `Linear → GELU` repeated, with a

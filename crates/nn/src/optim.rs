@@ -81,6 +81,54 @@ impl Adam {
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    /// Snapshots the full optimizer state (hyperparameters, step counter,
+    /// first/second moments) for checkpointing.
+    pub fn snapshot(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Adam::snapshot`]. The next
+    /// [`Optimizer::step`] continues bit-for-bit where the snapshotted
+    /// optimizer left off.
+    pub fn restore(&mut self, state: AdamState) {
+        self.lr = state.lr;
+        self.beta1 = state.beta1;
+        self.beta2 = state.beta2;
+        self.eps = state.eps;
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+    }
+}
+
+/// A serializable snapshot of an [`Adam`] optimizer. Empty moment vectors
+/// are valid: they describe an optimizer that has not stepped yet (moments
+/// are allocated lazily on the first step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Completed step count (drives bias correction).
+    pub t: u64,
+    /// First moments, one tensor per parameter in visit order.
+    pub m: Vec<Tensor>,
+    /// Second moments, one tensor per parameter in visit order.
+    pub v: Vec<Tensor>,
 }
 
 impl Optimizer for Adam {
@@ -119,10 +167,22 @@ impl Optimizer for Adam {
 
 /// Clips the global L2 norm of all gradients of `layer` to `max_norm`.
 /// Returns the pre-clip norm.
+///
+/// A non-finite norm (any NaN/Inf gradient) zeroes every gradient instead
+/// of letting the poisoned scale reach the parameters — `NaN` fails every
+/// `>` comparison, so the old code silently skipped clipping and the next
+/// optimizer step corrupted the whole network. The non-finite norm is
+/// still returned so callers can count the event.
 pub fn clip_grad_norm(layer: &mut dyn Layer, max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     layer.visit_params(&mut |p| total += p.grad.norm_sq());
     let norm = total.sqrt();
+    if !norm.is_finite() {
+        // `scale_assign(0.0)` would keep NaNs alive (NaN * 0 = NaN); replace
+        // the gradient tensors outright.
+        layer.visit_params(&mut |p| p.grad = Tensor::zeros(p.grad.rows(), p.grad.cols()));
+        return norm;
+    }
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         layer.visit_params(&mut |p| p.grad.scale_assign(scale));
@@ -191,5 +251,71 @@ mod tests {
         let mut post = 0.0;
         layer.visit_params(&mut |p| post += p.grad.norm_sq());
         assert!((post.sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_grad_norm_zeroes_non_finite_gradients() {
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut layer = Linear::new(3, 3, Init::XavierUniform, &mut rng);
+            let x = crate::init::randn(4, 3, &mut rng);
+            let y = layer.forward(&x, Mode::Train);
+            let (_, g) = loss::mse(&y, &y.map(|v| v + 1.0));
+            let _ = layer.backward(&g);
+            layer.visit_params(&mut |p| p.grad.as_mut_slice()[0] = poison);
+            let params_before = {
+                let mut v = Vec::new();
+                layer.visit_params(&mut |p| v.extend_from_slice(p.value.as_slice()));
+                v
+            };
+            let norm = clip_grad_norm(&mut layer, 1.0);
+            assert!(!norm.is_finite(), "norm {norm} should report the poisoned value");
+            layer.visit_params(&mut |p| {
+                assert!(p.grad.as_slice().iter().all(|&v| v == 0.0), "grads must be zeroed");
+            });
+            // A follow-up Adam step must now be a finite no-op direction,
+            // not a parameter-corrupting NaN propagation.
+            let mut opt = Adam::new(0.1);
+            opt.step(&mut layer);
+            let mut i = 0;
+            layer.visit_params(&mut |p| {
+                for &v in p.value.as_slice() {
+                    assert!(v.is_finite(), "param {i} corrupted: {v}");
+                    i += 1;
+                }
+            });
+            let _ = params_before;
+        }
+    }
+
+    #[test]
+    fn adam_snapshot_restore_resumes_bit_identically() {
+        let run = |split_at: Option<usize>| {
+            let mut rng = StdRng::seed_from_u64(200);
+            let mut layer = Linear::new(2, 2, Init::XavierUniform, &mut rng);
+            let x = crate::init::randn(16, 2, &mut rng);
+            let target = x.map(|v| 3.0 * v - 0.5);
+            let mut opt = Adam::new(0.01);
+            for step in 0..20 {
+                if split_at == Some(step) {
+                    let snap = opt.snapshot();
+                    let mut fresh = Adam::new(0.999); // wrong lr, must be overwritten
+                    fresh.restore(snap);
+                    opt = fresh;
+                }
+                layer.zero_grad();
+                let y = layer.forward(&x, Mode::Train);
+                let (_, g) = loss::mse(&y, &target);
+                let _ = layer.backward(&g);
+                opt.step(&mut layer);
+            }
+            let mut out = Vec::new();
+            layer.visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
+            out
+        };
+        let clean = run(None);
+        for split in [0, 1, 7, 19] {
+            assert_eq!(clean, run(Some(split)), "split at {split} diverged");
+        }
     }
 }

@@ -28,11 +28,17 @@ pub const TELEMETRY_DIR: &str = "target/experiments/telemetry";
 
 /// Serializes `telemetry` to `target/experiments/telemetry/<run>.jsonl`
 /// and returns the written path.
+///
+/// The file is written to a `.tmp` sibling and atomically renamed into
+/// place, so a crash mid-export never leaves a truncated, unparseable
+/// telemetry file — at worst the previous complete export survives.
 pub fn write_jsonl(telemetry: &Telemetry) -> std::io::Result<PathBuf> {
     let dir = Path::new(TELEMETRY_DIR);
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.jsonl", sanitize(telemetry.run())));
-    std::fs::write(&path, render_jsonl(telemetry))?;
+    let tmp = path.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, render_jsonl(telemetry))?;
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
 

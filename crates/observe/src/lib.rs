@@ -43,6 +43,18 @@ pub mod names {
     pub const TRANSPORT_TIMEOUT: &str = "transport.timeout";
     /// Counter: replayed frames discarded by the dedup window.
     pub const TRANSPORT_DUPLICATE: &str = "transport.duplicate_dropped";
+    /// Counter: checkpoints written by `silofuse-checkpoint`.
+    pub const CHECKPOINT_WRITES: &str = "checkpoint.writes";
+    /// Counter: checkpoints loaded for resume.
+    pub const CHECKPOINT_LOADS: &str = "checkpoint.loads";
+    /// Counter: total checkpoint bytes written.
+    pub const CHECKPOINT_BYTES: &str = "checkpoint.bytes_written";
+    /// Counter: injected process crashes fired.
+    pub const CHECKPOINT_CRASH: &str = "checkpoint.crash_injected";
+    /// Span wrapping each atomic checkpoint write.
+    pub const CHECKPOINT_WRITE_SPAN: &str = "checkpoint.write";
+    /// Span wrapping each checkpoint load + verification.
+    pub const CHECKPOINT_LOAD_SPAN: &str = "checkpoint.load";
 }
 
 pub use events::{CommEvent, Direction, Event, NoopSink, PhaseEvent, TelemetrySink, TrainEvent};
