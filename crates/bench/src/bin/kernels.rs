@@ -1,0 +1,214 @@
+//! Dense-kernel benchmark: `Reference` vs `Parallel` backend on the gemm
+//! variants plus the hot elementwise kernels, at the shapes the training
+//! stack actually runs. Verifies bit-identity between the backends on every
+//! timed shape before timing, then writes `BENCH_kernels.json` so the perf
+//! trajectory accumulates across commits.
+//!
+//! Usage: `cargo run --release -p silofuse-bench --bin kernels -- [--quick]
+//! [--threads N] [--seed S]`. `--threads` picks the worker count for the
+//! parallel side (default 4 when left at 1, since a 1-thread "parallel"
+//! backend is just `Reference` with overhead).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use silofuse_bench::parse_cli;
+use silofuse_nn::backend::{Backend, Parallel, Reference};
+
+/// One timed kernel invocation family at one shape.
+struct Case {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// Multiply-adds for the gemm variants (used for GFLOP/s; elementwise
+/// kernels report element counts instead).
+fn madds(c: &Case) -> u64 {
+    (c.m * c.k * c.n) as u64
+}
+
+/// Deterministic pseudo-random data; magnitudes vary so float summation
+/// order matters and bit-identity checks are meaningful.
+fn noise(n: usize, mut state: u64) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 4.0
+        })
+        .collect()
+}
+
+/// Runs `kernel` once through `be` into `out`.
+fn run_case(be: &dyn Backend, c: &Case, a: &[f32], b: &[f32], out: &mut [f32]) {
+    match c.kernel {
+        // A is m×k, B is k×n, out m×n.
+        "gemm" => be.gemm(c.m, c.k, c.n, a, b, out),
+        // A is m×k, B is n×k (interpreted transposed), out m×n.
+        "gemm_transpose" => be.gemm_transpose(c.m, c.k, c.n, a, b, out),
+        // A is k×m, B is k×n, out m×n (k plays the reduced dimension).
+        "transpose_gemm" => be.transpose_gemm(c.k, c.m, c.n, a, b, out),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Input lengths for `kernel` at shape `c`: (len_a, len_b, len_out).
+fn lens(c: &Case) -> (usize, usize, usize) {
+    match c.kernel {
+        "gemm" => (c.m * c.k, c.k * c.n, c.m * c.n),
+        "gemm_transpose" => (c.m * c.k, c.n * c.k, c.m * c.n),
+        "transpose_gemm" => (c.k * c.m, c.k * c.n, c.m * c.n),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// Best-of-`reps` wall time in nanoseconds for one backend on one case.
+fn time_case(
+    be: &dyn Backend,
+    c: &Case,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    reps: usize,
+) -> u64 {
+    // One warmup run outside the timed loop.
+    run_case(be, c, a, b, out);
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run_case(be, c, a, b, out);
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn main() {
+    let opts = parse_cli();
+    silofuse_bench::init_trace("kernels", &opts);
+    let threads = if opts.threads > 1 { opts.threads } else { 4 };
+    let reference = Reference;
+    let parallel = Parallel::new(threads);
+    let reps = if opts.quick { 3 } else { 7 };
+
+    let sizes: &[usize] = if opts.quick { &[128, 256] } else { &[128, 256, 512] };
+    let mut cases = Vec::new();
+    for &s in sizes {
+        for kernel in ["gemm", "gemm_transpose", "transpose_gemm"] {
+            cases.push(Case { kernel, m: s, k: s, n: s });
+        }
+    }
+    // A tall-skinny shape like a training minibatch (batch × features ·
+    // features × hidden), to show the row-partitioning still pays off when
+    // rows are plentiful and columns are not.
+    cases.push(Case { kernel: "gemm", m: 4096, k: 64, n: 64 });
+
+    // Parallel speedup is bounded by the cores the host actually grants;
+    // record it so a 1x on a 1-core container is not read as a regression.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"results\": [\n");
+
+    let parallel_col = format!("parallel x{threads}");
+    let mut report = silofuse_bench::TextTable::new(&[
+        "kernel",
+        "shape",
+        "reference",
+        parallel_col.as_str(),
+        "speedup",
+        "GFLOP/s (par)",
+    ]);
+
+    let mut gemm512_speedup = None;
+    for (i, c) in cases.iter().enumerate() {
+        let (la, lb, lo) = lens(c);
+        let a = noise(la, opts.seed ^ 0x9e37_79b9 ^ i as u64);
+        let b = noise(lb, opts.seed ^ 0x85eb_ca6b ^ (i as u64) << 8);
+        let mut out_ref = vec![0.0f32; lo];
+        let mut out_par = vec![0.0f32; lo];
+
+        // Bit-identity gate: a fast parallel kernel that drifts from the
+        // reference would silently break crash-resume reproducibility.
+        run_case(&reference, c, &a, &b, &mut out_ref);
+        run_case(&parallel, c, &a, &b, &mut out_par);
+        let identical = out_ref.iter().zip(&out_par).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(identical, "{} {}x{}x{}: parallel != reference", c.kernel, c.m, c.k, c.n);
+
+        let t_ref = time_case(&reference, c, &a, &b, &mut out_ref, reps);
+        let t_par = time_case(&parallel, c, &a, &b, &mut out_par, reps);
+        let speedup = t_ref as f64 / t_par.max(1) as f64;
+        let gflops = 2.0 * madds(c) as f64 / t_par.max(1) as f64; // madds are fused mul+add
+        if c.kernel == "gemm" && c.m == 512 && c.k == 512 && c.n == 512 {
+            gemm512_speedup = Some(speedup);
+        }
+
+        let shape = format!("{}x{}x{}", c.m, c.k, c.n);
+        eprintln!(
+            "[kernels] {:<15} {:<12} ref {:>9.2}ms  par {:>9.2}ms  {:>5.2}x",
+            c.kernel,
+            shape,
+            t_ref as f64 / 1e6,
+            t_par as f64 / 1e6,
+            speedup
+        );
+        report.row(vec![
+            c.kernel.to_string(),
+            shape.clone(),
+            format!("{:.2} ms", t_ref as f64 / 1e6),
+            format!("{:.2} ms", t_par as f64 / 1e6),
+            format!("{speedup:.2}x"),
+            format!("{gflops:.2}"),
+        ]);
+
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"reference_ns\": {}, \"parallel_ns\": {}, \"threads\": {}, \
+             \"speedup\": {:.3}, \"parallel_gflops\": {:.3}, \"bit_identical\": true}}{}",
+            c.kernel,
+            c.m,
+            c.k,
+            c.n,
+            t_ref,
+            t_par,
+            threads,
+            speedup,
+            gflops,
+            if i + 1 == cases.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let content = format!(
+        "Kernel benchmark — Reference vs Parallel backend; seed {}, {} reps\n\
+         (best-of-reps wall clock; every shape verified bit-identical first)\n\n{}",
+        opts.seed,
+        reps,
+        report.render()
+    );
+    silofuse_bench::emit_report("kernels", &content);
+
+    if let Err(e) = std::fs::write("BENCH_kernels.json", &json) {
+        eprintln!("warning: could not write BENCH_kernels.json: {e}");
+    } else {
+        eprintln!("[kernels] BENCH_kernels.json written");
+    }
+
+    if let Some(s) = gemm512_speedup {
+        eprintln!("[kernels] 512x512x512 gemm speedup at {threads} threads: {s:.2}x");
+        if host_cpus < threads {
+            eprintln!(
+                "[kernels] note: host grants only {host_cpus} CPU(s); \
+                 {threads}-thread speedup is core-bound, not kernel-bound"
+            );
+        }
+    }
+    silofuse_bench::finish_trace();
+}

@@ -53,6 +53,10 @@ pub struct CliOptions {
     /// Resume the distributed runs from the latest checkpoints in
     /// `checkpoint_dir` (`--resume`).
     pub resume: bool,
+    /// Worker threads for the dense-kernel backend (`--threads N`).
+    /// 1 = the serial reference backend; results are bit-identical
+    /// at every thread count.
+    pub threads: usize,
 }
 
 impl Default for CliOptions {
@@ -67,6 +71,7 @@ impl Default for CliOptions {
             checkpoint_dir: None,
             checkpoint_every: 50,
             resume: false,
+            threads: 1,
         }
     }
 }
@@ -129,16 +134,24 @@ pub fn parse_cli() -> CliOptions {
                     .expect("--checkpoint-every needs a positive integer");
             }
             "--resume" => opts.resume = true,
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--threads needs a positive integer");
+            }
             other => panic!(
                 "unknown argument {other}; supported: --quick --trace --trials N --seed S \
                  --datasets A,B --faults drop=0.05,delay=10ms,seed=7 \
-                 --checkpoint-dir D --checkpoint-every N --resume"
+                 --checkpoint-dir D --checkpoint-every N --resume --threads N"
             ),
         }
     }
     if opts.resume && opts.checkpoint_dir.is_none() {
         panic!("--resume needs --checkpoint-dir to load from");
     }
+    silofuse_nn::backend::set_threads(opts.threads);
     opts
 }
 

@@ -39,6 +39,14 @@ fn main() -> ExitCode {
     if flags.contains_key("trace") {
         let _ = silofuse_observe::init(&format!("silofuse-{command}"));
     }
+    match flags.get("threads").map(|v| v.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n > 0 => silofuse_nn::backend::set_threads(n),
+        Some(_) => {
+            eprintln!("error: --threads needs a positive integer\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "synth" => cmd_synth(&flags),
@@ -100,7 +108,11 @@ USAGE:
       Print the inferred schema and Table II-style statistics.
 
   Any command also accepts --trace: collect span/metric/event telemetry,
-  print the span tree, and write target/experiments/telemetry/<run>.jsonl.";
+  print the span tree, and write target/experiments/telemetry/<run>.jsonl.
+
+  Any command also accepts --threads N: run the dense kernels on N worker
+  threads (default 1 = serial reference backend). Outputs are bit-identical
+  at every thread count, so --threads is purely a speed knob.";
 
 type Flags = HashMap<String, String>;
 

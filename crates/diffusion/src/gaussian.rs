@@ -184,6 +184,7 @@ impl GaussianDdpm {
         name: &str,
         phase: &str,
     ) -> Result<f32, CheckpointError> {
+        silofuse_nn::backend::record_telemetry();
         let n = z.rows();
         let mut start = 0usize;
         if let Some(saved) = ckpt.load(name, phase)? {

@@ -104,6 +104,7 @@ impl SiloFuseModel {
         rng: &mut StdRng,
     ) -> Result<Self, ProtocolError> {
         assert!(!partitions.is_empty(), "need at least one client partition");
+        silofuse_nn::backend::record_telemetry();
         let rows = partitions[0].n_rows();
         assert!(partitions.iter().all(|p| p.n_rows() == rows), "partitions must have aligned rows");
 

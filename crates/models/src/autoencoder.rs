@@ -290,6 +290,7 @@ impl TabularAutoencoder {
         name: &str,
         phase: &str,
     ) -> Result<f32, CheckpointError> {
+        silofuse_nn::backend::record_telemetry();
         let stride = observe::epoch_stride(steps);
         let n = table.n_rows();
         let mut last = 0.0;

@@ -179,6 +179,7 @@ impl TabularGan {
         phase: &str,
     ) -> Result<(), CheckpointError> {
         let _span = observe::span("gan-train");
+        silofuse_nn::backend::record_telemetry();
         let mut start = 0usize;
         if let Some(saved) = ckpt.load(name, phase)? {
             if saved.payload.len() < 8 {

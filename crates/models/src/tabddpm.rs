@@ -243,6 +243,7 @@ impl TabDdpm {
         phase: &str,
     ) -> Result<f32, CheckpointError> {
         let _span = observe::span("tabddpm-train");
+        silofuse_nn::backend::record_telemetry();
         let mut start = 0usize;
         if let Some(saved) = ckpt.load(name, phase)? {
             if saved.payload.len() < 8 {

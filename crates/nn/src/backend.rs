@@ -1,0 +1,750 @@
+//! Pluggable compute backends for the dense kernels.
+//!
+//! Every dense operation in this crate — the three GEMM variants, axpy,
+//! element-wise map/zip, row reductions, and softmax — dispatches through a
+//! process-global [`Backend`]. Two implementations ship:
+//!
+//! - [`Reference`]: the original single-threaded scalar loops, kept as the
+//!   correctness oracle.
+//! - [`Parallel`]: cache-blocked kernels whose output rows are partitioned
+//!   into blocks and drained by a scoped worker pool (a shared MPMC work
+//!   queue over the vendored crossbeam channels — idle workers grab the
+//!   next block, so uneven blocks self-balance).
+//!
+//! # Determinism guarantee
+//!
+//! `Parallel` is **bit-identical** to `Reference` at every thread count.
+//! Both backends run the *same* micro-kernels (the free functions in this
+//! module), and each output element is accumulated by exactly one worker
+//! in a fixed order (ascending `k` for GEMM, ascending row for column
+//! reductions). Floating-point addition is not associative, so this is a
+//! hard requirement: the crash-recovery suite asserts byte-identical
+//! resume, and a thread-count-dependent sum would break it. Blocked
+//! iteration keeps the order intact because blocks are visited in
+//! ascending order and accumulate into the same output slot.
+//!
+//! The global backend is selected with [`set_threads`] (the CLI's
+//! `--threads N`) or the `SILOFUSE_THREADS` environment variable; it
+//! defaults to [`Reference`].
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Element-wise unary function passed to backend map kernels.
+pub type MapFn<'a> = &'a (dyn Fn(f32) -> f32 + Sync);
+/// Element-wise binary function passed to backend zip kernels.
+pub type ZipFn<'a> = &'a (dyn Fn(f32, f32) -> f32 + Sync);
+
+/// A dense-math execution engine.
+///
+/// All matrices are row-major `f32` slices; shape arguments are trusted by
+/// the kernels and validated by the callers (`Tensor` asserts shapes).
+/// Implementations must be bit-identical to [`Reference`] — see the module
+/// docs for why this is non-negotiable.
+pub trait Backend: Send + Sync + fmt::Debug {
+    /// Human-readable backend name for telemetry and bench reports.
+    fn name(&self) -> &'static str;
+
+    /// Worker-thread count this backend may use (1 for serial backends).
+    fn threads(&self) -> usize;
+
+    /// `out = A·B` with `A: m×k`, `B: k×n`, `out: m×n` (overwritten).
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out = A·Bᵀ` with `A: m×k`, `B: n×k`, `out: m×n` (overwritten).
+    fn gemm_transpose(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out = Aᵀ·B` with `A: l×m`, `B: l×n`, `out: m×n` (overwritten).
+    fn transpose_gemm(&self, l: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `y += alpha * x`.
+    fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]);
+
+    /// `y *= alpha`.
+    fn scale(&self, alpha: f32, y: &mut [f32]);
+
+    /// `out[i] = f(x[i])`.
+    fn map(&self, x: &[f32], out: &mut [f32], f: MapFn);
+
+    /// `x[i] = f(x[i])`.
+    fn map_inplace(&self, x: &mut [f32], f: MapFn);
+
+    /// `out[i] = f(a[i], b[i])`.
+    fn zip(&self, a: &[f32], b: &[f32], out: &mut [f32], f: ZipFn);
+
+    /// `y[i] = f(y[i], x[i])`.
+    fn zip_inplace(&self, y: &mut [f32], x: &[f32], f: ZipFn);
+
+    /// Column sums over a `rows×cols` matrix: `out[c] = Σ_r x[r][c]`,
+    /// accumulated in ascending row order (`out` overwritten, len `cols`).
+    fn sum_rows(&self, rows: usize, cols: usize, x: &[f32], out: &mut [f32]);
+
+    /// Row-wise numerically-stabilised softmax, in place.
+    fn softmax_rows(&self, rows: usize, cols: usize, x: &mut [f32]);
+
+    /// How many workers this backend would apply to an element-wise op over
+    /// `elems` elements. Callers use this to keep closures monomorphised
+    /// (and fast) on the serial path: a return of 1 means "run it inline".
+    fn elementwise_parallelism(&self, elems: usize) -> usize {
+        let _ = elems;
+        1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared micro-kernels.
+//
+// Both backends call these on (sub-)ranges of output rows, which is what
+// makes them bit-identical by construction: the per-element accumulation
+// sequence does not depend on how rows are partitioned across workers.
+// ---------------------------------------------------------------------------
+
+/// k-dimension cache-block size: a `KC×n` panel of `B` stays resident while
+/// a block of `A` rows streams over it.
+const KC: usize = 128;
+
+/// `out_block = A[rows]·B`; accumulation ascending in `k` per element.
+fn gemm_rows(rows: Range<usize>, k: usize, n: usize, a: &[f32], b: &[f32], out_block: &mut [f32]) {
+    out_block.fill(0.0);
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + KC).min(k);
+        for (local, i) in rows.clone().enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out_block[local * n..(local + 1) * n];
+            for kk in k0..k1 {
+                let av = a_row[kk];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        k0 = k1;
+    }
+}
+
+/// `out_block = A[rows]·Bᵀ`; each element is one dot product, ascending `k`.
+fn gemm_transpose_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+) {
+    for (local, i) in rows.clone().enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out_block[local * n..(local + 1) * n];
+        for (o, j) in out_row.iter_mut().zip(0..n) {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out_block = (Aᵀ·B)[cols]` — the output-row range `cols` indexes columns
+/// of `A: l×m`; accumulation ascending in `l` (the shared row index).
+fn transpose_gemm_rows(
+    cols: Range<usize>,
+    l: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+) {
+    out_block.fill(0.0);
+    for r in 0..l {
+        let a_row = &a[r * m..(r + 1) * m];
+        let b_row = &b[r * n..(r + 1) * n];
+        for (local, c) in cols.clone().enumerate() {
+            let av = a_row[c];
+            let out_row = &mut out_block[local * n..(local + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Column sums for the column range `cols`; ascending row order.
+fn sum_rows_cols(cols: Range<usize>, rows: usize, stride: usize, x: &[f32], out_block: &mut [f32]) {
+    out_block.fill(0.0);
+    for r in 0..rows {
+        let row = &x[r * stride..(r + 1) * stride];
+        for (o, c) in out_block.iter_mut().zip(cols.clone()) {
+            *o += row[c];
+        }
+    }
+}
+
+/// Numerically-stabilised softmax of one row, in place.
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference backend: the oracle.
+// ---------------------------------------------------------------------------
+
+/// The original single-threaded scalar kernels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reference;
+
+impl Backend for Reference {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        gemm_rows(0..m, k, n, a, b, out);
+    }
+
+    fn gemm_transpose(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        gemm_transpose_rows(0..m, k, n, a, b, out);
+    }
+
+    fn transpose_gemm(&self, l: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        transpose_gemm_rows(0..m, l, m, n, a, b, out);
+    }
+
+    fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yv, &xv) in y.iter_mut().zip(x) {
+            *yv += alpha * xv;
+        }
+    }
+
+    fn scale(&self, alpha: f32, y: &mut [f32]) {
+        for v in y.iter_mut() {
+            *v *= alpha;
+        }
+    }
+
+    fn map(&self, x: &[f32], out: &mut [f32], f: MapFn) {
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = f(v);
+        }
+    }
+
+    fn map_inplace(&self, x: &mut [f32], f: MapFn) {
+        for v in x.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    fn zip(&self, a: &[f32], b: &[f32], out: &mut [f32], f: ZipFn) {
+        for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+            *o = f(av, bv);
+        }
+    }
+
+    fn zip_inplace(&self, y: &mut [f32], x: &[f32], f: ZipFn) {
+        for (yv, &xv) in y.iter_mut().zip(x) {
+            *yv = f(*yv, xv);
+        }
+    }
+
+    fn sum_rows(&self, rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+        sum_rows_cols(0..cols, rows, cols, x, out);
+    }
+
+    fn softmax_rows(&self, rows: usize, cols: usize, x: &mut [f32]) {
+        for r in 0..rows {
+            softmax_row(&mut x[r * cols..(r + 1) * cols]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel backend.
+// ---------------------------------------------------------------------------
+
+/// Minimum multiply-add count before a GEMM fans out to workers; below it
+/// the scoped-pool setup costs more than the kernel.
+const PAR_GEMM_MIN_MADDS: usize = 1 << 18;
+/// Minimum element count before element-wise / reduction ops fan out.
+const PAR_ELEM_MIN: usize = 1 << 16;
+
+/// Cache-blocked kernels over a scoped worker pool.
+///
+/// Output rows are split into `4×threads` blocks pushed onto a shared MPMC
+/// queue; each worker drains blocks until the queue is empty. Every output
+/// element is produced by exactly one worker running the same micro-kernel
+/// as [`Reference`], so results are bit-identical at any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct Parallel {
+    threads: usize,
+}
+
+impl Parallel {
+    /// A parallel backend using `threads` workers (min 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// Splits `out` into per-block `(row_range, chunk)` jobs and runs them
+    /// on the worker pool. `row_width` is the number of `f32`s per output
+    /// row; `kernel` must fully overwrite its chunk.
+    fn run_rows(
+        &self,
+        total_rows: usize,
+        row_width: usize,
+        out: &mut [f32],
+        kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
+    ) {
+        let block = total_rows.div_ceil(self.threads * 4).max(1);
+        let jobs: Vec<(Range<usize>, &mut [f32])> = out
+            .chunks_mut(block * row_width)
+            .enumerate()
+            .map(|(b, chunk)| {
+                let start = b * block;
+                (start..(start + block).min(total_rows), chunk)
+            })
+            .collect();
+        run_jobs(self.threads, jobs, |(rows, chunk)| kernel(rows, chunk));
+    }
+
+    /// Chunked element-wise dispatch over one mutable slice.
+    fn run_elems(&self, y: &mut [f32], kernel: impl Fn(usize, &mut [f32]) + Sync) {
+        let n = y.len();
+        let block = n.div_ceil(self.threads * 4).max(1);
+        let jobs: Vec<(usize, &mut [f32])> =
+            y.chunks_mut(block).enumerate().map(|(b, chunk)| (b * block, chunk)).collect();
+        run_jobs(self.threads, jobs, |(offset, chunk)| kernel(offset, chunk));
+    }
+}
+
+/// Drains `jobs` with up to `threads` scoped workers pulling from a shared
+/// queue. Falls back to inline execution for a single job or single thread.
+fn run_jobs<T: Send>(threads: usize, jobs: Vec<T>, work: impl Fn(T) + Sync) {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            work(job);
+        }
+        return;
+    }
+    let workers = threads.min(jobs.len());
+    let (tx, rx) = crossbeam::channel::unbounded();
+    for job in jobs {
+        let _ = tx.send(job);
+    }
+    drop(tx);
+    let work = &work;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            s.spawn(move |_| {
+                // All jobs are enqueued before the scope starts and the
+                // sender is dropped, so an empty queue means "done".
+                while let Ok(job) = rx.try_recv() {
+                    work(job);
+                }
+            });
+        }
+    })
+    .expect("kernel worker panicked");
+}
+
+impl Backend for Parallel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        if self.threads == 1 || m < 2 || m * k * n < PAR_GEMM_MIN_MADDS {
+            return gemm_rows(0..m, k, n, a, b, out);
+        }
+        self.run_rows(m, n, out, |rows, chunk| gemm_rows(rows, k, n, a, b, chunk));
+    }
+
+    fn gemm_transpose(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        if self.threads == 1 || m < 2 || m * k * n < PAR_GEMM_MIN_MADDS {
+            return gemm_transpose_rows(0..m, k, n, a, b, out);
+        }
+        self.run_rows(m, n, out, |rows, chunk| gemm_transpose_rows(rows, k, n, a, b, chunk));
+    }
+
+    fn transpose_gemm(&self, l: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        if self.threads == 1 || m < 2 || l * m * n < PAR_GEMM_MIN_MADDS {
+            return transpose_gemm_rows(0..m, l, m, n, a, b, out);
+        }
+        self.run_rows(m, n, out, |cols, chunk| transpose_gemm_rows(cols, l, m, n, a, b, chunk));
+    }
+
+    fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        if self.threads == 1 || y.len() < PAR_ELEM_MIN {
+            return Reference.axpy(alpha, x, y);
+        }
+        self.run_elems(y, |offset, chunk| {
+            let end = offset + chunk.len();
+            for (yv, &xv) in chunk.iter_mut().zip(&x[offset..end]) {
+                *yv += alpha * xv;
+            }
+        });
+    }
+
+    fn scale(&self, alpha: f32, y: &mut [f32]) {
+        if self.threads == 1 || y.len() < PAR_ELEM_MIN {
+            return Reference.scale(alpha, y);
+        }
+        self.run_elems(y, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v *= alpha;
+            }
+        });
+    }
+
+    fn map(&self, x: &[f32], out: &mut [f32], f: MapFn) {
+        if self.threads == 1 || x.len() < PAR_ELEM_MIN {
+            return Reference.map(x, out, f);
+        }
+        self.run_elems(out, |offset, chunk| {
+            let end = offset + chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&x[offset..end]) {
+                *o = f(v);
+            }
+        });
+    }
+
+    fn map_inplace(&self, x: &mut [f32], f: MapFn) {
+        if self.threads == 1 || x.len() < PAR_ELEM_MIN {
+            return Reference.map_inplace(x, f);
+        }
+        self.run_elems(x, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = f(*v);
+            }
+        });
+    }
+
+    fn zip(&self, a: &[f32], b: &[f32], out: &mut [f32], f: ZipFn) {
+        if self.threads == 1 || a.len() < PAR_ELEM_MIN {
+            return Reference.zip(a, b, out, f);
+        }
+        self.run_elems(out, |offset, chunk| {
+            let end = offset + chunk.len();
+            for ((o, &av), &bv) in chunk.iter_mut().zip(&a[offset..end]).zip(&b[offset..end]) {
+                *o = f(av, bv);
+            }
+        });
+    }
+
+    fn zip_inplace(&self, y: &mut [f32], x: &[f32], f: ZipFn) {
+        if self.threads == 1 || y.len() < PAR_ELEM_MIN {
+            return Reference.zip_inplace(y, x, f);
+        }
+        self.run_elems(y, |offset, chunk| {
+            let end = offset + chunk.len();
+            for (yv, &xv) in chunk.iter_mut().zip(&x[offset..end]) {
+                *yv = f(*yv, xv);
+            }
+        });
+    }
+
+    fn sum_rows(&self, rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+        if self.threads == 1 || rows * cols < PAR_ELEM_MIN || cols < 2 {
+            return Reference.sum_rows(rows, cols, x, out);
+        }
+        // Partition *columns*: each worker owns a column range and walks all
+        // rows in ascending order, matching the reference accumulation.
+        self.run_rows(cols, 1, out, |col_range, chunk| {
+            sum_rows_cols(col_range, rows, cols, x, chunk)
+        });
+    }
+
+    fn softmax_rows(&self, rows: usize, cols: usize, x: &mut [f32]) {
+        if self.threads == 1 || rows * cols < PAR_ELEM_MIN || rows < 2 {
+            return Reference.softmax_rows(rows, cols, x);
+        }
+        self.run_rows(rows, cols, x, |row_range, chunk| {
+            for local in 0..row_range.len() {
+                softmax_row(&mut chunk[local * cols..(local + 1) * cols]);
+            }
+        });
+    }
+
+    fn elementwise_parallelism(&self, elems: usize) -> usize {
+        if elems >= PAR_ELEM_MIN {
+            self.threads
+        } else {
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global backend selection.
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<RwLock<Arc<dyn Backend>>> = OnceLock::new();
+
+fn slot() -> &'static RwLock<Arc<dyn Backend>> {
+    GLOBAL.get_or_init(|| RwLock::new(from_env()))
+}
+
+/// Backend implied by `SILOFUSE_THREADS` (unset/invalid/≤1 → [`Reference`]).
+fn from_env() -> Arc<dyn Backend> {
+    match std::env::var("SILOFUSE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 1 => Arc::new(Parallel::new(n)),
+        _ => Arc::new(Reference),
+    }
+}
+
+/// The process-global backend every `Tensor` kernel dispatches through.
+pub fn get() -> Arc<dyn Backend> {
+    slot().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Installs `backend` as the process-global backend.
+///
+/// Safe to call at any time — backends are bit-identical, so in-flight
+/// training runs produce the same numbers regardless of when the switch
+/// lands.
+pub fn set(backend: Arc<dyn Backend>) {
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = backend;
+}
+
+/// Selects the backend for a worker count: `n ≤ 1` installs [`Reference`],
+/// anything larger installs [`Parallel`] with `n` workers.
+pub fn set_threads(n: usize) {
+    set(backend_for_threads(n));
+}
+
+/// The backend [`set_threads`] would install, without installing it.
+pub fn backend_for_threads(n: usize) -> Arc<dyn Backend> {
+    if n <= 1 {
+        Arc::new(Reference)
+    } else {
+        Arc::new(Parallel::new(n))
+    }
+}
+
+/// Worker-thread count of the current global backend.
+pub fn threads() -> usize {
+    get().threads()
+}
+
+/// Name of the current global backend.
+pub fn name() -> &'static str {
+    get().name()
+}
+
+/// Records the active backend's identity in the run telemetry: a gauge for
+/// the worker-thread count and a counter keyed by the backend's name. Fit
+/// entry points call this so every trace states which backend produced it.
+pub fn record_telemetry() {
+    if !silofuse_observe::enabled() {
+        return;
+    }
+    let be = get();
+    silofuse_observe::gauge("nn.backend.threads", be.threads() as f64);
+    silofuse_observe::count(&format!("nn.backend.{}", be.name()), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Per-kernel timing.
+// ---------------------------------------------------------------------------
+
+/// Telemetry counter names for one kernel: total calls and cumulative
+/// nanoseconds. Exposed so `silofuse-observe` consumers can discover them.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCounters {
+    /// Counter incremented once per kernel invocation.
+    pub calls: &'static str,
+    /// Counter accumulating wall-clock nanoseconds across invocations.
+    pub nanos: &'static str,
+}
+
+/// Counters for [`Backend::gemm`].
+pub const GEMM_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.gemm.calls", nanos: "nn.kernel.gemm.ns" };
+/// Counters for [`Backend::gemm_transpose`].
+pub const GEMM_TRANSPOSE_COUNTERS: KernelCounters = KernelCounters {
+    calls: "nn.kernel.gemm_transpose.calls",
+    nanos: "nn.kernel.gemm_transpose.ns",
+};
+/// Counters for [`Backend::transpose_gemm`].
+pub const TRANSPOSE_GEMM_COUNTERS: KernelCounters = KernelCounters {
+    calls: "nn.kernel.transpose_gemm.calls",
+    nanos: "nn.kernel.transpose_gemm.ns",
+};
+/// Counters for [`Backend::axpy`] / [`Backend::scale`].
+pub const AXPY_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.axpy.calls", nanos: "nn.kernel.axpy.ns" };
+/// Counters for [`Backend::map`] / [`Backend::map_inplace`].
+pub const MAP_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.map.calls", nanos: "nn.kernel.map.ns" };
+/// Counters for [`Backend::zip`] / [`Backend::zip_inplace`].
+pub const ZIP_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.zip.calls", nanos: "nn.kernel.zip.ns" };
+/// Counters for [`Backend::sum_rows`].
+pub const SUM_ROWS_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.sum_rows.calls", nanos: "nn.kernel.sum_rows.ns" };
+/// Counters for [`Backend::softmax_rows`].
+pub const SOFTMAX_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.softmax.calls", nanos: "nn.kernel.softmax.ns" };
+
+/// The kernel counter name pairs emitted by this crate.
+pub const KERNEL_COUNTERS: &[KernelCounters] = &[
+    GEMM_COUNTERS,
+    GEMM_TRANSPOSE_COUNTERS,
+    TRANSPOSE_GEMM_COUNTERS,
+    AXPY_COUNTERS,
+    MAP_COUNTERS,
+    ZIP_COUNTERS,
+    SUM_ROWS_COUNTERS,
+    SOFTMAX_COUNTERS,
+];
+
+/// Runs `f`, charging its wall-clock time to the kernel's telemetry
+/// counters when tracing is live; a branch and nothing more when it is not.
+#[inline]
+pub(crate) fn timed<R>(counters: KernelCounters, f: impl FnOnce() -> R) -> R {
+    if !silofuse_observe::enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let result = f();
+    silofuse_observe::count(counters.calls, 1);
+    silofuse_observe::count(counters.nanos, start.elapsed().as_nanos() as u64);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize, f: impl FnMut(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    /// Pseudo-random but deterministic test data with varied magnitudes so
+    /// float addition order actually matters.
+    fn noise(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        filled(n, |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64 * 20.0 - 10.0) as f32
+        })
+    }
+
+    #[test]
+    fn parallel_gemm_bit_identical_to_reference() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (17, 33, 9), (64, 96, 80), (130, 70, 50)] {
+            let a = noise(m * k, 1);
+            let b = noise(k * n, 2);
+            let mut want = vec![0.0; m * n];
+            Reference.gemm(m, k, n, &a, &b, &mut want);
+            for threads in [1, 2, 4, 7] {
+                let mut got = vec![f32::NAN; m * n];
+                Parallel::new(threads).gemm(m, k, n, &a, &b, &mut got);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "gemm {m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_path_is_bit_identical() {
+        // Big enough to clear PAR_GEMM_MIN_MADDS so workers really spawn.
+        let (m, k, n) = (96, 64, 64);
+        let a = noise(m * k, 3);
+        let b = noise(k * n, 4);
+        let mut want = vec![0.0; m * n];
+        Reference.gemm(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0; m * n];
+        Parallel::new(4).gemm(m, k, n, &a, &b, &mut got);
+        assert_eq!(want, got);
+
+        let mut want_t = vec![0.0; m * n];
+        Reference.gemm_transpose(m, k, n, &a, &noise(n * k, 5), &mut want_t);
+        let mut got_t = vec![0.0; m * n];
+        Parallel::new(4).gemm_transpose(m, k, n, &a, &noise(n * k, 5), &mut got_t);
+        assert_eq!(want_t, got_t);
+    }
+
+    #[test]
+    fn nan_and_inf_propagate_through_all_gemms() {
+        let a = vec![0.0, 0.0];
+        let b = vec![f32::NAN, 1.0, 2.0, 3.0];
+        let mut out = vec![0.0; 2];
+        Reference.gemm(1, 2, 2, &a, &b, &mut out);
+        assert!(out[0].is_nan(), "0·NaN must reach the output");
+        let b_inf = vec![f32::INFINITY, 1.0, 2.0, 3.0];
+        Reference.gemm(1, 2, 2, &a, &b_inf, &mut out);
+        assert!(out[0].is_nan(), "0·Inf is NaN");
+    }
+
+    #[test]
+    fn elementwise_kernels_match() {
+        let x = noise(100_000, 7);
+        let y0 = noise(100_000, 8);
+        let f: fn(f32) -> f32 = |v| v * 1.5 - 0.25;
+        let mut want = vec![0.0; x.len()];
+        Reference.map(&x, &mut want, &f);
+        let mut got = vec![0.0; x.len()];
+        Parallel::new(4).map(&x, &mut got, &f);
+        assert_eq!(want, got);
+
+        let mut want_y = y0.clone();
+        Reference.axpy(0.75, &x, &mut want_y);
+        let mut got_y = y0;
+        Parallel::new(4).axpy(0.75, &x, &mut got_y);
+        assert_eq!(want_y, got_y);
+    }
+
+    #[test]
+    fn reductions_and_softmax_match() {
+        let (rows, cols) = (600, 300);
+        let x = noise(rows * cols, 11);
+        let mut want = vec![0.0; cols];
+        Reference.sum_rows(rows, cols, &x, &mut want);
+        let mut got = vec![0.0; cols];
+        Parallel::new(7).sum_rows(rows, cols, &x, &mut got);
+        assert_eq!(want, got);
+
+        let mut want_s = x.clone();
+        Reference.softmax_rows(rows, cols, &mut want_s);
+        let mut got_s = x;
+        Parallel::new(3).softmax_rows(rows, cols, &mut got_s);
+        assert_eq!(want_s, got_s);
+    }
+
+    #[test]
+    fn set_threads_switches_global_backend() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        assert_eq!(name(), "parallel");
+        set_threads(1);
+        assert_eq!(threads(), 1);
+        assert_eq!(name(), "reference");
+    }
+}

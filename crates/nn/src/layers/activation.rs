@@ -103,7 +103,7 @@ impl Activation {
 impl Layer for Activation {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            crate::workspace::cache_assign(&mut self.cached_input, input);
         }
         let kind = self.kind;
         input.map(|v| kind.apply(v))

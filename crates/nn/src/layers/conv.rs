@@ -91,7 +91,7 @@ impl Layer for Conv1d {
             input.cols()
         );
         let out_len = self.output_len();
-        let mut out = Tensor::zeros(input.rows(), self.out_channels * out_len);
+        let mut out = crate::workspace::take_zeroed(input.rows(), self.out_channels * out_len);
         for r in 0..input.rows() {
             let row = input.row(r);
             for oc in 0..self.out_channels {
@@ -111,7 +111,7 @@ impl Layer for Conv1d {
             }
         }
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            crate::workspace::cache_assign(&mut self.cached_input, input);
         }
         out
     }
@@ -122,13 +122,17 @@ impl Layer for Conv1d {
             .as_ref()
             .expect("Conv1d::backward called without a cached forward pass");
         let out_len = self.output_len();
-        let mut grad_in = Tensor::zeros(input.rows(), input.cols());
+        let mut grad_in = crate::workspace::take_zeroed(input.rows(), input.cols());
 
+        // Split borrows so the weight value (read) and grad (written) can be
+        // held at once without copying each filter row per (sample, channel).
+        let weight = &self.weight.value;
+        let weight_grad = &mut self.weight.grad;
         for r in 0..input.rows() {
             let in_row = input.row(r);
             let g_row = grad_output.row(r);
             for oc in 0..self.out_channels {
-                let w_row = self.weight.value.row(oc).to_vec();
+                let w_row = weight.row(oc);
                 for op in 0..out_len {
                     let g = g_row[oc * out_len + op];
                     if g == 0.0 {
@@ -145,7 +149,7 @@ impl Layer for Conv1d {
                             }
                             let pos = pos as usize;
                             // dW
-                            self.weight.grad.row_mut(oc)[w_base + k] +=
+                            weight_grad.row_mut(oc)[w_base + k] +=
                                 g * in_row[ic * self.input_len + pos];
                             // dX
                             grad_in.row_mut(r)[ic * self.input_len + pos] += g * w_row[w_base + k];

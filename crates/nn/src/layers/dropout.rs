@@ -36,18 +36,27 @@ impl Dropout {
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Infer || self.p == 0.0 {
-            self.mask = None;
+            if let Some(mask) = self.mask.take() {
+                crate::workspace::recycle(mask);
+            }
             return input.clone();
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask = Tensor::from_fn(input.rows(), input.cols(), |_, _| {
-            if self.rng.gen::<f32>() < keep {
-                scale
-            } else {
-                0.0
+        // Reuse last step's mask buffer; the RNG is drawn in row-major
+        // order either way, so resume streams stay bit-identical.
+        let mut mask = match self.mask.take() {
+            Some(m) if m.shape() == input.shape() => m,
+            other => {
+                if let Some(m) = other {
+                    crate::workspace::recycle(m);
+                }
+                crate::workspace::take(input.rows(), input.cols())
             }
-        });
+        };
+        for v in mask.as_mut_slice() {
+            *v = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
         let out = input.mul(&mask);
         self.mask = Some(mask);
         out

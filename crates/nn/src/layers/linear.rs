@@ -44,7 +44,7 @@ impl Layer for Linear {
         let mut out = input.matmul(&self.weight.value);
         out.add_row_broadcast(self.bias.value.as_slice());
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            crate::workspace::cache_assign(&mut self.cached_input, input);
         }
         out
     }
@@ -57,10 +57,11 @@ impl Layer for Linear {
         // dW = x^T g ; db = sum_rows(g) ; dx = g W^T
         let dw = input.transpose_matmul(grad_output);
         self.weight.grad.add_assign(&dw);
-        let db = grad_output.sum_rows();
-        for (g, &d) in self.bias.grad.as_mut_slice().iter_mut().zip(db.iter()) {
-            *g += d;
-        }
+        crate::workspace::recycle(dw);
+        let mut db = crate::workspace::take(1, grad_output.cols());
+        grad_output.sum_rows_into(db.as_mut_slice());
+        self.bias.grad.add_assign(&db);
+        crate::workspace::recycle(db);
         grad_output.matmul_transpose(&self.weight.value)
     }
 

@@ -30,31 +30,39 @@ impl Layer for LayerNorm {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let (rows, cols) = input.shape();
         assert_eq!(cols, self.gamma.value.cols(), "LayerNorm dim mismatch");
-        let mut x_hat = Tensor::zeros(rows, cols);
-        let mut inv_stds = Vec::with_capacity(rows);
+        let mut x_hat = crate::workspace::take(rows, cols);
+        // Reclaim last step's cache storage instead of allocating anew.
+        let mut inv_stds = match (mode, self.cache.take()) {
+            (Mode::Train, Some((old, v))) => {
+                crate::workspace::recycle(old);
+                v
+            }
+            (_, cache) => {
+                self.cache = cache;
+                Vec::new()
+            }
+        };
+        inv_stds.clear();
+        inv_stds.reserve(rows);
+        let mut out = crate::workspace::take(rows, cols);
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
         for r in 0..rows {
             let row = input.row(r);
             let mean = row.iter().sum::<f32>() / cols as f32;
             let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             let inv_std = 1.0 / (var + EPS).sqrt();
             inv_stds.push(inv_std);
-            for (o, &v) in x_hat.row_mut(r).iter_mut().zip(row.iter()) {
+            let xh_row = x_hat.row_mut(r);
+            for (c, (o, &v)) in xh_row.iter_mut().zip(row.iter()).enumerate() {
                 *o = (v - mean) * inv_std;
-            }
-        }
-        let mut out = x_hat.clone();
-        for r in 0..rows {
-            for ((o, &g), &b) in out
-                .row_mut(r)
-                .iter_mut()
-                .zip(self.gamma.value.as_slice().iter())
-                .zip(self.beta.value.as_slice().iter())
-            {
-                *o = *o * g + b;
+                out[(r, c)] = *o * gamma[c] + beta[c];
             }
         }
         if mode == Mode::Train {
             self.cache = Some((x_hat, inv_stds));
+        } else {
+            crate::workspace::recycle(x_hat);
         }
         out
     }
@@ -78,7 +86,7 @@ impl Layer for LayerNorm {
         // Input grad, standard LayerNorm backward:
         // dx = (1/std) * (dxhat - mean(dxhat) - x_hat * mean(dxhat * x_hat))
         let gamma = self.gamma.value.as_slice();
-        let mut out = Tensor::zeros(rows, cols);
+        let mut out = crate::workspace::take(rows, cols);
         for (r, &inv_std) in inv_stds.iter().enumerate().take(rows) {
             let g_row = grad_output.row(r);
             let xh_row = x_hat.row(r);
@@ -136,46 +144,72 @@ impl Layer for BatchNorm1d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let (rows, cols) = input.shape();
         assert_eq!(cols, self.gamma.value.cols(), "BatchNorm dim mismatch");
-        let (means, vars) = if mode == Mode::Train && rows > 1 {
-            let means = input.mean_rows();
-            let mut vars = vec![0.0f32; cols];
+        // Batch statistics land in pooled scratch rows; the inference path
+        // reads the running stats in place instead of cloning them.
+        let mut stats = if mode == Mode::Train && rows > 1 {
+            let mut means = crate::workspace::take(1, cols);
+            input.sum_rows_into(means.as_mut_slice());
+            for v in means.as_mut_slice() {
+                *v /= rows as f32;
+            }
+            let mut vars = crate::workspace::take_zeroed(1, cols);
             for r in 0..rows {
-                for (c, &v) in input.row(r).iter().enumerate() {
-                    let d = v - means[c];
-                    vars[c] += d * d;
+                for ((&v, &m), out) in
+                    input.row(r).iter().zip(means.as_slice()).zip(vars.as_mut_slice())
+                {
+                    let d = v - m;
+                    *out += d * d;
                 }
             }
-            for v in &mut vars {
+            for v in vars.as_mut_slice() {
                 *v /= rows as f32;
             }
             for c in 0..cols {
-                self.running_mean[c] =
-                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * means[c];
-                self.running_var[c] =
-                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * vars[c];
+                self.running_mean[c] = (1.0 - self.momentum) * self.running_mean[c]
+                    + self.momentum * means.as_slice()[c];
+                self.running_var[c] = (1.0 - self.momentum) * self.running_var[c]
+                    + self.momentum * vars.as_slice()[c];
             }
-            (means, vars)
+            Some((means, vars))
         } else {
-            (self.running_mean.clone(), self.running_var.clone())
+            None
+        };
+        let (means, vars): (&[f32], &[f32]) = match &stats {
+            Some((m, v)) => (m.as_slice(), v.as_slice()),
+            None => (&self.running_mean, &self.running_var),
         };
 
-        let inv_stds: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
-        let mut x_hat = Tensor::zeros(rows, cols);
-        for r in 0..rows {
-            for (c, &v) in input.row(r).iter().enumerate() {
-                x_hat.row_mut(r)[c] = (v - means[c]) * inv_stds[c];
+        let mut inv_stds = match (mode, self.cache.take()) {
+            (Mode::Train, Some((old, v))) => {
+                crate::workspace::recycle(old);
+                v
             }
-        }
-        let mut out = x_hat.clone();
+            (_, cache) => {
+                self.cache = cache;
+                Vec::new()
+            }
+        };
+        inv_stds.clear();
+        inv_stds.extend(vars.iter().map(|&v| 1.0 / (v + EPS).sqrt()));
+        let mut x_hat = crate::workspace::take(rows, cols);
+        let mut out = crate::workspace::take(rows, cols);
         let gamma = self.gamma.value.as_slice();
         let beta = self.beta.value.as_slice();
         for r in 0..rows {
-            for c in 0..cols {
-                out.row_mut(r)[c] = out.row(r)[c] * gamma[c] + beta[c];
+            let xh_row = x_hat.row_mut(r);
+            for (c, (o, &v)) in xh_row.iter_mut().zip(input.row(r).iter()).enumerate() {
+                *o = (v - means[c]) * inv_stds[c];
+                out[(r, c)] = *o * gamma[c] + beta[c];
             }
+        }
+        if let Some((means, vars)) = stats.take() {
+            crate::workspace::recycle(means);
+            crate::workspace::recycle(vars);
         }
         if mode == Mode::Train {
             self.cache = Some((x_hat, inv_stds));
+        } else {
+            crate::workspace::recycle(x_hat);
         }
         out
     }
@@ -189,30 +223,34 @@ impl Layer for BatchNorm1d {
         let n = rows as f32;
         let gamma = self.gamma.value.as_slice();
 
-        let mut sum_dxhat = vec![0.0f32; cols];
-        let mut sum_dxhat_xhat = vec![0.0f32; cols];
+        let mut sum_dxhat = crate::workspace::take_zeroed(1, cols);
+        let mut sum_dxhat_xhat = crate::workspace::take_zeroed(1, cols);
         for r in 0..rows {
             let g_row = grad_output.row(r);
             let xh_row = x_hat.row(r);
             for c in 0..cols {
                 let dxhat = g_row[c] * gamma[c];
-                sum_dxhat[c] += dxhat;
-                sum_dxhat_xhat[c] += dxhat * xh_row[c];
+                sum_dxhat.as_mut_slice()[c] += dxhat;
+                sum_dxhat_xhat.as_mut_slice()[c] += dxhat * xh_row[c];
                 self.gamma.grad.as_mut_slice()[c] += g_row[c] * xh_row[c];
                 self.beta.grad.as_mut_slice()[c] += g_row[c];
             }
         }
 
-        let mut out = Tensor::zeros(rows, cols);
+        let mut out = crate::workspace::take(rows, cols);
         for r in 0..rows {
             let g_row = grad_output.row(r);
             let xh_row = x_hat.row(r);
             for c in 0..cols {
                 let dxhat = g_row[c] * gamma[c];
-                out.row_mut(r)[c] =
-                    inv_stds[c] / n * (n * dxhat - sum_dxhat[c] - xh_row[c] * sum_dxhat_xhat[c]);
+                out.row_mut(r)[c] = inv_stds[c] / n
+                    * (n * dxhat
+                        - sum_dxhat.as_slice()[c]
+                        - xh_row[c] * sum_dxhat_xhat.as_slice()[c]);
             }
         }
+        crate::workspace::recycle(sum_dxhat);
+        crate::workspace::recycle(sum_dxhat_xhat);
         out
     }
 

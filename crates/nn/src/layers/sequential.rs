@@ -45,17 +45,30 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, mode);
+        // The first layer reads `input` directly; after that each layer's
+        // output ping-pongs through the workspace arena, so a forward pass
+        // does not clone the batch and intermediate buffers are recycled
+        // for the next call instead of dropped.
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input, mode);
+        for layer in rest {
+            let y = layer.forward(&x, mode);
+            crate::workspace::recycle(std::mem::replace(&mut x, y));
         }
         x
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        // Mirror of `forward`: gradients ping-pong through the arena.
+        let Some((last, rest)) = self.layers.split_last_mut() else {
+            return grad_output.clone();
+        };
+        let mut g = last.backward(grad_output);
+        for layer in rest.iter_mut().rev() {
+            let g_in = layer.backward(&g);
+            crate::workspace::recycle(std::mem::replace(&mut g, g_in));
         }
         g
     }

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod embedding;
 pub mod init;
 pub mod layers;
@@ -43,6 +44,7 @@ pub mod loss;
 pub mod optim;
 pub mod serialize;
 pub mod tensor;
+pub mod workspace;
 
 pub use layers::mlp;
 pub use tensor::Tensor;

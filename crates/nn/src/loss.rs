@@ -5,14 +5,17 @@
 //! an optimizer step performs a correct mean-loss update.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 
 /// Mean squared error `mean((pred - target)^2)` — Eq. (2)/(5) of the paper.
 pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = pred.len() as f32;
-    let diff = pred.sub(target);
-    let loss = diff.norm_sq() / n;
-    let grad = diff.scale(2.0 / n);
+    // The difference buffer doubles as the gradient: scale it in place
+    // after the loss is read off, instead of materialising both.
+    let mut grad = pred.sub(target);
+    let loss = grad.norm_sq() / n;
+    grad.scale_assign(2.0 / n);
     (loss, grad)
 }
 
@@ -21,7 +24,7 @@ pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
     assert_eq!(logits.shape(), target.shape(), "bce shape mismatch");
     let n = logits.len() as f32;
     let mut loss = 0.0f32;
-    let mut grad = Tensor::zeros(logits.rows(), logits.cols());
+    let mut grad = workspace::take(logits.rows(), logits.cols());
     for i in 0..logits.len() {
         let x = logits.as_slice()[i];
         let t = target.as_slice()[i];
@@ -50,7 +53,7 @@ pub fn grouped_softmax_cross_entropy(
     let rows = logits.rows();
     let denom = (rows * groups.len().max(1)) as f32;
     let mut loss = 0.0f32;
-    let mut grad = Tensor::zeros(rows, total);
+    let mut grad = workspace::take(rows, total);
     for (r, row_targets) in targets.iter().enumerate() {
         let row = logits.row(r);
         let g_row = grad.row_mut(r);
@@ -86,8 +89,8 @@ pub fn gaussian_nll(mu: &Tensor, log_var: &Tensor, target: &Tensor) -> (f32, Ten
     assert_eq!(mu.shape(), log_var.shape(), "gaussian_nll shape mismatch");
     let n = mu.len() as f32;
     let mut loss = 0.0f32;
-    let mut grad_mu = Tensor::zeros(mu.rows(), mu.cols());
-    let mut grad_lv = Tensor::zeros(mu.rows(), mu.cols());
+    let mut grad_mu = workspace::take(mu.rows(), mu.cols());
+    let mut grad_lv = workspace::take(mu.rows(), mu.cols());
     for i in 0..mu.len() {
         let m = mu.as_slice()[i];
         let lv = log_var.as_slice()[i].clamp(-10.0, 10.0);

@@ -178,9 +178,9 @@ pub fn clip_grad_norm(layer: &mut dyn Layer, max_norm: f32) -> f32 {
     layer.visit_params(&mut |p| total += p.grad.norm_sq());
     let norm = total.sqrt();
     if !norm.is_finite() {
-        // `scale_assign(0.0)` would keep NaNs alive (NaN * 0 = NaN); replace
-        // the gradient tensors outright.
-        layer.visit_params(&mut |p| p.grad = Tensor::zeros(p.grad.rows(), p.grad.cols()));
+        // `scale_assign(0.0)` would keep NaNs alive (NaN * 0 = NaN); overwrite
+        // the storage with zeros instead (no allocation).
+        layer.visit_params(&mut |p| p.grad.as_mut_slice().fill(0.0));
         return norm;
     }
     if norm > max_norm && norm > 0.0 {

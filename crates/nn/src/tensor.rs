@@ -5,7 +5,14 @@
 //! contiguous allocation. The design intentionally avoids views and
 //! broadcasting machinery beyond what the SiloFuse models need; each
 //! operation is explicit about shapes and checks them.
+//!
+//! The dense kernels (GEMM variants, axpy, map/zip, reductions, softmax)
+//! dispatch through the process-global [`crate::backend::Backend`], so the
+//! same call runs serial or parallel depending on `--threads` — with
+//! bit-identical results either way. Freshly produced tensors draw their
+//! storage from the [`crate::workspace`] arena where possible.
 
+use crate::{backend, workspace};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -153,8 +160,10 @@ impl Tensor {
 
     /// Matrix product `self x other`.
     ///
-    /// Uses an `i-k-j` loop order so that both operands are traversed
-    /// row-major; this is the single hottest kernel in the crate.
+    /// The hottest kernel in the crate; accumulation is unconditional and
+    /// ascending in `k`, so NaN/Inf in either operand propagate naturally
+    /// (no finiteness pre-scan) and the result is identical at any backend
+    /// thread count.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
@@ -164,25 +173,17 @@ impl Tensor {
             "matmul shape mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        let n = other.cols;
-        // Skipping `a == 0` rows is only sound when every entry of `other`
-        // is finite: `0 * NaN` and `0 * Inf` are NaN, and dropping them
-        // would silently mask a divergent operand.
-        let skip_zero = other.data.iter().all(|v| v.is_finite());
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if skip_zero && a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = workspace::take(self.rows, other.cols);
+        backend::timed(backend::GEMM_COUNTERS, || {
+            backend::get().gemm(
+                self.rows,
+                self.cols,
+                other.cols,
+                &self.data,
+                &other.data,
+                out.as_mut_slice(),
+            );
+        });
         out
     }
 
@@ -193,18 +194,17 @@ impl Tensor {
             "matmul_transpose shape mismatch: {}x{} vs {}x{}^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        let mut out = workspace::take(self.rows, other.rows);
+        backend::timed(backend::GEMM_TRANSPOSE_COUNTERS, || {
+            backend::get().gemm_transpose(
+                self.rows,
+                self.cols,
+                other.rows,
+                &self.data,
+                &other.data,
+                out.as_mut_slice(),
+            );
+        });
         out
     }
 
@@ -215,24 +215,17 @@ impl Tensor {
             "transpose_matmul shape mismatch: {}x{}^T vs {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.cols, other.cols);
-        let n = other.cols;
-        // Same soundness condition as `matmul`: only skip zero entries
-        // when `other` cannot contribute a NaN/Inf through them.
-        let skip_zero = other.data.iter().all(|v| v.is_finite());
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if skip_zero && a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = workspace::take(self.cols, other.cols);
+        backend::timed(backend::TRANSPOSE_GEMM_COUNTERS, || {
+            backend::get().transpose_gemm(
+                self.rows,
+                self.cols,
+                other.cols,
+                &self.data,
+                &other.data,
+                out.as_mut_slice(),
+            );
+        });
         out
     }
 
@@ -252,26 +245,48 @@ impl Tensor {
     }
 
     /// Element-wise combination of two same-shape tensors.
-    pub fn zip_with(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Tensor {
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip_with shape mismatch");
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let mut out = workspace::take(self.rows, self.cols);
+        let be = backend::get();
+        if be.elementwise_parallelism(self.data.len()) > 1 {
+            backend::timed(backend::ZIP_COUNTERS, || {
+                be.zip(&self.data, &other.data, out.as_mut_slice(), &f);
+            });
+        } else {
+            for ((o, &a), &b) in out.as_mut_slice().iter_mut().zip(&self.data).zip(&other.data) {
+                *o = f(a, b);
+            }
+        }
+        out
+    }
+
+    /// In-place element-wise combination: `self[i] = f(self[i], other[i])`.
+    pub fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(self.shape(), other.shape(), "zip_assign shape mismatch");
+        let be = backend::get();
+        if be.elementwise_parallelism(self.data.len()) > 1 {
+            backend::timed(backend::ZIP_COUNTERS, || {
+                be.zip_inplace(&mut self.data, &other.data, &f);
+            });
+        } else {
+            for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+                *a = f(*a, b);
+            }
+        }
     }
 
     /// In-place element-wise addition.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        self.add_scaled(other, 1.0);
     }
 
     /// In-place `self += alpha * other` (axpy).
     pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        backend::timed(backend::AXPY_COUNTERS, || {
+            backend::get().axpy(alpha, &other.data, &mut self.data);
+        });
     }
 
     /// Returns `self * scalar` as a new tensor.
@@ -281,20 +296,38 @@ impl Tensor {
 
     /// In-place multiplication by a scalar.
     pub fn scale_assign(&mut self, scalar: f32) {
-        for v in &mut self.data {
-            *v *= scalar;
-        }
+        backend::timed(backend::AXPY_COUNTERS, || {
+            backend::get().scale(scalar, &mut self.data);
+        });
     }
 
     /// Applies `f` element-wise into a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = workspace::take(self.rows, self.cols);
+        let be = backend::get();
+        if be.elementwise_parallelism(self.data.len()) > 1 {
+            backend::timed(backend::MAP_COUNTERS, || {
+                be.map(&self.data, out.as_mut_slice(), &f);
+            });
+        } else {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(&self.data) {
+                *o = f(v);
+            }
+        }
+        out
     }
 
     /// Applies `f` element-wise in place.
-    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let be = backend::get();
+        if be.elementwise_parallelism(self.data.len()) > 1 {
+            backend::timed(backend::MAP_COUNTERS, || {
+                be.map_inplace(&mut self.data, &f);
+            });
+        } else {
+            for v in &mut self.data {
+                *v = f(*v);
+            }
         }
     }
 
@@ -314,12 +347,19 @@ impl Tensor {
     /// Sum over rows, producing one value per column.
     pub fn sum_rows(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
-                *o += v;
-            }
-        }
+        self.sum_rows_into(&mut out);
         out
+    }
+
+    /// Sum over rows into a caller-provided per-column buffer (overwritten).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.cols()`.
+    pub fn sum_rows_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "sum_rows_into length mismatch");
+        backend::timed(backend::SUM_ROWS_COUNTERS, || {
+            backend::get().sum_rows(self.rows, self.cols, &self.data, out);
+        });
     }
 
     /// Mean over rows, producing one value per column.
@@ -398,20 +438,10 @@ impl Tensor {
 
     /// Row-wise softmax in a new tensor (numerically stabilised).
     pub fn softmax_rows(&self) -> Tensor {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
-        }
+        let mut out = workspace::take_copy(self);
+        backend::timed(backend::SOFTMAX_COUNTERS, || {
+            backend::get().softmax_rows(self.rows, self.cols, out.as_mut_slice());
+        });
         out
     }
 
@@ -581,7 +611,7 @@ mod tests {
     fn matmul_zero_rows_do_not_mask_nan_or_inf() {
         // A zero row in the left operand must still propagate a NaN/Inf
         // sitting in the right operand: 0 * NaN = NaN, 0 * Inf = NaN. The
-        // zero-skip fast path silently produced 0.0 here before.
+        // kernels accumulate unconditionally, so nothing can mask them.
         let zero = t(1, 2, &[0.0, 0.0]);
         let nan_b = t(2, 2, &[f32::NAN, 1.0, 2.0, 3.0]);
         assert!(zero.matmul(&nan_b).as_slice()[0].is_nan(), "NaN must reach the output");
@@ -593,7 +623,7 @@ mod tests {
         let got = zero_col.transpose_matmul(&nan_b);
         assert!(got.as_slice()[0].is_nan(), "transpose_matmul must propagate too");
 
-        // Finite inputs keep exact zero-skip semantics.
+        // Finite inputs with zero rows still produce exact zeros.
         let a = t(2, 2, &[0.0, 1.0, 0.0, 0.0]);
         let b = t(2, 2, &[5.0, 6.0, 7.0, 8.0]);
         assert_eq!(a.matmul(&b).as_slice(), &[7.0, 8.0, 0.0, 0.0]);

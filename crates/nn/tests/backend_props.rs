@@ -1,0 +1,302 @@
+//! Backend equivalence properties: the `Parallel` backend must be
+//! bit-identical to `Reference` at every thread count — this is what keeps
+//! crash-resume byte-identical regardless of `--threads` — plus a
+//! finite-difference gradient check for `Conv1d` and the workspace arena's
+//! zero-allocation guarantee for warm training steps.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_nn::backend::{self, Backend, Parallel, Reference};
+use silofuse_nn::init::{randn, Init};
+use silofuse_nn::layers::{
+    Activation, ActivationKind, BatchNorm1d, Conv1d, Dropout, Layer, LayerNorm, Linear, Mode,
+    Sequential,
+};
+use silofuse_nn::loss::mse;
+use silofuse_nn::optim::{clip_grad_norm, Adam, Optimizer};
+use silofuse_nn::{workspace, Tensor};
+
+/// Thread counts exercised for the parallel backend; 7 is deliberately not
+/// a divisor of typical row counts so block boundaries land unevenly.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Deterministic values with varied magnitudes so float summation order
+/// matters: any accumulation-order drift in a parallel kernel shows up.
+fn noise(n: usize, mut state: u64) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 8.0
+        })
+        .collect()
+}
+
+proptest! {
+    // Dims up to 72 put many cases above the parallel dispatch threshold
+    // (`72^3 > 2^18` multiply-adds), so both the inline and the fanned-out
+    // paths are exercised.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `gemm` is bit-identical between Reference and Parallel at every
+    /// thread count, for random shapes.
+    #[test]
+    fn gemm_bit_identical(seed in 0u64..1000, m in 1usize..72, k in 1usize..72, n in 1usize..72) {
+        let a = noise(m * k, seed ^ 0xa5a5);
+        let b = noise(k * n, seed ^ 0x5a5a);
+        let mut want = vec![0.0f32; m * n];
+        Reference.gemm(m, k, n, &a, &b, &mut want);
+        for t in THREADS {
+            let mut got = vec![0.0f32; m * n];
+            Parallel::new(t).gemm(m, k, n, &a, &b, &mut got);
+            prop_assert!(bits_eq(&want, &got), "gemm {m}x{k}x{n} diverged at {t} threads");
+        }
+    }
+
+    /// `gemm_transpose` (A · Bᵀ) is bit-identical across backends.
+    #[test]
+    fn gemm_transpose_bit_identical(seed in 0u64..1000, m in 1usize..72, k in 1usize..72, n in 1usize..72) {
+        let a = noise(m * k, seed ^ 0x1111);
+        let b = noise(n * k, seed ^ 0x2222);
+        let mut want = vec![0.0f32; m * n];
+        Reference.gemm_transpose(m, k, n, &a, &b, &mut want);
+        for t in THREADS {
+            let mut got = vec![0.0f32; m * n];
+            Parallel::new(t).gemm_transpose(m, k, n, &a, &b, &mut got);
+            prop_assert!(bits_eq(&want, &got), "gemm_transpose {m}x{k}x{n} diverged at {t} threads");
+        }
+    }
+
+    /// `transpose_gemm` (Aᵀ · B) is bit-identical across backends.
+    #[test]
+    fn transpose_gemm_bit_identical(seed in 0u64..1000, l in 1usize..72, m in 1usize..72, n in 1usize..72) {
+        let a = noise(l * m, seed ^ 0x3333);
+        let b = noise(l * n, seed ^ 0x4444);
+        let mut want = vec![0.0f32; m * n];
+        Reference.transpose_gemm(l, m, n, &a, &b, &mut want);
+        for t in THREADS {
+            let mut got = vec![0.0f32; m * n];
+            Parallel::new(t).transpose_gemm(l, m, n, &a, &b, &mut got);
+            prop_assert!(bits_eq(&want, &got), "transpose_gemm {l}x{m}x{n} diverged at {t} threads");
+        }
+    }
+
+    /// The elementwise and reduction kernels agree bitwise too (sizes
+    /// straddle the elementwise dispatch threshold).
+    #[test]
+    fn elementwise_kernels_bit_identical(seed in 0u64..1000, rows in 1usize..400, cols in 1usize..300) {
+        let x = noise(rows * cols, seed ^ 0x7777);
+        let y0 = noise(rows * cols, seed ^ 0x8888);
+        for t in THREADS {
+            let par = Parallel::new(t);
+
+            let mut want = y0.clone();
+            Reference.axpy(1.5, &x, &mut want);
+            let mut got = y0.clone();
+            par.axpy(1.5, &x, &mut got);
+            prop_assert!(bits_eq(&want, &got), "axpy diverged at {t} threads");
+
+            let f = |v: f32| (v * 0.5).tanh();
+            let mut want = vec![0.0f32; x.len()];
+            Reference.map(&x, &mut want, &f);
+            let mut got = vec![0.0f32; x.len()];
+            par.map(&x, &mut got, &f);
+            prop_assert!(bits_eq(&want, &got), "map diverged at {t} threads");
+
+            let g = |a: f32, b: f32| a.mul_add(b, a);
+            let mut want = vec![0.0f32; x.len()];
+            Reference.zip(&x, &y0, &mut want, &g);
+            let mut got = vec![0.0f32; x.len()];
+            par.zip(&x, &y0, &mut got, &g);
+            prop_assert!(bits_eq(&want, &got), "zip diverged at {t} threads");
+
+            let mut want = vec![0.0f32; cols];
+            Reference.sum_rows(rows, cols, &x, &mut want);
+            let mut got = vec![0.0f32; cols];
+            par.sum_rows(rows, cols, &x, &mut got);
+            prop_assert!(bits_eq(&want, &got), "sum_rows diverged at {t} threads");
+
+            let mut want = x.clone();
+            Reference.softmax_rows(rows, cols, &mut want);
+            let mut got = x.clone();
+            par.softmax_rows(rows, cols, &mut got);
+            prop_assert!(bits_eq(&want, &got), "softmax diverged at {t} threads");
+        }
+    }
+}
+
+/// Forward + backward one fresh layer, returning output, input gradient,
+/// and all parameter gradients.
+fn run_layer(make: &dyn Fn() -> Box<dyn Layer>, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+    let mut layer = make();
+    let y = layer.forward(x, Mode::Train);
+    let upstream = y.map(|v| v * 0.25 + 0.125);
+    let gx = layer.backward(&upstream);
+    let mut grads = Vec::new();
+    layer.visit_params(&mut |p| grads.extend_from_slice(p.grad.as_slice()));
+    (y, gx, grads)
+}
+
+/// Every layer's forward AND backward is bit-identical under the parallel
+/// backend at every thread count. Input is 288×256 so the gemm and the
+/// elementwise kernels both cross their parallel dispatch thresholds.
+#[test]
+fn layer_passes_bit_identical_across_thread_counts() {
+    type Factory = Box<dyn Fn() -> Box<dyn Layer>>;
+    let factories: Vec<(&str, Factory)> = vec![
+        (
+            "linear",
+            Box::new(|| {
+                let mut rng = StdRng::seed_from_u64(21);
+                Box::new(Linear::new(256, 128, Init::XavierUniform, &mut rng))
+            }),
+        ),
+        ("gelu", Box::new(|| Box::new(Activation::new(ActivationKind::Gelu)))),
+        ("layernorm", Box::new(|| Box::new(LayerNorm::new(256)))),
+        ("batchnorm", Box::new(|| Box::new(BatchNorm1d::new(256)))),
+        (
+            // 4 channels × length 64 = the same 256 input columns.
+            "conv1d",
+            Box::new(|| {
+                let mut rng = StdRng::seed_from_u64(22);
+                Box::new(Conv1d::new(4, 6, 3, 1, 1, 64, &mut rng))
+            }),
+        ),
+        ("dropout", Box::new(|| Box::new(Dropout::new(0.3, 23)))),
+        (
+            "mlp",
+            Box::new(|| {
+                let mut rng = StdRng::seed_from_u64(24);
+                Box::new(
+                    Sequential::new()
+                        .push(Linear::new(256, 96, Init::KaimingNormal, &mut rng))
+                        .push(Activation::new(ActivationKind::Relu))
+                        .push(Linear::new(96, 256, Init::XavierUniform, &mut rng)),
+                )
+            }),
+        ),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(20);
+    let x = randn(288, 256, &mut rng);
+
+    backend::set_threads(1);
+    let baselines: Vec<_> = factories.iter().map(|(_, f)| run_layer(f, &x)).collect();
+    for t in THREADS {
+        backend::set_threads(t);
+        for ((name, f), (y0, gx0, pg0)) in factories.iter().zip(&baselines) {
+            let (y, gx, pg) = run_layer(f, &x);
+            assert!(bits_eq(y0.as_slice(), y.as_slice()), "{name} forward diverged at {t} threads");
+            assert!(
+                bits_eq(gx0.as_slice(), gx.as_slice()),
+                "{name} input grad diverged at {t} threads"
+            );
+            assert!(bits_eq(pg0, &pg), "{name} param grads diverged at {t} threads");
+        }
+    }
+    backend::set_threads(1);
+}
+
+/// Conv1d's analytic gradients match central finite differences, for both
+/// the input gradient and every weight/bias entry probed.
+#[test]
+fn conv1d_backward_matches_finite_differences() {
+    const EPS: f32 = 1e-2;
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut conv = Conv1d::new(2, 3, 3, 1, 1, 8, &mut rng);
+    let x = randn(4, 16, &mut rng);
+    let out_cols = 3 * conv.output_len();
+    let upstream = randn(4, out_cols, &mut rng);
+
+    // Loss L = <forward(x), upstream>, so backward(upstream) is dL/dx.
+    let loss = |conv: &mut Conv1d, input: &Tensor| -> f32 {
+        let y = conv.forward(input, Mode::Train);
+        y.as_slice().iter().zip(upstream.as_slice()).map(|(a, b)| a * b).sum()
+    };
+
+    conv.zero_grad();
+    let _ = conv.forward(&x, Mode::Train);
+    let gx = conv.backward(&upstream);
+    let mut analytic = Vec::new();
+    conv.visit_params(&mut |p| analytic.extend_from_slice(p.grad.as_slice()));
+
+    for idx in [0usize, 5, 17, 33, 63] {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += EPS;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] -= EPS;
+        let numeric = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * EPS);
+        let got = gx.as_slice()[idx];
+        assert!(
+            (numeric - got).abs() < 1e-2 * (1.0 + numeric.abs()),
+            "input grad {idx}: numeric {numeric} vs analytic {got}"
+        );
+    }
+
+    // Perturb flat parameter position `k` (weights then bias, visit order).
+    let nudge = |conv: &mut Conv1d, k: usize, delta: f32| {
+        let mut base = 0;
+        conv.visit_params(&mut |p| {
+            let len = p.value.as_slice().len();
+            if k >= base && k < base + len {
+                p.value.as_mut_slice()[k - base] += delta;
+            }
+            base += len;
+        });
+    };
+    for k in [0usize, 7, 17, 18, 20] {
+        nudge(&mut conv, k, EPS);
+        let fp = loss(&mut conv, &x);
+        nudge(&mut conv, k, -2.0 * EPS);
+        let fm = loss(&mut conv, &x);
+        nudge(&mut conv, k, EPS);
+        let numeric = (fp - fm) / (2.0 * EPS);
+        assert!(
+            (numeric - analytic[k]).abs() < 1e-2 * (1.0 + numeric.abs()),
+            "param grad {k}: numeric {numeric} vs analytic {}",
+            analytic[k]
+        );
+    }
+}
+
+/// After a few warm-up steps every buffer a training step needs is in the
+/// thread-local workspace pool: further steps perform zero fresh tensor
+/// allocations (the pool's miss counter stays flat).
+#[test]
+fn warm_training_step_allocates_nothing() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut net = Sequential::new()
+        .push(Linear::new(16, 24, Init::KaimingNormal, &mut rng))
+        .push(LayerNorm::new(24))
+        .push(Activation::new(ActivationKind::Gelu))
+        .push(Dropout::new(0.1, 42))
+        .push(Linear::new(24, 16, Init::XavierUniform, &mut rng));
+    let x = randn(32, 16, &mut rng);
+    let target = randn(32, 16, &mut rng);
+    let mut opt = Adam::new(1e-3);
+
+    for step in 0..8 {
+        if step == 5 {
+            // Pool and Adam moments are warm; from here on the arena must
+            // satisfy every request from recycled buffers.
+            workspace::reset_counters();
+        }
+        net.zero_grad();
+        let pred = net.forward(&x, Mode::Train);
+        let (_, grad) = mse(&pred, &target);
+        workspace::recycle(pred);
+        let gin = net.backward(&grad);
+        workspace::recycle(grad);
+        workspace::recycle(gin);
+        let _ = clip_grad_norm(&mut net, 5.0);
+        opt.step(&mut net);
+    }
+    assert_eq!(workspace::misses(), 0, "a warm training step allocated a fresh buffer");
+    assert!(workspace::hits() > 0, "the arena was never used");
+}

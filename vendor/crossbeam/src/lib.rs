@@ -1,13 +1,21 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by
-//! this workspace (the byte-accounted transport), so that is all the stub
-//! provides, backed by `std::sync::mpsc`. Disconnect semantics match:
-//! sending after the peer endpoint is dropped returns an error.
+//! The workspace uses two slices of the real crate's API, so that is all
+//! the stub provides:
+//!
+//! - `crossbeam::channel::{unbounded, Sender, Receiver}` — the
+//!   byte-accounted transport and the kernel work queues. Like the real
+//!   crate (and unlike `std::sync::mpsc`), the [`channel::Receiver`] is
+//!   `Clone`, so several workers can drain one queue (MPMC). Disconnect
+//!   semantics match: sending after every receiver is dropped errors.
+//! - `crossbeam::thread::scope` — scoped threads that may borrow stack
+//!   data, backed by `std::thread::scope`. Divergence from the real
+//!   crate: a panicking child propagates as a panic out of `scope`
+//!   rather than surfacing through the returned `Result`.
 
-/// Multi-producer channels.
+/// Multi-producer, multi-consumer channels.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
     use std::time::Duration;
 
     /// Sending half of an unbounded channel.
@@ -17,9 +25,19 @@ pub mod channel {
     }
 
     /// Receiving half of an unbounded channel.
+    ///
+    /// Cloneable: clones share one queue, and each message is delivered to
+    /// exactly one receiver — the property the parallel kernels rely on to
+    /// hand every row block to exactly one worker.
     #[derive(Debug)]
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self { inner: Arc::clone(&self.inner) }
+        }
     }
 
     /// Error: the receiving side hung up.
@@ -40,7 +58,7 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a value; errors if the receiver was dropped.
+        /// Sends a value; errors if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
         }
@@ -48,28 +66,36 @@ pub mod channel {
 
     impl<T> Receiver<T> {
         /// Blocks for the next value; errors if all senders were dropped.
+        ///
+        /// Stub caveat: the shared queue lock is held while blocking, so
+        /// concurrent receivers serialize. Workloads that drain with
+        /// concurrent receivers should use [`Receiver::try_recv`].
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            self.lock().recv().map_err(|_| RecvError)
         }
 
         /// Non-blocking receive attempt.
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.inner.try_recv().map_err(|_| RecvError)
+            self.lock().try_recv().map_err(|_| RecvError)
         }
 
         /// Blocks for the next value at most `timeout`.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
+            self.lock().recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
         }
     }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
     }
 
     #[cfg(test)]
@@ -104,6 +130,83 @@ pub mod channel {
             let handle = std::thread::spawn(move || rx.recv().unwrap());
             tx.send(String::from("ping")).unwrap();
             assert_eq!(handle.join().unwrap(), "ping");
+        }
+
+        #[test]
+        fn cloned_receivers_partition_the_queue() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx2.try_recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                got.push(v);
+            }
+            let mut all = got;
+            all.extend(h.join().unwrap());
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+}
+
+/// Scoped threads that may borrow data from the spawning stack frame.
+pub mod thread {
+    /// A handle for spawning scoped threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns are possible, matching the crossbeam signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned within are joined before
+    /// `scope` returns, so they may borrow anything that outlives the call.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let n = super::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+                .unwrap();
+            assert_eq!(n, 7);
         }
     }
 }
