@@ -90,6 +90,7 @@ impl TrainBudget {
             latent_noise_std: 0.0,
             predict_noise: false,
             scale_latents: true,
+            synth_chunk_rows: 8192,
             seed,
         }
     }

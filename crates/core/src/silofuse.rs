@@ -142,15 +142,36 @@ impl SiloFuse {
     }
 
     /// Synthesis with an inference-step override (Table VII).
+    ///
+    /// # Panics
+    /// Panics if called before [`SiloFuse::fit`], if the synthesis protocol
+    /// fails, or if the step count is zero or exceeds the schedule length —
+    /// use [`SiloFuse::try_synthesize_with_steps`] for typed errors.
     pub fn synthesize_with_steps(
         &mut self,
         n: usize,
         inference_steps: usize,
         rng: &mut StdRng,
     ) -> Table {
+        self.try_synthesize_with_steps(n, inference_steps, rng)
+            .unwrap_or_else(|e| panic!("synthesis failed: {e}"))
+    }
+
+    /// Fallible [`SiloFuse::synthesize_with_steps`]: an invalid step count
+    /// surfaces as [`ProtocolError::InvalidRequest`] instead of a panic.
+    ///
+    /// # Panics
+    /// Panics if called before [`SiloFuse::fit`].
+    pub fn try_synthesize_with_steps(
+        &mut self,
+        n: usize,
+        inference_steps: usize,
+        rng: &mut StdRng,
+    ) -> Result<Table, ProtocolError> {
         let (model, plan) = self.state.as_mut().expect("SiloFuse::fit must be called first");
-        let parts = model.synthesize_partitioned_with_steps(n, 0, Some(inference_steps), rng);
-        plan.reassemble(&parts.iter().collect::<Vec<_>>())
+        let parts =
+            model.try_synthesize_partitioned_with_steps(n, 0, Some(inference_steps), rng)?;
+        Ok(plan.reassemble(&parts.iter().collect::<Vec<_>>()))
     }
 
     /// Communication statistics of the distributed run so far.

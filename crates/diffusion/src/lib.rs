@@ -36,6 +36,8 @@ pub mod multinomial;
 pub mod schedule;
 
 pub use backbone::{BackboneConfig, DiffusionBackbone};
-pub use gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
+pub use gaussian::{
+    ChunkedSampler, GaussianDdpm, GaussianDiffusion, Parameterization, SampleCoefficients,
+};
 pub use multinomial::MultinomialDiffusion;
-pub use schedule::{NoiseSchedule, ScheduleKind};
+pub use schedule::{InvalidInferenceSteps, NoiseSchedule, ScheduleKind};

@@ -107,25 +107,62 @@ impl NoiseSchedule {
     }
 
     /// Evenly strided sub-schedule indices for fast inference: `count`
-    /// indices in `0..T`, descending, always including the final step.
+    /// indices in `0..T`, descending, always including the final step and
+    /// terminating at `t = 0` (visited exactly once, no repeats).
     ///
     /// # Panics
-    /// Panics if `count` is zero or exceeds `T`.
+    /// Panics if `count` is zero or exceeds `T`; use
+    /// [`NoiseSchedule::try_inference_steps`] for a typed error instead.
     pub fn inference_steps(&self, count: usize) -> Vec<usize> {
+        self.try_inference_steps(count).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`NoiseSchedule::inference_steps`]: rejects
+    /// `count == 0` and `count > T` with a typed error instead of a panic.
+    ///
+    /// # Errors
+    /// [`InvalidInferenceSteps`] when the requested count cannot form a
+    /// valid sub-schedule.
+    pub fn try_inference_steps(&self, count: usize) -> Result<Vec<usize>, InvalidInferenceSteps> {
         let t = self.timesteps();
-        assert!(count >= 1 && count <= t, "invalid inference step count");
-        let mut steps: Vec<usize> = (0..count)
-            .map(|i| ((i as f64 + 0.5) * t as f64 / count as f64) as usize)
-            .map(|s| s.min(t - 1))
-            .collect();
-        steps.dedup();
+        if count == 0 || count > t {
+            return Err(InvalidInferenceSteps { requested: count, timesteps: t });
+        }
+        // `i * T / count` for i in 0..count is strictly increasing when
+        // `T >= count` (consecutive values differ by at least T/count >= 1),
+        // starts at 0, and never reaches T-1 unless count == T — so after
+        // appending the final step the reversed schedule runs T-1 .. 0 with
+        // no duplicates and exactly one visit to t = 0.
+        let mut steps: Vec<usize> = (0..count).map(|i| i * t / count).collect();
         if *steps.last().unwrap() != t - 1 {
             steps.push(t - 1);
         }
         steps.reverse();
-        steps
+        Ok(steps)
     }
 }
+
+/// Rejected inference-step request: the strided sub-schedule needs
+/// `1 <= requested <= T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidInferenceSteps {
+    /// The step count the caller asked for.
+    pub requested: usize,
+    /// The schedule's total timestep count `T`.
+    pub timesteps: usize,
+}
+
+impl std::fmt::Display for InvalidInferenceSteps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid inference step count {}: must be in 1..={}",
+            self.requested, self.timesteps
+        )
+    }
+}
+
+impl std::error::Error for InvalidInferenceSteps {}
 
 #[cfg(test)]
 mod tests {
@@ -185,5 +222,40 @@ mod tests {
         assert_eq!(full.len(), 200);
         assert_eq!(full[0], 199);
         assert_eq!(*full.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn strided_schedules_visit_zero_exactly_once_without_repeats() {
+        for timesteps in [1usize, 2, 3, 7, 50, 200] {
+            let s = NoiseSchedule::new(ScheduleKind::Linear, timesteps);
+            for count in [1, 2, timesteps / 2, timesteps.saturating_sub(1), timesteps] {
+                if count == 0 || count > timesteps {
+                    continue;
+                }
+                let steps = s.try_inference_steps(count).unwrap();
+                assert_eq!(steps[0], timesteps - 1, "T={timesteps} count={count}: {steps:?}");
+                assert_eq!(*steps.last().unwrap(), 0, "T={timesteps} count={count}: {steps:?}");
+                assert!(
+                    steps.windows(2).all(|w| w[0] > w[1]),
+                    "repeat or non-descending at T={timesteps} count={count}: {steps:?}"
+                );
+                assert_eq!(
+                    steps.iter().filter(|&&t| t == 0).count(),
+                    1,
+                    "t=0 not visited exactly once at T={timesteps} count={count}: {steps:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inference_step_counts_are_typed_errors() {
+        let s = NoiseSchedule::new(ScheduleKind::Linear, 20);
+        let zero = s.try_inference_steps(0).unwrap_err();
+        assert_eq!(zero, InvalidInferenceSteps { requested: 0, timesteps: 20 });
+        let over = s.try_inference_steps(21).unwrap_err();
+        assert_eq!(over, InvalidInferenceSteps { requested: 21, timesteps: 20 });
+        assert!(over.to_string().contains("21") && over.to_string().contains("20"));
+        assert!(s.try_inference_steps(1).is_ok() && s.try_inference_steps(20).is_ok());
     }
 }

@@ -416,20 +416,50 @@ impl E2eDistributed {
         }
     }
 
-    /// Synthesis: identical stacking of DDPM + local decoders as SiloFuse.
+    /// Overrides the synthesis chunk size after fitting. Purely a
+    /// memory/throughput knob: synthetic output is bit-identical for any
+    /// value (rows own independent RNG streams keyed off one base seed).
+    pub fn set_synth_chunk_rows(&mut self, rows: usize) {
+        self.config.synth_chunk_rows = rows.max(1);
+    }
+
+    /// Synthesis: identical stacking of DDPM + local decoders as SiloFuse,
+    /// streamed in chunks of [`LatentDiffConfig::synth_chunk_rows`] through
+    /// the batched reverse-diffusion engine so memory stays bounded by the
+    /// chunk size.
     pub fn synthesize_partitioned(&mut self, n: usize, rng: &mut StdRng) -> Vec<Table> {
-        let ddpm = self.ddpm.as_mut().expect("model is fitted");
-        let z = {
-            let _phase = observe::phase("sample");
-            ddpm.sample(n, self.config.inference_steps, self.config.eta, rng)
-        };
+        let chunk_rows = self.config.synth_chunk_rows.max(1);
         let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
-        let parts = z.split_cols(&widths);
-        let _phase = observe::phase("decode");
-        parts
+        let ddpm = self.ddpm.as_mut().expect("model is fitted");
+        let mut sampler = ddpm
+            .chunked_sampler(n, self.config.inference_steps, self.config.eta, chunk_rows, rng)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut decoded: Vec<Vec<Table>> = (0..widths.len()).map(|_| Vec::new()).collect();
+        loop {
+            let chunk = {
+                let _phase = observe::phase("sample");
+                sampler.next_chunk()
+            };
+            let Some((_, z)) = chunk else { break };
+            let parts = z.split_cols(&widths);
+            silofuse_nn::workspace::recycle(z);
+            let _phase = observe::phase("decode");
+            for ((z_i, client), acc) in
+                parts.iter().zip(self.clients.iter_mut()).zip(decoded.iter_mut())
+            {
+                acc.push(client.ae.decode(z_i));
+            }
+        }
+        decoded
             .iter()
             .zip(self.clients.iter_mut())
-            .map(|(z_i, client)| client.ae.decode(z_i))
+            .map(|(parts, client)| {
+                if parts.is_empty() {
+                    client.ae.decode(&Tensor::zeros(0, client.latent_dim))
+                } else {
+                    Table::concat_rows(&parts.iter().collect::<Vec<_>>())
+                }
+            })
             .collect()
     }
 

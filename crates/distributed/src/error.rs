@@ -44,6 +44,14 @@ pub enum ProtocolError {
         /// The checkpoint-level cause.
         source: CheckpointError,
     },
+    /// A request carried parameters the protocol must reject (e.g. an
+    /// inference-step count of zero or above the schedule length).
+    InvalidRequest {
+        /// Protocol phase that rejected the request.
+        phase: &'static str,
+        /// The cause of the rejection.
+        source: silofuse_diffusion::InvalidInferenceSteps,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -61,6 +69,9 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Checkpoint { node, source } => {
                 write!(f, "checkpoint failure on {node}: {source}")
             }
+            ProtocolError::InvalidRequest { phase, source } => {
+                write!(f, "invalid request during {phase}: {source}")
+            }
         }
     }
 }
@@ -70,6 +81,7 @@ impl std::error::Error for ProtocolError {
         match self {
             ProtocolError::SiloDead { source, .. } => Some(source),
             ProtocolError::Checkpoint { source, .. } => Some(source),
+            ProtocolError::InvalidRequest { source, .. } => Some(source),
             ProtocolError::Unexpected { .. } | ProtocolError::Crashed { .. } => None,
         }
     }

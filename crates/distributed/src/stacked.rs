@@ -18,7 +18,7 @@ use crate::transport::{
 };
 use crate::Message;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use silofuse_checkpoint::{CheckpointError, Checkpointer, CrashPoint};
 use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
 use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
@@ -45,6 +45,13 @@ pub struct SiloFuseModel {
     coordinator: Option<Coordinator>,
     coord_endpoints: Vec<crate::transport::CoordEndpoint>,
     stats: SharedStats,
+    // The checkpointer the model was fitted under: synthesis checkpoints
+    // its per-call base seed through it so a crashed synthesis resumes
+    // bit-identically.
+    ckpt: Checkpointer,
+    // Completed-or-started synthesis calls, used to give each call a
+    // distinct checkpoint name that a restarted process replays in order.
+    synth_calls: u64,
 }
 
 struct Coordinator {
@@ -399,6 +406,8 @@ impl SiloFuseModel {
             coordinator: Some(Coordinator { ddpm, scaler, latent_widths }),
             coord_endpoints,
             stats,
+            ckpt: base,
+            synth_calls: 0,
         })
     }
 
@@ -436,6 +445,13 @@ impl SiloFuseModel {
     ) -> Vec<Table> {
         self.try_synthesize_partitioned_with_steps(n, requesting_client, inference_steps, rng)
             .expect("synthesis protocol failed")
+    }
+
+    /// Overrides the synthesis chunk size after fitting. Purely a
+    /// memory/throughput knob: synthetic output is bit-identical for any
+    /// value (rows own independent RNG streams keyed off one base seed).
+    pub fn set_synth_chunk_rows(&mut self, rows: usize) {
+        self.config.synth_chunk_rows = rows.max(1);
     }
 
     /// Fallible [`SiloFuseModel::synthesize_partitioned_with_steps`]: under
@@ -478,52 +494,121 @@ impl SiloFuseModel {
             source,
         })?;
 
-        // Lines 2-4: sample noise, denoise, partition.
-        let coord = self.coordinator.as_mut().expect("model is fitted");
+        // Lines 2-4: sample noise, denoise, partition — streamed in chunks
+        // of `synth_chunk_rows` through the batched reverse-diffusion
+        // engine, so coordinator memory and per-message payloads stay
+        // bounded by the chunk size for any `n`.
         let steps = inference_steps.unwrap_or(self.config.inference_steps);
-        let z = {
-            let _phase = observe::phase("sample");
-            coord.ddpm.sample(n, steps, self.config.eta, rng)
-        };
-        let latents = coord.scaler.unscale(&z);
-        let parts = latents.split_cols(&coord.latent_widths);
-
-        // Lines 5-7: ship each client its slice; decode locally.
-        let _phase = observe::phase("decode");
-        let mut outputs = Vec::with_capacity(self.clients.len());
-        for (i, part) in parts.iter().enumerate() {
-            let dead = |source: TransportError| ProtocolError::SiloDead {
-                client: i,
-                phase: "synthetic-latents",
-                source,
-            };
-            self.coord_endpoints[i]
-                .send(&Message::SyntheticLatents {
-                    client: i as u32,
-                    rows: part.rows() as u32,
-                    cols: part.cols() as u32,
-                    data: part.as_slice().to_vec(),
-                })
-                .map_err(dead)?;
-            let client_ep = &self.clients[i].endpoint;
-            let msg = if reliable {
-                recv_retrying(
-                    &policy,
-                    |d| client_ep.recv_timeout(d),
-                    || self.coord_endpoints[i].retransmit_unacked(),
-                )
-            } else {
-                client_ep.recv()
+        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let ckpt = self.ckpt.clone();
+        let synth_name = format!("coordinator-synth{}", self.synth_calls);
+        self.synth_calls += 1;
+        let coord_err = |source: CheckpointError| match source {
+            CheckpointError::Crashed { phase, step } => {
+                ProtocolError::Crashed { node: "coordinator".into(), phase, step }
             }
-            .map_err(dead)?;
-            let Message::SyntheticLatents { rows, cols, data, .. } = msg else {
-                return Err(ProtocolError::Unexpected {
-                    phase: "synthetic-latents",
-                    got: format!("{msg:?}"),
-                });
+            source => ProtocolError::Checkpoint { node: "coordinator".into(), source },
+        };
+
+        // The sampler consumes exactly one u64 (the per-row base seed).
+        // Checkpointing `base` plus the caller RNG's post-draw state makes
+        // a resumed synthesis regenerate every chunk bit-identically and
+        // leave the caller RNG exactly where an uninterrupted run would.
+        let mut resumed = None;
+        if ckpt.is_enabled() && ckpt.resume() {
+            if let Some(saved) = ckpt.load(&synth_name, "synthesis").map_err(coord_err)? {
+                if saved.payload.len() < 16 {
+                    return Err(coord_err(CheckpointError::Truncated));
+                }
+                let base = u64::from_le_bytes(saved.payload[..8].try_into().unwrap());
+                let state = u64::from_le_bytes(saved.payload[8..16].try_into().unwrap());
+                *rng = StdRng::from_state(state);
+                resumed = Some(base);
+            }
+        }
+        let base = resumed.unwrap_or_else(|| rng.gen::<u64>());
+        if ckpt.is_enabled() && resumed.is_none() {
+            let mut payload = base.to_le_bytes().to_vec();
+            payload.extend_from_slice(&rng.state().to_le_bytes());
+            ckpt.save(&synth_name, "synthesis", 0, &payload).map_err(coord_err)?;
+        }
+
+        let coord = self.coordinator.as_mut().expect("model is fitted");
+        let Coordinator { ddpm, scaler, latent_widths } = coord;
+        let mut sampler =
+            ddpm.chunked_sampler_from_base(n, steps, self.config.eta, chunk_rows, base).map_err(
+                |source| ProtocolError::InvalidRequest { phase: "synthesis-request", source },
+            )?;
+        let total_chunks = sampler.total_chunks() as u64;
+        let mut decoded: Vec<Vec<Table>> = (0..self.clients.len()).map(|_| Vec::new()).collect();
+        let mut chunk_idx = 0u64;
+        loop {
+            let chunk = {
+                let _phase = observe::phase("sample");
+                sampler.next_chunk()
             };
-            let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
-            outputs.push(self.clients[i].ae.decode(&z_i));
+            let Some((_, z)) = chunk else { break };
+            let latents = scaler.unscale(&z);
+            silofuse_nn::workspace::recycle(z);
+            let parts = latents.split_cols(latent_widths);
+
+            // Lines 5-7: ship each client its slice; decode locally.
+            let _phase = observe::phase("decode");
+            for (i, part) in parts.iter().enumerate() {
+                let dead = |source: TransportError| ProtocolError::SiloDead {
+                    client: i,
+                    phase: "synthetic-latents",
+                    source,
+                };
+                self.coord_endpoints[i]
+                    .send(&Message::SyntheticLatents {
+                        client: i as u32,
+                        rows: part.rows() as u32,
+                        cols: part.cols() as u32,
+                        data: part.as_slice().to_vec(),
+                    })
+                    .map_err(dead)?;
+                let client_ep = &self.clients[i].endpoint;
+                let msg = if reliable {
+                    recv_retrying(
+                        &policy,
+                        |d| client_ep.recv_timeout(d),
+                        || self.coord_endpoints[i].retransmit_unacked(),
+                    )
+                } else {
+                    client_ep.recv()
+                }
+                .map_err(dead)?;
+                let Message::SyntheticLatents { rows, cols, data, .. } = msg else {
+                    return Err(ProtocolError::Unexpected {
+                        phase: "synthetic-latents",
+                        got: format!("{msg:?}"),
+                    });
+                };
+                let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
+                decoded[i].push(self.clients[i].ae.decode(&z_i));
+            }
+
+            // Chunk boundary: record progress and honour injected crashes —
+            // a resumed run replays from the recorded base bit-identically.
+            chunk_idx += 1;
+            if ckpt.is_enabled() && ckpt.due(chunk_idx, total_chunks) {
+                let mut payload = base.to_le_bytes().to_vec();
+                payload.extend_from_slice(&rng.state().to_le_bytes());
+                ckpt.save(&synth_name, "synthesis", chunk_idx, &payload).map_err(coord_err)?;
+            }
+            ckpt.maybe_crash("synthesis", chunk_idx).map_err(coord_err)?;
+        }
+
+        let mut outputs = Vec::with_capacity(self.clients.len());
+        for (i, parts) in decoded.iter().enumerate() {
+            if parts.is_empty() {
+                // n == 0: decode an empty latent batch to keep the schema.
+                let w = self.clients[i].latent_dim;
+                outputs.push(self.clients[i].ae.decode(&Tensor::zeros(0, w)));
+            } else {
+                outputs.push(Table::concat_rows(&parts.iter().collect::<Vec<_>>()));
+            }
         }
         bump_round(&self.stats);
         Ok(outputs)

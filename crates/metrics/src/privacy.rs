@@ -80,7 +80,16 @@ fn column_ranges(table: &Table) -> Vec<(f64, f64)> {
             Column::Numeric(v) => {
                 let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                (lo, hi.max(lo + 1e-12))
+                if !lo.is_finite() || !hi.is_finite() {
+                    return (0.0, 1.0);
+                }
+                // A constant column has `hi == lo`; an absolute nudge like
+                // `lo + 1e-12` is absorbed at large magnitudes (1e9 + 1e-12
+                // rounds back to 1e9), leaving a zero-width range and
+                // degenerate (exact-match) tolerances. Floor the width
+                // relative to the column's magnitude instead.
+                let min_width = 1e-9 * lo.abs().max(hi.abs()).max(1.0);
+                (lo, hi.max(lo + min_width))
             }
             Column::Categorical(_) => (0.0, 0.0),
         })
@@ -381,6 +390,64 @@ mod tests {
         let a = privacy(&real, &synth, &quick_config());
         let b = privacy(&real, &synth, &quick_config());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_columns_get_a_nonzero_range_width() {
+        use silofuse_tabular::schema::{ColumnMeta, Schema};
+        // A constant column must still yield a usable (non-zero-width)
+        // range — including at magnitudes where `lo + 1e-12` would be
+        // absorbed by f64 rounding.
+        let schema = Schema::new(vec![
+            ColumnMeta::numeric("small_const"),
+            ColumnMeta::numeric("big_const"),
+            ColumnMeta::numeric("varying"),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![
+                Column::Numeric(vec![0.5; 6]),
+                Column::Numeric(vec![1e9; 6]),
+                Column::Numeric(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]),
+            ],
+        )
+        .unwrap();
+        let ranges = column_ranges(&t);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            assert!(hi > lo, "column {i}: range ({lo}, {hi}) has zero width");
+        }
+        // The floor is relative: a tolerance derived from the big constant's
+        // width must still accept the constant value itself.
+        let (lo, hi) = ranges[1];
+        let tol = PrivacyConfig::default().tolerance * (hi - lo);
+        assert!(tol > 0.0 && (1e9f64 - 1e9f64).abs() <= tol);
+        // The varying column's true span is untouched by the floor.
+        assert_eq!(ranges[2], (0.0, 5.0));
+    }
+
+    #[test]
+    fn privacy_attacks_survive_constant_columns() {
+        use silofuse_tabular::schema::{ColumnMeta, Schema};
+        let schema = Schema::new(vec![
+            ColumnMeta::numeric("const"),
+            ColumnMeta::numeric("x"),
+            ColumnMeta::categorical("c", 3),
+        ]);
+        let make = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 64;
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let c: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            Table::new(
+                schema.clone(),
+                vec![Column::Numeric(vec![7.25e8; n]), Column::Numeric(x), Column::Categorical(c)],
+            )
+            .unwrap()
+        };
+        let p = privacy(&make(1), &make(2), &quick_config());
+        for v in [p.singling_out, p.linkability, p.attribute_inference, p.composite] {
+            assert!(v.is_finite() && (0.0..=100.0).contains(&v), "{p:?}");
+        }
     }
 
     #[test]

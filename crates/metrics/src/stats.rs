@@ -198,6 +198,20 @@ pub fn category_frequencies(codes: &[u32], cardinality: usize) -> Vec<f64> {
     f
 }
 
+/// Linear interpolation into an ascending-sorted, non-empty sample at
+/// fractional position `pos`. The position is clamped to the index range
+/// and the upper neighbour clamped to the last element, so a `pos` landing
+/// exactly on — or a float ulp past — the final index can never index out
+/// of bounds (the off-by-one hazard of the unclamped `idx + 1` form).
+fn lerp_sorted(sorted: &[f64], pos: f64) -> f64 {
+    let last = sorted.len() - 1;
+    let pos = pos.clamp(0.0, last as f64);
+    let idx = (pos.floor() as usize).min(last);
+    let upper = (idx + 1).min(last);
+    let frac = pos - idx as f64;
+    sorted[idx] * (1.0 - frac) + sorted[upper] * frac
+}
+
 /// Evenly spaced empirical quantiles (inclusive of min and max).
 pub fn quantile_profile(values: &[f64], points: usize) -> Vec<f64> {
     assert!(points >= 2, "need at least two quantile points");
@@ -209,13 +223,7 @@ pub fn quantile_profile(values: &[f64], points: usize) -> Vec<f64> {
     (0..points)
         .map(|k| {
             let pos = k as f64 / (points - 1) as f64 * (sorted.len() - 1) as f64;
-            let idx = pos.floor() as usize;
-            let frac = pos - idx as f64;
-            if idx + 1 < sorted.len() {
-                sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
-            } else {
-                sorted[idx]
-            }
+            lerp_sorted(&sorted, pos)
         })
         .collect()
 }
@@ -287,14 +295,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let pos = p / 100.0 * (sorted.len() - 1) as f64;
-    let idx = pos.floor() as usize;
-    let frac = pos - idx as f64;
-    if idx + 1 < sorted.len() {
-        sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
-    } else {
-        sorted[idx]
-    }
+    lerp_sorted(&sorted, p / 100.0 * (sorted.len() - 1) as f64)
 }
 
 #[cfg(test)]
@@ -438,5 +439,42 @@ mod tests {
     fn total_variation_bounds() {
         assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-9);
         assert!(total_variation(&[0.5, 0.5], &[0.5, 0.5]) < 1e-9);
+    }
+
+    #[test]
+    fn quantile_boundaries_single_element() {
+        // n = 1: every quantile point and percentile is the lone value; the
+        // upper-neighbour clamp must keep idx+1 in bounds.
+        let v = [7.5];
+        assert_eq!(quantile_profile(&v, 5), vec![7.5; 5]);
+        for p in [0.0, 37.5, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile(&v, p), 7.5, "p={p}");
+        }
+    }
+
+    #[test]
+    fn quantile_boundaries_two_elements() {
+        // n = 2: the last quantile point lands exactly on the final index.
+        let v = [1.0, 3.0];
+        let q = quantile_profile(&v, 3);
+        assert!((q[0] - 1.0).abs() < 1e-12);
+        assert!((q[1] - 2.0).abs() < 1e-12);
+        assert!((q[2] - 3.0).abs() < 1e-12);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_position_exactly_on_last_index() {
+        // pos == last index (and a hair past it via p > 100-eps rounding):
+        // must return the max, never read past the slice.
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        let q = quantile_profile(&v, 5);
+        assert_eq!(*q.last().unwrap(), 5.0);
+        // A position an ulp beyond the last index still clamps safely.
+        let p = 100.0 * (1.0 + f64::EPSILON);
+        assert!((0.0..=100.0).contains(&p.min(100.0)));
+        assert_eq!(percentile(&v, p.min(100.0)), 5.0);
     }
 }

@@ -108,14 +108,30 @@ impl E2eCentralized {
         E2eLosses { diffusion: step.loss, reconstruction: recon_loss }
     }
 
-    /// Generates `n` synthetic rows.
+    /// Generates `n` synthetic rows, streaming the batched sampler in
+    /// chunks of [`LatentDiffConfig::synth_chunk_rows`] so memory stays
+    /// bounded by the chunk size.
     ///
     /// # Panics
     /// Panics if called before [`E2eCentralized::fit`].
     pub fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
+        let chunk_rows = self.config.synth_chunk_rows.max(1);
         let fitted = self.fitted.as_mut().expect("E2eCentralized::fit must be called first");
-        let z = fitted.ddpm.sample(n, fitted.inference_steps, fitted.eta, rng);
-        fitted.ae.decode(&z)
+        let mut sampler = fitted
+            .ddpm
+            .chunked_sampler(n, fitted.inference_steps, fitted.eta, chunk_rows, rng)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut parts: Vec<Table> = Vec::with_capacity(sampler.total_chunks());
+        while let Some((_, z)) = sampler.next_chunk() {
+            parts.push(fitted.ae.decode(&z));
+            silofuse_nn::workspace::recycle(z);
+        }
+        if parts.is_empty() {
+            let latent_dim = fitted.ae.latent_dim();
+            return fitted.ae.decode(&silofuse_nn::Tensor::zeros(0, latent_dim));
+        }
+        let refs: Vec<&Table> = parts.iter().collect();
+        Table::concat_rows(&refs)
     }
 }
 

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
 use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
-use silofuse_diffusion::schedule::{NoiseSchedule, ScheduleKind};
+use silofuse_diffusion::schedule::{InvalidInferenceSteps, NoiseSchedule, ScheduleKind};
 use silofuse_nn::Tensor;
 use silofuse_observe as observe;
 use silofuse_tabular::table::Table;
@@ -54,6 +54,11 @@ pub struct LatentDiffConfig {
     /// Standardise latents before diffusion (the latent-diffusion scale
     /// trick; on by default). Ablation knob.
     pub scale_latents: bool,
+    /// Rows per streamed synthesis chunk: generation holds peak memory at
+    /// `O(synth_chunk_rows × latent_dim)` no matter how many rows are
+    /// requested. The output is bit-identical for any value (every row owns
+    /// a derived RNG stream); this is purely a memory/throughput knob.
+    pub synth_chunk_rows: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -74,6 +79,7 @@ impl Default for LatentDiffConfig {
             latent_noise_std: 0.0,
             predict_noise: false,
             scale_latents: true,
+            synth_chunk_rows: 8192,
             seed: 0,
         }
     }
@@ -290,21 +296,58 @@ impl LatentDiff {
 
     /// Generates `n` rows with an explicit inference-step override (used by
     /// the Table VII privacy-sensitivity experiment).
+    ///
+    /// # Panics
+    /// Panics if the step override is zero or exceeds the schedule length;
+    /// use [`LatentDiff::try_synthesize_with_steps`] for a typed error.
     pub fn synthesize_with_steps(
         &mut self,
         n: usize,
         inference_steps: Option<usize>,
         rng: &mut StdRng,
     ) -> Table {
+        self.try_synthesize_with_steps(n, inference_steps, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LatentDiff::synthesize_with_steps`]: generation streams in
+    /// chunks of [`LatentDiffConfig::synth_chunk_rows`] through the batched
+    /// reverse-diffusion engine, decoding each chunk as it lands so peak
+    /// memory stays bounded by the chunk size.
+    ///
+    /// # Errors
+    /// [`InvalidInferenceSteps`] when the step count is zero or exceeds `T`.
+    ///
+    /// # Panics
+    /// Panics if called before [`LatentDiff::fit`].
+    pub fn try_synthesize_with_steps(
+        &mut self,
+        n: usize,
+        inference_steps: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Result<Table, InvalidInferenceSteps> {
+        let chunk_rows = self.config.synth_chunk_rows.max(1);
         let fitted = self.fitted.as_mut().expect("LatentDiff::fit must be called first");
         let steps = inference_steps.unwrap_or(fitted.inference_steps);
-        let z = {
-            let _phase = observe::phase("sample");
-            fitted.ddpm.sample(n, steps, fitted.eta, rng)
-        };
-        let latents = fitted.scaler.unscale(&z);
-        let _phase = observe::phase("decode");
-        fitted.ae.decode(&latents)
+        let mut sampler = fitted.ddpm.chunked_sampler(n, steps, fitted.eta, chunk_rows, rng)?;
+        let mut parts: Vec<Table> = Vec::with_capacity(sampler.total_chunks());
+        loop {
+            let chunk = {
+                let _phase = observe::phase("sample");
+                sampler.next_chunk()
+            };
+            let Some((_, z)) = chunk else { break };
+            let latents = fitted.scaler.unscale(&z);
+            silofuse_nn::workspace::recycle(z);
+            let _phase = observe::phase("decode");
+            parts.push(fitted.ae.decode(&latents));
+        }
+        if parts.is_empty() {
+            // n == 0: decode an empty latent batch so the schema survives.
+            let latent_dim = fitted.scaler.mean().len();
+            return Ok(fitted.ae.decode(&Tensor::zeros(0, latent_dim)));
+        }
+        let refs: Vec<&Table> = parts.iter().collect();
+        Ok(Table::concat_rows(&refs))
     }
 }
 

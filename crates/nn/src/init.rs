@@ -53,11 +53,22 @@ fn gaussian(u1: f64, u2: f64) -> f32 {
 
 /// Fills a tensor with iid standard normal samples.
 pub fn randn(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
-    Tensor::from_fn(rows, cols, |_, _| {
+    let mut t = Tensor::zeros(rows, cols);
+    randn_fill(t.as_mut_slice(), rng);
+    t
+}
+
+/// Fills a slice with iid standard normals, consuming the RNG exactly like
+/// [`randn`] (two uniforms per value, in order). Filling a buffer row by row
+/// from per-row RNGs therefore reproduces the same values a whole-tensor
+/// `randn` would draw from each row's RNG — the property the batched
+/// sampler's per-row noise streams rely on.
+pub fn randn_fill(out: &mut [f32], rng: &mut impl Rng) {
+    for v in out {
         let u1: f64 = rng.gen();
         let u2: f64 = rng.gen();
-        gaussian(u1, u2)
-    })
+        *v = gaussian(u1, u2);
+    }
 }
 
 #[cfg(test)]

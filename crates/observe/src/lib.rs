@@ -55,6 +55,12 @@ pub mod names {
     pub const CHECKPOINT_WRITE_SPAN: &str = "checkpoint.write";
     /// Span wrapping each checkpoint load + verification.
     pub const CHECKPOINT_LOAD_SPAN: &str = "checkpoint.load";
+    /// Counter: synthetic latent rows produced by the batched sampler.
+    pub const SYNTH_ROWS: &str = "synth.rows";
+    /// Counter: latent chunks streamed by the batched sampler.
+    pub const SYNTH_CHUNKS: &str = "synth.chunks";
+    /// Span wrapping one streamed chunk of batched reverse diffusion.
+    pub const SYNTH_CHUNK_SPAN: &str = "synth.chunk";
 }
 
 pub use events::{CommEvent, Direction, Event, NoopSink, PhaseEvent, TelemetrySink, TrainEvent};

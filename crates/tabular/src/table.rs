@@ -217,6 +217,29 @@ impl Table {
         }
         Table { schema: Schema::new(metas), columns, rows }
     }
+
+    /// Row-wise concatenation of tables sharing one schema — how chunked
+    /// synthesis stitches streamed decode chunks back into one table.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or schemas disagree.
+    pub fn concat_rows(parts: &[&Table]) -> Table {
+        assert!(!parts.is_empty(), "concat_rows needs at least one table");
+        let schema = parts[0].schema.clone();
+        assert!(parts.iter().all(|t| t.schema == schema), "concat_rows schema mismatch");
+        let rows = parts.iter().map(|t| t.rows).sum();
+        let mut columns: Vec<Column> = parts[0].columns.clone();
+        for part in &parts[1..] {
+            for (dst, src) in columns.iter_mut().zip(&part.columns) {
+                match (dst, src) {
+                    (Column::Numeric(d), Column::Numeric(s)) => d.extend_from_slice(s),
+                    (Column::Categorical(d), Column::Categorical(s)) => d.extend_from_slice(s),
+                    _ => unreachable!("schema equality guarantees matching column kinds"),
+                }
+            }
+        }
+        Table { schema, columns, rows }
+    }
 }
 
 #[cfg(test)]
@@ -301,5 +324,34 @@ mod tests {
         let t = Table::empty(demo().schema().clone());
         assert_eq!(t.n_rows(), 0);
         assert_eq!(t.n_cols(), 2);
+    }
+
+    #[test]
+    fn concat_rows_stitches_chunks_back_together() {
+        let t = demo();
+        let head = Table::new(
+            t.schema().clone(),
+            vec![Column::Numeric(vec![1.0, 2.0]), Column::Categorical(vec![0, 2])],
+        )
+        .unwrap();
+        let tail = Table::new(
+            t.schema().clone(),
+            vec![Column::Numeric(vec![3.0]), Column::Categorical(vec![1])],
+        )
+        .unwrap();
+        let joined = Table::concat_rows(&[&head, &tail]);
+        assert_eq!(joined, t);
+        // An empty chunk is a no-op and a single part round-trips.
+        let empty = Table::empty(t.schema().clone());
+        assert_eq!(Table::concat_rows(&[&t, &empty]), t);
+        assert_eq!(Table::concat_rows(&[&t]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn concat_rows_rejects_schema_mismatch() {
+        let t = demo();
+        let other = t.project(&[0]);
+        let _ = Table::concat_rows(&[&t, &other]);
     }
 }
