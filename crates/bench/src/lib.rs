@@ -27,6 +27,8 @@ use silofuse_distributed::{FaultPlan, NetConfig};
 use silofuse_tabular::profiles::{all_profiles, DatasetProfile};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Parsed command-line options shared by the experiment binaries.
 #[derive(Debug, Clone)]
@@ -42,6 +44,9 @@ pub struct CliOptions {
     /// Collect run telemetry (spans, metrics, events) and write a JSONL
     /// trace under `target/experiments/telemetry/`.
     pub trace: bool,
+    /// Periodically flush a Prometheus-text-format metrics snapshot to
+    /// this path (`--expose FILE`). Implies `--trace`.
+    pub expose: Option<String>,
     /// Seeded link-fault plan for the distributed models
     /// (`--faults drop=0.05,delay=10ms,seed=7`). None = perfect network.
     pub faults: Option<FaultPlan>,
@@ -67,6 +72,7 @@ impl Default for CliOptions {
             datasets: None,
             seed: 17,
             trace: false,
+            expose: None,
             faults: None,
             checkpoint_dir: None,
             checkpoint_every: 50,
@@ -105,6 +111,10 @@ pub fn parse_cli() -> CliOptions {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--trace" => opts.trace = true,
+            "--expose" => {
+                opts.expose = Some(args.next().expect("--expose needs a file path"));
+                opts.trace = true;
+            }
             "--trials" => {
                 opts.trials = args
                     .next()
@@ -142,8 +152,8 @@ pub fn parse_cli() -> CliOptions {
                     .expect("--threads needs a positive integer");
             }
             other => panic!(
-                "unknown argument {other}; supported: --quick --trace --trials N --seed S \
-                 --datasets A,B --faults drop=0.05,delay=10ms,seed=7 \
+                "unknown argument {other}; supported: --quick --trace --expose FILE --trials N \
+                 --seed S --datasets A,B --faults drop=0.05,delay=10ms,seed=7 \
                  --checkpoint-dir D --checkpoint-every N --resume --threads N"
             ),
         }
@@ -244,33 +254,71 @@ impl TextTable {
     }
 }
 
-/// Turns on run telemetry when `--trace` was passed, naming the run after
-/// the experiment binary. Call once at the top of `main`.
+/// The running Prometheus snapshot flusher, when `--expose` asked for one.
+/// Module-level so `init_trace`/`finish_trace` keep their no-argument
+/// shape across every experiment binary.
+static EXPOSE_FLUSHER: Mutex<Option<silofuse_observe::expose::Flusher>> = Mutex::new(None);
+
+/// Turns on run telemetry when `--trace` (or `--expose`) was passed,
+/// naming the run after the experiment binary and scoping driver-side
+/// instrumentation under the `bench` actor. Call once at the top of
+/// `main`.
 pub fn init_trace(name: &str, opts: &CliOptions) {
     if opts.trace {
-        let _ = silofuse_observe::init(name);
+        let _ = silofuse_observe::init_scoped(name, "bench");
         eprintln!("[trace] telemetry enabled for run '{name}'");
+    }
+    if let Some(path) = &opts.expose {
+        let flusher =
+            silofuse_observe::expose::Flusher::start(path.clone(), Duration::from_millis(500));
+        eprintln!("[trace] exposing Prometheus snapshots at {path}");
+        *EXPOSE_FLUSHER.lock().unwrap_or_else(|e| e.into_inner()) = Some(flusher);
     }
 }
 
-/// Prints the aggregated span tree and writes the JSONL trace, then shuts
-/// telemetry down. A no-op unless [`init_trace`] enabled tracing.
+/// Prints every actor's span tree, writes the per-scope JSONL export and
+/// the merged causal trace (`<run>.trace.jsonl`), flushes a final
+/// Prometheus snapshot when one was requested, then shuts telemetry
+/// down. A no-op unless [`init_trace`] enabled tracing.
 pub fn finish_trace() {
-    let Some(t) = silofuse_observe::handle() else { return };
-    let mut table = TextTable::new(&["span", "calls", "total", "mean", "max"]);
-    for row in t.span_rows() {
-        table.row(vec![
-            format!("{}{}", "  ".repeat(row.depth), row.name),
-            row.stat.calls.to_string(),
-            silofuse_observe::fmt_duration(row.stat.total),
-            silofuse_observe::fmt_duration(row.stat.mean()),
-            silofuse_observe::fmt_duration(row.stat.max),
-        ]);
+    let Some(hub) = silofuse_observe::hub() else { return };
+    for scope in hub.scopes() {
+        let rows = scope.span_rows();
+        if rows.is_empty() {
+            continue;
+        }
+        let mut table = TextTable::new(&["span", "calls", "total", "mean", "max"]);
+        for row in rows {
+            table.row(vec![
+                format!("{}{}", "  ".repeat(row.depth), row.name),
+                row.stat.calls.to_string(),
+                silofuse_observe::fmt_duration(row.stat.total),
+                silofuse_observe::fmt_duration(row.stat.mean()),
+                silofuse_observe::fmt_duration(row.stat.max),
+            ]);
+        }
+        eprintln!(
+            "\n[trace] span tree for actor '{}' of run '{}':\n{}",
+            scope.actor(),
+            hub.run(),
+            table.render()
+        );
     }
-    eprintln!("\n[trace] span tree for run '{}':\n{}", t.run(), table.render());
-    match silofuse_observe::export::write_jsonl(&t) {
+    match silofuse_observe::export::write_jsonl_hub(&hub) {
         Ok(path) => eprintln!("[trace] telemetry written to {}", path.display()),
         Err(e) => eprintln!("warning: could not write telemetry: {e}"),
+    }
+    match silofuse_observe::trace::write_trace_jsonl(&hub) {
+        Ok(path) => eprintln!("[trace] merged causal trace written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
+    if let Some(flusher) = EXPOSE_FLUSHER.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        let path = flusher.path().to_path_buf();
+        match flusher.stop() {
+            Ok(true) => eprintln!("[trace] final Prometheus snapshot at {}", path.display()),
+            Ok(false) => {}
+            Err(e) => eprintln!("warning: could not write snapshot: {e}"),
+        }
     }
     silofuse_observe::shutdown();
 }

@@ -22,6 +22,7 @@ use silofuse_tabular::partition::PartitionStrategy;
 use silofuse_tabular::profiles;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,9 +37,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if flags.contains_key("trace") {
-        let _ = silofuse_observe::init(&format!("silofuse-{command}"));
+    if flags.contains_key("trace") || flags.contains_key("expose") {
+        let _ = silofuse_observe::init_scoped(&format!("silofuse-{command}"), "cli");
     }
+    let flusher = flags.get("expose").map(|path| {
+        eprintln!("[trace] exposing Prometheus snapshots at {path}");
+        silofuse_observe::expose::Flusher::start(path.clone(), Duration::from_millis(500))
+    });
     match flags.get("threads").map(|v| v.parse::<usize>()) {
         None => {}
         Some(Ok(n)) if n > 0 => silofuse_nn::backend::set_threads(n),
@@ -52,13 +57,14 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "inspect" => cmd_inspect(&flags),
+        "trace-report" => cmd_trace_report(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
     };
-    finish_trace();
+    finish_trace(flusher);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -68,15 +74,80 @@ fn main() -> ExitCode {
     }
 }
 
-/// Prints the span tree and writes the telemetry JSONL when `--trace` is on.
-fn finish_trace() {
-    let Some(t) = silofuse_observe::handle() else { return };
-    eprintln!("\n[trace] span tree for run '{}':\n{}", t.run(), t.render_span_tree());
-    match silofuse_observe::export::write_jsonl(&t) {
+/// Prints each actor's span tree and writes the per-scope telemetry
+/// JSONL plus the merged causal trace when `--trace` is on; stops the
+/// Prometheus flusher (final snapshot) when `--expose` started one.
+fn finish_trace(flusher: Option<silofuse_observe::expose::Flusher>) {
+    let Some(hub) = silofuse_observe::hub() else { return };
+    for scope in hub.scopes() {
+        if scope.span_rows().is_empty() {
+            continue;
+        }
+        eprintln!(
+            "\n[trace] span tree for actor '{}' of run '{}':\n{}",
+            scope.actor(),
+            hub.run(),
+            scope.render_span_tree()
+        );
+    }
+    match silofuse_observe::export::write_jsonl_hub(&hub) {
         Ok(path) => eprintln!("[trace] telemetry written to {}", path.display()),
         Err(e) => eprintln!("warning: could not write telemetry: {e}"),
     }
+    match silofuse_observe::trace::write_trace_jsonl(&hub) {
+        Ok(path) => eprintln!("[trace] merged causal trace written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
+    if let Some(flusher) = flusher {
+        let path = flusher.path().to_path_buf();
+        match flusher.stop() {
+            Ok(true) => eprintln!("[trace] final Prometheus snapshot at {}", path.display()),
+            Ok(false) => {}
+            Err(e) => eprintln!("warning: could not write snapshot: {e}"),
+        }
+    }
     silofuse_observe::shutdown();
+}
+
+/// `silofuse trace-report [--input <run.trace.jsonl>]`: load a merged
+/// causal trace (default: the most recent one under the telemetry
+/// directory) and print its critical-path breakdown.
+fn cmd_trace_report(flags: &Flags) -> Result<(), String> {
+    let path = match flags.get("input") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => latest_trace_file()?,
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report = silofuse_observe::trace::parse_trace_jsonl(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("[trace-report] {}", path.display());
+    print!("{}", silofuse_observe::trace::render_report(&report));
+    Ok(())
+}
+
+/// The most recently modified `*.trace.jsonl` under the telemetry dir.
+fn latest_trace_file() -> Result<std::path::PathBuf, String> {
+    let dir = std::path::Path::new(silofuse_observe::export::TELEMETRY_DIR);
+    let entries = std::fs::read_dir(dir).map_err(|e| {
+        format!("{}: {e} (run something with --trace first, or pass --input)", dir.display())
+    })?;
+    let mut best: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.file_name().is_some_and(|n| n.to_string_lossy().ends_with(".trace.jsonl")) {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if best.as_ref().map_or(true, |(t, _)| modified > *t) {
+            best = Some((modified, path));
+        }
+    }
+    best.map(|(_, p)| p).ok_or_else(|| {
+        format!("no *.trace.jsonl under {} — run with --trace, or pass --input", dir.display())
+    })
 }
 
 const USAGE: &str = "silofuse — cross-silo synthetic tabular data (SiloFuse, ICDE 2024)
@@ -107,8 +178,19 @@ USAGE:
   silofuse inspect --input <data.csv>
       Print the inferred schema and Table II-style statistics.
 
-  Any command also accepts --trace: collect span/metric/event telemetry,
-  print the span tree, and write target/experiments/telemetry/<run>.jsonl.
+  silofuse trace-report [--input <run.trace.jsonl>]
+      Print the critical-path breakdown of a merged causal trace written
+      by a --trace run (default: the most recent one under
+      target/experiments/telemetry/).
+
+  Any command also accepts --trace: collect span/metric/event telemetry
+  per actor (cli, coordinator, silo0..), print each actor's span tree,
+  and write target/experiments/telemetry/<run>.jsonl plus the merged
+  causal trace <run>.trace.jsonl.
+
+  Any command also accepts --expose <file>: periodically flush a
+  Prometheus-text-format snapshot of all metrics to <file> (atomic
+  tmp+rename; implies --trace).
 
   Any command also accepts --threads N: run the dense kernels on N worker
   threads (default 1 = serial reference backend). Outputs are bit-identical

@@ -291,9 +291,11 @@ impl E2eDistributed {
         let reliable = self.net.reliable();
         let policy = self.net.retry;
 
-        // Clients: encoder forward + activation upload.
+        // Clients: encoder forward + activation upload. One thread plays
+        // every role here, so each section runs under its actor's scope.
         let mut batches = Vec::with_capacity(m);
         for (i, client) in self.clients.iter_mut().enumerate() {
+            let _scope = observe::scope(&format!("silo{i}"));
             let batch = client.partition.select_rows(idx);
             client.ae.zero_grad();
             let z_i = client.ae.encoder_forward_train(&batch);
@@ -314,6 +316,7 @@ impl E2eDistributed {
         }
 
         // Coordinator: concat, DDPM step, gradient download.
+        let coord_scope = observe::scope("coordinator");
         let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
         for (i, ep) in self.coord_endpoints.iter().enumerate() {
             let got = if reliable {
@@ -363,7 +366,9 @@ impl E2eDistributed {
         }
 
         // Clients: local decoder loss + combined backward + step.
+        drop(coord_scope);
         for (i, client) in self.clients.iter_mut().enumerate() {
+            let _scope = observe::scope(&format!("silo{i}"));
             let got = if reliable {
                 recv_retrying(
                     &policy,

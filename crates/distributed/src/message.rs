@@ -4,8 +4,15 @@
 //! codec so the communication experiments (Fig. 10) measure *actual wire
 //! bytes*, not estimates. The format is a compact little-endian layout:
 //! `tag u8 | client u32 | rows u32 | cols u32 | payload f32*`.
+//!
+//! When distributed tracing is enabled a [`TraceContext`] rides in front
+//! of the message as an optional fixed-size header
+//! (`0x7C | trace_id u64 | parent_span u64 | lamport u64`); untraced
+//! runs send the bare encoding, so Fig. 10 byte accounting is identical
+//! with tracing off.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use silofuse_observe::TraceContext;
 
 /// Messages exchanged during training and synthesis.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +101,10 @@ const TAG_GRADIENT: u8 = 3;
 const TAG_SYNTH: u8 = 4;
 const TAG_REQUEST: u8 = 5;
 const TAG_ACK: u8 = 6;
+const TAG_TRACED: u8 = 0x7C;
+
+/// Size of the optional trace header: tag + three little-endian u64s.
+pub const TRACE_HEADER_BYTES: usize = 25;
 
 impl Message {
     /// Stable variant name, used as the telemetry message-kind label
@@ -109,9 +120,23 @@ impl Message {
         }
     }
 
-    /// Serialises to wire bytes.
+    /// Serialises to wire bytes without a trace header.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_size());
+        self.encode_traced(None)
+    }
+
+    /// Serialises to wire bytes, prefixing the trace header when `ctx`
+    /// is present. `encode_traced(None)` is byte-identical to the
+    /// untraced format.
+    pub fn encode_traced(&self, ctx: Option<&TraceContext>) -> Bytes {
+        let header = if ctx.is_some() { TRACE_HEADER_BYTES } else { 0 };
+        let mut buf = BytesMut::with_capacity(header + self.wire_size());
+        if let Some(ctx) = ctx {
+            buf.put_u8(TAG_TRACED);
+            buf.put_u64_le(ctx.trace_id);
+            buf.put_u64_le(ctx.parent_span);
+            buf.put_u64_le(ctx.lamport);
+        }
         match self {
             Message::LatentUpload { client, rows, cols, data } => {
                 encode_matrix(&mut buf, TAG_LATENT, *client, *rows, *cols, data);
@@ -135,8 +160,33 @@ impl Message {
         buf.freeze()
     }
 
-    /// Deserialises from wire bytes.
-    pub fn decode(mut bytes: Bytes) -> Result<Self, CodecError> {
+    /// Deserialises from wire bytes, discarding any trace header.
+    pub fn decode(bytes: Bytes) -> Result<Self, CodecError> {
+        Self::decode_traced(bytes).map(|(msg, _)| msg)
+    }
+
+    /// Deserialises from wire bytes, returning the [`TraceContext`] if
+    /// the payload carried one.
+    pub fn decode_traced(mut bytes: Bytes) -> Result<(Self, Option<TraceContext>), CodecError> {
+        if bytes.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let ctx = if bytes.as_slice()[0] == TAG_TRACED {
+            if bytes.remaining() < TRACE_HEADER_BYTES {
+                return Err(CodecError::Truncated);
+            }
+            bytes.get_u8();
+            let trace_id = bytes.get_u64_le();
+            let parent_span = bytes.get_u64_le();
+            let lamport = bytes.get_u64_le();
+            Some(TraceContext { trace_id, parent_span, lamport })
+        } else {
+            None
+        };
+        Self::decode_body(bytes).map(|msg| (msg, ctx))
+    }
+
+    fn decode_body(mut bytes: Bytes) -> Result<Self, CodecError> {
         if bytes.remaining() < 1 {
             return Err(CodecError::Truncated);
         }
@@ -164,7 +214,8 @@ impl Message {
         }
     }
 
-    /// Exact serialized size in bytes.
+    /// Exact serialized size in bytes of the untraced encoding (the
+    /// trace header, when present, adds [`TRACE_HEADER_BYTES`] on top).
     pub fn wire_size(&self) -> usize {
         match self {
             Message::LatentUpload { data, .. }
@@ -342,6 +393,47 @@ mod tests {
     }
 
     #[test]
+    fn traced_encoding_round_trips_context_and_message() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 42, lamport: 7 };
+        let msgs = [
+            Message::LatentUpload { client: 2, rows: 3, cols: 2, data: vec![1.0; 6] },
+            Message::SynthesisRequest { client: 7, n: 1000 },
+            Message::Ack,
+        ];
+        for m in msgs {
+            let enc = m.encode_traced(Some(&ctx));
+            assert_eq!(enc.len(), TRACE_HEADER_BYTES + m.wire_size());
+            let (decoded, got) = Message::decode_traced(enc).unwrap();
+            assert_eq!(decoded, m);
+            assert_eq!(got, Some(ctx));
+            // Plain decode tolerates (and discards) the header.
+            assert_eq!(Message::decode(m.encode_traced(Some(&ctx))).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn untraced_encoding_has_no_header_and_no_context() {
+        let m = Message::Ack;
+        assert_eq!(m.encode_traced(None), m.encode());
+        let (decoded, ctx) = Message::decode_traced(m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn doubled_trace_tag_is_a_bad_tag_not_a_loop() {
+        let ctx = TraceContext { trace_id: 1, parent_span: 2, lamport: 3 };
+        let inner = Message::Ack.encode_traced(Some(&ctx));
+        let mut outer = BytesMut::new();
+        outer.put_u8(TAG_TRACED);
+        outer.put_u64_le(9);
+        outer.put_u64_le(9);
+        outer.put_u64_le(9);
+        outer.put_slice(inner.as_slice());
+        assert_eq!(Message::decode(outer.freeze()), Err(CodecError::BadTag(TAG_TRACED)));
+    }
+
+    #[test]
     fn truncated_buffer_is_rejected() {
         let m = Message::LatentUpload { client: 0, rows: 2, cols: 2, data: vec![0.0; 4] };
         let enc = m.encode();
@@ -391,9 +483,13 @@ mod tests {
     /// return a `Result` — never panic, never over-allocate.
     #[test]
     fn decode_survives_mutated_frames() {
+        let ctx = TraceContext { trace_id: 0xF00D, parent_span: 0, lamport: 12 };
         let valid: Vec<Bytes> = vec![
             Message::LatentUpload { client: 1, rows: 4, cols: 3, data: vec![0.5; 12] }.encode(),
+            Message::LatentUpload { client: 1, rows: 4, cols: 3, data: vec![0.5; 12] }
+                .encode_traced(Some(&ctx)),
             Message::SynthesisRequest { client: 0, n: 77 }.encode(),
+            Message::SynthesisRequest { client: 0, n: 77 }.encode_traced(Some(&ctx)),
             Message::Ack.encode(),
             Frame::Data {
                 seq: 9,

@@ -136,6 +136,9 @@ impl SiloFuseModel {
             let base = base.clone();
             let my_crash = if i == crash_client { crash_plan.clone() } else { None };
             handles.push(Some(std::thread::spawn(move || {
+                // Everything this silo thread records — spans, metrics,
+                // Lamport ticks — is attributed to its own actor scope.
+                let _scope = observe::scope(&format!("silo{i}"));
                 let node = format!("silo {i}");
                 let name = format!("silo{i}-ae");
                 let ckpt_err = |source: CheckpointError| match source {
@@ -253,6 +256,9 @@ impl SiloFuseModel {
         // Loss self-heals without coordinator-side kicks: a client whose
         // upload was dropped is blocked in its own bounded recv (waiting
         // for the app-level ack) and retransmits the upload on every tick.
+        // From here to the end of fit the main thread acts as the
+        // coordinator; pin its telemetry to that actor.
+        let _scope = observe::scope("coordinator");
         let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
         for (i, ep) in coord_endpoints.iter().enumerate() {
             let dead = |source: TransportError| ProtocolError::SiloDead {
@@ -469,15 +475,20 @@ impl SiloFuseModel {
         let reliable = self.net.reliable();
         let policy = self.net.retry;
 
-        // Line 1: request travels client -> coordinator.
-        self.clients[requesting_client]
-            .endpoint
-            .send(&Message::SynthesisRequest { client: requesting_client as u32, n: n as u32 })
-            .map_err(|source| ProtocolError::SiloDead {
-                client: requesting_client,
-                phase: "synthesis-request",
-                source,
-            })?;
+        // Line 1: request travels client -> coordinator. This thread
+        // plays both roles, so each half runs under its actor's scope.
+        {
+            let _scope = observe::scope(&format!("silo{requesting_client}"));
+            self.clients[requesting_client]
+                .endpoint
+                .send(&Message::SynthesisRequest { client: requesting_client as u32, n: n as u32 })
+                .map_err(|source| ProtocolError::SiloDead {
+                    client: requesting_client,
+                    phase: "synthesis-request",
+                    source,
+                })?;
+        }
+        let _coord_scope = observe::scope("coordinator");
         let req_ep = &self.coord_endpoints[requesting_client];
         let req = if reliable {
             recv_retrying(
@@ -568,6 +579,9 @@ impl SiloFuseModel {
                         data: part.as_slice().to_vec(),
                     })
                     .map_err(dead)?;
+                // The receive and local decode belong to silo i; the
+                // nested guard shadows the ambient coordinator scope.
+                let _scope = observe::scope(&format!("silo{i}"));
                 let client_ep = &self.clients[i].endpoint;
                 let msg = if reliable {
                     recv_retrying(

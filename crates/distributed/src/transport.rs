@@ -19,6 +19,13 @@
 //! `bytes_retried`/`retransmits`, standalone ack frames in `bytes_ack`,
 //! replays discarded by the dedup window in `duplicates_dropped`, and
 //! expired bounded receives in `timeouts`.
+//!
+//! When tracing is enabled every send ticks the current actor scope's
+//! Lamport clock and stamps a [`silofuse_observe::TraceContext`] onto
+//! the payload; every decode merges the received clock and records a
+//! wire event. The trace header's bytes are ledgered separately in
+//! `bytes_trace` so traced runs keep Fig. 10-comparable byte counts,
+//! and untraced runs are byte-identical to before.
 
 use crate::faults::{FaultAction, LinkFaults, NetConfig, RetryPolicy};
 use crate::message::{CodecError, Frame, Message};
@@ -55,6 +62,10 @@ pub struct CommStats {
     pub duplicates_dropped: u64,
     /// Bounded receives that expired without delivering a message.
     pub timeouts: u64,
+    /// Trace-header bytes added to first transmissions while tracing was
+    /// enabled; kept out of `bytes_up`/`bytes_down` so traced and
+    /// untraced runs report identical payload byte counts.
+    pub bytes_trace: u64,
 }
 
 impl CommStats {
@@ -63,10 +74,11 @@ impl CommStats {
         self.bytes_up + self.bytes_down
     }
 
-    /// Total reliability-layer overhead (retransmitted + ack bytes) that
-    /// is deliberately excluded from [`CommStats::total_bytes`].
+    /// Total non-payload overhead (retransmitted, ack, and trace-header
+    /// bytes) that is deliberately excluded from
+    /// [`CommStats::total_bytes`].
     pub fn overhead_bytes(&self) -> u64 {
-        self.bytes_retried + self.bytes_ack
+        self.bytes_retried + self.bytes_ack + self.bytes_trace
     }
 }
 
@@ -110,6 +122,7 @@ struct Half {
     tx: Sender<Bytes>,
     rx: Receiver<Bytes>,
     dir: observe::Direction,
+    link: u64,
     stats: SharedStats,
     reliable: Option<Reliable>,
 }
@@ -152,10 +165,16 @@ impl ReliableState {
 
 impl Half {
     fn send(&self, msg: &Message) -> Result<(), TransportError> {
-        let payload = msg.encode();
+        // Tick the current actor's Lamport clock and stamp the context
+        // on the wire; `None` (tracing off) keeps the encoding
+        // byte-identical to the untraced format.
+        let ctx = observe::trace::ctx_for_send();
+        let payload = msg.encode_traced(ctx.as_ref());
+        let trace_overhead = (payload.len() - msg.wire_size()) as u64;
+        let base = msg.wire_size() as u64;
         let Some(rel) = &self.reliable else {
-            observe::comm(self.dir, msg.kind(), payload.len() as u64);
-            self.count_first(payload.len() as u64);
+            observe::comm(self.dir, msg.kind(), base);
+            self.note_send(msg.kind(), base, base, trace_overhead, ctx.as_ref());
             return self.tx.send(payload).map_err(|_| TransportError::Disconnected);
         };
         let mut st = rel.state.lock();
@@ -164,24 +183,78 @@ impl Half {
         let frame = Frame::Data { seq, ack: st.next_expected, payload: payload.clone() };
         let bytes = frame.encode();
         st.unacked.push_back((seq, payload));
-        observe::comm(self.dir, msg.kind(), bytes.len() as u64);
-        self.count_first(bytes.len() as u64);
+        // Counted = framed size minus the trace header, so traced and
+        // untraced reliable runs ledger identical first-transmission
+        // bytes.
+        let counted = bytes.len() as u64 - trace_overhead;
+        observe::comm(self.dir, msg.kind(), counted);
+        self.note_send(msg.kind(), counted, base, trace_overhead, ctx.as_ref());
         self.transmit(&mut st.faults, bytes)
     }
 
-    /// Ledgers one first transmission for this half's direction.
-    fn count_first(&self, bytes: u64) {
-        let mut s = self.stats.lock();
-        match self.dir {
-            observe::Direction::Up => {
-                s.bytes_up += bytes;
-                s.messages_up += 1;
+    /// Ledgers one first transmission (`counted` bytes, framed size in
+    /// reliable mode) for this half's direction and, in traced mode,
+    /// records the wire event under the sending scope with the `base`
+    /// message size — matching what the receive side will record.
+    fn note_send(
+        &self,
+        kind: &'static str,
+        counted: u64,
+        base: u64,
+        trace_overhead: u64,
+        ctx: Option<&observe::TraceContext>,
+    ) {
+        {
+            let mut s = self.stats.lock();
+            match self.dir {
+                observe::Direction::Up => {
+                    s.bytes_up += counted;
+                    s.messages_up += 1;
+                }
+                observe::Direction::Down => {
+                    s.bytes_down += counted;
+                    s.messages_down += 1;
+                }
             }
-            observe::Direction::Down => {
-                s.bytes_down += bytes;
-                s.messages_down += 1;
-            }
+            s.bytes_trace += trace_overhead;
         }
+        if let Some(ctx) = ctx {
+            observe::wire(observe::WireEvent {
+                op: observe::WireOp::Send,
+                link: self.link,
+                direction: self.dir,
+                msg_kind: kind,
+                bytes: base,
+                lamport: ctx.lamport,
+                at_nanos: 0,
+            });
+        }
+    }
+
+    /// Decodes a delivered payload; if it carries a trace context, merges
+    /// the sender's Lamport time into the current scope's clock and
+    /// records the receive under the receiving scope.
+    fn decode_delivered(&self, bytes: Bytes) -> Result<Message, TransportError> {
+        let (msg, ctx) = Message::decode_traced(bytes).map_err(TransportError::Codec)?;
+        if let Some(ctx) = ctx {
+            let lamport = observe::trace::merge_on_recv(&ctx);
+            // Traffic direction is the *sender's*: the opposite of the
+            // direction this half sends in.
+            let direction = match self.dir {
+                observe::Direction::Up => observe::Direction::Down,
+                observe::Direction::Down => observe::Direction::Up,
+            };
+            observe::wire(observe::WireEvent {
+                op: observe::WireOp::Recv,
+                link: self.link,
+                direction,
+                msg_kind: msg.kind(),
+                bytes: msg.wire_size() as u64,
+                lamport,
+                at_nanos: 0,
+            });
+        }
+        Ok(msg)
     }
 
     /// Pushes raw frame bytes through the fault injector onto the wire.
@@ -210,19 +283,21 @@ impl Half {
     }
 
     fn recv(&self) -> Result<Message, TransportError> {
+        let _wait = observe::span(observe::names::COMM_WAIT_SPAN);
         match &self.reliable {
             None => {
                 let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
-                Message::decode(bytes).map_err(TransportError::Codec)
+                self.decode_delivered(bytes)
             }
             Some(rel) => self.recv_reliable(rel, rel.policy.recv_deadline),
         }
     }
 
     fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError> {
+        let _wait = observe::span(observe::names::COMM_WAIT_SPAN);
         match &self.reliable {
             None => match self.rx.recv_timeout(budget) {
-                Ok(bytes) => Message::decode(bytes).map_err(TransportError::Codec),
+                Ok(bytes) => self.decode_delivered(bytes),
                 Err(RecvTimeoutError::Timeout) => {
                     self.note_timeout();
                     Err(TransportError::Timeout)
@@ -241,7 +316,7 @@ impl Half {
         let mut tick = rel.policy.tick.max(Duration::from_micros(100));
         loop {
             if let Some(payload) = rel.state.lock().delivered.pop_front() {
-                return Message::decode(payload).map_err(TransportError::Codec);
+                return self.decode_delivered(payload);
             }
             let now = Instant::now();
             if now >= deadline {
@@ -348,6 +423,7 @@ impl Half {
         let Some(rel) = &self.reliable else {
             return true;
         };
+        let _wait = observe::span(observe::names::COMM_WAIT_SPAN);
         let deadline = Instant::now() + budget;
         let mut tick = rel.policy.tick.max(Duration::from_micros(100));
         loop {
@@ -428,6 +504,7 @@ pub fn link_with(
                 tx: up_tx,
                 rx: down_rx,
                 dir: observe::Direction::Up,
+                link: link_id,
                 stats: Arc::clone(&stats),
                 reliable: reliable(SALT_UP),
             },
@@ -437,6 +514,7 @@ pub fn link_with(
                 tx: down_tx,
                 rx: up_rx,
                 dir: observe::Direction::Down,
+                link: link_id,
                 stats,
                 reliable: reliable(SALT_DOWN),
             },

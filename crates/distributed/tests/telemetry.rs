@@ -61,7 +61,7 @@ fn stacked_rounds_bump_once_per_protocol_phase() {
 #[test]
 fn comm_histograms_sum_to_comm_stats_total_bytes() {
     let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let telemetry = silofuse_observe::init("test-comm-histograms");
+    let hub = silofuse_observe::init_scoped("test-comm-histograms", "main");
 
     let t = profiles::loan().generate(64, 11);
     let parts = split(&t, 3);
@@ -71,13 +71,24 @@ fn comm_histograms_sum_to_comm_stats_total_bytes() {
     let stats: CommStats = model.comm_stats();
     silofuse_observe::shutdown();
 
-    let comm_hists: Vec<_> = telemetry
-        .metrics()
-        .histograms()
-        .into_iter()
+    // Traffic is attributed per actor now: each silo's uploads land in
+    // its own scope, the coordinator's downloads in the coordinator
+    // scope. The byte-accounting contract holds on the union.
+    let comm_hists: Vec<_> = hub
+        .scopes()
+        .iter()
+        .flat_map(|scope| scope.metrics().histograms())
         .filter(|(name, _)| name.starts_with("comm.bytes."))
         .collect();
     assert!(!comm_hists.is_empty(), "comm events must feed histograms");
+    assert!(
+        hub.scopes().iter().any(|s| s.actor() == "coordinator"),
+        "stacked run must create a coordinator scope"
+    );
+    assert!(
+        hub.scopes().iter().any(|s| s.actor() == "silo0"),
+        "stacked run must create per-silo scopes"
+    );
 
     // The histograms partition the traffic by (message kind, direction):
     // their sums must add up exactly to the transport's byte ledger, and

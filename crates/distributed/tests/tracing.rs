@@ -1,0 +1,176 @@
+//! Cross-silo distributed tracing integration tests: a fixed-seed
+//! 3-silo stacked run must produce a merged causal trace whose every
+//! wire event is attributed to its actor, whose Lamport order is
+//! identical across repeated runs (no wall clock anywhere in the
+//! ordering path), and whose per-actor totals reconcile with the
+//! per-scope span trees. Telemetry is process-global, so every test
+//! serialises on `TRACE_LOCK`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_distributed::stacked::SiloFuseModel;
+use silofuse_models::latentdiff::LatentDiffConfig;
+use silofuse_models::AutoencoderConfig;
+use silofuse_observe::trace::{self, TraceReport};
+use silofuse_observe::WireOp;
+use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+use silofuse_tabular::profiles;
+use std::sync::Mutex;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_config(seed: u64) -> LatentDiffConfig {
+    LatentDiffConfig {
+        ae: AutoencoderConfig { hidden_dim: 48, lr: 1e-3, seed, ..Default::default() },
+        ddpm_hidden: 48,
+        timesteps: 20,
+        ae_steps: 12,
+        diffusion_steps: 12,
+        batch_size: 32,
+        inference_steps: 5,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// One traced fixed-seed 3-silo stacked fit + synthesis; returns the
+/// merged causal trace report collected from the hub.
+fn traced_run(run: &str, seed: u64) -> TraceReport {
+    let hub = silofuse_observe::init_scoped(run, "main");
+    let t = profiles::loan().generate(64, seed);
+    let parts = PartitionPlan::new(t.n_cols(), 3, PartitionStrategy::Default).split(&t);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = SiloFuseModel::fit(&parts, quick_config(seed), &mut rng);
+    let _ = model.synthesize_partitioned(8, 0, &mut rng);
+    let report = trace::collect(&hub);
+    silofuse_observe::shutdown();
+    report
+}
+
+/// The causal ordering key of a row, everything non-temporal included.
+fn ordering_key(r: &trace::TraceRow) -> (u64, String, u64, WireOp, u64, String, String, u64) {
+    (
+        r.lamport,
+        r.actor.clone(),
+        r.seq,
+        r.op,
+        r.link,
+        r.direction.as_str().to_string(),
+        r.kind.clone(),
+        r.bytes,
+    )
+}
+
+#[test]
+fn every_wire_event_is_attributed_to_a_known_actor() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let report = traced_run("trace-attribution", 23);
+
+    assert!(!report.rows.is_empty(), "a traced run must record wire events");
+    let known = ["coordinator", "silo0", "silo1", "silo2"];
+    for row in &report.rows {
+        assert!(
+            known.contains(&row.actor.as_str()),
+            "wire event attributed to unknown actor {:?}: {row:?}",
+            row.actor
+        );
+        assert!(row.lamport > 0, "every traced event ticks the Lamport clock: {row:?}");
+    }
+    // The protocol's signature traffic shows up on both sides.
+    let kinds_by = |actor: &str, op: WireOp| -> Vec<&str> {
+        report
+            .rows
+            .iter()
+            .filter(|r| r.actor == actor && r.op == op)
+            .map(|r| r.kind.as_str())
+            .collect()
+    };
+    assert!(kinds_by("silo0", WireOp::Send).contains(&"LatentUpload"));
+    assert!(kinds_by("coordinator", WireOp::Recv).contains(&"LatentUpload"));
+    assert!(kinds_by("coordinator", WireOp::Send).contains(&"SyntheticLatents"));
+    assert!(kinds_by("silo0", WireOp::Recv).contains(&"SyntheticLatents"));
+}
+
+#[test]
+fn lamport_order_is_identical_across_repeated_fixed_seed_runs() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let a = traced_run("trace-determinism", 31);
+    let b = traced_run("trace-determinism", 31);
+
+    let keys_a: Vec<_> = a.rows.iter().map(ordering_key).collect();
+    let keys_b: Vec<_> = b.rows.iter().map(ordering_key).collect();
+    assert_eq!(keys_a, keys_b, "causal order must not depend on wall clock or scheduling");
+    assert_eq!(a.critical_path, b.critical_path, "critical path is part of the causal order");
+    assert_eq!(a.trace_id, b.trace_id, "trace id is a pure function of the run name");
+    for (sa, sb) in a.actors.iter().zip(&b.actors) {
+        assert_eq!(sa.max_lamport, sb.max_lamport, "final clocks match for {}", sa.actor);
+        assert_eq!(
+            (sa.sends, sa.recvs, sa.bytes_out, sa.bytes_in),
+            (sb.sends, sb.recvs, sb.bytes_out, sb.bytes_in),
+            "wire ledgers match for {}",
+            sa.actor
+        );
+    }
+}
+
+#[test]
+fn per_actor_totals_reconcile_with_span_trees() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let hub = silofuse_observe::init_scoped("trace-reconcile", "main");
+    let t = profiles::loan().generate(64, 37);
+    let parts = PartitionPlan::new(t.n_cols(), 3, PartitionStrategy::Default).split(&t);
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut model = SiloFuseModel::fit(&parts, quick_config(37), &mut rng);
+    let _ = model.synthesize_partitioned(8, 0, &mut rng);
+    let report = trace::collect(&hub);
+
+    for summary in &report.actors {
+        // compute is defined as total minus comm-wait; the three must
+        // reconcile exactly.
+        assert_eq!(
+            summary.compute() + summary.comm_wait,
+            summary.total,
+            "breakdown reconciles for {}",
+            summary.actor
+        );
+        // And the totals must equal what the actor's own span tree says.
+        let scope = hub.scope(&summary.actor);
+        let (total, comm_wait) = trace::span_totals(&scope.span_rows());
+        assert_eq!(summary.total, total, "span total matches for {}", summary.actor);
+        assert_eq!(summary.comm_wait, comm_wait, "comm-wait matches for {}", summary.actor);
+    }
+    // Actors that move payloads also spend recorded span time.
+    for actor in ["coordinator", "silo0", "silo1", "silo2"] {
+        let summary = report.actors.iter().find(|s| s.actor == actor).unwrap();
+        assert!(summary.total > std::time::Duration::ZERO, "{actor} recorded span time");
+        assert!(summary.sends > 0, "{actor} sent traffic");
+        assert!(summary.recvs > 0, "{actor} received traffic");
+    }
+    silofuse_observe::shutdown();
+}
+
+#[test]
+fn report_renders_a_critical_path_and_round_trips_through_jsonl() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let report = traced_run("trace-render", 41);
+
+    let text = trace::render_report(&report);
+    assert!(text.contains("critical path"), "{text}");
+    assert!(text.contains("coordinator"), "{text}");
+    assert!(text.contains("comm-wait"), "{text}");
+    assert!(!report.critical_path.is_empty());
+    // The path ends at the run's maximum Lamport time and alternates
+    // causally: every hop's lamport is non-decreasing.
+    let path_lamports: Vec<u64> =
+        report.critical_path.iter().map(|&i| report.rows[i].lamport).collect();
+    assert!(path_lamports.windows(2).all(|w| w[0] <= w[1]), "{path_lamports:?}");
+    let max_lamport = report.rows.iter().map(|r| r.lamport).max().unwrap();
+    assert_eq!(*path_lamports.last().unwrap(), max_lamport);
+
+    let parsed = trace::parse_trace_jsonl(&trace::render_trace_jsonl(&report)).unwrap();
+    assert_eq!(parsed.rows.len(), report.rows.len());
+    assert_eq!(parsed.critical_path, report.critical_path);
+    for (p, r) in parsed.rows.iter().zip(&report.rows) {
+        assert_eq!(ordering_key(p), ordering_key(r));
+    }
+}

@@ -48,6 +48,51 @@ pub struct CommEvent {
     pub bytes: u64,
 }
 
+/// Whether a wire event marks a payload leaving or arriving at an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireOp {
+    /// Payload handed to the link by this actor.
+    Send,
+    /// Payload delivered to this actor and decoded.
+    Recv,
+}
+
+impl WireOp {
+    /// Lowercase wire/metric label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireOp::Send => "send",
+            WireOp::Recv => "recv",
+        }
+    }
+}
+
+/// One traced transport payload crossing a link boundary, stamped with
+/// the local actor's Lamport time — the raw material of the merged
+/// cross-silo trace. Only recorded when a [`crate::TraceContext`] rode
+/// on the wire, i.e. when tracing was enabled at send time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Send or receive, from the recording actor's point of view.
+    pub op: WireOp,
+    /// Stable link id (the transport's `link_id`), pairing the send and
+    /// receive sides of the same payload across actors.
+    pub link: u64,
+    /// Traffic direction on the link (up = client → coordinator).
+    pub direction: Direction,
+    /// `Message::kind()` of the payload.
+    pub msg_kind: &'static str,
+    /// Base wire size in bytes (excluding the trace header itself).
+    pub bytes: u64,
+    /// The recording actor's Lamport time after the tick (send) or
+    /// merge (receive). The *only* input to causal ordering.
+    pub lamport: u64,
+    /// Nanoseconds since the hub's epoch when the event was recorded;
+    /// stamped by the sink (construct with 0). Used for durations in
+    /// reports only — never for ordering.
+    pub at_nanos: u64,
+}
+
 /// Entry into a named pipeline phase (encode, latent-train, sample, ...).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseEvent {
@@ -67,6 +112,9 @@ pub trait TelemetrySink: Send + Sync {
     /// A network transfer event.
     fn comm(&self, _event: &CommEvent) {}
 
+    /// A traced payload crossing a link boundary.
+    fn wire(&self, _event: &WireEvent) {}
+
     /// A pipeline phase entry.
     fn phase(&self, _event: &PhaseEvent) {}
 }
@@ -84,6 +132,8 @@ pub enum Event {
     Train(TrainEvent),
     /// See [`CommEvent`].
     Comm(CommEvent),
+    /// See [`WireEvent`].
+    Wire(WireEvent),
     /// See [`PhaseEvent`].
     Phase(PhaseEvent),
 }

@@ -2,22 +2,27 @@
 //!
 //! One JSON object per line, written to
 //! `target/experiments/telemetry/<run>.jsonl` (relative to the working
-//! directory, matching where the bench harness puts its reports):
+//! directory, matching where the bench harness puts its reports). Every
+//! line after the run header carries the actor scope it came from:
 //!
 //! ```text
 //! {"type":"run","run":"table3","unix_ms":1754480000000}
-//! {"type":"phase","phase":"encode","seq":0}
-//! {"type":"train_epoch","model":"autoencoder","epoch":8,"loss":0.41,"lr":0.001,"rows":4096}
-//! {"type":"comm","dir":"up","kind":"LatentUpload","bytes":16396}
-//! {"type":"span","path":"fit/latent-train","calls":1,"total_s":1.24,"mean_s":1.24,"max_s":1.24}
-//! {"type":"counter","name":"nn.adam.steps","value":1200}
-//! {"type":"gauge","name":"train.loss.final","value":0.31}
-//! {"type":"histogram","name":"comm.bytes.LatentUpload.up","count":4,"sum":65584,"p50":32768,"p90":32768,"p99":32768}
+//! {"type":"phase","scope":"coordinator","phase":"encode","seq":0}
+//! {"type":"train_epoch","scope":"coordinator","model":"autoencoder","epoch":8,"loss":0.41,"lr":0.001,"rows":4096}
+//! {"type":"comm","scope":"silo0","dir":"up","kind":"LatentUpload","bytes":16396}
+//! {"type":"wire","scope":"silo0","op":"send","link":0,"dir":"up","kind":"LatentUpload","bytes":16396,"lamport":3,"at_ns":1200456}
+//! {"type":"span","scope":"silo0","path":"fit/latent-train","calls":1,"total_s":1.24,"mean_s":1.24,"max_s":1.24}
+//! {"type":"counter","scope":"coordinator","name":"nn.adam.steps","value":1200}
+//! {"type":"gauge","scope":"coordinator","name":"train.loss.final","value":0.31}
+//! {"type":"histogram","scope":"silo0","name":"comm.bytes.LatentUpload.up","count":4,"sum":65584,"nan":0,"p50":32768,"p90":32768,"p99":32768}
 //! ```
 //!
-//! Events appear in arrival order, then the span tree, then metrics.
+//! Per scope, events appear in arrival order, then the span tree, then
+//! metrics. The merged causal trace is exported separately by
+//! [`crate::trace::write_trace_jsonl`] as `<run>.trace.jsonl`.
 
 use crate::events::Event;
+use crate::scope::TelemetryHub;
 use crate::{Telemetry, TrainEvent};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,37 +31,66 @@ use std::time::{SystemTime, UNIX_EPOCH};
 /// Directory JSONL files land in, relative to the working directory.
 pub const TELEMETRY_DIR: &str = "target/experiments/telemetry";
 
-/// Serializes `telemetry` to `target/experiments/telemetry/<run>.jsonl`
-/// and returns the written path.
+/// Serializes one scope to `target/experiments/telemetry/<run>.jsonl`
+/// and returns the written path; see [`write_jsonl_hub`] for whole-run
+/// export.
 ///
 /// The file is written to a `.tmp` sibling and atomically renamed into
 /// place, so a crash mid-export never leaves a truncated, unparseable
 /// telemetry file — at worst the previous complete export survives.
 pub fn write_jsonl(telemetry: &Telemetry) -> std::io::Result<PathBuf> {
+    write_named(telemetry.run(), &render_jsonl(telemetry))
+}
+
+/// Serializes every scope of `hub` to
+/// `target/experiments/telemetry/<run>.jsonl` (atomic tmp + rename) and
+/// returns the written path.
+pub fn write_jsonl_hub(hub: &TelemetryHub) -> std::io::Result<PathBuf> {
+    write_named(hub.run(), &render_jsonl_hub(hub))
+}
+
+fn write_named(run: &str, doc: &str) -> std::io::Result<PathBuf> {
     let dir = Path::new(TELEMETRY_DIR);
     std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{}.jsonl", sanitize(telemetry.run())));
+    let path = dir.join(format!("{}.jsonl", sanitize(run)));
     let tmp = path.with_extension("jsonl.tmp");
-    std::fs::write(&tmp, render_jsonl(telemetry))?;
+    std::fs::write(&tmp, doc)?;
     std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
 
-/// The full JSONL document for `telemetry` (one object per line).
+/// The full JSONL document for a single scope (one object per line).
 pub fn render_jsonl(telemetry: &Telemetry) -> String {
     let mut out = String::new();
+    render_run_line(telemetry.run(), &mut out);
+    render_scope(telemetry, &mut out);
+    out
+}
+
+/// The full JSONL document for every scope of `hub`, default scope
+/// first, then the others in creation order.
+pub fn render_jsonl_hub(hub: &TelemetryHub) -> String {
+    let mut out = String::new();
+    render_run_line(hub.run(), &mut out);
+    for scope in hub.scopes() {
+        render_scope(&scope, &mut out);
+    }
+    out
+}
+
+fn render_run_line(run: &str, out: &mut String) {
     let unix_ms = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0);
-    let _ = writeln!(
-        out,
-        "{{\"type\":\"run\",\"run\":{},\"unix_ms\":{unix_ms}}}",
-        json_str(telemetry.run()),
-    );
+    let _ = writeln!(out, "{{\"type\":\"run\",\"run\":{},\"unix_ms\":{unix_ms}}}", json_str(run));
+}
+
+fn render_scope(telemetry: &Telemetry, out: &mut String) {
+    let scope = json_str(telemetry.actor());
     for event in telemetry.events() {
         match event {
             Event::Phase(p) => {
                 let _ = writeln!(
                     out,
-                    "{{\"type\":\"phase\",\"phase\":{},\"seq\":{}}}",
+                    "{{\"type\":\"phase\",\"scope\":{scope},\"phase\":{},\"seq\":{}}}",
                     json_str(p.phase),
                     p.seq,
                 );
@@ -64,7 +98,7 @@ pub fn render_jsonl(telemetry: &Telemetry) -> String {
             Event::Train(TrainEvent::Epoch { model, epoch, loss, lr, rows }) => {
                 let _ = writeln!(
                     out,
-                    "{{\"type\":\"train_epoch\",\"model\":{},\"epoch\":{epoch},\
+                    "{{\"type\":\"train_epoch\",\"scope\":{scope},\"model\":{},\"epoch\":{epoch},\
                      \"loss\":{},\"lr\":{},\"rows\":{rows}}}",
                     json_str(model),
                     json_num(loss),
@@ -74,10 +108,24 @@ pub fn render_jsonl(telemetry: &Telemetry) -> String {
             Event::Comm(c) => {
                 let _ = writeln!(
                     out,
-                    "{{\"type\":\"comm\",\"dir\":{},\"kind\":{},\"bytes\":{}}}",
+                    "{{\"type\":\"comm\",\"scope\":{scope},\"dir\":{},\"kind\":{},\"bytes\":{}}}",
                     json_str(c.direction.as_str()),
                     json_str(c.msg_kind),
                     c.bytes,
+                );
+            }
+            Event::Wire(w) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"wire\",\"scope\":{scope},\"op\":{},\"link\":{},\"dir\":{},\
+                     \"kind\":{},\"bytes\":{},\"lamport\":{},\"at_ns\":{}}}",
+                    json_str(w.op.as_str()),
+                    w.link,
+                    json_str(w.direction.as_str()),
+                    json_str(w.msg_kind),
+                    w.bytes,
+                    w.lamport,
+                    w.at_nanos,
                 );
             }
         }
@@ -85,7 +133,7 @@ pub fn render_jsonl(telemetry: &Telemetry) -> String {
     for row in telemetry.span_rows() {
         let _ = writeln!(
             out,
-            "{{\"type\":\"span\",\"path\":{},\"calls\":{},\
+            "{{\"type\":\"span\",\"scope\":{scope},\"path\":{},\"calls\":{},\
              \"total_s\":{},\"mean_s\":{},\"max_s\":{}}}",
             json_str(&row.path),
             row.stat.calls,
@@ -98,14 +146,14 @@ pub fn render_jsonl(telemetry: &Telemetry) -> String {
     for (name, value) in metrics.counters() {
         let _ = writeln!(
             out,
-            "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
+            "{{\"type\":\"counter\",\"scope\":{scope},\"name\":{},\"value\":{value}}}",
             json_str(&name),
         );
     }
     for (name, value) in metrics.gauges() {
         let _ = writeln!(
             out,
-            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            "{{\"type\":\"gauge\",\"scope\":{scope},\"name\":{},\"value\":{}}}",
             json_str(&name),
             json_num(value),
         );
@@ -113,21 +161,21 @@ pub fn render_jsonl(telemetry: &Telemetry) -> String {
     for (name, hist) in metrics.histograms() {
         let _ = writeln!(
             out,
-            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
-             \"p50\":{},\"p90\":{},\"p99\":{}}}",
+            "{{\"type\":\"histogram\",\"scope\":{scope},\"name\":{},\"count\":{},\"sum\":{},\
+             \"nan\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
             json_str(&name),
             hist.count(),
             json_num(hist.sum()),
+            hist.nan_count(),
             json_num(hist.quantile(0.5)),
             json_num(hist.quantile(0.9)),
             json_num(hist.quantile(0.99)),
         );
     }
-    out
 }
 
 /// JSON string literal (quotes included) with minimal escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -148,7 +196,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// JSON number; non-finite values become `null`.
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -157,7 +205,7 @@ fn json_num(v: f64) -> String {
 }
 
 /// Keeps run names filesystem-safe.
-fn sanitize(run: &str) -> String {
+pub(crate) fn sanitize(run: &str) -> String {
     run.chars()
         .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
         .collect()
@@ -166,6 +214,7 @@ fn sanitize(run: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{WireEvent, WireOp};
     use crate::{CommEvent, Direction, PhaseEvent, TelemetrySink};
     use std::time::Duration;
 
@@ -184,7 +233,9 @@ mod tests {
         assert!(lines.len() >= 7);
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(lines[0].contains("\\\"run\\\""));
-        assert!(doc.contains("\"type\":\"phase\",\"phase\":\"encode\",\"seq\":0"));
+        assert!(
+            doc.contains("\"type\":\"phase\",\"scope\":\"main\",\"phase\":\"encode\",\"seq\":0")
+        );
         assert!(doc.contains("\"model\":\"ae\",\"epoch\":2"));
         assert!(doc.contains("\"kind\":\"Ack\",\"bytes\":1"));
         assert!(doc.contains("\"path\":\"fit\",\"calls\":1"));
@@ -193,6 +244,33 @@ mod tests {
         assert!(doc.contains("\"name\":\"comm.bytes.Ack.up\",\"count\":1"));
         // Non-finite gauge serialises as null, not NaN.
         assert!(doc.contains("\"name\":\"loss\",\"value\":null"));
+    }
+
+    #[test]
+    fn hub_export_attributes_every_line_to_its_scope() {
+        let hub = TelemetryHub::new("multi", "bench");
+        hub.default_scope().metrics().counter("steps").add(1);
+        let silo = hub.scope("silo0");
+        silo.wire(&WireEvent {
+            op: WireOp::Send,
+            link: 3,
+            direction: Direction::Up,
+            msg_kind: "LatentUpload",
+            bytes: 4096,
+            lamport: 5,
+            at_nanos: 0,
+        });
+        silo.record_span("encode", Duration::from_millis(10));
+
+        let doc = render_jsonl_hub(&hub);
+        assert!(doc.contains("\"type\":\"counter\",\"scope\":\"bench\",\"name\":\"steps\""));
+        assert!(doc.contains(
+            "\"type\":\"wire\",\"scope\":\"silo0\",\"op\":\"send\",\"link\":3,\"dir\":\"up\",\
+             \"kind\":\"LatentUpload\",\"bytes\":4096,\"lamport\":5,"
+        ));
+        assert!(doc.contains("\"type\":\"span\",\"scope\":\"silo0\",\"path\":\"encode\""));
+        // Wire timestamps are stamped by the sink from the shared epoch.
+        assert!(!doc.contains("\"at_ns\":}"));
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Live metrics exposition in Prometheus text format.
+//!
+//! [`render_prometheus`] snapshots every scope of the installed hub into
+//! one scrape-ready document (each sample labelled with its actor via
+//! `scope="..."`), and [`Flusher`] writes that snapshot to a file on a
+//! fixed interval with an atomic tmp + rename — so a long-running
+//! process exposes current metrics without waiting for shutdown, and a
+//! scraper never reads a torn file. This is the hook a future
+//! `silofuse-serve` HTTP endpoint will serve from.
+
+use crate::metrics::{bucket_upper_bound, Histogram, BUCKETS};
+use crate::scope::TelemetryHub;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Renders every scope of `hub` as one Prometheus text-format document.
+///
+/// Metric names are prefixed `silofuse_` and sanitized (dots become
+/// underscores); counters get the conventional `_total` suffix;
+/// histograms emit cumulative `_bucket{le=...}` series over the
+/// non-empty log₂ buckets plus `_sum`/`_count`, and their NaN tallies
+/// surface as `<name>_nan_total`. Samples from different actors share
+/// one `# TYPE` header and differ only in the `scope` label.
+pub fn render_prometheus(hub: &TelemetryHub) -> String {
+    let mut counters: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Vec<(String, Histogram)>> = BTreeMap::new();
+    for scope in hub.scopes() {
+        let actor = scope.actor().to_string();
+        let metrics = scope.metrics();
+        for (name, value) in metrics.counters() {
+            counters.entry(metric_name(&name, "_total")).or_default().push((actor.clone(), value));
+        }
+        for (name, value) in metrics.gauges() {
+            gauges.entry(metric_name(&name, "")).or_default().push((actor.clone(), value));
+        }
+        for (name, hist) in metrics.histograms() {
+            let nan = hist.nan_count();
+            if nan > 0 {
+                counters
+                    .entry(metric_name(&name, "_nan_total"))
+                    .or_default()
+                    .push((actor.clone(), nan));
+            }
+            histograms.entry(metric_name(&name, "")).or_default().push((actor.clone(), hist));
+        }
+        // The Lamport clock doubles as a liveness/progress gauge.
+        let lamport = scope.lamport();
+        if lamport > 0 {
+            gauges
+                .entry("silofuse_lamport_clock".to_string())
+                .or_default()
+                .push((actor.clone(), lamport as f64));
+        }
+    }
+    let mut out = String::new();
+    for (name, samples) in &counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (scope, value) in samples {
+            let _ = writeln!(out, "{name}{{scope={}}} {value}", label_value(scope));
+        }
+    }
+    for (name, samples) in &gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (scope, value) in samples {
+            let _ = writeln!(out, "{name}{{scope={}}} {}", label_value(scope), prom_num(*value));
+        }
+    }
+    for (name, samples) in &histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (scope, hist) in samples {
+            let scope = label_value(scope);
+            let mut cumulative = 0u64;
+            for (i, count) in hist.bucket_counts().into_iter().enumerate() {
+                cumulative += count;
+                if count > 0 && i < BUCKETS - 1 {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{scope={scope},le=\"{}\"}} {cumulative}",
+                        prom_num(bucket_upper_bound(i))
+                    );
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{scope={scope},le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum{{scope={scope}}} {}", prom_num(hist.sum()));
+            let _ = writeln!(out, "{name}_count{{scope={scope}}} {}", hist.count());
+        }
+    }
+    out
+}
+
+/// Writes the current hub snapshot to `path` via tmp + rename. Returns
+/// `Ok(false)` without touching the file when no hub is installed.
+pub fn write_snapshot(path: &Path) -> std::io::Result<bool> {
+    let Some(hub) = crate::hub() else {
+        return Ok(false);
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, render_prometheus(&hub))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(true)
+}
+
+fn metric_name(name: &str, suffix: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10 + suffix.len());
+    out.push_str("silofuse_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out.push_str(suffix);
+    out
+}
+
+fn label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// Prometheus renders f64 with full precision; non-finite values have
+// spellings of their own (+Inf/-Inf/NaN), unlike JSON.
+fn prom_num(value: f64) -> String {
+    if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if value.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+struct FlusherShared {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Background thread flushing hub snapshots to a file on an interval.
+///
+/// The flusher re-resolves the global hub on every tick, so it survives
+/// `shutdown`/`init` cycles (it simply skips ticks while no hub is
+/// installed) and performs one final flush when stopped, making the
+/// on-disk snapshot consistent with shutdown-time state.
+pub struct Flusher {
+    path: PathBuf,
+    shared: Arc<FlusherShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Starts flushing to `path` every `interval`.
+    pub fn start(path: impl Into<PathBuf>, interval: Duration) -> Self {
+        let path = path.into();
+        let shared = Arc::new(FlusherShared { stopped: Mutex::new(false), wake: Condvar::new() });
+        let thread = {
+            let path = path.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut stopped = shared.stopped.lock().unwrap_or_else(|e| e.into_inner());
+                while !*stopped {
+                    let (guard, _) = shared
+                        .wake
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    drop(stopped);
+                    let _ = write_snapshot(&path);
+                    stopped = shared.stopped.lock().unwrap_or_else(|e| e.into_inner());
+                }
+            })
+        };
+        Self { path, shared, thread: Some(thread) }
+    }
+
+    /// Where snapshots are written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops the background thread and writes one final snapshot.
+    pub fn stop(mut self) -> std::io::Result<bool> {
+        self.halt();
+        write_snapshot(&self.path)
+    }
+
+    fn halt(&mut self) {
+        *self.shared.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::DEFAULT_ACTOR;
+
+    #[test]
+    fn renders_scope_labelled_families_with_shared_type_headers() {
+        let hub = TelemetryHub::new("prom", DEFAULT_ACTOR);
+        hub.default_scope().metrics().counter("fault.drop").add(3);
+        hub.scope("silo0").metrics().counter("fault.drop").add(5);
+        hub.scope("silo0").metrics().gauge("train.loss").set(0.25);
+        let doc = render_prometheus(&hub);
+        assert_eq!(doc.matches("# TYPE silofuse_fault_drop_total counter").count(), 1);
+        assert!(doc.contains("silofuse_fault_drop_total{scope=\"main\"} 3"));
+        assert!(doc.contains("silofuse_fault_drop_total{scope=\"silo0\"} 5"));
+        assert!(doc.contains("silofuse_train_loss{scope=\"silo0\"} 0.25"));
+    }
+
+    #[test]
+    fn histograms_emit_cumulative_buckets_sum_count_and_nan_tally() {
+        let hub = TelemetryHub::new("prom-hist", DEFAULT_ACTOR);
+        let h = hub.default_scope().metrics().histogram("comm.bytes.Ack.up");
+        h.observe(1.0);
+        h.observe(1.0);
+        h.observe(1024.0);
+        h.observe(f64::NAN);
+        let doc = render_prometheus(&hub);
+        assert!(doc.contains("# TYPE silofuse_comm_bytes_Ack_up histogram"));
+        assert!(doc.contains("silofuse_comm_bytes_Ack_up_bucket{scope=\"main\",le=\"1\"} 2"));
+        assert!(doc.contains("silofuse_comm_bytes_Ack_up_bucket{scope=\"main\",le=\"1024\"} 3"));
+        assert!(doc.contains("silofuse_comm_bytes_Ack_up_bucket{scope=\"main\",le=\"+Inf\"} 3"));
+        assert!(doc.contains("silofuse_comm_bytes_Ack_up_sum{scope=\"main\"} 1026"));
+        assert!(doc.contains("silofuse_comm_bytes_Ack_up_count{scope=\"main\"} 3"));
+        assert!(doc.contains("silofuse_comm_bytes_Ack_up_nan_total{scope=\"main\"} 1"));
+    }
+
+    #[test]
+    fn prom_num_spells_non_finite_values() {
+        assert_eq!(prom_num(f64::INFINITY), "+Inf");
+        assert_eq!(prom_num(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_num(f64::NAN), "NaN");
+        assert_eq!(prom_num(0.5), "0.5");
+    }
+}

@@ -1,10 +1,18 @@
-//! Spans, metrics, and run telemetry for the SiloFuse stack.
+//! Spans, metrics, scopes, tracing, and run telemetry for the SiloFuse
+//! stack.
 //!
-//! Everything routes through one process-global [`Telemetry`] instance
-//! behind an `AtomicBool` fast path: until [`init`] is called, every
+//! Everything routes through one process-global [`TelemetryHub`] behind
+//! an `AtomicBool` fast path: until [`init`] is called, every
 //! instrumentation entry point ([`span`], [`comm`], [`train_epoch`], ...)
 //! is a single relaxed atomic load and an immediate return, so
 //! instrumented code pays nothing when tracing is off.
+//!
+//! The hub holds one [`Telemetry`] store per logical actor
+//! (`coordinator`, `silo0`, ...). A thread pins itself to an actor with
+//! [`scope`]; everything it records while the guard lives — spans,
+//! counters, events, Lamport ticks — is attributed to that actor, while
+//! unpinned threads fall back to the hub's default scope, preserving the
+//! old single-store behavior for existing call sites.
 //!
 //! The pieces:
 //! - [`spans`] — scoped RAII wall-clock timers that nest into a span tree
@@ -13,15 +21,25 @@
 //! - [`metrics`] — a registry of counters, gauges, and fixed-bucket
 //!   log₂ histograms with p50/p90/p99 readout.
 //! - [`events`] — the [`TelemetrySink`] trait plus the concrete
-//!   train/comm/phase event types; sink methods default to no-ops.
+//!   train/comm/wire/phase event types; sink methods default to no-ops.
+//! - [`scope`] — the per-actor [`TelemetryHub`] and the RAII
+//!   actor-context guard.
+//! - [`trace`] — the wire-level [`TraceContext`] (Lamport clocks, no
+//!   wall time in the ordering path), the causally-merged cross-silo
+//!   trace, and the critical-path report.
+//! - [`expose`] — Prometheus text-format snapshots plus a periodic
+//!   atomic-rename [`expose::Flusher`] for live exposition.
 //! - [`export`] — a hand-rolled JSONL exporter writing
 //!   `target/experiments/telemetry/<run>.jsonl` and the human-readable
 //!   span-tree renderer.
 
 pub mod events;
 pub mod export;
+pub mod expose;
 pub mod metrics;
+pub mod scope;
 pub mod spans;
+pub mod trace;
 
 /// Canonical metric and span names emitted by the transport fault layer,
 /// so producers (`silofuse-distributed`) and consumers (bench reports,
@@ -61,36 +79,51 @@ pub mod names {
     pub const SYNTH_CHUNKS: &str = "synth.chunks";
     /// Span wrapping one streamed chunk of batched reverse diffusion.
     pub const SYNTH_CHUNK_SPAN: &str = "synth.chunk";
+    /// Span wrapping every blocking transport receive; the per-actor
+    /// comm-wait-vs-compute breakdown in `trace-report` sums these.
+    pub const COMM_WAIT_SPAN: &str = "comm-wait";
 }
 
-pub use events::{CommEvent, Direction, Event, NoopSink, PhaseEvent, TelemetrySink, TrainEvent};
+pub use events::{
+    CommEvent, Direction, Event, NoopSink, PhaseEvent, TelemetrySink, TrainEvent, WireEvent, WireOp,
+};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use scope::{ScopeGuard, TelemetryHub};
 pub use spans::{fmt_duration, SpanGuard, SpanRow, SpanStat};
+pub use trace::{TraceContext, TraceReport};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static GLOBAL: OnceLock<RwLock<Option<Arc<Telemetry>>>> = OnceLock::new();
+static GLOBAL: OnceLock<RwLock<Option<Arc<TelemetryHub>>>> = OnceLock::new();
 
-fn slot() -> &'static RwLock<Option<Arc<Telemetry>>> {
+fn slot() -> &'static RwLock<Option<Arc<TelemetryHub>>> {
     GLOBAL.get_or_init(|| RwLock::new(None))
 }
 
-/// Installs a fresh [`Telemetry`] named `run` and enables instrumentation.
+/// Installs a fresh [`TelemetryHub`] named `run` and enables
+/// instrumentation, returning the hub's default scope (the store that
+/// unpinned threads record into).
 ///
-/// Replaces any previously installed instance (its data is dropped unless
+/// Replaces any previously installed hub (its data is dropped unless
 /// another `Arc` to it is held), so tests can re-init freely.
 pub fn init(run: &str) -> Arc<Telemetry> {
-    let telemetry = Arc::new(Telemetry::new(run));
-    *slot().write().unwrap_or_else(|e| e.into_inner()) = Some(telemetry.clone());
-    ENABLED.store(true, Ordering::SeqCst);
-    telemetry
+    init_scoped(run, scope::DEFAULT_ACTOR).default_scope()
 }
 
-/// Disables instrumentation and drops the installed [`Telemetry`].
+/// Like [`init`], but names the default scope `default_actor` (e.g.
+/// `"bench"` or `"cli"`) and returns the whole hub.
+pub fn init_scoped(run: &str, default_actor: &str) -> Arc<TelemetryHub> {
+    let hub = Arc::new(TelemetryHub::new(run, default_actor));
+    *slot().write().unwrap_or_else(|e| e.into_inner()) = Some(hub.clone());
+    ENABLED.store(true, Ordering::SeqCst);
+    hub
+}
+
+/// Disables instrumentation and drops the installed hub.
 pub fn shutdown() {
     ENABLED.store(false, Ordering::SeqCst);
     *slot().write().unwrap_or_else(|e| e.into_inner()) = None;
@@ -102,12 +135,31 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// The installed telemetry, if tracing is enabled.
-pub fn handle() -> Option<Arc<Telemetry>> {
+/// The installed hub, if tracing is enabled.
+pub fn hub() -> Option<Arc<TelemetryHub>> {
     if !enabled() {
         return None;
     }
     slot().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// The telemetry store the current thread records into: the innermost
+/// [`scope`] guard's actor if one is active, else the hub's default
+/// scope. `None` when tracing is off.
+pub fn handle() -> Option<Arc<Telemetry>> {
+    if !enabled() {
+        return None;
+    }
+    if let Some(scoped) = scope::current_scope() {
+        return Some(scoped);
+    }
+    slot().read().unwrap_or_else(|e| e.into_inner()).as_ref().map(|hub| hub.default_scope())
+}
+
+/// Pins the current thread to `actor`'s telemetry scope until the guard
+/// drops; see [`scope::enter`]. Inert when tracing is off.
+pub fn scope(actor: &str) -> ScopeGuard {
+    scope::enter(actor)
 }
 
 /// Opens a scoped span timer; see [`spans::span`].
@@ -116,7 +168,7 @@ pub fn span(name: &str) -> SpanGuard {
     spans::span(name)
 }
 
-/// Opens a pipeline-phase span: emits a [`PhaseEvent`] with a global
+/// Opens a pipeline-phase span: emits a [`PhaseEvent`] with a per-scope
 /// sequence number, then behaves exactly like [`span`].
 pub fn phase(name: &'static str) -> SpanGuard {
     if let Some(t) = handle() {
@@ -138,6 +190,14 @@ pub fn train_epoch(model: &'static str, epoch: u64, loss: f64, lr: f64, rows: u6
 pub fn comm(direction: Direction, msg_kind: &'static str, bytes: u64) {
     if let Some(t) = handle() {
         t.comm(&CommEvent { direction, msg_kind, bytes });
+    }
+}
+
+/// Records a traced payload crossing a link (timestamp stamped by the
+/// sink); no-op when tracing is off.
+pub fn wire(event: WireEvent) {
+    if let Some(t) = handle() {
+        t.wire(&event);
     }
 }
 
@@ -168,10 +228,14 @@ pub fn epoch_stride(steps: usize) -> usize {
     (steps / 32).max(1)
 }
 
-/// The concrete telemetry store: span tree, metrics registry, and the
-/// recorded event log. Implements [`TelemetrySink`] by recording.
+/// The concrete telemetry store for one actor scope: span tree, metrics
+/// registry, Lamport clock, and the recorded event log. Implements
+/// [`TelemetrySink`] by recording.
 pub struct Telemetry {
     run: String,
+    actor: String,
+    epoch: Instant,
+    lamport: AtomicU64,
     spans: Mutex<HashMap<String, SpanEntry>>,
     span_order: AtomicU64,
     metrics: Registry,
@@ -186,10 +250,19 @@ struct SpanEntry {
 }
 
 impl Telemetry {
-    /// A fresh, empty store for run `run`.
+    /// A fresh, empty store for run `run` under the default actor name.
     pub fn new(run: &str) -> Self {
+        Self::with_epoch(run, scope::DEFAULT_ACTOR, Instant::now())
+    }
+
+    /// A fresh store attributed to `actor`, with timestamps measured
+    /// from `epoch` (shared across a hub's scopes so they compare).
+    pub(crate) fn with_epoch(run: &str, actor: &str, epoch: Instant) -> Self {
         Self {
             run: run.to_string(),
+            actor: actor.to_string(),
+            epoch,
+            lamport: AtomicU64::new(0),
             spans: Mutex::new(HashMap::new()),
             span_order: AtomicU64::new(0),
             metrics: Registry::new(),
@@ -203,6 +276,11 @@ impl Telemetry {
         &self.run
     }
 
+    /// The actor this scope is attributed to.
+    pub fn actor(&self) -> &str {
+        &self.actor
+    }
+
     /// The metrics registry.
     pub fn metrics(&self) -> &Registry {
         &self.metrics
@@ -211,6 +289,41 @@ impl Telemetry {
     /// Snapshot of every recorded event, in arrival order.
     pub fn events(&self) -> Vec<Event> {
         self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Current Lamport time (0 until the first tick or merge).
+    pub fn lamport(&self) -> u64 {
+        self.lamport.load(Ordering::Relaxed)
+    }
+
+    /// Advances the Lamport clock for a local send and returns the new
+    /// time.
+    pub fn tick_lamport(&self) -> u64 {
+        self.lamport.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Merges a Lamport time seen on the wire: the clock becomes
+    /// `max(local, seen) + 1`. Returns the new local time.
+    pub fn merge_lamport(&self, seen: u64) -> u64 {
+        let mut current = self.lamport.load(Ordering::Relaxed);
+        loop {
+            let next = current.max(seen) + 1;
+            match self.lamport.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Nanoseconds elapsed since this scope's epoch, saturating at
+    /// `u64::MAX` (585 years — effectively never).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     fn next_phase_seq(&self) -> u64 {
@@ -255,6 +368,12 @@ impl TelemetrySink for Telemetry {
         self.events.lock().unwrap_or_else(|e| e.into_inner()).push(Event::Comm(event.clone()));
     }
 
+    fn wire(&self, event: &WireEvent) {
+        let mut stamped = event.clone();
+        stamped.at_nanos = self.elapsed_nanos();
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(Event::Wire(stamped));
+    }
+
     fn phase(&self, event: &PhaseEvent) {
         self.events.lock().unwrap_or_else(|e| e.into_inner()).push(Event::Phase(event.clone()));
     }
@@ -274,12 +393,17 @@ mod tests {
         shutdown();
         assert!(!enabled());
         assert!(handle().is_none());
+        assert!(hub().is_none());
         let g = span("never-recorded");
         assert!(!g.is_active());
         drop(g);
+        let s = scope("coordinator");
+        assert!(!s.is_active());
+        drop(s);
         train_epoch("ae", 0, 1.0, 1e-3, 64);
         comm(Direction::Up, "LatentUpload", 128);
         count("c", 1);
+        assert!(trace::ctx_for_send().is_none());
     }
 
     #[test]
@@ -298,6 +422,7 @@ mod tests {
         shutdown();
 
         assert_eq!(t.run(), "unit");
+        assert_eq!(t.actor(), scope::DEFAULT_ACTOR);
         let rows = t.span_rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].name, "outer");
@@ -329,5 +454,37 @@ mod tests {
             })
             .collect();
         assert_eq!(phases, vec![("encode", 0), ("sample", 1)]);
+    }
+
+    #[test]
+    fn scope_guard_attributes_recording_to_its_actor() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let hub = init_scoped("scoped-run", "bench");
+        count("shared.metric", 1);
+        {
+            let _s = scope("silo0");
+            count("shared.metric", 10);
+            drop(span("silo-work"));
+        }
+        count("shared.metric", 100);
+        shutdown();
+
+        let default = hub.default_scope();
+        assert_eq!(default.actor(), "bench");
+        assert_eq!(default.metrics().counter("shared.metric").get(), 101);
+        let silo = hub.scope("silo0");
+        assert_eq!(silo.metrics().counter("shared.metric").get(), 10);
+        assert_eq!(silo.span_rows().len(), 1, "span landed in the silo scope");
+        assert!(default.span_rows().is_empty());
+    }
+
+    #[test]
+    fn lamport_clock_ticks_and_merges_monotonically() {
+        let t = Telemetry::new("lamport");
+        assert_eq!(t.lamport(), 0);
+        assert_eq!(t.tick_lamport(), 1);
+        assert_eq!(t.merge_lamport(10), 11, "merge jumps past the seen time");
+        assert_eq!(t.merge_lamport(3), 12, "stale merges still advance locally");
+        assert_eq!(t.tick_lamport(), 13);
     }
 }

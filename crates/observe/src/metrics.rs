@@ -60,12 +60,21 @@ pub fn bucket_upper_bound(i: usize) -> f64 {
     (2.0f64).powi(i as i32 + MIN_EXP)
 }
 
-fn bucket_index(value: f64) -> usize {
-    if !value.is_finite() || value <= bucket_upper_bound(0) {
-        return 0;
+// `None` means the value is NaN and must not be bucketed at all; `+Inf`
+// clamps to the last bucket, `-Inf` (like zero and negatives) to the
+// first, so infinities never drag quantiles toward the wrong edge.
+fn bucket_index(value: f64) -> Option<usize> {
+    if value.is_nan() {
+        return None;
+    }
+    if value == f64::INFINITY {
+        return Some(BUCKETS - 1);
+    }
+    if value <= bucket_upper_bound(0) {
+        return Some(0);
     }
     let idx = value.log2().ceil() as i64 - i64::from(MIN_EXP);
-    idx.clamp(0, BUCKETS as i64 - 1) as usize
+    Some(idx.clamp(0, BUCKETS as i64 - 1) as usize)
 }
 
 /// Fixed-bucket log₂ histogram handle with exact count/sum and
@@ -77,6 +86,7 @@ struct HistogramInner {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_bits: AtomicU64,
+    nan: AtomicU64,
 }
 
 impl Default for HistogramInner {
@@ -85,15 +95,22 @@ impl Default for HistogramInner {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
+            nan: AtomicU64::new(0),
         }
     }
 }
 
 impl Histogram {
-    /// Records one observation.
+    /// Records one observation. NaN observations are tallied separately
+    /// (see [`Histogram::nan_count`]) and excluded from count, sum, and
+    /// buckets — a single poisoned value must not corrupt quantiles.
     pub fn observe(&self, value: f64) {
         let inner = &*self.0;
-        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let Some(index) = bucket_index(value) else {
+            inner.nan.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        inner.buckets[index].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         let mut current = inner.sum_bits.load(Ordering::Relaxed);
         loop {
@@ -110,9 +127,14 @@ impl Histogram {
         }
     }
 
-    /// Number of observations.
+    /// Number of non-NaN observations.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of NaN observations rejected by [`Histogram::observe`].
+    pub fn nan_count(&self) -> u64 {
+        self.0.nan.load(Ordering::Relaxed)
     }
 
     /// Exact sum of observations.
@@ -133,16 +155,23 @@ impl Histogram {
     /// The `q`-quantile (`0.0..=1.0`) at bucket resolution: the upper
     /// bound of the bucket containing the rank-`⌈q·n⌉` observation, i.e.
     /// correct to within a factor of 2. Returns 0.0 when empty.
+    ///
+    /// `count` and the bucket cells are separate relaxed atomics, so the
+    /// rank is derived from a snapshot of the buckets themselves — never
+    /// from the live counter, which a concurrent writer may have bumped
+    /// before its bucket increment landed (the rank would then overshoot
+    /// the cumulative sum and silently fall through to the max bucket).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        let n = self.count();
+        let snapshot: Vec<u64> = self.bucket_counts();
+        let n: u64 = snapshot.iter().sum();
         if n == 0 {
             return 0.0;
         }
-        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut cumulative = 0u64;
-        for (i, bucket) in self.0.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
+        for (i, &count) in snapshot.iter().enumerate() {
+            cumulative += count;
             if cumulative >= rank {
                 return bucket_upper_bound(i);
             }

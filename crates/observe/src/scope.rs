@@ -1,0 +1,158 @@
+//! Per-actor telemetry scopes behind the process-global hub.
+//!
+//! A cross-silo run has several logical actors — the coordinator, each
+//! silo, the driving bench binary — that may share OS threads (the
+//! stacked synthesis loop runs both halves of every link on one thread).
+//! The [`TelemetryHub`] keeps one [`Telemetry`] store per actor; the
+//! [`ScopeGuard`] pins a thread (RAII, nestable) to an actor so that all
+//! the cheap free functions (`observe::count/span/record/...`) attribute
+//! to it without any call-site changes. Threads outside any scope record
+//! into the hub's default scope, which preserves the pre-scope behavior.
+
+use crate::Telemetry;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Actor name used for the hub's default scope when none is given.
+pub const DEFAULT_ACTOR: &str = "main";
+
+/// The process-global set of per-actor telemetry scopes for one run.
+///
+/// Scopes are created on first use and never removed; all scopes share
+/// the hub's epoch instant so their event timestamps are comparable.
+pub struct TelemetryHub {
+    run: String,
+    trace_id: u64,
+    epoch: Instant,
+    scopes: Mutex<Vec<Arc<Telemetry>>>,
+}
+
+impl TelemetryHub {
+    /// A fresh hub for run `run` whose default scope is `default_actor`.
+    pub fn new(run: &str, default_actor: &str) -> Self {
+        let epoch = Instant::now();
+        let default = Arc::new(Telemetry::with_epoch(run, default_actor, epoch));
+        Self {
+            run: run.to_string(),
+            trace_id: crate::trace::fnv1a(run.as_bytes()),
+            epoch,
+            scopes: Mutex::new(vec![default]),
+        }
+    }
+
+    /// The run name this hub was installed under.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// Run-scoped trace id: a deterministic FNV-1a hash of the run name,
+    /// so fixed-seed reruns carry identical ids (no wall clock anywhere
+    /// in the tracing path).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The scope threads record into when no [`ScopeGuard`] is active.
+    pub fn default_scope(&self) -> Arc<Telemetry> {
+        self.scopes.lock().unwrap_or_else(|e| e.into_inner())[0].clone()
+    }
+
+    /// The scope for `actor`, created empty on first request.
+    pub fn scope(&self, actor: &str) -> Arc<Telemetry> {
+        let mut scopes = self.scopes.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = scopes.iter().find(|s| s.actor() == actor) {
+            return existing.clone();
+        }
+        let scope = Arc::new(Telemetry::with_epoch(&self.run, actor, self.epoch));
+        scopes.push(scope.clone());
+        scope
+    }
+
+    /// All scopes in creation order (default scope first).
+    pub fn scopes(&self) -> Vec<Arc<Telemetry>> {
+        self.scopes.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<Telemetry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost scope this thread is pinned to, if any.
+pub(crate) fn current_scope() -> Option<Arc<Telemetry>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Pins the current thread to `actor`'s scope until the returned guard
+/// drops. Nestable — the innermost guard wins — and inert when tracing
+/// is off (the guard then records nothing and costs one atomic load).
+///
+/// The scope `Arc` is resolved once at entry, so a guard that outlives a
+/// `shutdown`/`init` cycle keeps recording into the orphaned store it
+/// captured rather than panicking or leaking into the new run.
+pub fn enter(actor: &str) -> ScopeGuard {
+    let Some(hub) = crate::hub() else {
+        return ScopeGuard { active: false };
+    };
+    CURRENT.with(|c| c.borrow_mut().push(hub.scope(actor)));
+    ScopeGuard { active: true }
+}
+
+/// RAII guard pinning the current thread to an actor scope.
+#[must_use = "dropping the guard immediately exits the scope"]
+pub struct ScopeGuard {
+    active: bool,
+}
+
+impl ScopeGuard {
+    /// Whether this guard actually entered a scope (tracing was on).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.active {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_hands_out_one_scope_per_actor() {
+        let hub = TelemetryHub::new("scoped", DEFAULT_ACTOR);
+        let a = hub.scope("silo0");
+        let b = hub.scope("silo0");
+        assert!(Arc::ptr_eq(&a, &b), "same actor, same store");
+        assert_eq!(hub.scopes().len(), 2, "default + silo0");
+        assert_eq!(hub.default_scope().actor(), DEFAULT_ACTOR);
+    }
+
+    #[test]
+    fn trace_id_is_a_pure_function_of_the_run_name() {
+        let a = TelemetryHub::new("run-a", DEFAULT_ACTOR);
+        let b = TelemetryHub::new("run-a", DEFAULT_ACTOR);
+        let c = TelemetryHub::new("run-b", DEFAULT_ACTOR);
+        assert_eq!(a.trace_id(), b.trace_id());
+        assert_ne!(a.trace_id(), c.trace_id());
+    }
+
+    #[test]
+    fn inactive_guard_never_pops_the_scope_stack() {
+        let hub = TelemetryHub::new("stack", DEFAULT_ACTOR);
+        CURRENT.with(|c| c.borrow_mut().push(hub.scope("pinned")));
+        drop(ScopeGuard { active: false });
+        assert_eq!(current_scope().unwrap().actor(), "pinned");
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}

@@ -48,6 +48,21 @@ pub fn span(name: &str) -> SpanGuard {
     SpanGuard { start: Some(Instant::now()), active }
 }
 
+/// Deterministic id of this thread's currently open span path: the
+/// FNV-1a hash of the `"/"`-joined stack, 0 when no spans are open.
+/// Stamped into outbound [`crate::TraceContext`]s as the parent span, so
+/// a wire payload can be tied back to the code path that sent it.
+pub fn current_path_hash() -> u64 {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        if stack.is_empty() {
+            0
+        } else {
+            crate::trace::fnv1a(stack.join("/").as_bytes())
+        }
+    })
+}
+
 /// RAII handle for an open span; records elapsed time when dropped.
 #[must_use = "dropping the guard immediately records a ~zero-length span"]
 pub struct SpanGuard {

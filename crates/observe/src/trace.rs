@@ -1,0 +1,606 @@
+//! Cross-silo distributed tracing: the wire-level [`TraceContext`],
+//! Lamport-clock helpers, the causally-merged trace, and the
+//! critical-path report behind `silofuse trace-report`.
+//!
+//! Ordering is purely logical. Each actor scope owns a Lamport clock
+//! that ticks on send and merges (`max + 1`) on receive; wall-clock
+//! timestamps ride along for duration accounting only and never enter
+//! the sort key, so fixed-seed runs produce bit-identical orderings.
+
+use crate::events::{Direction, Event, WireOp};
+use crate::scope::TelemetryHub;
+use crate::spans::SpanRow;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Deterministic 64-bit FNV-1a hash, used for trace and span ids.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The causal context a traced message carries on the wire: run-scoped
+/// trace id, the sender's enclosing span path hash, and the sender's
+/// Lamport time at transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Run-scoped id shared by every message of one traced run.
+    pub trace_id: u64,
+    /// FNV-1a hash of the sender's open span path (0 when none).
+    pub parent_span: u64,
+    /// The sender's Lamport time after the send tick.
+    pub lamport: u64,
+}
+
+/// Ticks the current scope's Lamport clock and builds the context to
+/// stamp on an outbound message. `None` when tracing is off — the
+/// transport then sends the bare, header-free encoding.
+pub fn ctx_for_send() -> Option<TraceContext> {
+    let scope = crate::handle()?;
+    let hub = crate::hub()?;
+    Some(TraceContext {
+        trace_id: hub.trace_id(),
+        parent_span: crate::spans::current_path_hash(),
+        lamport: scope.tick_lamport(),
+    })
+}
+
+/// Merges a received context into the current scope's Lamport clock and
+/// returns the local time after the merge (0 when tracing is off).
+pub fn merge_on_recv(ctx: &TraceContext) -> u64 {
+    crate::handle().map(|scope| scope.merge_lamport(ctx.lamport)).unwrap_or(0)
+}
+
+/// One wire event in the merged cross-silo trace, attributed to its
+/// actor and ordered by `(lamport, actor, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Actor scope that recorded the event.
+    pub actor: String,
+    /// Arrival index among this actor's wire events (ties within one
+    /// Lamport tick stay in recording order).
+    pub seq: u64,
+    /// Send or receive.
+    pub op: WireOp,
+    /// Link id pairing both sides of the same payload.
+    pub link: u64,
+    /// Traffic direction on the link.
+    pub direction: Direction,
+    /// Message kind.
+    pub kind: String,
+    /// Base wire bytes (trace header excluded).
+    pub bytes: u64,
+    /// The actor's Lamport time at the event.
+    pub lamport: u64,
+    /// Nanoseconds since the hub epoch (durations only, never ordering).
+    pub at_nanos: u64,
+}
+
+/// Per-actor totals reconciling the trace against the span trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorSummary {
+    /// Actor scope name.
+    pub actor: String,
+    /// Total recorded span time, counting each self-rooted span subtree
+    /// once (nested recorded spans are already inside their parents).
+    pub total: Duration,
+    /// Time spent blocked in transport receives (`comm-wait` spans).
+    pub comm_wait: Duration,
+    /// Traced payloads sent by this actor.
+    pub sends: u64,
+    /// Traced payloads received by this actor.
+    pub recvs: u64,
+    /// Base bytes out across traced sends.
+    pub bytes_out: u64,
+    /// Base bytes in across traced receives.
+    pub bytes_in: u64,
+    /// The actor's final Lamport time.
+    pub max_lamport: u64,
+}
+
+impl ActorSummary {
+    /// Span time not spent waiting on the wire.
+    pub fn compute(&self) -> Duration {
+        self.total.saturating_sub(self.comm_wait)
+    }
+}
+
+/// The merged trace plus its critical path, ready to render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Run name the trace came from.
+    pub run: String,
+    /// Run-scoped trace id.
+    pub trace_id: u64,
+    /// All wire events in causal `(lamport, actor, seq)` order.
+    pub rows: Vec<TraceRow>,
+    /// Per-actor reconciliation totals, sorted by actor name (scope
+    /// creation order races across threads).
+    pub actors: Vec<ActorSummary>,
+    /// Indices into `rows` forming the longest causal chain ending at
+    /// the maximum Lamport time.
+    pub critical_path: Vec<usize>,
+}
+
+/// Collects every scope's wire events and span totals from `hub` into a
+/// merged, causally-ordered report.
+pub fn collect(hub: &TelemetryHub) -> TraceReport {
+    let mut rows = Vec::new();
+    let mut actors = Vec::new();
+    for scope in hub.scopes() {
+        let actor = scope.actor().to_string();
+        let (mut seq, mut sends, mut recvs) = (0u64, 0u64, 0u64);
+        let (mut bytes_out, mut bytes_in) = (0u64, 0u64);
+        for event in scope.events() {
+            if let Event::Wire(w) = event {
+                match w.op {
+                    WireOp::Send => {
+                        sends += 1;
+                        bytes_out += w.bytes;
+                    }
+                    WireOp::Recv => {
+                        recvs += 1;
+                        bytes_in += w.bytes;
+                    }
+                }
+                rows.push(TraceRow {
+                    actor: actor.clone(),
+                    seq,
+                    op: w.op,
+                    link: w.link,
+                    direction: w.direction,
+                    kind: w.msg_kind.to_string(),
+                    bytes: w.bytes,
+                    lamport: w.lamport,
+                    at_nanos: w.at_nanos,
+                });
+                seq += 1;
+            }
+        }
+        let (total, comm_wait) = span_totals(&scope.span_rows());
+        actors.push(ActorSummary {
+            actor,
+            total,
+            comm_wait,
+            sends,
+            recvs,
+            bytes_out,
+            bytes_in,
+            max_lamport: scope.lamport(),
+        });
+    }
+    build_report(hub.run(), hub.trace_id(), rows, actors)
+}
+
+/// Sums a scope's span tree into `(total, comm_wait)`: `total` counts
+/// each recorded span subtree exactly once (rows with a recorded
+/// ancestor are already inside that ancestor's total), `comm_wait` sums
+/// every recorded `comm-wait` row.
+pub fn span_totals(rows: &[SpanRow]) -> (Duration, Duration) {
+    let mut total = Duration::ZERO;
+    let mut comm_wait = Duration::ZERO;
+    // Recorded-flags for the current ancestor chain, indexed by depth.
+    let mut recorded_chain: Vec<bool> = Vec::new();
+    for row in rows {
+        recorded_chain.truncate(row.depth);
+        let recorded = row.stat.calls > 0;
+        if recorded && !recorded_chain.iter().any(|&r| r) {
+            total += row.stat.total;
+        }
+        if recorded && row.name == crate::names::COMM_WAIT_SPAN {
+            comm_wait += row.stat.total;
+        }
+        recorded_chain.push(recorded);
+    }
+    (total, comm_wait)
+}
+
+/// Sorts rows causally and walks the critical path back from the event
+/// with the maximum Lamport time.
+pub fn build_report(
+    run: &str,
+    trace_id: u64,
+    mut rows: Vec<TraceRow>,
+    mut actors: Vec<ActorSummary>,
+) -> TraceReport {
+    rows.sort_by(|a, b| {
+        (a.lamport, a.actor.as_str(), a.seq).cmp(&(b.lamport, b.actor.as_str(), b.seq))
+    });
+    // Scope creation order races across silo threads; sorting by name
+    // keeps the report a pure function of the causal history.
+    actors.sort_by(|a, b| a.actor.cmp(&b.actor));
+    let critical_path = critical_path(&rows);
+    TraceReport { run: run.to_string(), trace_id, rows, actors, critical_path }
+}
+
+/// The causal chain ending at the last event of the sorted trace: from
+/// each receive, step back to either the matched send (k-th send on a
+/// link matches the k-th receive — links are FIFO) or the actor's own
+/// previous event, whichever carries the later Lamport time.
+fn critical_path(rows: &[TraceRow]) -> Vec<usize> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let mut by_actor_seq: HashMap<(&str, u64), usize> = HashMap::new();
+    let mut send_lists: HashMap<(u64, Direction), Vec<usize>> = HashMap::new();
+    let mut recv_lists: HashMap<(u64, Direction), Vec<usize>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        by_actor_seq.insert((row.actor.as_str(), row.seq), i);
+        let lists = match row.op {
+            WireOp::Send => &mut send_lists,
+            WireOp::Recv => &mut recv_lists,
+        };
+        lists.entry((row.link, row.direction)).or_default().push(i);
+    }
+    // Within one (link, direction) all sends come from a single actor,
+    // so ordering by that actor's seq recovers FIFO transmission order.
+    for lists in [&mut send_lists, &mut recv_lists] {
+        for indices in lists.values_mut() {
+            indices.sort_by_key(|&i| rows[i].seq);
+        }
+    }
+    let mut matched_send: HashMap<usize, usize> = HashMap::new();
+    for (key, recvs) in &recv_lists {
+        if let Some(sends) = send_lists.get(key) {
+            for (k, &recv_idx) in recvs.iter().enumerate() {
+                if let Some(&send_idx) = sends.get(k) {
+                    matched_send.insert(recv_idx, send_idx);
+                }
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cursor = rows.len() - 1;
+    loop {
+        path.push(cursor);
+        let row = &rows[cursor];
+        let prev_own = row
+            .seq
+            .checked_sub(1)
+            .and_then(|seq| by_actor_seq.get(&(row.actor.as_str(), seq)).copied());
+        let via_send =
+            if row.op == WireOp::Recv { matched_send.get(&cursor).copied() } else { None };
+        cursor = match (prev_own, via_send) {
+            (None, None) => break,
+            (Some(p), None) => p,
+            (None, Some(s)) => s,
+            (Some(p), Some(s)) => {
+                if rows[s].lamport >= rows[p].lamport {
+                    s
+                } else {
+                    p
+                }
+            }
+        };
+    }
+    path.reverse();
+    path
+}
+
+/// Plain-text critical-path / comm-wait-vs-compute report.
+pub fn render_report(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace report · run {} · trace_id {:016x} · {} wire events",
+        report.run,
+        report.trace_id,
+        report.rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>6} {:>6} {:>12} {:>12} {:>9}",
+        "actor",
+        "span total",
+        "comm-wait",
+        "compute",
+        "sends",
+        "recvs",
+        "bytes out",
+        "bytes in",
+        "lamport"
+    );
+    for a in &report.actors {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>10} {:>6} {:>6} {:>12} {:>12} {:>9}",
+            a.actor,
+            crate::fmt_duration(a.total),
+            crate::fmt_duration(a.comm_wait),
+            crate::fmt_duration(a.compute()),
+            a.sends,
+            a.recvs,
+            a.bytes_out,
+            a.bytes_in,
+            a.max_lamport
+        );
+    }
+    if report.critical_path.is_empty() {
+        let _ = writeln!(out, "critical path: (no traced wire events)");
+        return out;
+    }
+    let _ = writeln!(out, "critical path ({} hops):", report.critical_path.len());
+    let mut hops_per_actor: Vec<(String, u64)> = Vec::new();
+    for &i in &report.critical_path {
+        let row = &report.rows[i];
+        let _ = writeln!(
+            out,
+            "  L{:<6} {:<14} {:<4} {:<18} link {:<3} {:<4} {:>10} B",
+            row.lamport,
+            row.actor,
+            row.op.as_str(),
+            row.kind,
+            row.link,
+            row.direction.as_str(),
+            row.bytes
+        );
+        match hops_per_actor.iter_mut().find(|(actor, _)| *actor == row.actor) {
+            Some((_, n)) => *n += 1,
+            None => hops_per_actor.push((row.actor.clone(), 1)),
+        }
+    }
+    let summary: Vec<String> =
+        hops_per_actor.iter().map(|(actor, n)| format!("{actor} {n}")).collect();
+    let _ = writeln!(out, "critical-path hops by actor: {}", summary.join(", "));
+    out
+}
+
+/// Serializes a report to trace JSONL: one `trace_run` line, one `actor`
+/// line per scope, then one `wire` line per event in causal order.
+pub fn render_trace_jsonl(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"trace_run\",\"run\":{},\"trace_id\":{},\"events\":{}}}",
+        crate::export::json_str(&report.run),
+        report.trace_id,
+        report.rows.len()
+    );
+    for a in &report.actors {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"actor\",\"actor\":{},\"total_ns\":{},\"comm_wait_ns\":{},\
+             \"sends\":{},\"recvs\":{},\"bytes_out\":{},\"bytes_in\":{},\"max_lamport\":{}}}",
+            crate::export::json_str(&a.actor),
+            a.total.as_nanos(),
+            a.comm_wait.as_nanos(),
+            a.sends,
+            a.recvs,
+            a.bytes_out,
+            a.bytes_in,
+            a.max_lamport
+        );
+    }
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"wire\",\"actor\":{},\"seq\":{},\"op\":{},\"link\":{},\
+             \"dir\":{},\"kind\":{},\"bytes\":{},\"lamport\":{},\"at_ns\":{}}}",
+            crate::export::json_str(&row.actor),
+            row.seq,
+            crate::export::json_str(row.op.as_str()),
+            row.link,
+            crate::export::json_str(row.direction.as_str()),
+            crate::export::json_str(&row.kind),
+            row.bytes,
+            row.lamport,
+            row.at_nanos
+        );
+    }
+    out
+}
+
+/// Collects `hub` and writes the merged trace next to the telemetry
+/// JSONL as `target/experiments/telemetry/<run>.trace.jsonl` (atomic
+/// tmp + rename), returning the written path.
+pub fn write_trace_jsonl(hub: &TelemetryHub) -> std::io::Result<PathBuf> {
+    let report = collect(hub);
+    let dir = Path::new(crate::export::TELEMETRY_DIR);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.trace.jsonl", crate::export::sanitize(&report.run)));
+    let tmp = path.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, render_trace_jsonl(&report))?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Parses trace JSONL produced by [`render_trace_jsonl`] back into a
+/// report (critical path recomputed), for `silofuse trace-report` and
+/// round-trip tests. Lines of unknown type are skipped; malformed known
+/// lines are an error.
+pub fn parse_trace_jsonl(text: &str) -> Result<TraceReport, String> {
+    let mut run = String::new();
+    let mut trace_id = 0u64;
+    let mut rows = Vec::new();
+    let mut actors = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let kind = field(line, "type").ok_or_else(|| format!("line {}: no type", lineno + 1))?;
+        let ctx = |key: &str| {
+            field(line, key).ok_or_else(|| format!("line {}: missing {key}", lineno + 1))
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            ctx(key)?.parse::<u64>().map_err(|e| format!("line {}: bad {key}: {e}", lineno + 1))
+        };
+        match kind {
+            "trace_run" => {
+                run = ctx("run")?.to_string();
+                trace_id = num("trace_id")?;
+            }
+            "actor" => {
+                actors.push(ActorSummary {
+                    actor: ctx("actor")?.to_string(),
+                    total: Duration::from_nanos(num("total_ns")?),
+                    comm_wait: Duration::from_nanos(num("comm_wait_ns")?),
+                    sends: num("sends")?,
+                    recvs: num("recvs")?,
+                    bytes_out: num("bytes_out")?,
+                    bytes_in: num("bytes_in")?,
+                    max_lamport: num("max_lamport")?,
+                });
+            }
+            "wire" => {
+                let op = match ctx("op")? {
+                    "send" => WireOp::Send,
+                    "recv" => WireOp::Recv,
+                    other => return Err(format!("line {}: bad op {other:?}", lineno + 1)),
+                };
+                let direction = match ctx("dir")? {
+                    "up" => Direction::Up,
+                    "down" => Direction::Down,
+                    other => return Err(format!("line {}: bad dir {other:?}", lineno + 1)),
+                };
+                rows.push(TraceRow {
+                    actor: ctx("actor")?.to_string(),
+                    seq: num("seq")?,
+                    op,
+                    link: num("link")?,
+                    direction,
+                    kind: ctx("kind")?.to_string(),
+                    bytes: num("bytes")?,
+                    lamport: num("lamport")?,
+                    at_nanos: num("at_ns")?,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(build_report(&run, trace_id, rows, actors))
+}
+
+// Extracts the value of `"key":...` from one flat JSON object line. Our
+// exporter never nests objects and only escapes control characters that
+// cannot appear in actor/kind/run identifiers, so a scan suffices.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::SpanStat;
+
+    fn row(actor: &str, seq: u64, op: WireOp, link: u64, lamport: u64) -> TraceRow {
+        TraceRow {
+            actor: actor.to_string(),
+            seq,
+            op,
+            link,
+            direction: Direction::Up,
+            kind: "LatentUpload".to_string(),
+            bytes: 100,
+            lamport,
+            at_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"silofuse"), fnv1a(b"silofuse"));
+        assert_ne!(fnv1a(b"silo0"), fnv1a(b"silo1"));
+    }
+
+    #[test]
+    fn critical_path_crosses_the_wire_at_the_matched_send() {
+        // silo0 sends at L1; coordinator receives at L2 then sends an
+        // ack at L3. The chain must be send → recv → send.
+        let rows = vec![
+            row("silo0", 0, WireOp::Send, 7, 1),
+            row("coordinator", 0, WireOp::Recv, 7, 2),
+            row("coordinator", 1, WireOp::Send, 7, 3),
+        ];
+        let report = build_report("t", 1, rows, Vec::new());
+        let actors: Vec<&str> =
+            report.critical_path.iter().map(|&i| report.rows[i].actor.as_str()).collect();
+        assert_eq!(actors, vec!["silo0", "coordinator", "coordinator"]);
+    }
+
+    #[test]
+    fn causal_sort_breaks_lamport_ties_deterministically() {
+        let rows = vec![row("silo1", 0, WireOp::Send, 2, 1), row("silo0", 0, WireOp::Send, 1, 1)];
+        let report = build_report("t", 1, rows, Vec::new());
+        assert_eq!(report.rows[0].actor, "silo0", "ties order by actor name");
+    }
+
+    #[test]
+    fn span_totals_count_self_rooted_subtrees_once() {
+        let mk = |depth: usize, name: &str, calls: u64, ms: u64| SpanRow {
+            depth,
+            name: name.to_string(),
+            path: name.to_string(),
+            stat: SpanStat {
+                calls,
+                total: Duration::from_millis(ms),
+                max: Duration::from_millis(ms),
+            },
+        };
+        let rows = vec![
+            mk(0, "evaluate", 0, 0),    // unrecorded interior node
+            mk(1, "fit", 1, 100),       // self-rooted: counted
+            mk(2, "comm-wait", 4, 30),  // nested in fit: not re-counted
+            mk(1, "synthesize", 1, 50), // self-rooted: counted
+            mk(2, "comm-wait", 2, 10),
+        ];
+        let (total, wait) = span_totals(&rows);
+        assert_eq!(total, Duration::from_millis(150));
+        assert_eq!(wait, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips() {
+        let rows =
+            vec![row("silo0", 0, WireOp::Send, 7, 1), row("coordinator", 0, WireOp::Recv, 7, 2)];
+        let actors = vec![ActorSummary {
+            actor: "silo0".to_string(),
+            total: Duration::from_nanos(123_456_789),
+            comm_wait: Duration::from_nanos(23_456_789),
+            sends: 1,
+            recvs: 0,
+            bytes_out: 100,
+            bytes_in: 0,
+            max_lamport: 1,
+        }];
+        let report = build_report("round-trip", 42, rows, actors);
+        let parsed = parse_trace_jsonl(&render_trace_jsonl(&report)).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn render_report_reconciles_compute_plus_wait() {
+        let actors = vec![ActorSummary {
+            actor: "coordinator".to_string(),
+            total: Duration::from_millis(100),
+            comm_wait: Duration::from_millis(40),
+            sends: 2,
+            recvs: 2,
+            bytes_out: 10,
+            bytes_in: 20,
+            max_lamport: 9,
+        }];
+        let report = build_report("r", 1, vec![row("coordinator", 0, WireOp::Send, 1, 1)], actors);
+        assert_eq!(report.actors[0].compute(), Duration::from_millis(60));
+        let text = render_report(&report);
+        assert!(text.contains("critical path (1 hops)"));
+        assert!(text.contains("coordinator"));
+        assert!(text.contains("comm-wait"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Threaded correctness tests for the metrics primitives, the per-actor
+//! scope machinery, and the init/shutdown lifecycle. Telemetry is
+//! process-global, so tests touching the global serialise on
+//! `GLOBAL_LOCK`; the pure `Registry`/`TelemetryHub` tests need no lock.
+
+use silofuse_observe::scope::{TelemetryHub, DEFAULT_ACTOR};
+use silofuse_observe::Registry;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+const THREADS: usize = 8;
+const OPS: u64 = 10_000;
+
+/// Runs `work(thread_index)` on `THREADS` threads released together.
+fn hammer(work: impl Fn(usize) + Sync) {
+    let barrier = Barrier::new(THREADS);
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            let work = &work;
+            s.spawn(move || {
+                barrier.wait();
+                work(t);
+            });
+        }
+    });
+}
+
+#[test]
+fn counters_and_gauges_survive_contention_without_losing_updates() {
+    let registry = Registry::new();
+    hammer(|t| {
+        for i in 0..OPS {
+            registry.counter("hits").add(1);
+            registry.gauge("level").set((t as u64 * OPS + i) as f64);
+        }
+    });
+    assert_eq!(registry.counter("hits").get(), THREADS as u64 * OPS);
+    // The final gauge value is one of the written values, not a torn mix.
+    let level = registry.gauge("level").get();
+    assert!(level.fract() == 0.0 && level >= 0.0 && level < (THREADS as u64 * OPS) as f64);
+}
+
+#[test]
+fn histogram_count_and_sum_stay_consistent_under_concurrent_writes() {
+    let registry = Registry::new();
+    // Every thread observes the same point mass plus a sprinkling of
+    // NaN/∞ outliers; the finite ledger must come out exact.
+    hammer(|_| {
+        for i in 0..OPS {
+            registry.histogram("lat").observe(64.0);
+            if i % 1000 == 0 {
+                registry.histogram("lat").observe(f64::NAN);
+                registry.histogram("lat").observe(f64::INFINITY);
+            }
+        }
+    });
+    let hist = registry.histogram("lat");
+    let infs = THREADS as u64 * (OPS / 1000);
+    assert_eq!(hist.count(), THREADS as u64 * OPS + infs, "NaN never counted, Inf always");
+    assert_eq!(hist.nan_count(), infs);
+    // A point mass dominated by 64.0: every quantile must land in its
+    // bucket even while the ∞ outliers sit in the top bucket.
+    assert_eq!(hist.quantile(0.5), 64.0);
+    assert_eq!(hist.quantile(0.9), 64.0);
+}
+
+#[test]
+fn quantiles_read_under_concurrent_writes_never_panic_or_go_negative() {
+    let registry = Registry::new();
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    thread::scope(|s| {
+        for t in 0..4 {
+            let registry = &registry;
+            let done = done.clone();
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    registry.histogram("busy").observe((t * 100 + 1) as f64 + (i % 7) as f64);
+                    i += 1;
+                }
+            });
+        }
+        // Torn reads between bucket increments must still yield a
+        // plausible quantile (the observe() snapshot fix).
+        for _ in 0..50_000 {
+            let q = registry.histogram("busy").quantile(0.99);
+            assert!(q >= 0.0, "quantile from torn snapshot: {q}");
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+}
+
+#[test]
+fn scoped_recording_from_many_threads_lands_in_the_right_actor() {
+    let hub = TelemetryHub::new("concurrent-scopes", DEFAULT_ACTOR);
+    hammer(|t| {
+        // Even threads write to a shared actor, odd threads to their own.
+        let actor = if t % 2 == 0 { "shared".to_string() } else { format!("solo{t}") };
+        let scope = hub.scope(&actor);
+        for _ in 0..OPS {
+            scope.metrics().counter("ops").add(1);
+        }
+    });
+    let shared = hub.scope("shared");
+    assert_eq!(shared.metrics().counter("ops").get(), (THREADS as u64 / 2) * OPS);
+    for t in (1..THREADS).step_by(2) {
+        let solo = hub.scope(&format!("solo{t}"));
+        assert_eq!(solo.metrics().counter("ops").get(), OPS, "solo{t}");
+    }
+    // One scope per actor, no duplicates minted under the race.
+    let scopes = hub.scopes();
+    let mut names: Vec<&str> = scopes.iter().map(|s| s.actor()).collect();
+    let before = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate scopes: {names:?}");
+    assert_eq!(before, 2 + THREADS / 2, "default + shared + one per odd thread");
+}
+
+#[test]
+fn scope_guards_nest_independently_per_thread() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let hub = silofuse_observe::init_scoped("concurrent-guards", "main");
+    hammer(|t| {
+        let actor = format!("worker{t}");
+        for _ in 0..200 {
+            let _outer = silofuse_observe::scope(&actor);
+            silofuse_observe::count("outer.ops", 1);
+            {
+                let _inner = silofuse_observe::scope("inner");
+                silofuse_observe::count("inner.ops", 1);
+            }
+            silofuse_observe::count("outer.ops", 1);
+        }
+    });
+    for t in 0..THREADS {
+        let scope = hub.scope(&format!("worker{t}"));
+        assert_eq!(scope.metrics().counter("outer.ops").get(), 400, "worker{t}");
+    }
+    assert_eq!(hub.scope("inner").metrics().counter("inner.ops").get(), THREADS as u64 * 200);
+    assert_eq!(hub.default_scope().metrics().counter("outer.ops").get(), 0, "nothing leaks");
+    silofuse_observe::shutdown();
+}
+
+#[test]
+fn init_shutdown_races_with_recording_threads_never_panic() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    thread::scope(|s| {
+        for t in 0..4 {
+            let stop = stop.clone();
+            s.spawn(move || {
+                let actor = format!("racer{t}");
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Guards resolved against one run may drop after
+                    // shutdown or into the next run; both must be safe.
+                    let _scope = silofuse_observe::scope(&actor);
+                    silofuse_observe::count("race.ops", 1);
+                    silofuse_observe::record("race.lat", 1.5);
+                    let _span = silofuse_observe::span("race.span");
+                }
+            });
+        }
+        for i in 0..50 {
+            let _ = silofuse_observe::init_scoped(&format!("race-run-{i}"), "main");
+            thread::yield_now();
+            silofuse_observe::shutdown();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert!(!silofuse_observe::enabled(), "ends shut down");
+}

@@ -41,11 +41,47 @@ fn outliers_clamp_to_the_edge_buckets() {
     h.observe(0.0);
     h.observe(-5.0);
     h.observe(1e-12);
+    h.observe(f64::NEG_INFINITY);
     h.observe(1e30);
-    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
     let counts = h.bucket_counts();
-    assert_eq!(counts[0], 4, "zero/negative/tiny/non-finite all hit bucket 0");
-    assert_eq!(counts[BUCKETS - 1], 1, "huge values hit the last bucket");
+    assert_eq!(counts[0], 4, "zero/negative/tiny/-inf all hit bucket 0");
+    assert_eq!(counts[BUCKETS - 1], 2, "huge values and +inf hit the last bucket");
+    assert_eq!(h.count(), 6);
+}
+
+#[test]
+fn nan_observations_are_counted_separately_and_never_bucketed() {
+    let reg = Registry::new();
+    let h = reg.histogram("poisoned");
+    for _ in 0..50 {
+        h.observe(64.0);
+    }
+    h.observe(f64::NAN);
+    h.observe(f64::NAN);
+    assert_eq!(h.nan_count(), 2, "NaNs land in the dedicated tally");
+    assert_eq!(h.count(), 50, "NaNs are excluded from the count");
+    assert_eq!(h.sum(), 50.0 * 64.0, "NaNs never poison the running sum");
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), 50);
+    // Quantiles stay exact on the untouched point mass.
+    for q in [0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 64.0);
+    }
+}
+
+#[test]
+fn a_single_inf_does_not_drag_quantiles_toward_the_minimum() {
+    let reg = Registry::new();
+    let h = reg.histogram("spiked");
+    for _ in 0..99 {
+        h.observe(1024.0);
+    }
+    h.observe(f64::INFINITY);
+    // Before the bucket_index fix, +Inf landed in bucket 0 and pulled
+    // low quantiles down to the sub-microsecond bound.
+    assert_eq!(h.quantile(0.01), 1024.0);
+    assert_eq!(h.quantile(0.5), 1024.0);
+    assert_eq!(h.quantile(1.0), bucket_upper_bound(BUCKETS - 1));
 }
 
 #[test]
