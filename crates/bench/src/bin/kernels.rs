@@ -1,19 +1,28 @@
 //! Dense-kernel benchmark: `Reference` vs `Parallel` backend on the gemm
 //! variants plus the hot elementwise kernels, at the shapes the training
 //! stack actually runs. Verifies bit-identity between the backends on every
-//! timed shape before timing, then writes `BENCH_kernels.json` so the perf
-//! trajectory accumulates across commits.
+//! timed shape (at 1, 2, and 4 workers) before timing, gates throughput
+//! against per-ISA GFLOP/s floors and the `gemm_transpose`-vs-`gemm` packing
+//! ratio, checks the f16 inference path against its documented tolerance,
+//! then writes `BENCH_kernels.json` so the perf trajectory accumulates
+//! across commits.
 //!
 //! Usage: `cargo run --release -p silofuse-bench --bin kernels -- [--quick]
 //! [--threads N] [--seed S]`. `--threads` picks the worker count for the
-//! parallel side (default 4 when left at 1, since a 1-thread "parallel"
-//! backend is just `Reference` with overhead).
+//! parallel side (default 4 when left at 1, since the kernels themselves are
+//! identical at any worker count); the timed leg is clamped to the CPUs the
+//! host actually grants, and both the requested and effective counts are
+//! recorded in the JSON.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use silofuse_bench::parse_cli;
-use silofuse_nn::backend::{Backend, Parallel, Reference};
+use silofuse_nn::backend::{Backend, HalfPrecision, Parallel, Reference};
+use silofuse_nn::f16::F16_EPS;
+use silofuse_nn::simd::{self, SimdLevel};
 
 /// One timed kernel invocation family at one shape.
 struct Case {
@@ -85,12 +94,39 @@ fn time_case(
     best
 }
 
+/// Minimum acceptable single-run GFLOP/s for the timed parallel leg, per
+/// detected SIMD level. Floors are deliberately 3-4x below what the packed
+/// kernels measure on commodity hardware so they catch a fallback to the
+/// naive loops (an order of magnitude slower), not scheduler jitter. The
+/// scalar fallback has no floor: its job is bit-exactness, not throughput.
+fn gflops_floor(level: SimdLevel) -> Option<f64> {
+    match level {
+        SimdLevel::Scalar => None,
+        SimdLevel::Sse2 => Some(2.0),
+        SimdLevel::Avx2 => Some(6.0),
+    }
+}
+
 fn main() {
     let opts = parse_cli();
     silofuse_bench::init_trace("kernels", &opts);
-    let threads = if opts.threads > 1 { opts.threads } else { 4 };
+    let requested_threads = if opts.threads > 1 { opts.threads } else { 4 };
+    // Parallel speedup is bounded by the cores the host actually grants;
+    // clamp the timed leg so an oversubscribed box does not measure
+    // scheduler noise, and record both counts so a clamped run is not read
+    // as a regression.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = requested_threads.min(host_cpus).max(1);
+    if threads < requested_threads {
+        eprintln!(
+            "[kernels] note: host grants only {host_cpus} CPU(s); \
+             clamping timed leg from {requested_threads} to {threads} thread(s)"
+        );
+    }
+    let simd_level = simd::level();
     let reference = Reference;
     let parallel = Parallel::new(threads);
+    let half = HalfPrecision::new(Arc::new(Reference));
     let reps = if opts.quick { 3 } else { 7 };
 
     let sizes: &[usize] = if opts.quick { &[128, 256] } else { &[128, 256, 512] };
@@ -105,12 +141,10 @@ fn main() {
     // rows are plentiful and columns are not.
     cases.push(Case { kernel: "gemm", m: 4096, k: 64, n: 64 });
 
-    // Parallel speedup is bounded by the cores the host actually grants;
-    // record it so a 1x on a 1-core container is not read as a regression.
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-
     let mut json = String::from("{\n  \"bench\": \"kernels\",\n");
     let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"simd\": \"{}\",", simd_level.name());
+    let _ = writeln!(json, "  \"requested_threads\": {requested_threads},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"reps\": {reps},");
@@ -126,6 +160,12 @@ fn main() {
         "GFLOP/s (par)",
     ]);
 
+    // Per-square-size GFLOP/s, to gate gemm_transpose against gemm: the
+    // B-panel packing step must keep the transposed product within 2x of
+    // the straight one (the pre-packing gap was 4-8x).
+    let mut gemm_gflops: HashMap<usize, f64> = HashMap::new();
+    let mut gt_gflops: HashMap<usize, f64> = HashMap::new();
+
     let mut gemm512_speedup = None;
     for (i, c) in cases.iter().enumerate() {
         let (la, lb, lo) = lens(c);
@@ -134,12 +174,47 @@ fn main() {
         let mut out_ref = vec![0.0f32; lo];
         let mut out_par = vec![0.0f32; lo];
 
-        // Bit-identity gate: a fast parallel kernel that drifts from the
-        // reference would silently break crash-resume reproducibility.
+        // Bit-identity gate, at every worker count the suite runs with: a
+        // fast parallel kernel that drifts from the reference would silently
+        // break crash-resume reproducibility.
         run_case(&reference, c, &a, &b, &mut out_ref);
-        run_case(&parallel, c, &a, &b, &mut out_par);
-        let identical = out_ref.iter().zip(&out_par).all(|(x, y)| x.to_bits() == y.to_bits());
-        assert!(identical, "{} {}x{}x{}: parallel != reference", c.kernel, c.m, c.k, c.n);
+        for workers in [1usize, 2, 4] {
+            let be = Parallel::new(workers);
+            out_par.fill(0.0);
+            run_case(&be, c, &a, &b, &mut out_par);
+            let identical = out_ref.iter().zip(&out_par).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                identical,
+                "{} {}x{}x{}: parallel(x{workers}) != reference",
+                c.kernel, c.m, c.k, c.n
+            );
+        }
+
+        // f16 tolerance gate: rounding each operand to binary16 perturbs it
+        // by at most F16_EPS relative, so each output element can drift by
+        // at most ~2*F16_EPS times the sum of |a|·|b| along its dot product
+        // (f32 accumulation adds nothing at this scale). Gate with a 2.5x
+        // factor for the second-order terms.
+        let abs_a: Vec<f32> = a.iter().map(|v| v.abs()).collect();
+        let abs_b: Vec<f32> = b.iter().map(|v| v.abs()).collect();
+        let mut abs_dot = vec![0.0f32; lo];
+        run_case(&reference, c, &abs_a, &abs_b, &mut abs_dot);
+        let mut out_f16 = vec![0.0f32; lo];
+        run_case(&half, c, &a, &b, &mut out_f16);
+        let mut f16_err_ratio = 0.0f64;
+        for ((&y16, &y32), &bound) in out_f16.iter().zip(&out_ref).zip(&abs_dot) {
+            let tol = 2.5 * F16_EPS as f64 * bound as f64 + 1e-6;
+            f16_err_ratio = f16_err_ratio.max((y16 - y32).abs() as f64 / tol);
+        }
+        assert!(
+            f16_err_ratio <= 1.0,
+            "{} {}x{}x{}: f16 path exceeds tolerance (ratio {:.3})",
+            c.kernel,
+            c.m,
+            c.k,
+            c.n,
+            f16_err_ratio
+        );
 
         let t_ref = time_case(&reference, c, &a, &b, &mut out_ref, reps);
         let t_par = time_case(&parallel, c, &a, &b, &mut out_par, reps);
@@ -148,15 +223,41 @@ fn main() {
         if c.kernel == "gemm" && c.m == 512 && c.k == 512 && c.n == 512 {
             gemm512_speedup = Some(speedup);
         }
+        if c.m == c.k && c.k == c.n {
+            match c.kernel {
+                "gemm" => {
+                    gemm_gflops.insert(c.m, gflops);
+                }
+                "gemm_transpose" => {
+                    gt_gflops.insert(c.m, gflops);
+                }
+                _ => {}
+            }
+        }
+        // Throughput floor: a packed SIMD kernel that regresses to naive
+        // loops loses an order of magnitude; fail loudly instead of letting
+        // the JSON quietly record the regression.
+        if let Some(floor) = gflops_floor(simd_level) {
+            assert!(
+                gflops >= floor,
+                "{} {}x{}x{}: {gflops:.2} GFLOP/s below the {floor:.1} floor for {}",
+                c.kernel,
+                c.m,
+                c.k,
+                c.n,
+                simd_level.name()
+            );
+        }
 
         let shape = format!("{}x{}x{}", c.m, c.k, c.n);
         eprintln!(
-            "[kernels] {:<15} {:<12} ref {:>9.2}ms  par {:>9.2}ms  {:>5.2}x",
+            "[kernels] {:<15} {:<12} ref {:>9.2}ms  par {:>9.2}ms  {:>5.2}x  {:>7.2} GF/s",
             c.kernel,
             shape,
             t_ref as f64 / 1e6,
             t_par as f64 / 1e6,
-            speedup
+            speedup,
+            gflops
         );
         report.row(vec![
             c.kernel.to_string(),
@@ -171,7 +272,8 @@ fn main() {
             json,
             "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
              \"reference_ns\": {}, \"parallel_ns\": {}, \"threads\": {}, \
-             \"speedup\": {:.3}, \"parallel_gflops\": {:.3}, \"bit_identical\": true}}{}",
+             \"speedup\": {:.3}, \"parallel_gflops\": {:.3}, \"bit_identical\": true, \
+             \"f16_err_ratio\": {:.4}}}{}",
             c.kernel,
             c.m,
             c.k,
@@ -181,16 +283,37 @@ fn main() {
             threads,
             speedup,
             gflops,
+            f16_err_ratio,
             if i + 1 == cases.len() { "" } else { "," }
         );
     }
     json.push_str("  ]\n}\n");
 
+    // Packing-ratio gate: gemm_transpose must stay within 2x of gemm at
+    // every square size. Skipped on the scalar fallback, which keeps the
+    // old strided loops by design.
+    if simd_level != SimdLevel::Scalar {
+        for (&size, &g) in &gemm_gflops {
+            let gt = gt_gflops.get(&size).copied().unwrap_or(0.0);
+            assert!(
+                gt >= 0.5 * g,
+                "gemm_transpose at {size}^3 is {gt:.2} GFLOP/s, \
+                 more than 2x slower than gemm ({g:.2})"
+            );
+            eprintln!(
+                "[kernels] gemm_transpose/gemm ratio at {size}^3: {:.2} (gate: >= 0.50)",
+                gt / g
+            );
+        }
+    }
+
     let content = format!(
-        "Kernel benchmark — Reference vs Parallel backend; seed {}, {} reps\n\
-         (best-of-reps wall clock; every shape verified bit-identical first)\n\n{}",
+        "Kernel benchmark — Reference vs Parallel backend; seed {}, {} reps, SIMD {}\n\
+         (best-of-reps wall clock; every shape verified bit-identical at 1/2/4 workers\n\
+         and the f16 path tolerance-checked before timing)\n\n{}",
         opts.seed,
         reps,
+        simd_level.name(),
         report.render()
     );
     silofuse_bench::emit_report("kernels", &content);
@@ -203,12 +326,12 @@ fn main() {
 
     if let Some(s) = gemm512_speedup {
         eprintln!("[kernels] 512x512x512 gemm speedup at {threads} threads: {s:.2}x");
-        if host_cpus < threads {
-            eprintln!(
-                "[kernels] note: host grants only {host_cpus} CPU(s); \
-                 {threads}-thread speedup is core-bound, not kernel-bound"
-            );
-        }
+    }
+    if host_cpus < requested_threads {
+        eprintln!(
+            "[kernels] note: host grants only {host_cpus} CPU(s); \
+             multi-thread scaling is core-bound, not kernel-bound"
+        );
     }
     silofuse_bench::finish_trace();
 }

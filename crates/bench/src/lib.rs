@@ -59,9 +59,13 @@ pub struct CliOptions {
     /// `checkpoint_dir` (`--resume`).
     pub resume: bool,
     /// Worker threads for the dense-kernel backend (`--threads N`).
-    /// 1 = the serial reference backend; results are bit-identical
-    /// at every thread count.
+    /// 1 = serial SIMD kernels; results are bit-identical at every
+    /// thread count.
     pub threads: usize,
+    /// Numeric precision mode (`--precision f32|f16`). `f16` opts
+    /// inference into half-precision operand storage; training always
+    /// stays f32.
+    pub precision: silofuse_nn::backend::Precision,
 }
 
 impl Default for CliOptions {
@@ -78,6 +82,7 @@ impl Default for CliOptions {
             checkpoint_every: 50,
             resume: false,
             threads: 1,
+            precision: silofuse_nn::backend::Precision::F32,
         }
     }
 }
@@ -144,6 +149,13 @@ pub fn parse_cli() -> CliOptions {
                     .expect("--checkpoint-every needs a positive integer");
             }
             "--resume" => opts.resume = true,
+            "--precision" => {
+                opts.precision = args
+                    .next()
+                    .as_deref()
+                    .and_then(silofuse_nn::backend::Precision::parse)
+                    .expect("--precision needs f32 or f16");
+            }
             "--threads" => {
                 opts.threads = args
                     .next()
@@ -154,7 +166,7 @@ pub fn parse_cli() -> CliOptions {
             other => panic!(
                 "unknown argument {other}; supported: --quick --trace --expose FILE --trials N \
                  --seed S --datasets A,B --faults drop=0.05,delay=10ms,seed=7 \
-                 --checkpoint-dir D --checkpoint-every N --resume --threads N"
+                 --checkpoint-dir D --checkpoint-every N --resume --threads N --precision P"
             ),
         }
     }
@@ -162,6 +174,7 @@ pub fn parse_cli() -> CliOptions {
         panic!("--resume needs --checkpoint-dir to load from");
     }
     silofuse_nn::backend::set_threads(opts.threads);
+    silofuse_nn::backend::set_precision(opts.precision);
     opts
 }
 

@@ -52,6 +52,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    match flags.get("precision").map(|v| silofuse_nn::backend::Precision::parse(v)) {
+        None => {}
+        Some(Some(p)) => silofuse_nn::backend::set_precision(p),
+        Some(None) => {
+            eprintln!("error: --precision needs f32 or f16\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "synth" => cmd_synth(&flags),
@@ -193,8 +201,13 @@ USAGE:
   tmp+rename; implies --trace).
 
   Any command also accepts --threads N: run the dense kernels on N worker
-  threads (default 1 = serial reference backend). Outputs are bit-identical
-  at every thread count, so --threads is purely a speed knob.";
+  threads (default 1 = serial SIMD kernels). Outputs are bit-identical at
+  every thread count, so --threads is purely a speed knob.
+
+  --precision f16 opts *inference* (synthesis) into half-precision operand
+  storage with f32 accumulation; training always runs full-precision f32,
+  so checkpoints and resume stay byte-identical. SILOFUSE_PRECISION and
+  SILOFUSE_SIMD (auto|sse2|scalar) are the matching environment knobs.";
 
 type Flags = HashMap<String, String>;
 

@@ -6,27 +6,47 @@
 //!
 //! - [`Reference`]: the original single-threaded scalar loops, kept as the
 //!   correctness oracle.
-//! - [`Parallel`]: cache-blocked kernels whose output rows are partitioned
-//!   into blocks and drained by a scoped worker pool (a shared MPMC work
-//!   queue over the vendored crossbeam channels — idle workers grab the
-//!   next block, so uneven blocks self-balance).
+//! - [`Parallel`]: register-blocked SIMD micro-kernels (AVX2/SSE2 by
+//!   runtime detection, scalar fallback — see [`crate::simd`]) whose
+//!   output rows are partitioned into blocks and drained by a scoped
+//!   worker pool (a shared MPMC work queue over the vendored crossbeam
+//!   channels — idle workers grab the next block, so uneven blocks
+//!   self-balance). `gemm_transpose` packs the `Bᵀ` panel k-major first,
+//!   so the hot loop reads both operands contiguously instead of paying a
+//!   strided load per multiply.
+//! - [`HalfPrecision`]: an opt-in low-precision wrapper for synthesis —
+//!   matrix-product operands are rounded to IEEE binary16 storage
+//!   ([`crate::f16`]) and accumulated in f32. Selected with
+//!   [`set_precision`] / `SILOFUSE_PRECISION=f16` / the CLI's
+//!   `--precision f16`; *never* active while a [`force_f32`] guard is
+//!   held, which every training entry point takes.
 //!
 //! # Determinism guarantee
 //!
-//! `Parallel` is **bit-identical** to `Reference` at every thread count.
-//! Both backends run the *same* micro-kernels (the free functions in this
-//! module), and each output element is accumulated by exactly one worker
-//! in a fixed order (ascending `k` for GEMM, ascending row for column
-//! reductions). Floating-point addition is not associative, so this is a
-//! hard requirement: the crash-recovery suite asserts byte-identical
-//! resume, and a thread-count-dependent sum would break it. Blocked
-//! iteration keeps the order intact because blocks are visited in
-//! ascending order and accumulate into the same output slot.
+//! `Parallel` is **bit-identical** to `Reference` at every thread count
+//! and SIMD level. Each output element is accumulated by exactly one
+//! worker (and one SIMD lane) in a fixed order — ascending `k` for GEMM,
+//! ascending row for column reductions — with separate multiply and add
+//! instructions (never FMA, which would round differently). Floating-point
+//! addition is not associative, so this is a hard requirement: the
+//! crash-recovery suite asserts byte-identical resume, and a thread- or
+//! lane-dependent sum would break it. Blocked iteration keeps the order
+//! intact because blocks are visited in ascending order and accumulate
+//! into the same output slot.
+//!
+//! `HalfPrecision` is deliberately *not* bit-identical — rounding operands
+//! to f16 is the point. Training therefore pins itself to f32 with
+//! [`force_f32`], so checkpoints, resume, and prefix-stable synthesis
+//! guarantees are untouched; only inference opted in via the precision
+//! switch sees the rounded path, and the bench + property tests gate it
+//! against the f32 oracle within the documented tolerance
+//! ([`crate::f16::F16_EPS`]-derived).
 //!
 //! The global backend is selected with [`set_threads`] (the CLI's
 //! `--threads N`) or the `SILOFUSE_THREADS` environment variable; it
-//! defaults to [`Reference`].
+//! defaults to a single-worker [`Parallel`], i.e. serial SIMD kernels.
 
+use crate::{f16, simd, workspace};
 use std::fmt;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -173,6 +193,34 @@ fn transpose_gemm_rows(
     }
 }
 
+/// `out_block = A[rows]·B` through the SIMD micro-kernels; bit-identical
+/// to [`gemm_rows`] (`lhs(i, p) = a[i·k + p]`, ascending `k` per element).
+fn fast_gemm_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+) {
+    simd::broadcast_gemm(rows, k, n, a, k, 1, b, out_block);
+}
+
+/// `out_block = (Aᵀ·B)[cols]` through the SIMD micro-kernels;
+/// bit-identical to [`transpose_gemm_rows`] (`lhs(c, r) = a[r·m + c]`,
+/// ascending `r` per element).
+fn fast_transpose_gemm_rows(
+    cols: Range<usize>,
+    l: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+) {
+    simd::broadcast_gemm(cols, l, n, a, 1, m, b, out_block);
+}
+
 /// Column sums for the column range `cols`; ascending row order.
 fn sum_rows_cols(cols: Range<usize>, rows: usize, stride: usize, x: &[f32], out_block: &mut [f32]) {
     out_block.fill(0.0);
@@ -284,12 +332,17 @@ const PAR_GEMM_MIN_MADDS: usize = 1 << 18;
 /// Minimum element count before element-wise / reduction ops fan out.
 const PAR_ELEM_MIN: usize = 1 << 16;
 
-/// Cache-blocked kernels over a scoped worker pool.
+/// Register-blocked SIMD kernels over a scoped worker pool.
 ///
 /// Output rows are split into `4×threads` blocks pushed onto a shared MPMC
 /// queue; each worker drains blocks until the queue is empty. Every output
-/// element is produced by exactly one worker running the same micro-kernel
-/// as [`Reference`], so results are bit-identical at any thread count.
+/// element is produced by exactly one worker running the [`crate::simd`]
+/// micro-kernels, which accumulate in the same per-element order as
+/// [`Reference`], so results are bit-identical at any thread count and
+/// SIMD level. The `map`/`zip` family takes `dyn Fn` closures and cannot
+/// be explicitly vectorised; at one worker those calls are inlined
+/// monomorphised by `Tensor` (see `elementwise_parallelism`) where LLVM
+/// auto-vectorises them.
 #[derive(Debug, Clone, Copy)]
 pub struct Parallel {
     threads: usize,
@@ -375,46 +428,59 @@ impl Backend for Parallel {
 
     fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
         if self.threads == 1 || m < 2 || m * k * n < PAR_GEMM_MIN_MADDS {
-            return gemm_rows(0..m, k, n, a, b, out);
+            return fast_gemm_rows(0..m, k, n, a, b, out);
         }
-        self.run_rows(m, n, out, |rows, chunk| gemm_rows(rows, k, n, a, b, chunk));
+        self.run_rows(m, n, out, |rows, chunk| fast_gemm_rows(rows, k, n, a, b, chunk));
     }
 
     fn gemm_transpose(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-        if self.threads == 1 || m < 2 || m * k * n < PAR_GEMM_MIN_MADDS {
-            return gemm_transpose_rows(0..m, k, n, a, b, out);
+        if simd::level() == simd::SimdLevel::Scalar {
+            // Forced-scalar fallback: the original per-element dot loops.
+            if self.threads == 1 || m < 2 || m * k * n < PAR_GEMM_MIN_MADDS {
+                return gemm_transpose_rows(0..m, k, n, a, b, out);
+            }
+            return self
+                .run_rows(m, n, out, |rows, chunk| gemm_transpose_rows(rows, k, n, a, b, chunk));
         }
-        self.run_rows(m, n, out, |rows, chunk| gemm_transpose_rows(rows, k, n, a, b, chunk));
+        // Pack the Bᵀ panel k-major once on the calling thread, then run
+        // the plain gemm kernel over it: the per-element dot order is
+        // unchanged (still ascending k), but every load is now contiguous.
+        // Workers share the packed panel read-only.
+        let mut packed = workspace::take_vec(k * n);
+        simd::pack_transpose(n, k, b, &mut packed);
+        if self.threads == 1 || m < 2 || m * k * n < PAR_GEMM_MIN_MADDS {
+            fast_gemm_rows(0..m, k, n, a, &packed, out);
+        } else {
+            let bp: &[f32] = &packed;
+            self.run_rows(m, n, out, |rows, chunk| fast_gemm_rows(rows, k, n, a, bp, chunk));
+        }
+        workspace::recycle_vec(packed);
     }
 
     fn transpose_gemm(&self, l: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
         if self.threads == 1 || m < 2 || l * m * n < PAR_GEMM_MIN_MADDS {
-            return transpose_gemm_rows(0..m, l, m, n, a, b, out);
+            return fast_transpose_gemm_rows(0..m, l, m, n, a, b, out);
         }
-        self.run_rows(m, n, out, |cols, chunk| transpose_gemm_rows(cols, l, m, n, a, b, chunk));
+        self.run_rows(m, n, out, |cols, chunk| {
+            fast_transpose_gemm_rows(cols, l, m, n, a, b, chunk)
+        });
     }
 
     fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
         if self.threads == 1 || y.len() < PAR_ELEM_MIN {
-            return Reference.axpy(alpha, x, y);
+            return simd::axpy(alpha, x, y);
         }
         self.run_elems(y, |offset, chunk| {
             let end = offset + chunk.len();
-            for (yv, &xv) in chunk.iter_mut().zip(&x[offset..end]) {
-                *yv += alpha * xv;
-            }
+            simd::axpy(alpha, &x[offset..end], chunk);
         });
     }
 
     fn scale(&self, alpha: f32, y: &mut [f32]) {
         if self.threads == 1 || y.len() < PAR_ELEM_MIN {
-            return Reference.scale(alpha, y);
+            return simd::scale(alpha, y);
         }
-        self.run_elems(y, |_, chunk| {
-            for v in chunk.iter_mut() {
-                *v *= alpha;
-            }
-        });
+        self.run_elems(y, |_, chunk| simd::scale(alpha, chunk));
     }
 
     fn map(&self, x: &[f32], out: &mut [f32], f: MapFn) {
@@ -496,50 +562,258 @@ impl Backend for Parallel {
 }
 
 // ---------------------------------------------------------------------------
-// Global backend selection.
+// Half-precision inference backend.
 // ---------------------------------------------------------------------------
 
-static GLOBAL: OnceLock<RwLock<Arc<dyn Backend>>> = OnceLock::new();
-
-fn slot() -> &'static RwLock<Arc<dyn Backend>> {
-    GLOBAL.get_or_init(|| RwLock::new(from_env()))
+/// Opt-in low-precision inference wrapper: f16 operand storage, f32
+/// accumulation.
+///
+/// Every matrix-product operand (parameters *and* activations — whatever
+/// feeds a `gemm` variant) is rounded to IEEE binary16 storage via
+/// [`crate::f16::quantize_slice`] before the multiply; the multiply-add
+/// chain itself runs in f32 through the wrapped backend, so accumulation
+/// error does not compound on top of storage error. Element-wise kernels,
+/// reductions, and softmax delegate unchanged in f32.
+///
+/// This backend is **not** bit-identical to [`Reference`] — rounding is
+/// the point — which is why the global dispatch never routes through it
+/// while a [`force_f32`] guard is held (training), and why the property
+/// tests and the kernel bench gate its outputs against the f32 oracle
+/// within the tolerance derived from [`crate::f16::F16_EPS`].
+#[derive(Debug, Clone)]
+pub struct HalfPrecision {
+    inner: Arc<dyn Backend>,
 }
 
-/// Backend implied by `SILOFUSE_THREADS` (unset/invalid/≤1 → [`Reference`]).
-fn from_env() -> Arc<dyn Backend> {
-    match std::env::var("SILOFUSE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n > 1 => Arc::new(Parallel::new(n)),
-        _ => Arc::new(Reference),
+impl HalfPrecision {
+    /// Wraps `inner` so its matrix products see f16-rounded operands.
+    pub fn new(inner: Arc<dyn Backend>) -> Self {
+        Self { inner }
+    }
+
+    /// A pooled copy of `src` rounded through binary16 storage.
+    fn quantized(src: &[f32]) -> Vec<f32> {
+        let mut buf = workspace::take_vec(src.len());
+        f16::quantize_slice(src, &mut buf);
+        buf
     }
 }
 
-/// The process-global backend every `Tensor` kernel dispatches through.
+impl Backend for HalfPrecision {
+    fn name(&self) -> &'static str {
+        "f16"
+    }
+
+    fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let qa = Self::quantized(a);
+        let qb = Self::quantized(b);
+        self.inner.gemm(m, k, n, &qa, &qb, out);
+        workspace::recycle_vec(qa);
+        workspace::recycle_vec(qb);
+    }
+
+    fn gemm_transpose(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let qa = Self::quantized(a);
+        let qb = Self::quantized(b);
+        self.inner.gemm_transpose(m, k, n, &qa, &qb, out);
+        workspace::recycle_vec(qa);
+        workspace::recycle_vec(qb);
+    }
+
+    fn transpose_gemm(&self, l: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let qa = Self::quantized(a);
+        let qb = Self::quantized(b);
+        self.inner.transpose_gemm(l, m, n, &qa, &qb, out);
+        workspace::recycle_vec(qa);
+        workspace::recycle_vec(qb);
+    }
+
+    fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        self.inner.axpy(alpha, x, y);
+    }
+
+    fn scale(&self, alpha: f32, y: &mut [f32]) {
+        self.inner.scale(alpha, y);
+    }
+
+    fn map(&self, x: &[f32], out: &mut [f32], f: MapFn) {
+        self.inner.map(x, out, f);
+    }
+
+    fn map_inplace(&self, x: &mut [f32], f: MapFn) {
+        self.inner.map_inplace(x, f);
+    }
+
+    fn zip(&self, a: &[f32], b: &[f32], out: &mut [f32], f: ZipFn) {
+        self.inner.zip(a, b, out, f);
+    }
+
+    fn zip_inplace(&self, y: &mut [f32], x: &[f32], f: ZipFn) {
+        self.inner.zip_inplace(y, x, f);
+    }
+
+    fn sum_rows(&self, rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+        self.inner.sum_rows(rows, cols, x, out);
+    }
+
+    fn softmax_rows(&self, rows: usize, cols: usize, x: &mut [f32]) {
+        self.inner.softmax_rows(rows, cols, x);
+    }
+
+    fn elementwise_parallelism(&self, elems: usize) -> usize {
+        self.inner.elementwise_parallelism(elems)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global backend selection.
+// ---------------------------------------------------------------------------
+
+/// Numeric precision mode for the global dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Full-precision f32 kernels (default; the only mode training uses).
+    F32,
+    /// f16 operand storage with f32 accumulation ([`HalfPrecision`]),
+    /// applied to inference unless a [`force_f32`] guard is held.
+    F16,
+}
+
+impl Precision {
+    /// Mode name for telemetry, bench reports, and CLI round-trips.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+        }
+    }
+
+    /// Parses a CLI/env spelling (`f32`/`full`/`single`, `f16`/`half`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "full" | "single" => Some(Precision::F32),
+            "f16" | "half" => Some(Precision::F16),
+            _ => None,
+        }
+    }
+}
+
+/// Global dispatch state: the installed base backend, the precision mode,
+/// the precision-composed view of the base, and the depth of nested
+/// [`force_f32`] guards currently pinning dispatch to the base.
+struct State {
+    base: Arc<dyn Backend>,
+    composed: Arc<dyn Backend>,
+    precision: Precision,
+    forced_f32: usize,
+}
+
+static GLOBAL: OnceLock<RwLock<State>> = OnceLock::new();
+
+fn slot() -> &'static RwLock<State> {
+    GLOBAL.get_or_init(|| {
+        let base = base_from_env();
+        let precision = precision_from_env();
+        let composed = compose(&base, precision);
+        RwLock::new(State { base, composed, precision, forced_f32: 0 })
+    })
+}
+
+/// The precision-composed view of `base`.
+fn compose(base: &Arc<dyn Backend>, precision: Precision) -> Arc<dyn Backend> {
+    match precision {
+        Precision::F32 => base.clone(),
+        Precision::F16 => Arc::new(HalfPrecision::new(base.clone())),
+    }
+}
+
+/// Base backend implied by `SILOFUSE_THREADS` (unset/invalid/≤1 → one
+/// worker, i.e. serial SIMD kernels).
+fn base_from_env() -> Arc<dyn Backend> {
+    let n = std::env::var("SILOFUSE_THREADS").ok().and_then(|v| v.parse::<usize>().ok());
+    backend_for_threads(n.unwrap_or(1))
+}
+
+/// Precision implied by `SILOFUSE_PRECISION` (unset/unknown → f32).
+fn precision_from_env() -> Precision {
+    std::env::var("SILOFUSE_PRECISION")
+        .ok()
+        .and_then(|v| Precision::parse(&v))
+        .unwrap_or(Precision::F32)
+}
+
+/// The process-global backend every `Tensor` kernel dispatches through:
+/// the precision-composed backend, unless a [`force_f32`] guard pins
+/// dispatch to the full-precision base.
 pub fn get() -> Arc<dyn Backend> {
-    slot().read().unwrap_or_else(|e| e.into_inner()).clone()
+    let s = slot().read().unwrap_or_else(|e| e.into_inner());
+    if s.forced_f32 > 0 {
+        s.base.clone()
+    } else {
+        s.composed.clone()
+    }
 }
 
-/// Installs `backend` as the process-global backend.
+/// Installs `backend` as the process-global base backend; the active
+/// precision mode is re-applied on top of it.
 ///
-/// Safe to call at any time — backends are bit-identical, so in-flight
-/// training runs produce the same numbers regardless of when the switch
-/// lands.
+/// Safe to call at any time — base backends are bit-identical, so
+/// in-flight training runs produce the same numbers regardless of when
+/// the switch lands.
 pub fn set(backend: Arc<dyn Backend>) {
-    *slot().write().unwrap_or_else(|e| e.into_inner()) = backend;
+    let mut s = slot().write().unwrap_or_else(|e| e.into_inner());
+    s.composed = compose(&backend, s.precision);
+    s.base = backend;
 }
 
-/// Selects the backend for a worker count: `n ≤ 1` installs [`Reference`],
-/// anything larger installs [`Parallel`] with `n` workers.
+/// Selects the global precision mode. Unlike [`set`], this *does* change
+/// numerics for inference callers (that is the point); training is
+/// unaffected because its entry points hold a [`force_f32`] guard.
+pub fn set_precision(precision: Precision) {
+    let mut s = slot().write().unwrap_or_else(|e| e.into_inner());
+    s.composed = compose(&s.base, precision);
+    s.precision = precision;
+}
+
+/// The currently selected global precision mode.
+pub fn precision() -> Precision {
+    slot().read().unwrap_or_else(|e| e.into_inner()).precision
+}
+
+/// RAII guard pinning global dispatch to the full-precision f32 base
+/// backend; see [`force_f32`].
+pub struct ForceF32Guard(());
+
+impl Drop for ForceF32Guard {
+    fn drop(&mut self) {
+        slot().write().unwrap_or_else(|e| e.into_inner()).forced_f32 -= 1;
+    }
+}
+
+/// Pins global dispatch to the full-precision f32 base backend until the
+/// returned guard drops. Guards nest (a counter, not a flag). Every
+/// training entry point takes one, which is what makes "training stays
+/// f32 and bit-identical" a structural guarantee rather than a
+/// convention: even with `--precision f16`, gradient math can never
+/// route through [`HalfPrecision`].
+pub fn force_f32() -> ForceF32Guard {
+    slot().write().unwrap_or_else(|e| e.into_inner()).forced_f32 += 1;
+    ForceF32Guard(())
+}
+
+/// Selects the backend for a worker count: one [`Parallel`] worker (serial
+/// SIMD kernels) for `n ≤ 1`, a worker pool otherwise.
 pub fn set_threads(n: usize) {
     set(backend_for_threads(n));
 }
 
 /// The backend [`set_threads`] would install, without installing it.
 pub fn backend_for_threads(n: usize) -> Arc<dyn Backend> {
-    if n <= 1 {
-        Arc::new(Reference)
-    } else {
-        Arc::new(Parallel::new(n))
-    }
+    Arc::new(Parallel::new(n))
 }
 
 /// Worker-thread count of the current global backend.
@@ -553,8 +827,9 @@ pub fn name() -> &'static str {
 }
 
 /// Records the active backend's identity in the run telemetry: a gauge for
-/// the worker-thread count and a counter keyed by the backend's name. Fit
-/// entry points call this so every trace states which backend produced it.
+/// the worker-thread count and counters keyed by the backend's name, the
+/// detected SIMD level, and the precision mode. Fit entry points call this
+/// so every trace states which backend produced it.
 pub fn record_telemetry() {
     if !silofuse_observe::enabled() {
         return;
@@ -562,6 +837,8 @@ pub fn record_telemetry() {
     let be = get();
     silofuse_observe::gauge("nn.backend.threads", be.threads() as f64);
     silofuse_observe::count(&format!("nn.backend.{}", be.name()), 1);
+    silofuse_observe::count(&format!("nn.backend.simd.{}", simd::level().name()), 1);
+    silofuse_observe::count(&format!("nn.backend.precision.{}", precision().name()), 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -745,6 +1022,53 @@ mod tests {
         assert_eq!(name(), "parallel");
         set_threads(1);
         assert_eq!(threads(), 1);
-        assert_eq!(name(), "reference");
+        // One worker still means the SIMD kernels, not the scalar oracle.
+        assert_eq!(name(), "parallel");
+    }
+
+    #[test]
+    fn gemm_transpose_packed_path_matches_reference() {
+        // Shapes straddling the fan-out threshold and awkward tails, so
+        // both the serial packed path and the worker path are covered.
+        for (m, k, n) in [(1, 1, 1), (2, 3, 5), (9, 33, 17), (96, 64, 64), (130, 70, 50)] {
+            let a = noise(m * k, 21);
+            let b = noise(n * k, 22);
+            let mut want = vec![0.0; m * n];
+            Reference.gemm_transpose(m, k, n, &a, &b, &mut want);
+            for threads in [1, 2, 4] {
+                let mut got = vec![f32::NAN; m * n];
+                Parallel::new(threads).gemm_transpose(m, k, n, &a, &b, &mut got);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "gemm_transpose {m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_precision_rounds_gemm_operands() {
+        let (m, k, n) = (7, 19, 11);
+        let a = noise(m * k, 31);
+        let b = noise(k * n, 32);
+        let qa: Vec<f32> = a.iter().map(|&v| f16::round_f16(v)).collect();
+        let qb: Vec<f32> = b.iter().map(|&v| f16::round_f16(v)).collect();
+        let mut want = vec![0.0; m * n];
+        Reference.gemm(m, k, n, &qa, &qb, &mut want);
+        let half = HalfPrecision::new(Arc::new(Reference));
+        let mut got = vec![0.0; m * n];
+        half.gemm(m, k, n, &a, &b, &mut got);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "f16 gemm must equal f32 gemm over explicitly rounded operands"
+        );
+        // Elementwise ops are not quantized: f32 passthrough.
+        let mut y = a.clone();
+        let mut y_ref = a.clone();
+        half.axpy(0.5, &b[..m * k], &mut y);
+        Reference.axpy(0.5, &b[..m * k], &mut y_ref);
+        assert_eq!(y, y_ref);
     }
 }

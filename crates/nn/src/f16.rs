@@ -1,0 +1,227 @@
+//! Software IEEE 754 binary16 ("half") conversion.
+//!
+//! The low-precision inference mode stores matrix-product operands as f16
+//! and accumulates in f32 (see [`crate::backend::HalfPrecision`]). The
+//! container has no `half` crate, so the conversion is implemented here:
+//!
+//! - [`f32_to_f16_bits`]: round-to-nearest-even, with overflow to ±inf,
+//!   gradual underflow through half subnormals, and NaN payloads quieted
+//!   and truncated — the exact semantics of the x86 `vcvtps2ph`
+//!   instruction with RNE rounding.
+//! - [`f16_bits_to_f32`]: exact (every binary16 value is representable in
+//!   binary32).
+//!
+//! [`quantize_slice`] is the bulk entry point; it uses the F16C conversion
+//! instructions when the host has them (and SIMD is not forced off) and
+//! the software path otherwise. The exhaustive tests below assert the two
+//! agree on every one of the 65 536 half bit patterns and on random f32s,
+//! so which path ran is unobservable.
+//!
+//! # Error bound
+//!
+//! Rounding a normal f32 to f16 perturbs it by at most [`F16_EPS`] = 2⁻¹¹
+//! in relative terms (half a unit in the last of 11 significand bits).
+//! This constant is what the tolerance gates in the backend property tests
+//! and the bench's f16 leg are derived from.
+
+/// Maximum relative rounding error of f32 → f16 for normal values: 2⁻¹¹.
+pub const F16_EPS: f32 = 4.882_812_5e-4;
+
+/// Largest finite binary16 value.
+pub const F16_MAX: f32 = 65_504.0;
+
+/// Converts an `f32` to binary16 bits, rounding to nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf stays inf; NaN keeps its top payload bits and gains the
+        // quiet bit so a signalling NaN cannot survive the round trip.
+        return if man == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 | ((man >> 13) as u16 & 0x03ff)
+        };
+    }
+
+    let e = exp - 127; // Unbiased; f32 subnormals (exp == 0) fall to ±0 below.
+    if e >= 16 {
+        return sign | 0x7c00; // Overflow → inf.
+    }
+    if e >= -14 {
+        // Normal half: round the 23-bit mantissa to 10 bits. A carry out
+        // of the mantissa bumps the exponent field, which is exactly the
+        // correct result (1.111…₂ rounds up to 10.000…₂), including the
+        // bump from e == 15 into the inf encoding.
+        let m = man >> 13;
+        let rest = man & 0x1fff;
+        let mut h = sign as u32 | (((e + 15) as u32) << 10) | m;
+        if rest > 0x1000 || (rest == 0x1000 && (m & 1) == 1) {
+            h += 1;
+        }
+        return h as u16;
+    }
+    if e >= -25 {
+        // Subnormal half: the significand (implicit bit made explicit) is
+        // shifted down so one unit is 2⁻²⁴, then rounded to nearest-even.
+        let m24 = (man | 0x0080_0000) as u64;
+        let shift = (-e - 1) as u32; // 14..=24
+        let q = (m24 >> shift) as u32;
+        let rem = m24 & ((1u64 << shift) - 1);
+        let half = 1u64 << (shift - 1);
+        let mut h = q;
+        if rem > half || (rem == half && (q & 1) == 1) {
+            h += 1; // May round up to the smallest normal (0x0400): correct.
+        }
+        return sign | h as u16;
+    }
+    sign // Underflow → ±0.
+}
+
+/// Converts binary16 bits to the `f32` with the same value (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let man = (h & 0x03ff) as u32;
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (man << 13));
+    }
+    if exp == 0 {
+        // ±0 or subnormal: man × 2⁻²⁴, exact in f32.
+        let v = man as f32 * f32::from_bits(0x3380_0000); // 2⁻²⁴
+        return if sign != 0 { -v } else { v };
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (man << 13))
+}
+
+/// Rounds an `f32` through binary16 and back: the value the f16 storage
+/// format would hold for it.
+pub fn round_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Quantizes `src` into `dst` element-wise through binary16 storage
+/// (`dst[i] = round_f16(src[i])`). Uses the F16C instructions when the
+/// host has them and SIMD is not forced off; bit-identical to the
+/// software path either way.
+pub fn quantize_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "quantize_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::f16c_enabled() {
+        // SAFETY: gated on runtime F16C detection.
+        unsafe { quantize_f16c(src, dst) };
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = round_f16(s);
+    }
+}
+
+/// F16C bulk round trip: 8 lanes per iteration, RNE rounding, scalar tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn quantize_f16c(src: &[f32], dst: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(sp.add(i));
+        let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+        _mm256_storeu_ps(dp.add(i), _mm256_cvtph_ps(h));
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) = round_f16(*sp.add(i));
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_half_value_round_trips_exactly() {
+        for h in 0..=u16::MAX {
+            let v = f16_bits_to_f32(h);
+            if v.is_nan() {
+                // NaN payloads survive; the quiet bit is forced on.
+                let back = f32_to_f16_bits(v);
+                assert!(f16_bits_to_f32(back).is_nan(), "{h:#06x}");
+                assert_eq!(back, h | 0x0200, "{h:#06x}");
+            } else {
+                assert_eq!(f32_to_f16_bits(v), h, "{h:#06x} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_values_round_to_nearest_even() {
+        // (input, expected bits)
+        let cases: &[(f32, u16)] = &[
+            (0.0, 0x0000),
+            (-0.0, 0x8000),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (65504.0, 0x7bff), // F16_MAX
+            (65519.0, 0x7bff), // just under the midpoint: stays finite
+            (65520.0, 0x7c00), // midpoint to 65536: even → inf
+            (65536.0, 0x7c00), // overflow → inf
+            (f32::INFINITY, 0x7c00),
+            (f32::NEG_INFINITY, 0xfc00),
+            (5.960_464_5e-8, 0x0001), // 2⁻²⁴: smallest subnormal
+            (f32::from_bits(0x3300_0000), 0x0000), // 2⁻²⁵: midpoint to 0, even → 0
+            (2.980_233e-8, 0x0001),   // just above the midpoint → rounds up
+            (6.097_555e-5, 0x03ff),   // largest subnormal
+            (6.103_515_6e-5, 0x0400), // 2⁻¹⁴: smallest normal
+            (f32::from_bits(0x3f80_2000), 0x3c01), // 1 + 2⁻¹⁰: one half ulp step
+            (f32::from_bits(0x3f80_1000), 0x3c00), // 1 + 2⁻¹¹: midpoint, even mantissa → down
+            (f32::from_bits(0x3f80_3000), 0x3c02), // 1 + 3·2⁻¹¹: midpoint, odd mantissa → up
+        ];
+        for &(x, want) in cases {
+            assert_eq!(f32_to_f16_bits(x), want, "f32_to_f16_bits({x})");
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_within_f16_eps() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2000.0;
+            let r = round_f16(x);
+            assert!((r - x).abs() <= F16_EPS * x.abs().max(f16_bits_to_f32(0x0400)), "{x} -> {r}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar_round() {
+        // Covers the F16C path on hosts that have it: it must agree with
+        // the software converter bit for bit, including specials.
+        let mut src: Vec<f32> = (0..=u16::MAX).map(f16_bits_to_f32).collect();
+        src.extend([1.1f32, -3.7e4, 7.3e-6, f32::NAN, f32::INFINITY, -0.0, 1e-40]);
+        let mut state = 42u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            src.push(f32::from_bits((state >> 32) as u32));
+        }
+        let mut dst = vec![0.0f32; src.len()];
+        quantize_slice(&src, &mut dst);
+        for (&s, &d) in src.iter().zip(&dst) {
+            let want = round_f16(s);
+            assert!(
+                want.to_bits() == d.to_bits() || (want.is_nan() && d.is_nan()),
+                "quantize({s:?}) = {d:?}, want {want:?}"
+            );
+        }
+    }
+}

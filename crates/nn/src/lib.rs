@@ -38,11 +38,13 @@
 
 pub mod backend;
 pub mod embedding;
+pub mod f16;
 pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 

@@ -79,27 +79,46 @@ pub fn grouped_softmax_cross_entropy(
     (loss / denom, grad)
 }
 
+/// Symmetric clamp applied to the predicted log-variance in
+/// [`gaussian_nll`], in both the loss and its gradient. Without it,
+/// `exp(-log_var)` overflows to `inf` (and the gradients to NaN) for the
+/// strongly negative predictions an untrained variance head emits early
+/// in training.
+pub const GAUSSIAN_NLL_LOG_VAR_CLAMP: f32 = 10.0;
+
 /// Gaussian negative log-likelihood with a learned diagonal variance.
 ///
 /// `mu` and `log_var` are the decoder head outputs; `target` the observed
-/// values. Per element: `0.5 * (log_var + (x - mu)^2 / exp(log_var))`
-/// (the `log 2π` constant is dropped). Returns `(loss, grad_mu, grad_log_var)`.
+/// values. Per element: `0.5 * (lv + (x - mu)^2 / exp(lv))` with
+/// `lv = clamp(log_var, ±`[`GAUSSIAN_NLL_LOG_VAR_CLAMP`]`)` (the `log 2π`
+/// constant is dropped). Returns `(loss, grad_mu, grad_log_var)`.
+///
+/// The clamp is applied *symmetrically in loss and gradient*: where the
+/// prediction saturates the clamp, the loss no longer depends on
+/// `log_var`, so `grad_log_var` is exactly `0` there — consistent with
+/// finite differences of the clamped loss, instead of reporting a
+/// gradient for a direction the loss cannot move in.
 pub fn gaussian_nll(mu: &Tensor, log_var: &Tensor, target: &Tensor) -> (f32, Tensor, Tensor) {
     assert_eq!(mu.shape(), target.shape(), "gaussian_nll shape mismatch");
     assert_eq!(mu.shape(), log_var.shape(), "gaussian_nll shape mismatch");
+    const C: f32 = GAUSSIAN_NLL_LOG_VAR_CLAMP;
     let n = mu.len() as f32;
     let mut loss = 0.0f32;
     let mut grad_mu = workspace::take(mu.rows(), mu.cols());
     let mut grad_lv = workspace::take(mu.rows(), mu.cols());
     for i in 0..mu.len() {
         let m = mu.as_slice()[i];
-        let lv = log_var.as_slice()[i].clamp(-10.0, 10.0);
+        let lv_raw = log_var.as_slice()[i];
+        let lv = lv_raw.clamp(-C, C);
         let x = target.as_slice()[i];
         let inv_var = (-lv).exp();
         let d = x - m;
         loss += 0.5 * (lv + d * d * inv_var);
         grad_mu.as_mut_slice()[i] = -(d * inv_var) / n;
-        grad_lv.as_mut_slice()[i] = 0.5 * (1.0 - d * d * inv_var) / n;
+        // d(clamp)/d(lv_raw) is 0 in the saturated zone: the clamped loss
+        // is locally constant in log_var there.
+        grad_lv.as_mut_slice()[i] =
+            if lv_raw.abs() > C { 0.0 } else { 0.5 * (1.0 - d * d * inv_var) / n };
     }
     (loss / n, grad_mu, grad_lv)
 }
@@ -226,6 +245,54 @@ mod tests {
             let (fm, _, _) = gaussian_nll(&mu, &m, &target);
             let numeric = (fp - fm) / (2.0 * eps);
             assert!((numeric - g_lv.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gaussian_nll_extreme_log_var_stays_finite_with_zero_grad() {
+        // Regression: an untrained variance head can emit huge ±log_var;
+        // exp(-lv) must not overflow the loss to inf or the grads to NaN.
+        let mu = Tensor::from_vec(1, 4, vec![0.0, 1.0, -2.0, 3.0]);
+        let target = Tensor::from_vec(1, 4, vec![0.5, -1.0, 2.0, -3.0]);
+        for extreme in [1e4f32, 1e6, 1e30] {
+            let lv = Tensor::from_vec(1, 4, vec![-extreme, extreme, -extreme, extreme]);
+            let (l, g_mu, g_lv) = gaussian_nll(&mu, &lv, &target);
+            assert!(l.is_finite(), "loss inf/NaN at log_var ±{extreme}");
+            assert!(g_mu.as_slice().iter().all(|v| v.is_finite()), "grad_mu at ±{extreme}");
+            // The clamp saturates, so the loss is locally constant in
+            // log_var: the gradient must be exactly zero, matching finite
+            // differences of the clamped loss.
+            assert!(g_lv.as_slice().iter().all(|&v| v == 0.0), "grad_lv at ±{extreme}");
+        }
+    }
+
+    #[test]
+    fn gaussian_nll_grad_consistent_across_clamp_boundary() {
+        // Finite differences of the *clamped* loss agree with the
+        // analytic gradient just inside and deep outside the clamp.
+        let mu = Tensor::from_vec(1, 1, vec![0.3]);
+        let target = Tensor::from_vec(1, 1, vec![-0.4]);
+        let eps = 1e-3f32;
+        for lv0 in [
+            -GAUSSIAN_NLL_LOG_VAR_CLAMP + 0.1,
+            GAUSSIAN_NLL_LOG_VAR_CLAMP - 0.1,
+            -GAUSSIAN_NLL_LOG_VAR_CLAMP - 5.0,
+            GAUSSIAN_NLL_LOG_VAR_CLAMP + 5.0,
+            0.7,
+        ] {
+            let lv = Tensor::from_vec(1, 1, vec![lv0]);
+            let (_, _, g_lv) = gaussian_nll(&mu, &lv, &target);
+            let p = Tensor::from_vec(1, 1, vec![lv0 + eps]);
+            let m = Tensor::from_vec(1, 1, vec![lv0 - eps]);
+            let (fp, _, _) = gaussian_nll(&mu, &p, &target);
+            let (fm, _, _) = gaussian_nll(&mu, &m, &target);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let tol = 2e-2 * (1.0 + g_lv.as_slice()[0].abs());
+            assert!(
+                (numeric - g_lv.as_slice()[0]).abs() < tol,
+                "lv={lv0}: numeric {numeric} vs analytic {}",
+                g_lv.as_slice()[0]
+            );
         }
     }
 }

@@ -34,8 +34,24 @@ thread_local! {
 /// use this for outputs a kernel fully overwrites; use [`take_zeroed`] when
 /// the consumer accumulates into the buffer.
 pub fn take(rows: usize, cols: usize) -> Tensor {
-    let len = rows * cols;
-    let data = POOL.with(|p| {
+    match take_storage(rows * cols) {
+        Some(data) => Tensor::from_vec(rows, cols, data),
+        None => Tensor::zeros(rows, cols),
+    }
+}
+
+/// Takes a raw `len`-element `Vec<f32>` from the pool. **Contents are
+/// unspecified** — this is the entry the backend kernels use for packing
+/// panels and quantization scratch that are not tensors; return the
+/// storage with [`recycle_vec`].
+pub fn take_vec(len: usize) -> Vec<f32> {
+    take_storage(len).unwrap_or_else(|| vec![0.0; len])
+}
+
+/// Pops the smallest pooled buffer that fits `len` (resized to exactly
+/// `len`), or records a miss and returns `None`.
+fn take_storage(len: usize) -> Option<Vec<f32>> {
+    POOL.with(|p| {
         let mut pool = p.borrow_mut();
         // Smallest pooled buffer whose capacity fits, to keep big buffers
         // available for big requests.
@@ -62,11 +78,7 @@ pub fn take(rows: usize, cols: usize) -> Tensor {
                 None
             }
         }
-    });
-    match data {
-        Some(data) => Tensor::from_vec(rows, cols, data),
-        None => Tensor::zeros(rows, cols),
-    }
+    })
 }
 
 /// Takes a zero-filled `rows×cols` tensor from the pool.

@@ -131,6 +131,110 @@ proptest! {
     }
 }
 
+/// The register-blocked SIMD kernels tile 4 rows × 2 vectors of columns
+/// and block k in chunks; every (m, k, n) tail combination around those
+/// widths must fall back to narrower kernels that keep the exact scalar
+/// accumulation order. Dims sweep 1..3 plus one-off-the-vector-width on
+/// both sides for SSE (4 lanes), AVX2 (8 lanes), and the 2-vector tile
+/// (16 columns).
+#[test]
+fn gemm_variants_bit_identical_at_simd_tail_sizes() {
+    let dims = [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17];
+    for &m in &dims {
+        for &k in &dims {
+            for &n in &dims {
+                let seed = (m * 31 + k * 7 + n) as u64;
+                let a = noise(m * k, seed ^ 0xaaaa);
+                let b = noise(k * n, seed ^ 0xbbbb);
+                let bt = noise(n * k, seed ^ 0xcccc);
+                let at = noise(k * m, seed ^ 0xdddd);
+
+                let mut want = vec![0.0f32; m * n];
+                Reference.gemm(m, k, n, &a, &b, &mut want);
+                for t in [1usize, 2, 4] {
+                    let mut got = vec![0.0f32; m * n];
+                    Parallel::new(t).gemm(m, k, n, &a, &b, &mut got);
+                    assert!(bits_eq(&want, &got), "gemm {m}x{k}x{n} tail diverged at {t} threads");
+                }
+
+                let mut want = vec![0.0f32; m * n];
+                Reference.gemm_transpose(m, k, n, &a, &bt, &mut want);
+                for t in [1usize, 2, 4] {
+                    let mut got = vec![0.0f32; m * n];
+                    Parallel::new(t).gemm_transpose(m, k, n, &a, &bt, &mut got);
+                    assert!(
+                        bits_eq(&want, &got),
+                        "gemm_transpose {m}x{k}x{n} tail diverged at {t} threads"
+                    );
+                }
+
+                let mut want = vec![0.0f32; m * n];
+                Reference.transpose_gemm(k, m, n, &at, &b, &mut want);
+                for t in [1usize, 2, 4] {
+                    let mut got = vec![0.0f32; m * n];
+                    Parallel::new(t).transpose_gemm(k, m, n, &at, &b, &mut got);
+                    assert!(
+                        bits_eq(&want, &got),
+                        "transpose_gemm {k}x{m}x{n} tail diverged at {t} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// NaN and ±inf inputs flow through the SIMD kernels with the exact bit
+/// patterns the scalar reference produces (x86 vector ops quiet NaNs the
+/// same way scalar ops do, and the kernels never reorder the accumulation
+/// that decides which special value wins).
+#[test]
+fn nan_and_inf_propagate_bitwise_identically() {
+    for (case, (m, k, n)) in
+        [(5usize, 33usize, 17usize), (8, 16, 16), (3, 9, 31)].into_iter().enumerate()
+    {
+        let seed = 0x5eed ^ case as u64;
+        let mut a = noise(m * k, seed);
+        let mut b = noise(k * n, seed ^ 0xffff);
+        // Sprinkle specials at positions that land in vector bodies and in
+        // scalar tails, including a 0 * inf pair that manufactures a NaN
+        // inside the dot product itself.
+        a[0] = f32::NAN;
+        a[m * k - 1] = f32::INFINITY;
+        b[k * n / 2] = f32::NEG_INFINITY;
+        b[k * n - 1] = f32::NAN;
+        a[m * k / 2] = 0.0;
+        b[0] = f32::INFINITY;
+
+        let mut want = vec![0.0f32; m * n];
+        Reference.gemm(m, k, n, &a, &b, &mut want);
+        assert!(want.iter().any(|v| v.is_nan()), "case {case}: specials never reached a NaN");
+        for t in [1usize, 2, 4] {
+            let mut got = vec![0.0f32; m * n];
+            Parallel::new(t).gemm(m, k, n, &a, &b, &mut got);
+            assert!(bits_eq(&want, &got), "case {case}: gemm NaN/inf diverged at {t} threads");
+        }
+
+        let mut want = vec![0.0f32; m * n];
+        Reference.gemm_transpose(m, k, n, &a, &b, &mut want);
+        for t in [1usize, 2, 4] {
+            let mut got = vec![0.0f32; m * n];
+            Parallel::new(t).gemm_transpose(m, k, n, &a, &b, &mut got);
+            assert!(
+                bits_eq(&want, &got),
+                "case {case}: gemm_transpose NaN/inf diverged at {t} threads"
+            );
+        }
+
+        let mut want_y = b[..m * k].to_vec();
+        Reference.axpy(f32::INFINITY, &a, &mut want_y);
+        for t in [1usize, 2, 4] {
+            let mut got_y = b[..m * k].to_vec();
+            Parallel::new(t).axpy(f32::INFINITY, &a, &mut got_y);
+            assert!(bits_eq(&want_y, &got_y), "case {case}: axpy NaN/inf diverged at {t} threads");
+        }
+    }
+}
+
 /// Forward + backward one fresh layer, returning output, input gradient,
 /// and all parameter gradients.
 fn run_layer(make: &dyn Fn() -> Box<dyn Layer>, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {

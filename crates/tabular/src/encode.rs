@@ -26,32 +26,40 @@ enum NumericCodec {
 }
 
 impl NumericCodec {
-    fn fit(kind: ScalingKind, values: &[f64]) -> Self {
-        match kind {
+    /// Fits on the *finite* values of a column; `None` when there are none
+    /// (empty column, or every value is NaN/±inf) — callers map that to
+    /// [`TableError::DegenerateColumn`] instead of fabricating a sentinel
+    /// distribution. Constant columns are supported by every scaling:
+    /// Standard floors the deviation, MinMax widens the range by 1, and the
+    /// quantile transform inverts a single-point sample to that point.
+    fn try_fit(kind: ScalingKind, values: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        Some(match kind {
             ScalingKind::Standard => {
-                let n = values.len().max(1) as f64;
-                let mean = values.iter().sum::<f64>() / n;
-                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                let n = finite.len() as f64;
+                let mean = finite.iter().sum::<f64>() / n;
+                let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
                 NumericCodec::Standard { mean, std: var.sqrt().max(1e-9) }
             }
             ScalingKind::MinMax => {
-                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let (min, max) = if min.is_finite() && max.is_finite() && max > min {
+                let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let (min, max) = if max > min {
                     (min, max)
-                } else if min.is_finite() {
+                } else {
                     // Constant column: any non-degenerate range that keeps the
                     // observed value inside [-1, 1] round-trips correctly.
                     (min, min + 1.0)
-                } else {
-                    (0.0, 1.0)
                 };
                 NumericCodec::MinMax { min, max }
             }
             ScalingKind::QuantileGaussian => {
-                NumericCodec::Quantile(QuantileTransformer::fit(values))
+                NumericCodec::Quantile(QuantileTransformer::try_fit(values)?)
             }
-        }
+        })
     }
 
     fn encode(&self, v: f64) -> f64 {
@@ -85,14 +93,29 @@ pub struct QuantileTransformer {
 }
 
 impl QuantileTransformer {
-    /// Fits on observed values.
-    pub fn fit(values: &[f64]) -> Self {
+    /// Fits on the finite subset of `values`; `None` when no finite value
+    /// remains (empty or all-NaN/±inf column) — there is no empirical CDF
+    /// to invert, and fabricating one (the old behaviour pushed a `0.0`
+    /// sentinel) silently invents a distribution the data never had. A
+    /// single finite value fits a constant transformer: `transform` maps
+    /// everything near the median score and `inverse` returns the value.
+    pub fn try_fit(values: &[f64]) -> Option<Self> {
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         if sorted.is_empty() {
-            sorted.push(0.0);
+            return None;
         }
         sorted.sort_by(|a, b| a.total_cmp(b));
-        Self { sorted }
+        Some(Self { sorted })
+    }
+
+    /// Fits on observed values.
+    ///
+    /// # Panics
+    /// Panics when the column has no finite values; use [`Self::try_fit`]
+    /// to handle degenerate columns as data instead.
+    pub fn fit(values: &[f64]) -> Self {
+        Self::try_fit(values)
+            .expect("QuantileTransformer::fit: column has no finite values to fit on")
     }
 
     /// Maps a value to its Gaussian score.
@@ -138,17 +161,34 @@ pub struct TableEncoder {
 impl TableEncoder {
     /// Fits the encoder on a reference table.
     ///
-    /// # Panics
-    /// Panics if `table`'s schema differs from its own columns (impossible
-    /// for validated tables).
-    pub fn fit(table: &Table, scaling: ScalingKind) -> Self {
+    /// # Errors
+    /// Returns [`TableError::DegenerateColumn`] when a numeric column has
+    /// no finite values (empty, or all NaN/±inf): no scaling can be fitted
+    /// for it, and fabricating one would silently hand the models a
+    /// distribution the data never had. Constant columns are fine — see
+    /// `NumericCodec::try_fit` for the per-scaling handling.
+    pub fn try_fit(table: &Table, scaling: ScalingKind) -> Result<Self, TableError> {
         let schema = table.schema().clone();
-        let numeric_codecs = table
-            .columns()
-            .iter()
-            .map(|col| col.as_numeric().map(|v| NumericCodec::fit(scaling, v)))
-            .collect();
-        Self { schema, numeric_codecs }
+        let mut numeric_codecs = Vec::with_capacity(table.columns().len());
+        for (column, col) in table.columns().iter().enumerate() {
+            numeric_codecs.push(match col.as_numeric() {
+                Some(values) => Some(
+                    NumericCodec::try_fit(scaling, values)
+                        .ok_or(TableError::DegenerateColumn { column })?,
+                ),
+                None => None,
+            });
+        }
+        Ok(Self { schema, numeric_codecs })
+    }
+
+    /// Fits the encoder on a reference table.
+    ///
+    /// # Panics
+    /// Panics when a numeric column has no finite values; use
+    /// [`Self::try_fit`] to surface that as [`TableError::DegenerateColumn`].
+    pub fn fit(table: &Table, scaling: ScalingKind) -> Self {
+        Self::try_fit(table, scaling).unwrap_or_else(|e| panic!("TableEncoder::fit: {e}"))
     }
 
     /// The schema this encoder was fitted on.
@@ -387,6 +427,63 @@ mod tests {
             let back = enc.decode(&data).unwrap();
             let v = back.column(0).as_numeric().unwrap()[0];
             assert!((v - 5.0).abs() < 1.0, "{kind:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn all_nan_column_is_a_typed_error() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("a"), ColumnMeta::numeric("b")]);
+        let t = Table::new(
+            schema,
+            vec![
+                Column::Numeric(vec![1.0, 2.0, 3.0]),
+                Column::Numeric(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            ],
+        )
+        .unwrap();
+        for kind in [ScalingKind::Standard, ScalingKind::MinMax, ScalingKind::QuantileGaussian] {
+            let err = TableEncoder::try_fit(&t, kind).unwrap_err();
+            assert_eq!(err, TableError::DegenerateColumn { column: 1 }, "{kind:?}");
+        }
+        assert!(QuantileTransformer::try_fit(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn empty_column_is_a_typed_error() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("x")]);
+        let t = Table::empty(schema);
+        for kind in [ScalingKind::Standard, ScalingKind::MinMax, ScalingKind::QuantileGaussian] {
+            let err = TableEncoder::try_fit(&t, kind).unwrap_err();
+            assert_eq!(err, TableError::DegenerateColumn { column: 0 }, "{kind:?}");
+        }
+        assert!(QuantileTransformer::try_fit(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite values")]
+    fn fit_panics_on_degenerate_column() {
+        let schema = Schema::new(vec![ColumnMeta::numeric("x")]);
+        let t = Table::new(schema, vec![Column::Numeric(vec![f64::NAN])]).unwrap();
+        let _ = TableEncoder::fit(&t, ScalingKind::Standard);
+    }
+
+    #[test]
+    fn single_value_column_round_trips_under_all_scalings() {
+        // One finite value amid NaN holes still fits: the codec is fitted
+        // on the finite subset and decodes back to that value.
+        let schema = Schema::new(vec![ColumnMeta::numeric("x")]);
+        let t =
+            Table::new(schema, vec![Column::Numeric(vec![f64::NAN, 7.5, f64::INFINITY])]).unwrap();
+        for kind in [ScalingKind::Standard, ScalingKind::MinMax, ScalingKind::QuantileGaussian] {
+            let enc = TableEncoder::try_fit(&t, kind).unwrap();
+            let clean =
+                Table::new(t.schema().clone(), vec![Column::Numeric(vec![7.5, 7.5, 7.5])]).unwrap();
+            let data = enc.encode(&clean);
+            assert!(data.iter().all(|v| v.is_finite()), "{kind:?}");
+            let back = enc.decode(&data).unwrap();
+            for &v in back.column(0).as_numeric().unwrap() {
+                assert!((v - 7.5).abs() < 1.0, "{kind:?}: {v}");
+            }
         }
     }
 

@@ -68,6 +68,13 @@ pub enum TableError {
         /// The declared cardinality.
         cardinality: u32,
     },
+    /// A numeric column has no finite values (empty, or all NaN/±inf), so
+    /// no distribution can be fitted for it. Raised by encoder fitting
+    /// instead of silently fabricating a sentinel distribution.
+    DegenerateColumn {
+        /// Index of the offending column.
+        column: usize,
+    },
 }
 
 impl std::fmt::Display for TableError {
@@ -82,6 +89,9 @@ impl std::fmt::Display for TableError {
             }
             TableError::CodeOutOfRange { column, code, cardinality } => {
                 write!(f, "column {column} has code {code} outside cardinality {cardinality}")
+            }
+            TableError::DegenerateColumn { column } => {
+                write!(f, "numeric column {column} has no finite values to fit on")
             }
         }
     }
