@@ -1,0 +1,265 @@
+//! Chaos benchmark: graceful degradation under silo failure. Runs the
+//! stacked protocol on a 3-silo split with a kill/rejoin schedule sweep —
+//! silos pre-declared dead, killed mid-latent-upload, killed mid-synthesis,
+//! and killed-then-rejoined — measuring synthesis throughput and masked
+//! output under each policy, and gating on the supervision layer's
+//! correctness contracts before reporting any numbers:
+//!
+//! - a silo killed mid-upload yields output **byte-identical** to the
+//!   pre-dead oracle (a run trained on the survivors alone);
+//! - a partition that heals mid-synthesis rejoins and yields output
+//!   byte-identical to an undisturbed supervised run, nothing masked;
+//! - heartbeats ride the control ledger only (payload bytes untouched).
+//!
+//! Writes `BENCH_chaos.json` so the degradation-cost trajectory
+//! accumulates across commits.
+//!
+//! Usage: `cargo run --release -p silofuse-bench --bin chaos --
+//! [--quick] [--seed S] [--retry-deadline DUR] [--retry-max-backoff DUR]`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silofuse_bench::parse_cli;
+use silofuse_distributed::stacked::SiloFuseModel;
+use silofuse_distributed::{
+    DegradePolicy, FaultPlan, NetConfig, RetryPolicy, SiloOutput, SupervisorConfig,
+};
+use silofuse_models::latentdiff::LatentDiffConfig;
+use silofuse_models::AutoencoderConfig;
+use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
+use silofuse_tabular::profiles;
+use silofuse_tabular::table::Table;
+
+const SILOS: usize = 3;
+const HEARTBEAT_EVERY: u64 = 1;
+
+/// One benchmarked run of the supervised stacked protocol.
+struct Run {
+    outputs: Vec<SiloOutput>,
+    alive: usize,
+    masked_cols: usize,
+    fit_ns: u64,
+    synth_ns: u64,
+    bytes_up: u64,
+    bytes_control: u64,
+    messages_control: u64,
+}
+
+fn bench_config(seed: u64, quick: bool) -> LatentDiffConfig {
+    let steps = if quick { 20 } else { 60 };
+    LatentDiffConfig {
+        ae: AutoencoderConfig { hidden_dim: 32, lr: 2e-3, seed, ..Default::default() },
+        ddpm_hidden: 32,
+        timesteps: 8,
+        ae_steps: steps,
+        diffusion_steps: steps,
+        batch_size: 32,
+        inference_steps: 4,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run_scenario(
+    parts: &[Table],
+    cfg: LatentDiffConfig,
+    net: &NetConfig,
+    synth_rows: usize,
+    seed: u64,
+) -> Result<Run, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fit_start = Instant::now();
+    let mut model = SiloFuseModel::try_fit_with_checkpoints(parts, cfg, net, None, &mut rng)
+        .map_err(|e| format!("fit: {e}"))?;
+    let fit_ns = fit_start.elapsed().as_nanos() as u64;
+    let synth_start = Instant::now();
+    let outputs = model
+        .try_synthesize_supervised(synth_rows, 0, None, &mut rng)
+        .map_err(|e| format!("synthesis: {e}"))?;
+    let synth_ns = synth_start.elapsed().as_nanos() as u64;
+    let stats = model.comm_stats();
+    let masked_cols =
+        outputs.iter().filter(|o| o.is_masked()).map(|o| o.column_names().len()).sum::<usize>();
+    Ok(Run {
+        outputs,
+        alive: model.membership().n_alive(),
+        masked_cols,
+        fit_ns,
+        synth_ns,
+        bytes_up: stats.bytes_up,
+        bytes_control: stats.bytes_control,
+        messages_control: stats.messages_control,
+    })
+}
+
+fn main() {
+    let opts = parse_cli();
+    silofuse_bench::init_trace("chaos", &opts);
+    let synth_rows = if opts.quick { 32 } else { 96 };
+    let chunk_rows = 8;
+    let mut cfg = bench_config(opts.seed, opts.quick);
+    cfg.synth_chunk_rows = chunk_rows;
+
+    let table = profiles::loan().generate(if opts.quick { 96 } else { 192 }, opts.seed);
+    let parts = PartitionPlan::new(table.n_cols(), SILOS, PartitionStrategy::Default).split(&table);
+
+    // Tight leases by default so dead-silo detection (suspect_after + 1
+    // silent leases) costs milliseconds, not minutes; both knobs stay
+    // overridable from the CLI.
+    let retry = RetryPolicy {
+        tick: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        max_retries: 12,
+        recv_deadline: opts.retry_deadline.unwrap_or(Duration::from_millis(80)),
+    };
+    let retry =
+        RetryPolicy { max_backoff: opts.retry_max_backoff.unwrap_or(retry.max_backoff), ..retry };
+    let quorum = SupervisorConfig::new(DegradePolicy::Quorum(2), HEARTBEAT_EVERY);
+    let net = |faults: Option<FaultPlan>, supervision: SupervisorConfig| NetConfig {
+        faults,
+        retry,
+        supervision,
+    };
+    // Partition-clock geometry: with heartbeat_every = 1 a silo's uplink
+    // carries one beat per completed AE step plus the latent upload
+    // (indexes 0..=ae_steps), then one beat per synthesis chunk — so chunk
+    // c's beat is uplink index ae_steps + 2 + c.
+    let first_chunk_beat = cfg.ae_steps as u64 + 2;
+    let cut = |at: u64, rejoin: Option<u64>| FaultPlan {
+        partition_at: Some(at),
+        rejoin_at: rejoin,
+        partition_client: 1,
+        ..Default::default()
+    };
+
+    let scenarios: Vec<(&str, Option<FaultPlan>, SupervisorConfig)> = vec![
+        ("clean", None, quorum.clone()),
+        ("pre-dead-1", None, quorum.clone().with_pre_dead(vec![1])),
+        ("kill-1-upload", Some(cut(0, None)), quorum.clone()),
+        ("kill-1-synth", Some(cut(first_chunk_beat, None)), quorum.clone()),
+        ("kill-rejoin", Some(cut(first_chunk_beat, Some(first_chunk_beat + 2))), quorum.clone()),
+        (
+            "pre-dead-2",
+            None,
+            SupervisorConfig::new(DegradePolicy::BestEffort, HEARTBEAT_EVERY)
+                .with_pre_dead(vec![1, 2]),
+        ),
+    ];
+
+    let mut report = silofuse_bench::TextTable::new(&[
+        "scenario",
+        "alive",
+        "masked cols",
+        "fit ms",
+        "synth ms",
+        "rows/s",
+        "control B",
+    ]);
+    let mut records = Vec::new();
+    let mut runs: Vec<(&str, Run)> = Vec::new();
+    for (name, faults, supervision) in scenarios {
+        let net = net(faults, supervision);
+        match run_scenario(&parts, cfg, &net, synth_rows, opts.seed ^ 0x5eed) {
+            Ok(run) => {
+                let rows_per_s = synth_rows as f64 / (run.synth_ns as f64 / 1e9);
+                eprintln!(
+                    "[chaos] {name:<14} alive {}/{SILOS}  masked {:>2} cols  \
+                     fit {:>7.1} ms  synth {:>6.1} ms  {rows_per_s:>7.0} rows/s",
+                    run.alive,
+                    run.masked_cols,
+                    run.fit_ns as f64 / 1e6,
+                    run.synth_ns as f64 / 1e6,
+                );
+                report.row(vec![
+                    name.to_string(),
+                    format!("{}/{SILOS}", run.alive),
+                    run.masked_cols.to_string(),
+                    format!("{:.1}", run.fit_ns as f64 / 1e6),
+                    format!("{:.1}", run.synth_ns as f64 / 1e6),
+                    format!("{rows_per_s:.0}"),
+                    run.bytes_control.to_string(),
+                ]);
+                runs.push((name, run));
+            }
+            Err(e) => {
+                eprintln!("[chaos] {name}: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let get = |name: &str| &runs.iter().find(|(n, _)| *n == name).unwrap().1;
+    // Gate 1: a silo killed at its first uplink transmission must leave
+    // output byte-identical to the pre-dead oracle — the run that never
+    // spawned it. This is the "no survivor contamination" contract.
+    let oracle_equal = get("kill-1-upload").outputs == get("pre-dead-1").outputs;
+    // Gate 2: a partition healing mid-synthesis must catch the silo up to
+    // the exact bytes of an undisturbed run, with nothing masked.
+    let rejoin = get("kill-rejoin");
+    let rejoin_equal = rejoin.outputs == get("clean").outputs && rejoin.masked_cols == 0;
+    // Gate 3: heartbeats never leak into the Fig. 10 payload ledger — the
+    // clean supervised run moves control bytes, not extra payload bytes.
+    let clean = get("clean");
+    let control_separate = clean.messages_control > 0
+        && get("pre-dead-1").bytes_up < clean.bytes_up
+        && clean.bytes_control >= clean.messages_control * 13;
+    for (name, ok) in [
+        ("oracle-equality", oracle_equal),
+        ("rejoin-equality", rejoin_equal),
+        ("control-ledger", control_separate),
+    ] {
+        eprintln!("[chaos] gate {name}: {}", if ok { "ok" } else { "FAILED" });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"chaos\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"silos\": {SILOS},");
+    let _ = writeln!(json, "  \"synth_rows\": {synth_rows},");
+    let _ = writeln!(json, "  \"chunk_rows\": {chunk_rows},");
+    let _ = writeln!(json, "  \"heartbeat_every\": {HEARTBEAT_EVERY},");
+    let _ = writeln!(json, "  \"oracle_equal\": {oracle_equal},");
+    let _ = writeln!(json, "  \"rejoin_equal\": {rejoin_equal},");
+    let _ = writeln!(json, "  \"control_ledger_separate\": {control_separate},");
+    json.push_str("  \"results\": [\n");
+    for (name, run) in &runs {
+        let rows_per_s = synth_rows as f64 / (run.synth_ns as f64 / 1e9);
+        records.push(format!(
+            "    {{\"scenario\": \"{name}\", \"alive\": {}, \"masked_cols\": {}, \
+             \"fit_ns\": {}, \"synth_ns\": {}, \"rows_per_s\": {rows_per_s:.1}, \
+             \"bytes_up\": {}, \"bytes_control\": {}, \"messages_control\": {}}}",
+            run.alive,
+            run.masked_cols,
+            run.fit_ns,
+            run.synth_ns,
+            run.bytes_up,
+            run.bytes_control,
+            run.messages_control,
+        ));
+    }
+    json.push_str(&records.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let content = format!(
+        "Chaos — graceful degradation under silo failure; 3-silo Loan split, \
+         seed {}, heartbeat every {HEARTBEAT_EVERY} tick(s), quorum 2-of-3\n\
+         gates: oracle-equality {oracle_equal}, rejoin-equality {rejoin_equal}, \
+         control-ledger {control_separate}\n\n{}",
+        opts.seed,
+        report.render()
+    );
+    silofuse_bench::emit_report("chaos", &content);
+
+    if let Err(e) = std::fs::write("BENCH_chaos.json", &json) {
+        eprintln!("warning: could not write BENCH_chaos.json: {e}");
+    } else {
+        eprintln!("[chaos] BENCH_chaos.json written");
+    }
+    silofuse_bench::finish_trace();
+    if !(oracle_equal && rejoin_equal && control_separate) {
+        eprintln!("[chaos] FAILED: a correctness gate did not hold");
+        std::process::exit(1);
+    }
+}

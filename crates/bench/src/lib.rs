@@ -50,6 +50,12 @@ pub struct CliOptions {
     /// Seeded link-fault plan for the distributed models
     /// (`--faults drop=0.05,delay=10ms,seed=7`). None = perfect network.
     pub faults: Option<FaultPlan>,
+    /// Bounded-receive lease of the reliable transport
+    /// (`--retry-deadline 250ms`). None = the policy default.
+    pub retry_deadline: Option<Duration>,
+    /// Retransmission backoff cap (`--retry-max-backoff 2s`).
+    /// None = the policy default.
+    pub retry_max_backoff: Option<Duration>,
     /// Directory for crash-safe training checkpoints (`--checkpoint-dir`).
     /// None = checkpointing off.
     pub checkpoint_dir: Option<String>,
@@ -78,6 +84,8 @@ impl Default for CliOptions {
             trace: false,
             expose: None,
             faults: None,
+            retry_deadline: None,
+            retry_max_backoff: None,
             checkpoint_dir: None,
             checkpoint_every: 50,
             resume: false,
@@ -87,12 +95,20 @@ impl Default for CliOptions {
     }
 }
 
-/// The network configuration implied by `--faults` (default: perfect links).
+/// The network configuration implied by `--faults` (default: perfect
+/// links), with `--retry-deadline` / `--retry-max-backoff` applied on top.
 pub fn net_config(opts: &CliOptions) -> NetConfig {
-    match &opts.faults {
+    let mut net = match &opts.faults {
         Some(plan) => NetConfig::faulty(plan.clone()),
         None => NetConfig::default(),
+    };
+    if let Some(d) = opts.retry_deadline {
+        net.retry.recv_deadline = d;
     }
+    if let Some(d) = opts.retry_max_backoff {
+        net.retry.max_backoff = d;
+    }
+    net
 }
 
 /// The crash-safe checkpointer implied by `--checkpoint-dir`,
@@ -138,6 +154,20 @@ pub fn parse_cli() -> CliOptions {
                 let spec = args.next().expect("--faults needs a spec like drop=0.05,seed=7");
                 opts.faults = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}")));
             }
+            "--retry-deadline" => {
+                let v = args.next().expect("--retry-deadline needs a duration like 250ms");
+                opts.retry_deadline = Some(
+                    silofuse_distributed::faults::parse_duration(&v)
+                        .unwrap_or_else(|e| panic!("--retry-deadline: {e}")),
+                );
+            }
+            "--retry-max-backoff" => {
+                let v = args.next().expect("--retry-max-backoff needs a duration like 2s");
+                opts.retry_max_backoff = Some(
+                    silofuse_distributed::faults::parse_duration(&v)
+                        .unwrap_or_else(|e| panic!("--retry-max-backoff: {e}")),
+                );
+            }
             "--checkpoint-dir" => {
                 opts.checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a path"));
             }
@@ -166,6 +196,7 @@ pub fn parse_cli() -> CliOptions {
             other => panic!(
                 "unknown argument {other}; supported: --quick --trace --expose FILE --trials N \
                  --seed S --datasets A,B --faults drop=0.05,delay=10ms,seed=7 \
+                 --retry-deadline DUR --retry-max-backoff DUR \
                  --checkpoint-dir D --checkpoint-every N --resume --threads N --precision P"
             ),
         }

@@ -403,6 +403,15 @@ impl Checkpointer {
         observe::count(names::CHECKPOINT_LOADS, 1);
         Ok(Some(ckpt))
     }
+
+    /// Step counter of the checkpoint named `name` written by `phase`,
+    /// without keeping the payload around. This is the rejoin handshake's
+    /// "resume step": a restarted silo reads it to tell the coordinator
+    /// how far its persisted state reaches before catching up. Same
+    /// `None` semantics as [`Checkpointer::load`].
+    pub fn latest_step(&self, name: &str, phase: &str) -> Result<Option<u64>, CheckpointError> {
+        Ok(self.load(name, phase)?.map(|c| c.step))
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +503,18 @@ mod tests {
         let off = Checkpointer::disabled();
         assert!(off.load("x", "p").unwrap().is_none());
         off.save("x", "p", 1, b"ignored").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_step_reports_resume_point() {
+        let dir = tmp_dir("latest-step");
+        let ck = Checkpointer::new(&dir, 10).with_resume(true);
+        assert_eq!(ck.latest_step("silo0-ae", "ae-train").unwrap(), None);
+        ck.save("silo0-ae", "ae-train", 80, b"weights").unwrap();
+        assert_eq!(ck.latest_step("silo0-ae", "ae-train").unwrap(), Some(80));
+        // Phase mismatch stays a typed error, never a silent wrong step.
+        assert!(ck.latest_step("silo0-ae", "latent-train").is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

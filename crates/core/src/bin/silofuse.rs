@@ -11,8 +11,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use silofuse_core::distributed::faults::parse_duration;
 use silofuse_core::{
-    build_synthesizer_with_net, Checkpointer, FaultPlan, ModelKind, NetConfig, TrainBudget,
+    build_synthesizer_with_net, Checkpointer, DegradePolicy, FaultPlan, ModelKind, NetConfig,
+    SiloFuse, SiloFuseConfig, SupervisorConfig, TrainBudget,
 };
 use silofuse_metrics::{
     privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig,
@@ -168,16 +170,30 @@ USAGE:
   silofuse synth --input <real.csv> --rows <N> --out <synth.csv>
       [--model silofuse|latentdiff|tabddpm|gan-linear|gan-conv|e2e|e2e-distr]
       [--clients M] [--quick] [--seed S] [--faults SPEC]
+      [--degrade fail-fast|quorum|best-effort] [--quorum K]
+      [--heartbeat-every N] [--retry-deadline DUR] [--retry-max-backoff DUR]
       [--checkpoint-dir D] [--checkpoint-every N] [--resume]
       Fit a synthesizer on the CSV (schema inferred) and write synthetic rows.
       --faults injects seeded link faults into the distributed models, e.g.
       `--faults drop=0.05,delay=10ms,dup=0.02,seed=7`; the transport retries
       with exponential backoff and reports retransmits separately. Adding
-      `crash_at=<phase>:<step>[,crash_client=i]` kills that node mid-run.
+      `crash_at=<phase>:<step>[,crash_client=i]` kills that node mid-run;
+      `partition_at=n[,rejoin_at=r,partition_client=i]` cuts a link at its
+      n-th upstream transmission (healing at the r-th, if given).
       --checkpoint-dir makes every training phase write crash-safe
       checkpoints (CRC-checked, atomically renamed) every N steps (default
       50); with --resume a relaunched run continues from the latest
       checkpoint, bit-identical to an uninterrupted run.
+      --degrade picks the supervision policy for dead silos: `fail-fast`
+      (default) aborts with a typed error, `quorum` continues while at
+      least K silos survive (requires --quorum K), `best-effort` while any
+      survive. Dead silos' columns are MASKED in the output (withheld,
+      never imputed). --heartbeat-every N makes each silo emit a liveness
+      beat every N logical ticks (training steps / synthesis chunks);
+      heartbeats ride a separate control-byte ledger, so Fig. 10 payload
+      accounting is unchanged. --retry-deadline and --retry-max-backoff
+      (e.g. 250ms, 2s) tune the transport's bounded-receive lease and
+      retransmission backoff cap.
 
   silofuse evaluate --real <real.csv> --synth <synth.csv>
       [--holdout <holdout.csv>] [--seed S]
@@ -319,7 +335,7 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let kind = model_kind(flags.get("model").map(String::as_str).unwrap_or("silofuse"))?;
     let budget =
         if flags.contains_key("quick") { TrainBudget::quick() } else { TrainBudget::standard() };
-    let net = match flags.get("faults") {
+    let mut net = match flags.get("faults") {
         None => NetConfig::default(),
         Some(spec) => {
             let plan = FaultPlan::parse(spec)?;
@@ -333,6 +349,33 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
             NetConfig::faulty(plan)
         }
     };
+    if let Some(v) = flags.get("retry-deadline") {
+        net.retry.recv_deadline =
+            parse_duration(v).map_err(|e| format!("--retry-deadline: {e}"))?;
+    }
+    if let Some(v) = flags.get("retry-max-backoff") {
+        net.retry.max_backoff =
+            parse_duration(v).map_err(|e| format!("--retry-max-backoff: {e}"))?;
+    }
+    let quorum: usize = parse_num(flags, "quorum", 0)?;
+    let heartbeat_every: u64 = parse_num(flags, "heartbeat-every", 0)?;
+    if flags.contains_key("degrade") || heartbeat_every > 0 {
+        if !kind.is_distributed() {
+            return Err(format!(
+                "--degrade/--heartbeat-every only apply to distributed models, not {}",
+                kind.name()
+            ));
+        }
+        let policy = match flags.get("degrade") {
+            None => DegradePolicy::FailFast,
+            Some(v) => DegradePolicy::parse(v, quorum)?,
+        };
+        net.supervision = SupervisorConfig::new(policy, heartbeat_every);
+        eprintln!(
+            "supervision: policy={}, heartbeat every {heartbeat_every} ticks",
+            net.supervision.policy.name()
+        );
+    }
 
     let ckpt = checkpointer_from_flags(flags)?;
 
@@ -347,6 +390,55 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
         clients
     );
     let mut rng = StdRng::seed_from_u64(seed);
+    if net.supervision.policy.degrades() {
+        // A degrading run can end with dead silos, whose columns are
+        // masked rather than imputed — the generic Synthesizer interface
+        // cannot express that, so route through the SiloFuse facade.
+        if !matches!(kind, ModelKind::SiloFuse) {
+            return Err(format!(
+                "--degrade quorum/best-effort applies to --model silofuse, not {}",
+                kind.name()
+            ));
+        }
+        let cfg = SiloFuseConfig {
+            n_clients: clients,
+            strategy: PartitionStrategy::Default,
+            model: budget.latent_config(seed),
+        };
+        let mut model = SiloFuse::with_net(cfg, net);
+        if let Some(ckpt) = ckpt {
+            model.set_checkpointer(ckpt);
+        }
+        model.try_fit(&csv.table, &mut rng).map_err(|e| format!("training failed: {e}"))?;
+        let (synth, masked) = model
+            .try_synthesize_degraded(rows, &mut rng)
+            .map_err(|e| format!("synthesis failed: {e}"))?;
+        if !masked.is_empty() {
+            eprintln!(
+                "WARNING: {} of {} columns MASKED (their silos died; values are withheld, never imputed): {}",
+                masked.len(),
+                csv.table.n_cols(),
+                masked.join(", ")
+            );
+        }
+        // Vocabularies follow the surviving columns by original name.
+        let vocabularies: Vec<Option<Vec<String>>> = synth
+            .schema()
+            .columns()
+            .iter()
+            .map(|meta| {
+                csv.table.schema().index_of(&meta.name).and_then(|i| csv.vocabularies[i].clone())
+            })
+            .collect();
+        std::fs::write(out, write_csv(&synth, Some(&vocabularies)))
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "wrote {rows} synthetic rows ({} of {} columns) to {out}",
+            synth.n_cols(),
+            csv.table.n_cols()
+        );
+        return Ok(());
+    }
     let mut model =
         build_synthesizer_with_net(kind, &budget, clients, PartitionStrategy::Default, seed, net);
     if let Some(ckpt) = ckpt {

@@ -46,7 +46,9 @@ pub use budget::TrainBudget;
 pub use pipeline::{evaluate_model, DatasetRun, ModelScores, RunConfig};
 pub use silofuse::{SiloFuse, SiloFuseConfig};
 pub use silofuse_checkpoint::{CheckpointError, Checkpointer, CrashPoint};
-pub use silofuse_distributed::{FaultPlan, NetConfig, ProtocolError, RetryPolicy};
+pub use silofuse_distributed::{
+    DegradePolicy, FaultPlan, NetConfig, ProtocolError, RetryPolicy, SiloOutput, SupervisorConfig,
+};
 
 pub use silofuse_checkpoint as checkpoint;
 pub use silofuse_diffusion as diffusion;

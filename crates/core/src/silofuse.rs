@@ -4,7 +4,7 @@ use crate::budget::TrainBudget;
 use rand::rngs::StdRng;
 use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_distributed::stacked::SiloFuseModel;
-use silofuse_distributed::{CommStats, NetConfig, ProtocolError};
+use silofuse_distributed::{CommStats, NetConfig, ProtocolError, SiloOutput};
 use silofuse_models::latentdiff::LatentDiffConfig;
 use silofuse_models::Synthesizer;
 use silofuse_tabular::partition::{PartitionPlan, PartitionStrategy};
@@ -172,6 +172,43 @@ impl SiloFuse {
         let parts =
             model.try_synthesize_partitioned_with_steps(n, 0, Some(inference_steps), rng)?;
         Ok(plan.reassemble(&parts.iter().collect::<Vec<_>>()))
+    }
+
+    /// Supervised synthesis for degraded runs: synthesizes `n` rows from
+    /// whatever silos are still alive, reassembles the survivors' columns
+    /// in their original order, and reports the dead silos' column names.
+    /// A masked partition's columns are *absent* from the returned table —
+    /// they are never imputed. With every silo alive this produces the
+    /// same table as [`SiloFuse::try_synthesize`] (and an empty mask
+    /// list), so callers can use it unconditionally under supervision.
+    ///
+    /// # Panics
+    /// Panics if called before [`SiloFuse::fit`].
+    pub fn try_synthesize_degraded(
+        &mut self,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Result<(Table, Vec<String>), ProtocolError> {
+        let (model, plan) = self.state.as_mut().expect("SiloFuse::fit must be called first");
+        let outputs = model.try_synthesize_supervised(n, 0, None, rng)?;
+        let mut keep = Vec::new();
+        let mut masked = Vec::new();
+        for (out, cols) in outputs.iter().zip(plan.assignments()) {
+            match out {
+                SiloOutput::Decoded(t) => {
+                    for (j, &orig) in cols.iter().enumerate() {
+                        keep.push((orig, t.schema().columns()[j].clone(), t.column(j).clone()));
+                    }
+                }
+                SiloOutput::Masked { .. } => masked.extend(out.column_names()),
+            }
+        }
+        keep.sort_by_key(|&(orig, ..)| orig);
+        let schema =
+            silofuse_tabular::Schema::new(keep.iter().map(|(_, meta, _)| meta.clone()).collect());
+        let columns = keep.into_iter().map(|(.., col)| col).collect();
+        let table = Table::new(schema, columns).expect("survivor partitions are row-aligned");
+        Ok((table, masked))
     }
 
     /// Communication statistics of the distributed run so far.

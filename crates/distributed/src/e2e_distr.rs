@@ -9,8 +9,10 @@
 use crate::error::ProtocolError;
 use crate::faults::NetConfig;
 use crate::stacked::{take, take_u32};
+use crate::supervision::{MembershipTable, SiloOutput, SupervisorConfig};
 use crate::transport::{
-    bump_round, link_with, new_stats, recv_retrying, ClientEndpoint, CommStats, SharedStats,
+    bump_round, dead_silo, link_with, new_stats, recv_or_dead, ClientEndpoint, CommStats,
+    SharedStats, TransportError,
 };
 use crate::Message;
 use rand::rngs::StdRng;
@@ -69,6 +71,12 @@ pub struct E2eDistributed {
     coord_endpoints: Vec<crate::transport::CoordEndpoint>,
     ddpm: Option<GaussianDdpm>,
     stats: SharedStats,
+    sup: SupervisorConfig,
+    membership: MembershipTable,
+    /// Silos whose latents the joint DDPM was built over (ascending; the
+    /// alive set at fit start). A silo dying mid-training stays in the
+    /// model but is masked at synthesis.
+    model_silos: Vec<usize>,
 }
 
 impl std::fmt::Debug for E2eDistributed {
@@ -145,7 +153,22 @@ impl E2eDistributed {
             coord_endpoints.push(coord_ep);
         }
 
-        let total_latent: usize = clients.iter().map(|c| c.latent_dim).sum();
+        let m = partitions.len();
+        let sup = net.supervision.clone();
+        let membership = sup.membership(m);
+        let model_silos = membership.alive_indices();
+        if !sup.policy.permits(membership.n_alive(), m) {
+            return Err(ProtocolError::QuorumLost {
+                phase: "joint-train",
+                alive: membership.n_alive(),
+                total: m,
+                required: sup.policy.required(m),
+            });
+        }
+        // The joint DDPM spans exactly the silos alive at fit start:
+        // pre-declared-dead silos keep their index (and therefore per-silo
+        // seed) but contribute no latent columns.
+        let total_latent: usize = model_silos.iter().map(|&i| clients[i].latent_dim).sum();
         let mut ddpm = build_e2e_ddpm(&config, total_latent);
 
         let base = ckpt.cloned().unwrap_or_else(Checkpointer::disabled);
@@ -160,8 +183,17 @@ impl E2eDistributed {
             source => ProtocolError::Checkpoint { node: "coordinator".into(), source },
         };
 
-        let mut model =
-            Self { config, net: net.clone(), clients, coord_endpoints, ddpm: None, stats };
+        let mut model = Self {
+            config,
+            net: net.clone(),
+            clients,
+            coord_endpoints,
+            ddpm: None,
+            stats,
+            sup,
+            membership,
+            model_silos,
+        };
         let total = (config.ae_steps + config.diffusion_steps) as u64;
         let _phase = observe::phase("joint-train");
         let mut round: u64 = match base.load(JOINT_CKPT, JOINT_PHASE).map_err(coord_err)? {
@@ -191,7 +223,13 @@ impl E2eDistributed {
         while round < total {
             let idx: Vec<usize> =
                 (0..config.batch_size.min(rows)).map(|_| rng.gen_range(0..rows)).collect();
-            model.joint_step(&mut ddpm, &idx, rng)?;
+            if !model.joint_step(&mut ddpm, &idx, round, rng)? {
+                // Graceful degradation: a silo died mid-round. The joint
+                // protocol cannot continue without its activations, so
+                // training halts at the last completed round; the dead
+                // silo's columns come out Masked at synthesis.
+                break;
+            }
             round += 1;
             if base.is_enabled() && base.due(round, total) {
                 let payload = model.snapshot_joint(&mut ddpm, rng);
@@ -274,71 +312,166 @@ impl E2eDistributed {
             ae_cfg.seed = self.config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             client.ae = TabularAutoencoder::new(&client.partition, ae_cfg);
         }
-        let total_latent: usize = self.clients.iter().map(|c| c.latent_dim).sum();
+        let total_latent: usize =
+            self.model_silos.iter().map(|&i| self.clients[i].latent_dim).sum();
         *ddpm = build_e2e_ddpm(&self.config, total_latent);
         self.import_joint_state(ddpm, &saved.payload, rng)?;
         Ok(saved.step)
     }
 
+    /// Absorbs a mid-round silo death under a degrading policy: marks the
+    /// silo dead, re-checks the quorum, and tells the training loop to
+    /// stop at the last completed round (`Ok(false)`).
+    fn degrade(
+        &mut self,
+        silo: usize,
+        tick: u64,
+        phase: &'static str,
+    ) -> Result<bool, ProtocolError> {
+        self.membership.mark_dead(silo, tick);
+        observe::count(observe::names::SUPERVISION_DEGRADED, 1);
+        let alive = self.membership.n_alive();
+        let total = self.clients.len();
+        if !self.sup.policy.permits(alive, total) {
+            return Err(ProtocolError::QuorumLost {
+                phase,
+                alive,
+                total,
+                required: self.sup.policy.required(total),
+            });
+        }
+        Ok(false)
+    }
+
     /// One distributed end-to-end step over aligned batch rows `idx`.
     /// This thread holds both halves of every link, so under a fault plan
     /// each bounded receive kicks the sending endpoint to retransmit its
-    /// unacknowledged frames (nobody else can).
+    /// unacknowledged frames (nobody else can). Returns `Ok(false)` when a
+    /// silo died and the policy degrades: the round is abandoned (no
+    /// [`bump_round`]) and joint training must stop.
     fn joint_step(
         &mut self,
         ddpm: &mut GaussianDdpm,
         idx: &[usize],
+        tick: u64,
         rng: &mut StdRng,
-    ) -> Result<(), ProtocolError> {
+    ) -> Result<bool, ProtocolError> {
         let m = self.clients.len();
         let reliable = self.net.reliable();
         let policy = self.net.retry;
+        let supervised = self.sup.enabled();
+        let model_silos = self.model_silos.clone();
 
         // Clients: encoder forward + activation upload. One thread plays
         // every role here, so each section runs under its actor's scope.
-        let mut batches = Vec::with_capacity(m);
-        for (i, client) in self.clients.iter_mut().enumerate() {
+        let mut batches: Vec<Option<(Table, Tensor)>> = (0..m).map(|_| None).collect();
+        for &i in &model_silos {
             let _scope = observe::scope(&format!("silo{i}"));
+            let hb = self.sup.heartbeat_every;
+            let client = &mut self.clients[i];
             let batch = client.partition.select_rows(idx);
             client.ae.zero_grad();
             let z_i = client.ae.encoder_forward_train(&batch);
-            client
-                .endpoint
-                .send(&Message::ActivationUpload {
-                    client: i as u32,
-                    rows: z_i.rows() as u32,
-                    cols: z_i.cols() as u32,
-                    data: z_i.as_slice().to_vec(),
-                })
-                .map_err(|source| ProtocolError::SiloDead {
+            if hb > 0 && tick % hb == 0 {
+                // Control-plane liveness signal: rides the same link but a
+                // separate byte ledger, so Fig. 10 accounting is untouched.
+                let _ = client.endpoint.send(&Message::Heartbeat { client: i as u32, tick });
+            }
+            let sent = client.endpoint.send(&Message::ActivationUpload {
+                client: i as u32,
+                rows: z_i.rows() as u32,
+                cols: z_i.cols() as u32,
+                data: z_i.as_slice().to_vec(),
+            });
+            if let Err(source) = sent {
+                if self.sup.policy.degrades() {
+                    return self.degrade(i, tick, "activation-upload");
+                }
+                return Err(ProtocolError::SiloDead {
                     client: i,
                     phase: "activation-upload",
+                    retry: None,
                     source,
-                })?;
-            batches.push((batch, z_i));
+                });
+            }
+            batches[i] = Some((batch, z_i));
         }
 
         // Coordinator: concat, DDPM step, gradient download.
         let coord_scope = observe::scope("coordinator");
-        let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
-        for (i, ep) in self.coord_endpoints.iter().enumerate() {
-            let got = if reliable {
-                recv_retrying(
+        let mut uploads: Vec<Option<Tensor>> = (0..model_silos.len()).map(|_| None).collect();
+        for &i in &model_silos {
+            let got = if supervised {
+                // Lease-based failure detector (mirrors the stacked
+                // collect): each bounded receive is one lease, any frame
+                // renews it, `suspect_after + 1` silent leases exhaust the
+                // budget. Silent leases also kick the client half to
+                // retransmit, since this thread holds both ends.
+                let lease = policy.recv_deadline;
+                let budget = u64::from(self.sup.suspect_after) + 1;
+                let mut misses = 0u64;
+                let raw = loop {
+                    match self.coord_endpoints[i].recv_timeout(lease) {
+                        Ok(Message::Heartbeat { client, tick: at }) => {
+                            if (client as usize) < m {
+                                self.membership.beat(client as usize, at);
+                            }
+                            misses = 0;
+                        }
+                        Ok(msg) => break Ok(msg),
+                        Err(TransportError::Timeout) => {
+                            self.clients[i].endpoint.retransmit_unacked();
+                            misses += 1;
+                            self.membership.miss(i, misses);
+                            if misses >= budget {
+                                break Err(TransportError::RetryExhausted {
+                                    attempts: misses as u32,
+                                    backoff_ticks: misses,
+                                });
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                match raw {
+                    Ok(msg) => msg,
+                    Err(source) => {
+                        if self.sup.policy.degrades() {
+                            return self.degrade(i, tick, "activation-upload");
+                        }
+                        return Err(dead_silo(
+                            "activation-upload",
+                            i,
+                            &self.coord_endpoints[i],
+                            source,
+                        ));
+                    }
+                }
+            } else if reliable {
+                recv_or_dead(
                     &policy,
-                    |d| ep.recv_timeout(d),
-                    || self.clients[i].endpoint.retransmit_unacked(),
-                )
+                    "activation-upload",
+                    i,
+                    &self.coord_endpoints[i],
+                    &self.clients[i].endpoint,
+                )?
             } else {
-                ep.recv()
+                let ep = &self.coord_endpoints[i];
+                ep.recv().map_err(|source| dead_silo("activation-upload", i, ep, source))?
             };
-            match got.map_err(|source| ProtocolError::SiloDead {
-                client: i,
-                phase: "activation-upload",
-                source,
-            })? {
+            match got {
                 Message::ActivationUpload { client, rows, cols, data } => {
-                    uploads[client as usize] =
-                        Some(Tensor::from_vec(rows as usize, cols as usize, data));
+                    match model_silos.iter().position(|&s| s == client as usize) {
+                        Some(p) => {
+                            uploads[p] = Some(Tensor::from_vec(rows as usize, cols as usize, data));
+                        }
+                        None => {
+                            return Err(ProtocolError::Unexpected {
+                                phase: "activation-upload",
+                                got: format!("upload from silo {client} outside the joint model"),
+                            })
+                        }
+                    }
                 }
                 other => {
                     return Err(ProtocolError::Unexpected {
@@ -351,41 +484,56 @@ impl E2eDistributed {
         let parts: Vec<Tensor> = uploads.into_iter().map(Option::unwrap).collect();
         let z = Tensor::concat_cols(&parts.iter().collect::<Vec<_>>());
         let step = ddpm.train_step_with_input_grad(&z, rng);
-        let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
+        let widths: Vec<usize> = model_silos.iter().map(|&i| self.clients[i].latent_dim).collect();
         let grad_parts = step.input_grad.split_cols(&widths);
-        for (i, g) in grad_parts.iter().enumerate() {
-            self.coord_endpoints[i]
-                .send(&Message::GradientDownload {
-                    client: i as u32,
-                    rows: g.rows() as u32,
-                    cols: g.cols() as u32,
-                    data: g.as_slice().to_vec(),
-                })
-                .map_err(|source| ProtocolError::SiloDead {
+        for (g, &i) in grad_parts.iter().zip(model_silos.iter()) {
+            let sent = self.coord_endpoints[i].send(&Message::GradientDownload {
+                client: i as u32,
+                rows: g.rows() as u32,
+                cols: g.cols() as u32,
+                data: g.as_slice().to_vec(),
+            });
+            if let Err(source) = sent {
+                if self.sup.policy.degrades() {
+                    return self.degrade(i, tick, "grad-download");
+                }
+                return Err(ProtocolError::SiloDead {
                     client: i,
                     phase: "grad-download",
+                    retry: None,
                     source,
-                })?;
+                });
+            }
         }
 
         // Clients: local decoder loss + combined backward + step.
         drop(coord_scope);
-        for (i, client) in self.clients.iter_mut().enumerate() {
+        for &i in &model_silos {
             let _scope = observe::scope(&format!("silo{i}"));
             let got = if reliable {
-                recv_retrying(
+                recv_or_dead(
                     &policy,
-                    |d| client.endpoint.recv_timeout(d),
-                    || self.coord_endpoints[i].retransmit_unacked(),
+                    "grad-download",
+                    i,
+                    &self.clients[i].endpoint,
+                    &self.coord_endpoints[i],
                 )
             } else {
-                client.endpoint.recv()
+                let ep = &self.clients[i].endpoint;
+                ep.recv().map_err(|source| dead_silo("grad-download", i, ep, source))
             };
-            let msg = got.map_err(|source| ProtocolError::SiloDead {
-                client: i,
-                phase: "grad-download",
-                source,
-            })?;
+            let msg = match got {
+                Ok(msg) => msg,
+                Err(e) => {
+                    if self.sup.policy.degrades() {
+                        // The DDPM (and earlier silos) already stepped this
+                        // round, but the round is abandoned un-counted:
+                        // state stays deterministic under the fault plan.
+                        return self.degrade(i, tick, "grad-download");
+                    }
+                    return Err(e);
+                }
+            };
             let Message::GradientDownload { rows, cols, data, .. } = msg else {
                 return Err(ProtocolError::Unexpected {
                     phase: "grad-download",
@@ -393,14 +541,15 @@ impl E2eDistributed {
                 });
             };
             let grad_ddpm = Tensor::from_vec(rows as usize, cols as usize, data);
-            let (batch, z_i) = &batches[i];
+            let (batch, z_i) = batches[i].as_ref().expect("model silo uploaded this round");
+            let client = &mut self.clients[i];
             let (_recon, grad_dec) = client.ae.decoder_loss_backward(z_i, batch);
             let grad_z = grad_ddpm.add(&grad_dec);
             client.ae.encoder_backward(&grad_z);
             client.ae.opt_step();
         }
         bump_round(&self.stats);
-        Ok(())
+        Ok(true)
     }
 
     /// Number of clients.
@@ -436,6 +585,20 @@ impl E2eDistributed {
     /// the batched reverse-diffusion engine so memory stays bounded by the
     /// chunk size.
     pub fn synthesize_partitioned(&mut self, n: usize, rng: &mut StdRng) -> Vec<Table> {
+        if self.sup.enabled() {
+            return self
+                .synthesize_supervised(n, rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, out)| match out {
+                    SiloOutput::Decoded(t) => t,
+                    SiloOutput::Masked { .. } => panic!(
+                        "silo {i} is dead: its columns are masked — consume \
+                         synthesize_supervised() for typed masked output"
+                    ),
+                })
+                .collect();
+        }
         let chunk_rows = self.config.synth_chunk_rows.max(1);
         let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
         let ddpm = self.ddpm.as_mut().expect("model is fitted");
@@ -469,6 +632,68 @@ impl E2eDistributed {
                 }
             })
             .collect()
+    }
+
+    /// Synthesis under supervision: one [`SiloOutput`] per client, in
+    /// client order. Silos that died during joint training (or were
+    /// pre-declared dead) cannot decode — their partitions are emitted as
+    /// typed [`SiloOutput::Masked`] columns, never silently imputed. The
+    /// coordinator still samples the full joint latent space the DDPM was
+    /// trained on; a dead model silo's latent columns are discarded, not
+    /// decoded on its behalf.
+    pub fn synthesize_supervised(&mut self, n: usize, rng: &mut StdRng) -> Vec<SiloOutput> {
+        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let model_silos = self.model_silos.clone();
+        let widths: Vec<usize> = model_silos.iter().map(|&i| self.clients[i].latent_dim).collect();
+        let ddpm = self.ddpm.as_mut().expect("model is fitted");
+        let mut sampler = ddpm
+            .chunked_sampler(n, self.config.inference_steps, self.config.eta, chunk_rows, rng)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut decoded: Vec<Vec<Table>> = (0..model_silos.len()).map(|_| Vec::new()).collect();
+        loop {
+            let chunk = {
+                let _phase = observe::phase("sample");
+                sampler.next_chunk()
+            };
+            let Some((_, z)) = chunk else { break };
+            let parts = z.split_cols(&widths);
+            silofuse_nn::workspace::recycle(z);
+            let _phase = observe::phase("decode");
+            for ((z_i, &silo), acc) in parts.iter().zip(model_silos.iter()).zip(decoded.iter_mut())
+            {
+                if self.membership.is_alive(silo) {
+                    acc.push(self.clients[silo].ae.decode(z_i));
+                }
+            }
+        }
+        drop(sampler);
+        (0..self.clients.len())
+            .map(|i| match model_silos.iter().position(|&s| s == i) {
+                Some(p) if self.membership.is_alive(i) => {
+                    let parts = &decoded[p];
+                    let table = if parts.is_empty() {
+                        self.clients[i].ae.decode(&Tensor::zeros(0, widths[p]))
+                    } else {
+                        Table::concat_rows(&parts.iter().collect::<Vec<_>>())
+                    };
+                    SiloOutput::Decoded(table)
+                }
+                _ => SiloOutput::Masked {
+                    schema: self.clients[i].partition.schema().clone(),
+                    rows: n,
+                },
+            })
+            .collect()
+    }
+
+    /// Per-silo health for this run.
+    pub fn membership(&self) -> &MembershipTable {
+        &self.membership
+    }
+
+    /// The supervision configuration this model was fitted under.
+    pub fn supervisor(&self) -> &SupervisorConfig {
+        &self.sup
     }
 
     /// Synthesis with post-generation sharing (column concat, client order).

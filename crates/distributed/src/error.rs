@@ -8,6 +8,30 @@
 use crate::transport::TransportError;
 use silofuse_checkpoint::CheckpointError;
 
+/// Retry-budget context attached to a [`ProtocolError::SiloDead`], so an
+/// operator can tell a slow link (few attempts, short backoff) from a
+/// dead peer (full budget burned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryContext {
+    /// Bounded receive attempts made before giving up.
+    pub attempts: u32,
+    /// Total silent wait, in [`crate::faults::RetryPolicy::tick`] units.
+    pub backoff_ticks: u64,
+    /// Highest frame sequence number ever delivered from the silo on
+    /// this link, if any — `None` means the silo was never heard from.
+    pub last_seq: Option<u64>,
+}
+
+impl std::fmt::Display for RetryContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "after {} attempts over {} backoff ticks; ", self.attempts, self.backoff_ticks)?;
+        match self.last_seq {
+            Some(seq) => write!(f, "last frame seq {seq}"),
+            None => write!(f, "never heard from"),
+        }
+    }
+}
+
 /// A distributed protocol run failed.
 #[derive(Debug)]
 pub enum ProtocolError {
@@ -17,8 +41,22 @@ pub enum ProtocolError {
         client: usize,
         /// Protocol phase that gave up (`"latent-upload"`, `"grad-download"`, ...).
         phase: &'static str,
+        /// Retry-budget context when the cause was retry exhaustion.
+        retry: Option<RetryContext>,
         /// The transport-level cause.
         source: TransportError,
+    },
+    /// Too many silos died for the configured
+    /// [`crate::supervision::DegradePolicy`] to keep the run alive.
+    QuorumLost {
+        /// Protocol phase in which the quorum was lost.
+        phase: &'static str,
+        /// Live silos at the time of the check.
+        alive: usize,
+        /// Total silos in the run.
+        total: usize,
+        /// Minimum live silos the policy requires.
+        required: usize,
     },
     /// A peer sent a message the protocol state machine cannot accept.
     Unexpected {
@@ -57,8 +95,19 @@ pub enum ProtocolError {
 impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProtocolError::SiloDead { client, phase, source } => {
-                write!(f, "silo {client} declared dead during {phase}: {source}")
+            ProtocolError::SiloDead { client, phase, retry, source } => {
+                write!(f, "silo {client} declared dead during {phase}: {source}")?;
+                if let Some(ctx) = retry {
+                    write!(f, " ({ctx})")?;
+                }
+                Ok(())
+            }
+            ProtocolError::QuorumLost { phase, alive, total, required } => {
+                write!(
+                    f,
+                    "quorum lost during {phase}: {alive} of {total} silos alive, \
+                     policy requires {required}"
+                )
             }
             ProtocolError::Unexpected { phase, got } => {
                 write!(f, "unexpected message during {phase}: {got}")
@@ -82,7 +131,9 @@ impl std::error::Error for ProtocolError {
             ProtocolError::SiloDead { source, .. } => Some(source),
             ProtocolError::Checkpoint { source, .. } => Some(source),
             ProtocolError::InvalidRequest { source, .. } => Some(source),
-            ProtocolError::Unexpected { .. } | ProtocolError::Crashed { .. } => None,
+            ProtocolError::Unexpected { .. }
+            | ProtocolError::Crashed { .. }
+            | ProtocolError::QuorumLost { .. } => None,
         }
     }
 }
@@ -96,11 +147,43 @@ mod tests {
         let e = ProtocolError::SiloDead {
             client: 2,
             phase: "latent-upload",
-            source: TransportError::Timeout,
+            retry: Some(RetryContext { attempts: 12, backoff_ticks: 57, last_seq: Some(4) }),
+            source: TransportError::RetryExhausted { attempts: 12, backoff_ticks: 57 },
         };
         let msg = e.to_string();
         assert!(msg.contains("silo 2"), "{msg}");
         assert!(msg.contains("latent-upload"), "{msg}");
+        // The retry-budget context lets operators tell a slow link from a
+        // dead peer.
+        assert!(msg.contains("12 attempts"), "{msg}");
+        assert!(msg.contains("57 backoff ticks"), "{msg}");
+        assert!(msg.contains("last frame seq 4"), "{msg}");
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_without_retry_context_stays_terse() {
+        let e = ProtocolError::SiloDead {
+            client: 0,
+            phase: "grad-download",
+            retry: None,
+            source: TransportError::Disconnected,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("peer disconnected"), "{msg}");
+        assert!(!msg.contains("attempts"), "{msg}");
+        // A silo never heard from renders explicitly.
+        let ctx = RetryContext { attempts: 3, backoff_ticks: 3, last_seq: None };
+        assert!(ctx.to_string().contains("never heard from"));
+    }
+
+    #[test]
+    fn quorum_lost_display_names_the_arithmetic() {
+        let e =
+            ProtocolError::QuorumLost { phase: "latent-upload", alive: 1, total: 3, required: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("1 of 3"), "{msg}");
+        assert!(msg.contains("requires 2"), "{msg}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -14,10 +14,13 @@
 //! retransmission, a deduplicated replay, or a dead peer once the retry
 //! budget is exhausted).
 
+use crate::supervision::SupervisorConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use silofuse_checkpoint::CrashPoint;
 use silofuse_observe as observe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A seeded, per-link fault schedule. `FaultPlan::default()` injects
@@ -46,6 +49,18 @@ pub struct FaultPlan {
     /// (`ae-train`, `latent-upload`). Coordinator phases (`latent-train`,
     /// `joint-train`) ignore it.
     pub crash_client: usize,
+    /// Partition the target link (black hole *both* directions) starting
+    /// at this up-direction transmission index. The partition clock is the
+    /// link's logical up-transmission counter (first transmissions only,
+    /// never retransmissions), so a fixed plan always cuts the same
+    /// protocol message regardless of wall-clock timing.
+    pub partition_at: Option<u64>,
+    /// Heal the partition at this up-transmission index (the indexed
+    /// transmission is delivered again). `None` leaves the link dead for
+    /// the rest of the run. Must be greater than `partition_at`.
+    pub rejoin_at: Option<u64>,
+    /// Which client link `partition_at`/`rejoin_at` target.
+    pub partition_client: usize,
     /// Master seed for all per-link RNG streams.
     pub seed: u64,
 }
@@ -60,6 +75,9 @@ impl Default for FaultPlan {
             drop_nth: Vec::new(),
             crash_at: None,
             crash_client: 0,
+            partition_at: None,
+            rejoin_at: None,
+            partition_client: 0,
             seed: 0,
         }
     }
@@ -110,12 +128,39 @@ impl FaultPlan {
                         .parse()
                         .map_err(|_| format!("--faults: bad crash_client `{value}`"))?;
                 }
+                "partition_at" => {
+                    plan.partition_at = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("--faults: bad partition_at `{value}`"))?,
+                    );
+                }
+                "rejoin_at" => {
+                    plan.rejoin_at = Some(
+                        value.parse().map_err(|_| format!("--faults: bad rejoin_at `{value}`"))?,
+                    );
+                }
+                "partition_client" => {
+                    plan.partition_client = value
+                        .parse()
+                        .map_err(|_| format!("--faults: bad partition_client `{value}`"))?;
+                }
                 "seed" => {
                     plan.seed =
                         value.parse().map_err(|_| format!("--faults: bad seed `{value}`"))?;
                 }
                 other => return Err(format!("--faults: unknown key `{other}`")),
             }
+        }
+        if let (Some(p), Some(r)) = (plan.partition_at, plan.rejoin_at) {
+            if r <= p {
+                return Err(format!(
+                    "--faults: rejoin_at ({r}) must be greater than partition_at ({p})"
+                ));
+            }
+        }
+        if plan.rejoin_at.is_some() && plan.partition_at.is_none() {
+            return Err("--faults: rejoin_at requires partition_at".to_string());
         }
         Ok(plan)
     }
@@ -128,6 +173,7 @@ impl FaultPlan {
             && self.disconnect_after.is_none()
             && self.drop_nth.is_empty()
             && self.crash_at.is_none()
+            && self.partition_at.is_none()
     }
 }
 
@@ -140,7 +186,10 @@ fn parse_prob(key: &str, value: &str) -> Result<f64, String> {
     Ok(p)
 }
 
-fn parse_duration(value: &str) -> Result<Duration, String> {
+/// Parses a duration argument: `10ms`, `250us`, `2s`, or a bare number of
+/// milliseconds. Shared by the `--faults delay=` key and the CLI retry
+/// flags (`--retry-deadline`, `--retry-max-backoff`).
+pub fn parse_duration(value: &str) -> Result<Duration, String> {
     let (digits, unit) = match value.find(|c: char| c.is_ascii_alphabetic()) {
         Some(i) => value.split_at(i),
         None => (value, "ms"),
@@ -203,12 +252,16 @@ pub struct NetConfig {
     pub faults: Option<FaultPlan>,
     /// Retransmission policy (only consulted when `faults` is set).
     pub retry: RetryPolicy,
+    /// Supervision layer configuration (heartbeats, membership,
+    /// degradation policy). `SupervisorConfig::default()` disables it,
+    /// preserving fail-fast semantics and exact byte accounting.
+    pub supervision: SupervisorConfig,
 }
 
 impl NetConfig {
     /// A faulty network with the default retry policy.
     pub fn faulty(plan: FaultPlan) -> Self {
-        Self { faults: Some(plan), retry: RetryPolicy::default() }
+        Self { faults: Some(plan), ..Self::default() }
     }
 
     /// Whether the reliability layer (framing, acks, dedup) is active.
@@ -233,6 +286,55 @@ pub(crate) enum FaultAction {
     Blackhole,
 }
 
+/// Shared two-direction partition state for one link, driven by a logical
+/// clock: the count of *first* up-direction transmissions attempted so
+/// far. Up transmission `n` is swallowed iff
+/// `partition_at <= n < rejoin_at`; the down direction (and any
+/// retransmission) is swallowed while the latest up index sits inside
+/// that window. Keying both directions off the silo's own send progress
+/// keeps the cut deterministic for a fixed plan — wall-clock retry timing
+/// never moves it.
+#[derive(Debug)]
+pub(crate) struct PartitionWindow {
+    partition_at: u64,
+    rejoin_at: Option<u64>,
+    up_sent: AtomicU64,
+}
+
+impl PartitionWindow {
+    pub(crate) fn new(partition_at: u64, rejoin_at: Option<u64>) -> Arc<Self> {
+        Arc::new(Self { partition_at, rejoin_at, up_sent: AtomicU64::new(0) })
+    }
+
+    /// Builds the window for `link_id` if the plan partitions that link.
+    pub(crate) fn for_link(plan: &FaultPlan, link_id: u64) -> Option<Arc<Self>> {
+        match plan.partition_at {
+            Some(at) if plan.partition_client as u64 == link_id => {
+                Some(Self::new(at, plan.rejoin_at))
+            }
+            _ => None,
+        }
+    }
+
+    fn swallows_index(&self, n: u64) -> bool {
+        n >= self.partition_at && self.rejoin_at.map_or(true, |r| n < r)
+    }
+
+    /// Advances the up-transmission clock for a first transmission and
+    /// reports whether that transmission is swallowed.
+    pub(crate) fn on_first_up(&self) -> bool {
+        let n = self.up_sent.fetch_add(1, Ordering::SeqCst);
+        self.swallows_index(n)
+    }
+
+    /// Whether the partition is currently active (for down-direction
+    /// traffic and retransmissions in either direction).
+    pub(crate) fn active(&self) -> bool {
+        let t = self.up_sent.load(Ordering::SeqCst);
+        t > self.partition_at && self.rejoin_at.map_or(true, |r| t <= r)
+    }
+}
+
 /// Per-link, per-direction injector state.
 #[derive(Debug)]
 pub(crate) struct LinkFaults {
@@ -240,24 +342,43 @@ pub(crate) struct LinkFaults {
     rng: StdRng,
     sent: u64,
     dead: bool,
+    partition: Option<Arc<PartitionWindow>>,
+    /// True on the client half of the link (its sends are "up").
+    is_up: bool,
 }
 
 impl LinkFaults {
-    pub(crate) fn new(plan: FaultPlan, link_id: u64, direction_salt: u64) -> Self {
+    pub(crate) fn with_partition(
+        plan: FaultPlan,
+        link_id: u64,
+        direction_salt: u64,
+        partition: Option<Arc<PartitionWindow>>,
+    ) -> Self {
         let seed = plan
             .seed
             .wrapping_add(link_id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
             .wrapping_add(direction_salt.wrapping_mul(0xd1b5_4a32_d192_ed03));
-        Self { plan, rng: StdRng::seed_from_u64(seed), sent: 0, dead: false }
+        let is_up = direction_salt == 0;
+        Self { plan, rng: StdRng::seed_from_u64(seed), sent: 0, dead: false, partition, is_up }
     }
 
-    /// Decides the fate of the next transmission. Always draws the same
-    /// number of RNG values so the stream stays aligned across outcomes.
-    pub(crate) fn next(&mut self) -> FaultAction {
+    /// Decides the fate of the next transmission; `first` is false for
+    /// retransmissions, which never advance the partition clock (their
+    /// count is wall-clock dependent and must not move the cut point).
+    /// Always draws the same number of RNG values so the stream stays
+    /// aligned across outcomes.
+    pub(crate) fn next_for(&mut self, first: bool) -> FaultAction {
         let n = self.sent;
         self.sent += 1;
         if self.dead {
             return FaultAction::Blackhole;
+        }
+        if let Some(win) = &self.partition {
+            let cut = if self.is_up && first { win.on_first_up() } else { win.active() };
+            if cut {
+                observe::count(observe::names::FAULT_PARTITION, 1);
+                return FaultAction::Blackhole;
+            }
         }
         if self.plan.disconnect_after.is_some_and(|k| n >= k) {
             self.dead = true;
@@ -335,21 +456,84 @@ mod tests {
     fn injector_is_deterministic_per_link() {
         let plan = FaultPlan { drop: 0.3, duplicate: 0.3, seed: 11, ..Default::default() };
         let run = |link: u64| {
-            let mut f = LinkFaults::new(plan.clone(), link, 1);
-            (0..64).map(|_| f.next()).collect::<Vec<_>>()
+            let mut f = LinkFaults::with_partition(plan.clone(), link, 1, None);
+            (0..64).map(|_| f.next_for(true)).collect::<Vec<_>>()
         };
         assert_eq!(run(0), run(0), "same link replays identically");
         assert_ne!(run(0), run(1), "links draw independent streams");
     }
 
     #[test]
+    fn parse_partition_keys() {
+        let plan = FaultPlan::parse("partition_at=4,rejoin_at=9,partition_client=2").unwrap();
+        assert_eq!(plan.partition_at, Some(4));
+        assert_eq!(plan.rejoin_at, Some(9));
+        assert_eq!(plan.partition_client, 2);
+        assert!(!plan.is_noop(), "a partition plan perturbs the run");
+        assert!(FaultPlan::parse("partition_at=4,rejoin_at=4").is_err());
+        assert!(FaultPlan::parse("partition_at=4,rejoin_at=2").is_err());
+        assert!(FaultPlan::parse("rejoin_at=9").is_err(), "rejoin without partition");
+        assert!(FaultPlan::parse("partition_at=x").is_err());
+    }
+
+    #[test]
+    fn partition_window_cuts_and_heals_on_up_clock() {
+        let win = PartitionWindow::new(2, Some(4));
+        // Up indices 0,1 delivered; 2,3 swallowed; 4 heals.
+        assert!(!win.on_first_up());
+        assert!(!win.active(), "partition not yet reached");
+        assert!(!win.on_first_up());
+        assert!(win.on_first_up(), "index 2 is cut");
+        assert!(win.active(), "down direction dead while cut");
+        assert!(win.on_first_up());
+        assert!(win.active());
+        assert!(!win.on_first_up(), "index 4 heals the link");
+        assert!(!win.active(), "down direction heals with it");
+    }
+
+    #[test]
+    fn partition_without_rejoin_is_permanent() {
+        let win = PartitionWindow::new(1, None);
+        assert!(!win.on_first_up());
+        for _ in 0..8 {
+            assert!(win.on_first_up());
+            assert!(win.active());
+        }
+    }
+
+    #[test]
+    fn retransmissions_do_not_advance_partition_clock() {
+        let plan = FaultPlan { partition_at: Some(1), partition_client: 0, ..Default::default() };
+        let win = PartitionWindow::for_link(&plan, 0).unwrap();
+        let mut up = LinkFaults::with_partition(plan.clone(), 0, 0, Some(win.clone()));
+        let mut down = LinkFaults::with_partition(plan.clone(), 0, 1, Some(win));
+        assert!(matches!(up.next_for(true), FaultAction::Deliver { .. }));
+        // Retransmissions before the cut point leave the clock alone.
+        for _ in 0..5 {
+            assert!(matches!(up.next_for(false), FaultAction::Deliver { .. }));
+            assert!(matches!(down.next_for(false), FaultAction::Deliver { .. }));
+        }
+        assert_eq!(up.next_for(true), FaultAction::Blackhole, "index 1 is cut");
+        assert_eq!(down.next_for(true), FaultAction::Blackhole, "down dies with it");
+        assert_eq!(up.next_for(false), FaultAction::Blackhole);
+    }
+
+    #[test]
+    fn for_link_targets_only_the_partition_client() {
+        let plan = FaultPlan { partition_at: Some(0), partition_client: 1, ..Default::default() };
+        assert!(PartitionWindow::for_link(&plan, 0).is_none());
+        assert!(PartitionWindow::for_link(&plan, 1).is_some());
+        assert!(PartitionWindow::for_link(&FaultPlan::default(), 1).is_none());
+    }
+
+    #[test]
     fn scripted_drops_and_disconnect_fire_exactly() {
         let plan = FaultPlan { drop_nth: vec![1], disconnect_after: Some(3), ..Default::default() };
-        let mut f = LinkFaults::new(plan, 0, 0);
-        assert!(matches!(f.next(), FaultAction::Deliver { .. }));
-        assert_eq!(f.next(), FaultAction::Drop);
-        assert!(matches!(f.next(), FaultAction::Deliver { .. }));
-        assert_eq!(f.next(), FaultAction::Blackhole);
-        assert_eq!(f.next(), FaultAction::Blackhole);
+        let mut f = LinkFaults::with_partition(plan, 0, 0, None);
+        assert!(matches!(f.next_for(true), FaultAction::Deliver { .. }));
+        assert_eq!(f.next_for(true), FaultAction::Drop);
+        assert!(matches!(f.next_for(true), FaultAction::Deliver { .. }));
+        assert_eq!(f.next_for(true), FaultAction::Blackhole);
+        assert_eq!(f.next_for(true), FaultAction::Blackhole);
     }
 }

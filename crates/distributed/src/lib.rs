@@ -35,11 +35,13 @@ pub mod faults;
 pub mod message;
 pub mod privacy;
 pub mod stacked;
+pub mod supervision;
 pub mod transport;
 
 pub use e2e_distr::E2eDistributed;
-pub use error::ProtocolError;
+pub use error::{ProtocolError, RetryContext};
 pub use faults::{FaultPlan, NetConfig, RetryPolicy};
 pub use message::Message;
 pub use stacked::SiloFuseModel;
+pub use supervision::{DegradePolicy, MembershipTable, SiloHealth, SiloOutput, SupervisorConfig};
 pub use transport::CommStats;

@@ -73,6 +73,26 @@ pub enum Message {
     },
     /// Control acknowledgement.
     Ack,
+    /// Client → coordinator liveness beat, stamped with the sender's
+    /// logical tick (training step or synthesis chunk — never wall
+    /// clock). Supervision-only: ledgered in
+    /// [`crate::transport::CommStats::bytes_control`], so Fig. 10
+    /// accounting is untouched.
+    Heartbeat {
+        /// Sending client index.
+        client: u32,
+        /// Sender's logical clock at send time.
+        tick: u64,
+    },
+    /// Client → coordinator: a restarted silo asks to rejoin the run,
+    /// carrying the step recovered from its on-disk checkpoint.
+    /// Supervision-only control traffic (see [`Message::Heartbeat`]).
+    RejoinRequest {
+        /// Rejoining client index.
+        client: u32,
+        /// Training step recovered from the silo's checkpoint.
+        resume_step: u64,
+    },
 }
 
 /// Codec errors.
@@ -101,6 +121,8 @@ const TAG_GRADIENT: u8 = 3;
 const TAG_SYNTH: u8 = 4;
 const TAG_REQUEST: u8 = 5;
 const TAG_ACK: u8 = 6;
+const TAG_HEARTBEAT: u8 = 7;
+const TAG_REJOIN: u8 = 8;
 const TAG_TRACED: u8 = 0x7C;
 
 /// Size of the optional trace header: tag + three little-endian u64s.
@@ -117,7 +139,19 @@ impl Message {
             Message::SyntheticLatents { .. } => "SyntheticLatents",
             Message::SynthesisRequest { .. } => "SynthesisRequest",
             Message::Ack => "Ack",
+            Message::Heartbeat { .. } => "Heartbeat",
+            Message::RejoinRequest { .. } => "RejoinRequest",
         }
+    }
+
+    /// True for supervision control traffic (heartbeats, rejoin
+    /// handshake). Control messages are ledgered in
+    /// [`crate::transport::CommStats::bytes_control`] instead of
+    /// `bytes_up`/`bytes_down`, keeping protocol byte accounting (and
+    /// the paper's Fig. 10 comparison) identical whether or not
+    /// supervision is enabled.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Message::Heartbeat { .. } | Message::RejoinRequest { .. })
     }
 
     /// Serialises to wire bytes without a trace header.
@@ -156,6 +190,16 @@ impl Message {
                 buf.put_u32_le(*n);
             }
             Message::Ack => buf.put_u8(TAG_ACK),
+            Message::Heartbeat { client, tick } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u32_le(*client);
+                buf.put_u64_le(*tick);
+            }
+            Message::RejoinRequest { client, resume_step } => {
+                buf.put_u8(TAG_REJOIN);
+                buf.put_u32_le(*client);
+                buf.put_u64_le(*resume_step);
+            }
         }
         buf.freeze()
     }
@@ -210,6 +254,18 @@ impl Message {
                 Ok(Message::SynthesisRequest { client, n })
             }
             TAG_ACK => Ok(Message::Ack),
+            TAG_HEARTBEAT | TAG_REJOIN => {
+                if bytes.remaining() < 12 {
+                    return Err(CodecError::Truncated);
+                }
+                let client = bytes.get_u32_le();
+                let word = bytes.get_u64_le();
+                Ok(if tag == TAG_HEARTBEAT {
+                    Message::Heartbeat { client, tick: word }
+                } else {
+                    Message::RejoinRequest { client, resume_step: word }
+                })
+            }
             other => Err(CodecError::BadTag(other)),
         }
     }
@@ -224,6 +280,7 @@ impl Message {
             | Message::SyntheticLatents { data, .. } => 1 + 12 + 4 * data.len(),
             Message::SynthesisRequest { .. } => 1 + 8,
             Message::Ack => 1,
+            Message::Heartbeat { .. } | Message::RejoinRequest { .. } => 1 + 12,
         }
     }
 }
@@ -368,9 +425,28 @@ mod tests {
 
     #[test]
     fn control_messages_round_trip() {
-        for m in [Message::SynthesisRequest { client: 7, n: 1000 }, Message::Ack] {
+        for m in [
+            Message::SynthesisRequest { client: 7, n: 1000 },
+            Message::Ack,
+            Message::Heartbeat { client: 2, tick: u64::MAX - 1 },
+            Message::RejoinRequest { client: 1, resume_step: 300 },
+        ] {
+            assert_eq!(m.encode().len(), m.wire_size());
             assert_eq!(Message::decode(m.encode()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn only_supervision_messages_are_control() {
+        assert!(Message::Heartbeat { client: 0, tick: 0 }.is_control());
+        assert!(Message::RejoinRequest { client: 0, resume_step: 0 }.is_control());
+        // Application-level Ack predates supervision and stays in the
+        // protocol byte ledgers; Fig. 10 tests pin its accounting.
+        assert!(!Message::Ack.is_control());
+        assert!(!Message::SynthesisRequest { client: 0, n: 1 }.is_control());
+        assert!(
+            !Message::LatentUpload { client: 0, rows: 1, cols: 1, data: vec![0.0] }.is_control()
+        );
     }
 
     #[test]
@@ -491,6 +567,8 @@ mod tests {
             Message::SynthesisRequest { client: 0, n: 77 }.encode(),
             Message::SynthesisRequest { client: 0, n: 77 }.encode_traced(Some(&ctx)),
             Message::Ack.encode(),
+            Message::Heartbeat { client: 3, tick: 41 }.encode(),
+            Message::RejoinRequest { client: 3, resume_step: 7 }.encode_traced(Some(&ctx)),
             Frame::Data {
                 seq: 9,
                 ack: 2,

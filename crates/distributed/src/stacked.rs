@@ -11,10 +11,11 @@
 //! client decode its own slice with its privately-held decoder.
 
 use crate::error::ProtocolError;
-use crate::faults::NetConfig;
+use crate::faults::{NetConfig, RetryPolicy};
+use crate::supervision::{MembershipTable, SiloOutput, SupervisorConfig};
 use crate::transport::{
-    bump_round, link_with, new_stats, recv_retrying, ClientEndpoint, CommStats, SharedStats,
-    TransportError,
+    bump_round, dead_silo, link_with, new_stats, recv_or_dead, recv_retrying, ClientEndpoint,
+    CommStats, SharedStats, TransportError,
 };
 use crate::Message;
 use rand::rngs::StdRng;
@@ -37,11 +38,30 @@ struct ClientState {
     latent_dim: usize,
 }
 
+/// One silo's coordinator-side slot. The private training partition is
+/// retained so a crashed silo can be rebuilt deterministically (same
+/// config-derived seeds, weights restored from its `silo<i>-ae`
+/// checkpoint) when it rejoins via [`SiloFuseModel::restart_silo`].
+struct SiloSlot {
+    partition: Table,
+    state: Option<ClientState>,
+}
+
+impl SiloSlot {
+    fn state(&self) -> &ClientState {
+        self.state.as_ref().expect("silo is live")
+    }
+
+    fn state_mut(&mut self) -> &mut ClientState {
+        self.state.as_mut().expect("silo is live")
+    }
+}
+
 /// The fitted distributed SiloFuse model.
 pub struct SiloFuseModel {
     config: LatentDiffConfig,
     net: NetConfig,
-    clients: Vec<ClientState>,
+    clients: Vec<SiloSlot>,
     coordinator: Option<Coordinator>,
     coord_endpoints: Vec<crate::transport::CoordEndpoint>,
     stats: SharedStats,
@@ -52,12 +72,19 @@ pub struct SiloFuseModel {
     // Completed-or-started synthesis calls, used to give each call a
     // distinct checkpoint name that a restarted process replays in order.
     synth_calls: u64,
+    sup: SupervisorConfig,
+    membership: MembershipTable,
 }
 
 struct Coordinator {
     ddpm: GaussianDdpm,
     scaler: LatentScaler,
     latent_widths: Vec<usize>,
+    // Silos whose latents the DDPM was trained on (ascending); parallel
+    // with `latent_widths`. Silos dead at fit time are absent: no column
+    // of the generative model belongs to them, so they can never decode
+    // and are emitted as Masked until the model is refitted.
+    model_silos: Vec<usize>,
 }
 
 impl std::fmt::Debug for SiloFuseModel {
@@ -125,6 +152,9 @@ impl SiloFuseModel {
         let crash_plan: Option<CrashPoint> =
             net.faults.as_ref().and_then(|p| p.crash_at.clone()).or_else(|| base.crash().cloned());
         let crash_client = net.faults.as_ref().map_or(0, |p| p.crash_client);
+        let sup = net.supervision.clone();
+        let supervised = sup.enabled();
+        let mut membership = sup.membership(m);
 
         // --- Step 1 (Algorithm 1, lines 1-7): local AE training, parallel.
         let mut handles = Vec::with_capacity(m);
@@ -132,7 +162,16 @@ impl SiloFuseModel {
         for (i, part) in partitions.iter().enumerate() {
             let (client_ep, coord_ep) = link_with(std::sync::Arc::clone(&stats), i as u64, net);
             coord_endpoints.push(coord_ep);
+            if !membership.is_alive(i) {
+                // Pre-declared dead (oracle runs): never spawned, but its
+                // slot index — and therefore every other silo's seed — is
+                // preserved.
+                handles.push(None);
+                continue;
+            }
             let part = part.clone();
+            let hb = sup.heartbeat_every;
+            let degrades = sup.policy.degrades();
             let mut cfg = config;
             cfg.ae.seed = config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let seed = cfg.ae.seed;
@@ -157,7 +196,18 @@ impl SiloFuseModel {
                     let mut local_rng = StdRng::seed_from_u64(seed ^ 0xc11e);
                     let mut ae = TabularAutoencoder::new(&part, cfg.ae);
                     let _phase = observe::phase("ae-train");
-                    ae.fit_resumable(
+                    // Heartbeats are keyed to the *logical* training clock
+                    // (completed steps), never wall time; they ride the
+                    // control ledger and consume no RNG draws, so weights
+                    // are bit-identical with or without them. Send errors
+                    // are ignored: a partitioned silo keeps training.
+                    let mut beat = |done: u64| {
+                        if hb > 0 && done % hb == 0 {
+                            let _ = client_ep
+                                .send(&Message::Heartbeat { client: i as u32, tick: done });
+                        }
+                    };
+                    ae.fit_resumable_observed(
                         &part,
                         cfg.ae_steps,
                         cfg.batch_size,
@@ -165,6 +215,7 @@ impl SiloFuseModel {
                         &c,
                         &name,
                         "ae-train",
+                        &mut beat,
                     )?;
                     Ok::<_, CheckpointError>((ae, local_rng))
                 };
@@ -223,11 +274,8 @@ impl SiloFuseModel {
                         }
                     }
                 }
-                let dead = |source: TransportError| ProtocolError::SiloDead {
-                    client: i,
-                    phase: "latent-upload",
-                    source,
-                };
+                let dead =
+                    |source: TransportError| dead_silo("latent-upload", i, &client_ep, source);
                 client_ep
                     .send(&Message::LatentUpload {
                         client: i as u32,
@@ -241,7 +289,25 @@ impl SiloFuseModel {
                     // coordinator confirms the upload at the application
                     // level. The bounded recv keeps retransmitting the
                     // (possibly dropped) upload on its silent ticks.
-                    match client_ep.recv().map_err(dead)? {
+                    let got = loop {
+                        match client_ep.recv() {
+                            Ok(msg) => break msg,
+                            // Under a degrading policy a silent link is not
+                            // a verdict: the coordinator may be spending its
+                            // whole lease budget detecting a dead sibling
+                            // before it gets to this ack. Keep
+                            // retransmitting; the wait ends only on the
+                            // coordinator's explicit hangup (its death
+                            // verdict for this silo) or the ack itself, so
+                            // the outcome is driven by the fault plan, never
+                            // by a wall-clock race between detectors.
+                            Err(
+                                TransportError::Timeout | TransportError::RetryExhausted { .. },
+                            ) if degrades => continue,
+                            Err(source) => return Err(dead(source)),
+                        }
+                    };
+                    match got {
                         Message::Ack => {}
                         other => {
                             return Err(ProtocolError::Unexpected {
@@ -263,22 +329,75 @@ impl SiloFuseModel {
         // coordinator; pin its telemetry to that actor.
         let _scope = observe::scope("coordinator");
         let mut uploads: Vec<Option<Tensor>> = (0..m).map(|_| None).collect();
-        for (i, ep) in coord_endpoints.iter().enumerate() {
-            let dead = |source: TransportError| ProtocolError::SiloDead {
-                client: i,
-                phase: "latent-upload",
-                source,
+        for i in 0..m {
+            if !membership.is_alive(i) {
+                continue;
+            }
+            let ep = &coord_endpoints[i];
+            let got = if supervised {
+                // Lease-based failure detector: each bounded receive is one
+                // lease; any frame — heartbeat or payload — renews it.
+                // `suspect_after` consecutive silent leases suspect the
+                // silo; one more exhausts the budget. Deliveries are
+                // governed solely by the deterministic fault plan, so the
+                // Dead verdict is identical at any thread count (only the
+                // transient Suspected state can differ with timing, and it
+                // never affects output).
+                let lease = net.retry.recv_deadline;
+                let budget = u64::from(sup.suspect_after) + 1;
+                let mut misses = 0u64;
+                loop {
+                    match ep.recv_timeout(lease) {
+                        Ok(Message::Heartbeat { client, tick }) => {
+                            if (client as usize) < m {
+                                membership.beat(client as usize, tick);
+                            }
+                            misses = 0;
+                        }
+                        Ok(msg) => break Ok(msg),
+                        Err(TransportError::Timeout) => {
+                            misses += 1;
+                            membership.miss(i, misses);
+                            if misses >= budget {
+                                break Err(TransportError::RetryExhausted {
+                                    attempts: misses as u32,
+                                    backoff_ticks: misses,
+                                });
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+            } else {
+                ep.recv()
             };
-            let got = match ep.recv() {
+            let got = match got {
                 Ok(msg) => msg,
                 Err(source) => {
-                    // A dropped link usually means the silo thread died
-                    // with its own, richer error (injected crash, bad
-                    // checkpoint); surface that verdict over the symptom.
+                    if sup.policy.degrades() {
+                        // Graceful degradation: absorb the death, keep the
+                        // survivors. Hang up the link *before* joining — the
+                        // silo's patient ack wait ends only on an explicit
+                        // disconnect (this coordinator's death verdict),
+                        // never on a silent-tick race against the detector.
+                        membership.mark_dead(i, i as u64);
+                        observe::count(observe::names::SUPERVISION_DEGRADED, 1);
+                        let (_hangup, dummy) =
+                            link_with(std::sync::Arc::clone(&stats), i as u64, net);
+                        coord_endpoints[i] = dummy;
+                        if let Some(handle) = handles[i].take() {
+                            let _ = handle.join().expect("client thread panicked");
+                        }
+                        continue;
+                    }
+                    // Fail-fast: a dropped link usually means the silo
+                    // thread died with its own, richer error (injected
+                    // crash, bad checkpoint); surface that verdict over
+                    // the symptom.
                     if let Some(handle) = handles[i].take() {
                         handle.join().expect("client thread panicked")?;
                     }
-                    return Err(dead(source));
+                    return Err(dead_silo("latent-upload", i, ep, source));
                 }
             };
             match got {
@@ -294,13 +413,27 @@ impl SiloFuseModel {
                 }
             }
             if reliable {
-                ep.send(&Message::Ack).map_err(dead)?;
+                ep.send(&Message::Ack)
+                    .map_err(|source| dead_silo("latent-upload", i, ep, source))?;
             }
         }
+        let alive_now = membership.n_alive();
+        if !sup.policy.permits(alive_now, m) {
+            return Err(ProtocolError::QuorumLost {
+                phase: "latent-upload",
+                alive: alive_now,
+                total: m,
+                required: sup.policy.required(m),
+            });
+        }
         if reliable {
-            // Drive each link until the app-level acks are transport-acked
-            // (bounded, non-fatal: the uploads themselves are all in hand).
-            for ep in &coord_endpoints {
+            // Drive each live link until the app-level acks are
+            // transport-acked (bounded, non-fatal: the uploads themselves
+            // are all in hand).
+            for (i, ep) in coord_endpoints.iter().enumerate() {
+                if !membership.is_alive(i) {
+                    continue;
+                }
                 if !ep.flush(net.retry.recv_deadline) {
                     observe::count(observe::names::TRANSPORT_TIMEOUT, 1);
                 }
@@ -309,18 +442,35 @@ impl SiloFuseModel {
         bump_round(&stats);
 
         let mut clients = Vec::with_capacity(m);
-        for handle in handles.into_iter().flatten() {
-            let (ae, endpoint) = handle.join().expect("client thread panicked")?;
-            let latent_dim = ae.latent_dim();
-            clients.push(ClientState { ae, endpoint, latent_dim });
+        for (i, (part, handle)) in partitions.iter().zip(handles).enumerate() {
+            let state = match handle {
+                None => None,
+                Some(handle) => match handle.join().expect("client thread panicked") {
+                    Ok((ae, endpoint)) => {
+                        let latent_dim = ae.latent_dim();
+                        Some(ClientState { ae, endpoint, latent_dim })
+                    }
+                    Err(e) => {
+                        if membership.is_alive(i) {
+                            return Err(e);
+                        }
+                        // Died of the fault the run already degraded around.
+                        None
+                    }
+                },
+            };
+            clients.push(SiloSlot { partition: part.clone(), state });
         }
 
         // --- Step 2 (Algorithm 1, lines 11-16): coordinator-local DDPM
-        //     training on the concatenated latents Z = Z_1 || ... || Z_M.
-        let latent_widths: Vec<usize> = clients.iter().map(|c| c.latent_dim).collect();
-        let parts: Vec<Tensor> =
-            uploads.into_iter().map(|u| u.expect("all clients uploaded")).collect();
-        let z_raw = Tensor::concat_cols(&parts.iter().collect::<Vec<_>>());
+        //     training on the concatenated *surviving* latents
+        //     Z = Z_i1 || ... (all of them on a fault-free run).
+        let model_silos = membership.alive_indices();
+        let latent_widths: Vec<usize> =
+            model_silos.iter().map(|&i| clients[i].state().latent_dim).collect();
+        let parts: Vec<&Tensor> =
+            model_silos.iter().map(|&i| uploads[i].as_ref().expect("live silo uploaded")).collect();
+        let z_raw = Tensor::concat_cols(&parts);
         let scaler = if config.scale_latents {
             LatentScaler::fit(&z_raw)
         } else {
@@ -412,12 +562,24 @@ impl SiloFuseModel {
             config,
             net: net.clone(),
             clients,
-            coordinator: Some(Coordinator { ddpm, scaler, latent_widths }),
+            coordinator: Some(Coordinator { ddpm, scaler, latent_widths, model_silos }),
             coord_endpoints,
             stats,
             ckpt: base,
             synth_calls: 0,
+            sup,
+            membership,
         })
+    }
+
+    /// The coordinator's live membership view of the run's silos.
+    pub fn membership(&self) -> &MembershipTable {
+        &self.membership
+    }
+
+    /// The supervision configuration the model runs under.
+    pub fn supervisor(&self) -> &SupervisorConfig {
+        &self.sup
     }
 
     /// Number of participating clients.
@@ -475,6 +637,29 @@ impl SiloFuseModel {
         rng: &mut StdRng,
     ) -> Result<Vec<Table>, ProtocolError> {
         assert!(requesting_client < self.clients.len(), "no such client");
+        if self.sup.enabled() {
+            // Supervised runs route through the membership-aware engine; a
+            // caller insisting on the all-or-nothing Table API gets a typed
+            // SiloDead for the first masked partition instead of silently
+            // imputed columns.
+            let outputs =
+                self.try_synthesize_supervised(n, requesting_client, inference_steps, rng)?;
+            let mut tables = Vec::with_capacity(outputs.len());
+            for (i, out) in outputs.into_iter().enumerate() {
+                match out {
+                    SiloOutput::Decoded(t) => tables.push(t),
+                    SiloOutput::Masked { .. } => {
+                        return Err(ProtocolError::SiloDead {
+                            client: i,
+                            phase: "synthetic-latents",
+                            retry: None,
+                            source: TransportError::Disconnected,
+                        })
+                    }
+                }
+            }
+            return Ok(tables);
+        }
         let reliable = self.net.reliable();
         let policy = self.net.retry;
 
@@ -483,11 +668,13 @@ impl SiloFuseModel {
         {
             let _scope = observe::scope(&format!("silo{requesting_client}"));
             self.clients[requesting_client]
+                .state()
                 .endpoint
                 .send(&Message::SynthesisRequest { client: requesting_client as u32, n: n as u32 })
                 .map_err(|source| ProtocolError::SiloDead {
                     client: requesting_client,
                     phase: "synthesis-request",
+                    retry: None,
                     source,
                 })?;
         }
@@ -497,16 +684,13 @@ impl SiloFuseModel {
             recv_retrying(
                 &policy,
                 |d| req_ep.recv_timeout(d),
-                || self.clients[requesting_client].endpoint.retransmit_unacked(),
+                || self.clients[requesting_client].state().endpoint.retransmit_unacked(),
             )
         } else {
             req_ep.recv()
         };
-        let _ = req.map_err(|source| ProtocolError::SiloDead {
-            client: requesting_client,
-            phase: "synthesis-request",
-            source,
-        })?;
+        let _ = req
+            .map_err(|source| dead_silo("synthesis-request", requesting_client, req_ep, source))?;
 
         // Lines 2-4: sample noise, denoise, partition — streamed in chunks
         // of `synth_chunk_rows` through the batched reverse-diffusion
@@ -548,7 +732,7 @@ impl SiloFuseModel {
         }
 
         let coord = self.coordinator.as_mut().expect("model is fitted");
-        let Coordinator { ddpm, scaler, latent_widths } = coord;
+        let Coordinator { ddpm, scaler, latent_widths, .. } = coord;
         let mut sampler =
             ddpm.chunked_sampler_from_base(n, steps, self.config.eta, chunk_rows, base).map_err(
                 |source| ProtocolError::InvalidRequest { phase: "synthesis-request", source },
@@ -569,11 +753,6 @@ impl SiloFuseModel {
             // Lines 5-7: ship each client its slice; decode locally.
             let _phase = observe::phase("decode");
             for (i, part) in parts.iter().enumerate() {
-                let dead = |source: TransportError| ProtocolError::SiloDead {
-                    client: i,
-                    phase: "synthetic-latents",
-                    source,
-                };
                 self.coord_endpoints[i]
                     .send(&Message::SyntheticLatents {
                         client: i as u32,
@@ -581,11 +760,16 @@ impl SiloFuseModel {
                         cols: part.cols() as u32,
                         data: part.as_slice().to_vec(),
                     })
-                    .map_err(dead)?;
+                    .map_err(|source| ProtocolError::SiloDead {
+                        client: i,
+                        phase: "synthetic-latents",
+                        retry: None,
+                        source,
+                    })?;
                 // The receive and local decode belong to silo i; the
                 // nested guard shadows the ambient coordinator scope.
                 let _scope = observe::scope(&format!("silo{i}"));
-                let client_ep = &self.clients[i].endpoint;
+                let client_ep = &self.clients[i].state().endpoint;
                 let msg = if reliable {
                     recv_retrying(
                         &policy,
@@ -595,7 +779,7 @@ impl SiloFuseModel {
                 } else {
                     client_ep.recv()
                 }
-                .map_err(dead)?;
+                .map_err(|source| dead_silo("synthetic-latents", i, client_ep, source))?;
                 let Message::SyntheticLatents { rows, cols, data, .. } = msg else {
                     return Err(ProtocolError::Unexpected {
                         phase: "synthetic-latents",
@@ -603,7 +787,7 @@ impl SiloFuseModel {
                     });
                 };
                 let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
-                decoded[i].push(self.clients[i].ae.decode(&z_i));
+                decoded[i].push(self.clients[i].state_mut().ae.decode(&z_i));
             }
 
             // Chunk boundary: record progress and honour injected crashes —
@@ -621,14 +805,464 @@ impl SiloFuseModel {
         for (i, parts) in decoded.iter().enumerate() {
             if parts.is_empty() {
                 // n == 0: decode an empty latent batch to keep the schema.
-                let w = self.clients[i].latent_dim;
-                outputs.push(self.clients[i].ae.decode(&Tensor::zeros(0, w)));
+                let w = self.clients[i].state().latent_dim;
+                outputs.push(self.clients[i].state_mut().ae.decode(&Tensor::zeros(0, w)));
             } else {
                 outputs.push(Table::concat_rows(&parts.iter().collect::<Vec<_>>()));
             }
         }
         bump_round(&self.stats);
         Ok(outputs)
+    }
+
+    /// Membership-aware synthesis (Algorithm 2 under graceful
+    /// degradation): returns one [`SiloOutput`] per silo instead of
+    /// requiring every silo to decode.
+    ///
+    /// - Live silos decode their latent slices exactly as in
+    ///   [`SiloFuseModel::try_synthesize_partitioned_with_steps`].
+    /// - A silo whose retry budget is exhausted mid-run is marked Dead;
+    ///   under a `quorum`/`best-effort` [`crate::supervision::DegradePolicy`]
+    ///   the run continues and that silo's whole partition is emitted as
+    ///   [`SiloOutput::Masked`] (never a partial table, never silently
+    ///   imputed). Under `fail-fast` the historical typed error returns.
+    /// - Slices keep being shipped to a dead-but-partitioned silo: they
+    ///   park in the reliable layer's unacked send window, and when the
+    ///   fault plan's `rejoin_at` heals the link, the peer kick replays
+    ///   the whole backlog in sequence order — the silo catches up and
+    ///   its output is bit-identical to an undisturbed run.
+    /// - If the requesting client itself is dead, the lowest-indexed live
+    ///   silo issues the request instead.
+    ///
+    /// Everything is driven by logical clocks (chunk indices) and the
+    /// deterministic retry budget: a fixed seed and fault plan produce
+    /// bit-identical output at any thread count.
+    pub fn try_synthesize_supervised(
+        &mut self,
+        n: usize,
+        requesting_client: usize,
+        inference_steps: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<SiloOutput>, ProtocolError> {
+        assert!(requesting_client < self.clients.len(), "no such client");
+        let m = self.clients.len();
+        let sup = self.sup.clone();
+        let degrade = sup.policy;
+        let reliable = self.net.reliable();
+        let policy = self.net.retry;
+        {
+            let alive = self.membership.n_alive();
+            if !degrade.permits(alive, m) {
+                return Err(ProtocolError::QuorumLost {
+                    phase: "synthesis-request",
+                    alive,
+                    total: m,
+                    required: degrade.required(m),
+                });
+            }
+        }
+        let requester = if self.membership.is_alive(requesting_client) {
+            requesting_client
+        } else {
+            self.membership.alive_indices()[0]
+        };
+
+        // Line 1: request travels client -> coordinator; the coordinator
+        // absorbs any heartbeats queued ahead of it on the link.
+        {
+            let _scope = observe::scope(&format!("silo{requester}"));
+            self.clients[requester]
+                .state()
+                .endpoint
+                .send(&Message::SynthesisRequest { client: requester as u32, n: n as u32 })
+                .map_err(|source| ProtocolError::SiloDead {
+                    client: requester,
+                    phase: "synthesis-request",
+                    retry: None,
+                    source,
+                })?;
+        }
+        let _coord_scope = observe::scope("coordinator");
+        loop {
+            let req_ep = &self.coord_endpoints[requester];
+            let msg = if reliable {
+                recv_or_dead(
+                    &policy,
+                    "synthesis-request",
+                    requester,
+                    req_ep,
+                    &self.clients[requester].state().endpoint,
+                )?
+            } else {
+                req_ep
+                    .recv()
+                    .map_err(|source| dead_silo("synthesis-request", requester, req_ep, source))?
+            };
+            match msg {
+                Message::Heartbeat { client, tick } => {
+                    if (client as usize) < m {
+                        self.membership.beat(client as usize, tick);
+                    }
+                }
+                Message::SynthesisRequest { .. } => break,
+                other => {
+                    return Err(ProtocolError::Unexpected {
+                        phase: "synthesis-request",
+                        got: format!("{other:?}"),
+                    })
+                }
+            }
+        }
+
+        let steps = inference_steps.unwrap_or(self.config.inference_steps);
+        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let ckpt = self.ckpt.clone();
+        let synth_name = format!("coordinator-synth{}", self.synth_calls);
+        self.synth_calls += 1;
+        let coord_err = |source: CheckpointError| match source {
+            CheckpointError::Crashed { phase, step } => {
+                ProtocolError::Crashed { node: "coordinator".into(), phase, step }
+            }
+            source => ProtocolError::Checkpoint { node: "coordinator".into(), source },
+        };
+        let mut resumed = None;
+        if ckpt.is_enabled() && ckpt.resume() {
+            if let Some(saved) = ckpt.load(&synth_name, "synthesis").map_err(coord_err)? {
+                if saved.payload.len() < 16 {
+                    return Err(coord_err(CheckpointError::Truncated));
+                }
+                let base = u64::from_le_bytes(saved.payload[..8].try_into().unwrap());
+                let state = u64::from_le_bytes(saved.payload[8..16].try_into().unwrap());
+                *rng = StdRng::from_state(state);
+                resumed = Some(base);
+            }
+        }
+        let base = resumed.unwrap_or_else(|| rng.gen::<u64>());
+        if ckpt.is_enabled() && resumed.is_none() {
+            let mut payload = base.to_le_bytes().to_vec();
+            payload.extend_from_slice(&rng.state().to_le_bytes());
+            ckpt.save(&synth_name, "synthesis", 0, &payload).map_err(coord_err)?;
+        }
+
+        let coord = self.coordinator.as_mut().expect("model is fitted");
+        let Coordinator { ddpm, scaler, latent_widths, model_silos } = coord;
+        let mut sampler =
+            ddpm.chunked_sampler_from_base(n, steps, self.config.eta, chunk_rows, base).map_err(
+                |source| ProtocolError::InvalidRequest { phase: "synthesis-request", source },
+            )?;
+        let total_chunks = sampler.total_chunks() as u64;
+        let mut decoded: Vec<Vec<Table>> = (0..m).map(|_| Vec::new()).collect();
+        // Slices shipped to each silo but not yet decoded: 0 or 1 for a
+        // live silo, the whole missed backlog for a dead one.
+        let mut pending: Vec<u64> = vec![0; m];
+        // Dead silos get a short probe instead of the full retry budget:
+        // in-process delivery is synchronous, so one kick after the heal
+        // is enough to start the replay — and a still-cut link can never
+        // deliver, however long the budget.
+        let probe = RetryPolicy { max_retries: 2, ..policy };
+        let mut chunk_idx = 0u64;
+        loop {
+            let chunk = {
+                let _phase = observe::phase("sample");
+                sampler.next_chunk()
+            };
+            let Some((_, z)) = chunk else { break };
+            let latents = scaler.unscale(&z);
+            silofuse_nn::workspace::recycle(z);
+            let parts = latents.split_cols(latent_widths);
+
+            let _phase = observe::phase("decode");
+            for (slot, part) in model_silos.iter().zip(parts.iter()) {
+                let i = *slot;
+                if self.clients[i].state.is_none() {
+                    // Crashed with no restored process: nothing to ship to
+                    // (restart_silo can bring it back between calls).
+                    continue;
+                }
+                // The silo's logical clock keeps ticking even while it is
+                // partitioned out: these control beats are what advance
+                // the fault plan's up-transmission clock to `rejoin_at`
+                // and heal the window.
+                if sup.heartbeats_enabled() {
+                    let _scope = observe::scope(&format!("silo{i}"));
+                    let _ = self.clients[i]
+                        .state()
+                        .endpoint
+                        .send(&Message::Heartbeat { client: i as u32, tick: chunk_idx });
+                }
+                // Ship the slice regardless of membership (see the rejoin
+                // contract in the method docs).
+                if let Err(source) = self.coord_endpoints[i].send(&Message::SyntheticLatents {
+                    client: i as u32,
+                    rows: part.rows() as u32,
+                    cols: part.cols() as u32,
+                    data: part.as_slice().to_vec(),
+                }) {
+                    if !degrade.degrades() {
+                        return Err(ProtocolError::SiloDead {
+                            client: i,
+                            phase: "synthetic-latents",
+                            retry: None,
+                            source,
+                        });
+                    }
+                    self.membership.mark_dead(i, chunk_idx);
+                    continue;
+                }
+                pending[i] += 1;
+
+                // Drain everything owed: one slice normally, the whole
+                // backlog (in sequence order) right after a rejoin.
+                let _scope = observe::scope(&format!("silo{i}"));
+                while pending[i] > 0 {
+                    let alive = self.membership.is_alive(i);
+                    let budget = if alive { policy } else { probe };
+                    let got = {
+                        let client_ep = &self.clients[i].state().endpoint;
+                        if reliable {
+                            recv_retrying(
+                                &budget,
+                                |d| client_ep.recv_timeout(d),
+                                || self.coord_endpoints[i].retransmit_unacked(),
+                            )
+                        } else {
+                            client_ep.recv()
+                        }
+                        .map_err(|source| dead_silo("synthetic-latents", i, client_ep, source))
+                    };
+                    match got {
+                        Ok(Message::SyntheticLatents { rows, cols, data, .. }) => {
+                            let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
+                            let table = self.clients[i].state_mut().ae.decode(&z_i);
+                            decoded[i].push(table);
+                            pending[i] -= 1;
+                            if !self.membership.is_alive(i) {
+                                // The link healed and the backlog is
+                                // replaying: the silo is back.
+                                self.membership.mark_rejoined(i, chunk_idx);
+                            }
+                        }
+                        Ok(other) => {
+                            return Err(ProtocolError::Unexpected {
+                                phase: "synthetic-latents",
+                                got: format!("{other:?}"),
+                            })
+                        }
+                        Err(e) => {
+                            if !degrade.degrades() {
+                                return Err(e);
+                            }
+                            if alive {
+                                self.membership.mark_dead(i, chunk_idx);
+                                observe::count(observe::names::SUPERVISION_DEGRADED, 1);
+                                let alive_n = self.membership.n_alive();
+                                if !degrade.permits(alive_n, m) {
+                                    return Err(ProtocolError::QuorumLost {
+                                        phase: "synthetic-latents",
+                                        alive: alive_n,
+                                        total: m,
+                                        required: degrade.required(m),
+                                    });
+                                }
+                            }
+                            // Keep the backlog; probe again next chunk.
+                            break;
+                        }
+                    }
+                }
+            }
+
+            chunk_idx += 1;
+            if ckpt.is_enabled() && ckpt.due(chunk_idx, total_chunks) {
+                let mut payload = base.to_le_bytes().to_vec();
+                payload.extend_from_slice(&rng.state().to_le_bytes());
+                ckpt.save(&synth_name, "synthesis", chunk_idx, &payload).map_err(coord_err)?;
+            }
+            ckpt.maybe_crash("synthesis", chunk_idx).map_err(coord_err)?;
+        }
+
+        // Final catch-up: a link that healed on the very last chunk may
+        // still owe its backlog one kick away.
+        for &i in model_silos.iter() {
+            if self.clients[i].state.is_none() {
+                continue;
+            }
+            while pending[i] > 0 {
+                let got = {
+                    let client_ep = &self.clients[i].state().endpoint;
+                    if reliable {
+                        recv_retrying(
+                            &probe,
+                            |d| client_ep.recv_timeout(d),
+                            || self.coord_endpoints[i].retransmit_unacked(),
+                        )
+                    } else {
+                        client_ep.recv()
+                    }
+                };
+                match got {
+                    Ok(Message::SyntheticLatents { rows, cols, data, .. }) => {
+                        let z_i = Tensor::from_vec(rows as usize, cols as usize, data);
+                        let table = self.clients[i].state_mut().ae.decode(&z_i);
+                        decoded[i].push(table);
+                        pending[i] -= 1;
+                        if !self.membership.is_alive(i) {
+                            self.membership.mark_rejoined(i, total_chunks);
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(m);
+        for i in 0..m {
+            let complete = model_silos.contains(&i)
+                && self.membership.is_alive(i)
+                && pending[i] == 0
+                && self.clients[i].state.is_some();
+            if complete {
+                let chunks = std::mem::take(&mut decoded[i]);
+                let table = if chunks.is_empty() {
+                    // n == 0: decode an empty latent batch for the schema.
+                    let w = self.clients[i].state().latent_dim;
+                    self.clients[i].state_mut().ae.decode(&Tensor::zeros(0, w))
+                } else {
+                    Table::concat_rows(&chunks.iter().collect::<Vec<_>>())
+                };
+                outputs.push(SiloOutput::Decoded(table));
+            } else {
+                // Dead (or never in the model): the whole partition is
+                // typed as masked — no partial output, nothing imputed.
+                outputs.push(SiloOutput::Masked {
+                    schema: self.clients[i].partition.schema().clone(),
+                    rows: n,
+                });
+            }
+        }
+        bump_round(&self.stats);
+        Ok(outputs)
+    }
+
+    /// Restarts a crashed silo and rejoins it into the run. The silo's
+    /// replacement process is rebuilt deterministically from config plus
+    /// its retained private partition, restores its trained autoencoder
+    /// from the `silo<i>-ae` checkpoint written during fit, opens a fresh
+    /// link, and completes a rejoin handshake — a
+    /// [`Message::RejoinRequest`] carrying the checkpoint's resume step,
+    /// answered by a coordinator [`Message::Heartbeat`] echoing the
+    /// granted step — before being marked Rejoined. Both handshake frames
+    /// are control traffic and never touch the protocol byte ledgers.
+    ///
+    /// Requires the model's checkpointer and only readmits silos whose
+    /// latents are part of the coordinator's generative model (a silo dead
+    /// *before* upload contributed nothing the DDPM could sample for).
+    /// The fresh link re-arms the fault plan for that link id, including
+    /// any partition window.
+    pub fn restart_silo(&mut self, i: usize) -> Result<(), ProtocolError> {
+        assert!(i < self.clients.len(), "no such client");
+        if self.membership.is_alive(i) && self.clients[i].state.is_some() {
+            return Ok(());
+        }
+        let in_model = self.coordinator.as_ref().is_some_and(|c| c.model_silos.contains(&i));
+        if !in_model {
+            return Err(ProtocolError::Unexpected {
+                phase: "rejoin",
+                got: format!("silo {i} has no latents in the coordinator model"),
+            });
+        }
+        let node = format!("silo {i}");
+        let ckpt_err =
+            |source: CheckpointError| ProtocolError::Checkpoint { node: node.clone(), source };
+        let name = format!("silo{i}-ae");
+        let resume = self.ckpt.clone().with_resume(true).with_crash(None);
+        let resume_step =
+            resume.latest_step(&name, "ae-train").map_err(ckpt_err)?.ok_or_else(|| {
+                ckpt_err(CheckpointError::State(format!(
+                    "{name} checkpoint missing; cannot rejoin"
+                )))
+            })?;
+
+        // Rebuild the silo exactly as fit did: same config-derived seeds,
+        // weights restored from (and the training tail, if any, replayed
+        // after) the checkpoint.
+        let mut cfg = self.config;
+        cfg.ae.seed = self.config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let reliable = self.net.reliable();
+        let (client_ep, coord_ep) =
+            link_with(std::sync::Arc::clone(&self.stats), i as u64, &self.net);
+        let ae = {
+            let _scope = observe::scope(&format!("silo{i}"));
+            let mut local_rng = StdRng::seed_from_u64(cfg.ae.seed ^ 0xc11e);
+            let mut ae = TabularAutoencoder::new(&self.clients[i].partition, cfg.ae);
+            ae.fit_resumable(
+                &self.clients[i].partition,
+                cfg.ae_steps,
+                cfg.batch_size,
+                &mut local_rng,
+                &resume,
+                &name,
+                "ae-train",
+            )
+            .map_err(ckpt_err)?;
+            client_ep.send(&Message::RejoinRequest { client: i as u32, resume_step }).map_err(
+                |source| ProtocolError::SiloDead {
+                    client: i,
+                    phase: "rejoin",
+                    retry: None,
+                    source,
+                },
+            )?;
+            ae
+        };
+        {
+            let _coord = observe::scope("coordinator");
+            let msg = if reliable {
+                recv_or_dead(&self.net.retry, "rejoin", i, &coord_ep, &client_ep)?
+            } else {
+                coord_ep.recv().map_err(|source| dead_silo("rejoin", i, &coord_ep, source))?
+            };
+            match msg {
+                Message::RejoinRequest { client, resume_step: step }
+                    if client as usize == i && step <= self.config.ae_steps as u64 =>
+                {
+                    // The silo's persisted state is consistent with this
+                    // run; grant the rejoin by echoing the step back.
+                    coord_ep
+                        .send(&Message::Heartbeat { client: i as u32, tick: step })
+                        .map_err(|source| dead_silo("rejoin", i, &coord_ep, source))?;
+                }
+                other => {
+                    return Err(ProtocolError::Unexpected {
+                        phase: "rejoin",
+                        got: format!("{other:?}"),
+                    })
+                }
+            }
+        }
+        {
+            let _scope = observe::scope(&format!("silo{i}"));
+            let grant = if reliable {
+                recv_or_dead(&self.net.retry, "rejoin", i, &client_ep, &coord_ep)?
+            } else {
+                client_ep.recv().map_err(|source| dead_silo("rejoin", i, &client_ep, source))?
+            };
+            match grant {
+                Message::Heartbeat { client, tick }
+                    if client as usize == i && tick == resume_step => {}
+                other => {
+                    return Err(ProtocolError::Unexpected {
+                        phase: "rejoin",
+                        got: format!("{other:?}"),
+                    })
+                }
+            }
+        }
+        let latent_dim = ae.latent_dim();
+        self.clients[i].state = Some(ClientState { ae, endpoint: client_ep, latent_dim });
+        self.coord_endpoints[i] = coord_ep;
+        self.membership.mark_rejoined(i, resume_step);
+        Ok(())
     }
 
     /// Synthesis followed by post-generation sharing: partitions are
@@ -879,6 +1513,88 @@ mod tests {
             noisy.comm_stats().bytes_up,
             "noising must not change wire size"
         );
+    }
+
+    #[test]
+    fn pre_dead_silo_masks_columns_and_replays_identically() {
+        use crate::supervision::DegradePolicy;
+        let t = profiles::loan().generate(96, 21);
+        let parts = split(&t, 3);
+        let mut cfg = quick_config(21);
+        cfg.ae_steps = 20;
+        cfg.diffusion_steps = 20;
+        let net = NetConfig {
+            supervision: SupervisorConfig::new(DegradePolicy::Quorum(2), 0).with_pre_dead(vec![1]),
+            ..Default::default()
+        };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut model = SiloFuseModel::try_fit(&parts, cfg, &net, &mut rng)
+                .expect("quorum 2-of-3 survives one pre-dead silo");
+            assert!(!model.membership().is_alive(1));
+            assert_eq!(model.membership().n_alive(), 2);
+            model
+                .try_synthesize_supervised(12, 0, None, &mut rng)
+                .expect("degraded synthesis completes")
+        };
+        let out = run();
+        assert_eq!(out.len(), 3);
+        assert!(out[1].is_masked(), "dead silo's columns must be typed Masked");
+        let masked_cols: Vec<String> =
+            parts[1].schema().columns().iter().map(|c| c.name.clone()).collect();
+        assert_eq!(out[1].column_names(), masked_cols);
+        assert_eq!(out[1].rows(), 12);
+        for i in [0usize, 2] {
+            let table = out[i].decoded().expect("survivors decode");
+            assert_eq!(table.schema(), parts[i].schema());
+            assert_eq!(table.n_rows(), 12);
+        }
+        assert_eq!(out, run(), "fixed seed + fault plan must replay bit-identically");
+
+        // The same dead silo under fail-fast is a typed quorum loss, not a
+        // silent mask.
+        let strict = NetConfig {
+            supervision: SupervisorConfig::default().with_pre_dead(vec![1]),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let err = SiloFuseModel::try_fit(&parts, cfg, &strict, &mut rng)
+            .expect_err("fail-fast cannot start a run short of its quorum");
+        assert!(matches!(err, ProtocolError::QuorumLost { alive: 2, total: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn heartbeats_ride_the_control_ledger_only() {
+        use crate::supervision::DegradePolicy;
+        let t = profiles::loan().generate(96, 22);
+        let parts = split(&t, 2);
+        let mut cfg = quick_config(22);
+        cfg.ae_steps = 20;
+        cfg.diffusion_steps = 20;
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut plain = SiloFuseModel::fit(&parts, cfg, &mut rng);
+        let beating_net = NetConfig {
+            supervision: SupervisorConfig::new(DegradePolicy::FailFast, 4),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut beating = SiloFuseModel::try_fit(&parts, cfg, &beating_net, &mut rng)
+            .expect("heartbeats on a perfect network are harmless");
+        let (p, b) = (plain.comm_stats(), beating.comm_stats());
+        assert_eq!(b.bytes_up, p.bytes_up, "beats must not leak into the Fig. 10 ledger");
+        assert_eq!(b.messages_up, p.messages_up);
+        // One beat per 4 AE steps per silo: 2 silos x 20/4, 13 wire bytes
+        // each, all on the control ledger.
+        assert_eq!(p.messages_control, 0);
+        assert_eq!(b.messages_control, 10);
+        assert_eq!(b.bytes_control, 10 * 13);
+        // Liveness signalling must not perturb the model: synthetic output
+        // is byte-identical with and without heartbeats.
+        let mut rng = StdRng::seed_from_u64(123);
+        let want = plain.synthesize_partitioned(8, 0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(123);
+        let got = beating.synthesize_partitioned(8, 0, &mut rng);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -27,7 +27,8 @@
 //! `bytes_trace` so traced runs keep Fig. 10-comparable byte counts,
 //! and untraced runs are byte-identical to before.
 
-use crate::faults::{FaultAction, LinkFaults, NetConfig, RetryPolicy};
+use crate::error::ProtocolError;
+use crate::faults::{FaultAction, LinkFaults, NetConfig, PartitionWindow, RetryPolicy};
 use crate::message::{CodecError, Frame, Message};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -66,6 +67,12 @@ pub struct CommStats {
     /// enabled; kept out of `bytes_up`/`bytes_down` so traced and
     /// untraced runs report identical payload byte counts.
     pub bytes_trace: u64,
+    /// Supervision control-plane bytes (heartbeats, rejoin handshake),
+    /// both directions. Kept out of `bytes_up`/`bytes_down` so Fig. 10
+    /// protocol byte accounting is identical with supervision on or off.
+    pub bytes_control: u64,
+    /// Supervision control-plane messages, both directions.
+    pub messages_control: u64,
 }
 
 impl CommStats {
@@ -74,11 +81,11 @@ impl CommStats {
         self.bytes_up + self.bytes_down
     }
 
-    /// Total non-payload overhead (retransmitted, ack, and trace-header
-    /// bytes) that is deliberately excluded from
+    /// Total non-payload overhead (retransmitted, ack, trace-header, and
+    /// supervision control bytes) that is deliberately excluded from
     /// [`CommStats::total_bytes`].
     pub fn overhead_bytes(&self) -> u64 {
-        self.bytes_retried + self.bytes_ack + self.bytes_trace
+        self.bytes_retried + self.bytes_ack + self.bytes_trace + self.bytes_control
     }
 }
 
@@ -99,8 +106,16 @@ pub enum TransportError {
     Codec(CodecError),
     /// A bounded receive expired without delivering a message.
     Timeout,
-    /// The retry budget was exhausted without the peer responding.
-    RetryExhausted,
+    /// The retry budget was exhausted without the peer responding. The
+    /// context distinguishes a slow link from a dead peer: how many
+    /// bounded attempts were made and how long the exponential backoff
+    /// waited, in units of [`RetryPolicy::tick`].
+    RetryExhausted {
+        /// Bounded receive attempts made before giving up.
+        attempts: u32,
+        /// Total silent wait, in backoff ticks of [`RetryPolicy::tick`].
+        backoff_ticks: u64,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -109,7 +124,10 @@ impl std::fmt::Display for TransportError {
             TransportError::Disconnected => write!(f, "peer disconnected"),
             TransportError::Codec(e) => write!(f, "codec error: {e}"),
             TransportError::Timeout => write!(f, "receive timed out"),
-            TransportError::RetryExhausted => write!(f, "retry budget exhausted"),
+            TransportError::RetryExhausted { attempts, backoff_ticks } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempts ({backoff_ticks} backoff ticks)"
+            ),
         }
     }
 }
@@ -172,9 +190,15 @@ impl Half {
         let payload = msg.encode_traced(ctx.as_ref());
         let trace_overhead = (payload.len() - msg.wire_size()) as u64;
         let base = msg.wire_size() as u64;
+        // Supervision control traffic (heartbeats, rejoin handshake) is
+        // ledgered in `bytes_control` and skips the `comm.bytes.*`
+        // histograms, so Fig. 10 accounting never sees it.
+        let control = msg.is_control();
         let Some(rel) = &self.reliable else {
-            observe::comm(self.dir, msg.kind(), base);
-            self.note_send(msg.kind(), base, base, trace_overhead, ctx.as_ref());
+            if !control {
+                observe::comm(self.dir, msg.kind(), base);
+            }
+            self.note_send(msg.kind(), base, base, trace_overhead, control, ctx.as_ref());
             return self.tx.send(payload).map_err(|_| TransportError::Disconnected);
         };
         let mut st = rel.state.lock();
@@ -187,9 +211,11 @@ impl Half {
         // untraced reliable runs ledger identical first-transmission
         // bytes.
         let counted = bytes.len() as u64 - trace_overhead;
-        observe::comm(self.dir, msg.kind(), counted);
-        self.note_send(msg.kind(), counted, base, trace_overhead, ctx.as_ref());
-        self.transmit(&mut st.faults, bytes)
+        if !control {
+            observe::comm(self.dir, msg.kind(), counted);
+        }
+        self.note_send(msg.kind(), counted, base, trace_overhead, control, ctx.as_ref());
+        self.transmit(&mut st.faults, bytes, true)
     }
 
     /// Ledgers one first transmission (`counted` bytes, framed size in
@@ -202,18 +228,24 @@ impl Half {
         counted: u64,
         base: u64,
         trace_overhead: u64,
+        control: bool,
         ctx: Option<&observe::TraceContext>,
     ) {
         {
             let mut s = self.stats.lock();
-            match self.dir {
-                observe::Direction::Up => {
-                    s.bytes_up += counted;
-                    s.messages_up += 1;
-                }
-                observe::Direction::Down => {
-                    s.bytes_down += counted;
-                    s.messages_down += 1;
+            if control {
+                s.bytes_control += counted;
+                s.messages_control += 1;
+            } else {
+                match self.dir {
+                    observe::Direction::Up => {
+                        s.bytes_up += counted;
+                        s.messages_up += 1;
+                    }
+                    observe::Direction::Down => {
+                        s.bytes_down += counted;
+                        s.messages_down += 1;
+                    }
                 }
             }
             s.bytes_trace += trace_overhead;
@@ -259,11 +291,17 @@ impl Half {
 
     /// Pushes raw frame bytes through the fault injector onto the wire.
     /// `Drop`/`Blackhole` swallow the transmission *successfully* — the
-    /// sender only learns through missing acks.
-    fn transmit(&self, faults: &mut LinkFaults, bytes: Bytes) -> Result<(), TransportError> {
+    /// sender only learns through missing acks. `first` is false for
+    /// retransmissions, which never advance the partition clock.
+    fn transmit(
+        &self,
+        faults: &mut LinkFaults,
+        bytes: Bytes,
+        first: bool,
+    ) -> Result<(), TransportError> {
         let action = {
             let _g = observe::span(observe::names::FAULT_INJECT_SPAN);
-            faults.next()
+            faults.next_for(first)
         };
         match action {
             FaultAction::Deliver { extra_copy, delay } => {
@@ -412,8 +450,16 @@ impl Half {
                 s.retransmits += 1;
             }
             observe::count(observe::names::TRANSPORT_RETRANSMIT, 1);
-            let _ = self.transmit(&mut st.faults, bytes);
+            let _ = self.transmit(&mut st.faults, bytes, false);
         }
+    }
+
+    /// Highest peer sequence number delivered so far on this half, if
+    /// any — the "last frame seq" operators see in a
+    /// [`crate::error::ProtocolError::SiloDead`].
+    fn last_delivered_seq(&self) -> Option<u64> {
+        let rel = self.reliable.as_ref()?;
+        rel.state.lock().next_expected.checked_sub(1)
     }
 
     /// Drives the link until every payload this half sent is acked or
@@ -492,10 +538,18 @@ pub fn link_with(
 ) -> (ClientEndpoint, CoordEndpoint) {
     let (up_tx, up_rx) = unbounded();
     let (down_tx, down_rx) = unbounded();
+    // A partitioned link shares one two-direction window, clocked by the
+    // client half's first up transmissions.
+    let partition = net.faults.as_ref().and_then(|plan| PartitionWindow::for_link(plan, link_id));
     let reliable = |salt: u64| {
         net.faults.clone().map(|plan| Reliable {
             policy: net.retry,
-            state: Mutex::new(ReliableState::new(LinkFaults::new(plan, link_id, salt))),
+            state: Mutex::new(ReliableState::new(LinkFaults::with_partition(
+                plan,
+                link_id,
+                salt,
+                partition.clone(),
+            ))),
         })
     };
     (
@@ -558,6 +612,11 @@ impl ClientEndpoint {
     pub fn has_unacked(&self) -> bool {
         self.half.has_unacked()
     }
+
+    /// Highest peer sequence number delivered on this endpoint, if any.
+    pub fn last_delivered_seq(&self) -> Option<u64> {
+        self.half.last_delivered_seq()
+    }
 }
 
 impl CoordEndpoint {
@@ -594,6 +653,63 @@ impl CoordEndpoint {
     pub fn has_unacked(&self) -> bool {
         self.half.has_unacked()
     }
+
+    /// Highest peer sequence number delivered on this endpoint, if any.
+    pub fn last_delivered_seq(&self) -> Option<u64> {
+        self.half.last_delivered_seq()
+    }
+}
+
+/// Common surface of the two endpoint types, so protocol helpers like
+/// [`recv_or_dead`] work on either side of a link.
+pub trait Endpoint {
+    /// Sends a message to the peer.
+    fn send(&self, msg: &Message) -> Result<(), TransportError>;
+    /// Blocks until the peer sends a message (bounded under a fault
+    /// plan).
+    fn recv(&self) -> Result<Message, TransportError>;
+    /// Receives with an explicit time budget.
+    fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError>;
+    /// Re-sends every unacknowledged payload; no-op on a plain link.
+    fn retransmit_unacked(&self);
+    /// Highest peer sequence number delivered on this endpoint, if any.
+    fn last_delivered_seq(&self) -> Option<u64>;
+}
+
+impl Endpoint for ClientEndpoint {
+    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        ClientEndpoint::send(self, msg)
+    }
+    fn recv(&self) -> Result<Message, TransportError> {
+        ClientEndpoint::recv(self)
+    }
+    fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError> {
+        ClientEndpoint::recv_timeout(self, budget)
+    }
+    fn retransmit_unacked(&self) {
+        ClientEndpoint::retransmit_unacked(self)
+    }
+    fn last_delivered_seq(&self) -> Option<u64> {
+        ClientEndpoint::last_delivered_seq(self)
+    }
+}
+
+impl Endpoint for CoordEndpoint {
+    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        CoordEndpoint::send(self, msg)
+    }
+    fn recv(&self) -> Result<Message, TransportError> {
+        CoordEndpoint::recv(self)
+    }
+    fn recv_timeout(&self, budget: Duration) -> Result<Message, TransportError> {
+        CoordEndpoint::recv_timeout(self, budget)
+    }
+    fn retransmit_unacked(&self) {
+        CoordEndpoint::retransmit_unacked(self)
+    }
+    fn last_delivered_seq(&self) -> Option<u64> {
+        CoordEndpoint::last_delivered_seq(self)
+    }
 }
 
 /// Bounded receive with a peer "kick" between attempts, for protocol
@@ -602,23 +718,69 @@ impl CoordEndpoint {
 /// lost frame, so on each timeout `kick` should call
 /// `retransmit_unacked()` on the peer endpoint. Gives up with
 /// [`TransportError::RetryExhausted`] after [`RetryPolicy::max_retries`]
-/// silent attempts.
+/// silent attempts, reporting how many attempts were made and how long
+/// the backoff waited (in [`RetryPolicy::tick`] units).
 pub fn recv_retrying(
     policy: &RetryPolicy,
     mut recv: impl FnMut(Duration) -> Result<Message, TransportError>,
     mut kick: impl FnMut(),
 ) -> Result<Message, TransportError> {
-    let mut wait = policy.tick.max(Duration::from_micros(100));
+    let base = policy.tick.max(Duration::from_micros(100));
+    let mut wait = base;
+    let mut attempts = 0u32;
+    let mut backoff_ticks = 0u64;
     for _ in 0..=policy.max_retries {
+        attempts += 1;
         match recv(wait) {
             Err(TransportError::Timeout) => {
+                backoff_ticks += (wait.as_nanos() / base.as_nanos().max(1)) as u64;
                 kick();
                 wait = (wait * 2).min(policy.max_backoff);
             }
             other => return other,
         }
     }
-    Err(TransportError::RetryExhausted)
+    Err(TransportError::RetryExhausted { attempts, backoff_ticks })
+}
+
+/// The shared "receive from silo `client` or declare it dead" block: a
+/// kick-driven bounded receive whose failure is wrapped as a typed
+/// [`ProtocolError::SiloDead`] carrying the retry-budget context
+/// (attempts, elapsed backoff ticks, last delivered frame seq). `from` is
+/// the endpoint being read; `peer` is the opposite endpoint of the same
+/// link, kicked on silent ticks when one thread holds both ends (pass
+/// `from` itself when the peer runs on its own thread).
+pub fn recv_or_dead(
+    policy: &RetryPolicy,
+    phase: &'static str,
+    client: usize,
+    from: &dyn Endpoint,
+    peer: &dyn Endpoint,
+) -> Result<Message, ProtocolError> {
+    recv_retrying(policy, |d| from.recv_timeout(d), || peer.retransmit_unacked())
+        .map_err(|source| dead_silo(phase, client, from, source))
+}
+
+/// Wraps a transport error as [`ProtocolError::SiloDead`], attaching the
+/// retry context recorded by [`recv_retrying`] and the last frame seq
+/// delivered on `from`.
+pub fn dead_silo(
+    phase: &'static str,
+    client: usize,
+    from: &dyn Endpoint,
+    source: TransportError,
+) -> ProtocolError {
+    let retry = match &source {
+        TransportError::RetryExhausted { attempts, backoff_ticks } => {
+            Some(crate::error::RetryContext {
+                attempts: *attempts,
+                backoff_ticks: *backoff_ticks,
+                last_seq: from.last_delivered_seq(),
+            })
+        }
+        _ => None,
+    };
+    ProtocolError::SiloDead { client, phase, retry, source }
 }
 
 /// Marks one protocol round completed.
@@ -684,7 +846,7 @@ mod tests {
     }
 
     fn fast_net(plan: FaultPlan) -> NetConfig {
-        NetConfig { faults: Some(plan), retry: RetryPolicy::fast() }
+        NetConfig { faults: Some(plan), retry: RetryPolicy::fast(), ..NetConfig::default() }
     }
 
     #[test]
@@ -751,7 +913,11 @@ mod tests {
             || client.retransmit_unacked(),
         )
         .unwrap_err();
-        assert!(matches!(err, TransportError::RetryExhausted), "{err:?}");
+        let TransportError::RetryExhausted { attempts, backoff_ticks } = err else {
+            panic!("expected RetryExhausted, got {err:?}");
+        };
+        assert_eq!(attempts, RetryPolicy::fast().max_retries + 1);
+        assert!(backoff_ticks >= u64::from(attempts) - 1, "every silent attempt waits >= 1 tick");
         assert!(client.has_unacked());
     }
 
@@ -772,6 +938,109 @@ mod tests {
         };
         assert_eq!(recv(()), a);
         assert_eq!(recv(()), b);
+    }
+
+    #[test]
+    fn control_bytes_never_touch_protocol_ledgers() {
+        // Plain link.
+        let stats = new_stats();
+        let (client, coord) = link(Arc::clone(&stats));
+        let beat = Message::Heartbeat { client: 0, tick: 3 };
+        client.send(&beat).unwrap();
+        assert_eq!(coord.recv().unwrap(), beat);
+        {
+            let s = *stats.lock();
+            assert_eq!(s.bytes_up, 0, "heartbeats must not leak into bytes_up");
+            assert_eq!(s.messages_up, 0);
+            assert_eq!(s.bytes_control, beat.wire_size() as u64);
+            assert_eq!(s.messages_control, 1);
+        }
+        // Reliable link: framed size, still in the control ledger only.
+        let stats = new_stats();
+        let net = fast_net(FaultPlan::default());
+        let (client, coord) = link_with(Arc::clone(&stats), 0, &net);
+        let rejoin = Message::RejoinRequest { client: 0, resume_step: 8 };
+        client.send(&rejoin).unwrap();
+        assert_eq!(coord.recv().unwrap(), rejoin);
+        let s = *stats.lock();
+        assert_eq!(s.bytes_up, 0);
+        assert_eq!(s.bytes_control, 17 + rejoin.wire_size() as u64);
+        assert_eq!(s.messages_control, 1);
+    }
+
+    #[test]
+    fn partitioned_link_heals_and_replays_in_order() {
+        // Up transmissions 0 delivered, 1..3 cut, 3 heals. The coordinator
+        // keeps sending into the partition; after heal, kick-driven
+        // retransmission replays everything in sequence order.
+        let stats = new_stats();
+        let net = fast_net(FaultPlan {
+            partition_at: Some(1),
+            rejoin_at: Some(3),
+            partition_client: 0,
+            ..Default::default()
+        });
+        let (client, coord) = link_with(Arc::clone(&stats), 0, &net);
+        let beat = |t| Message::Heartbeat { client: 0, tick: t };
+        client.send(&beat(0)).unwrap(); // up 0: delivered
+        assert_eq!(coord.recv().unwrap(), beat(0));
+
+        // Coordinator sends two payloads into the (soon) dead link.
+        let a = Message::SyntheticLatents { client: 0, rows: 1, cols: 2, data: vec![1.0, 2.0] };
+        let b = Message::SyntheticLatents { client: 0, rows: 1, cols: 2, data: vec![3.0, 4.0] };
+        client.send(&beat(1)).unwrap(); // up 1: cut — partition engages
+        coord.send(&a).unwrap(); // down: swallowed (partition active)
+        coord.send(&b).unwrap(); // down: swallowed
+        assert!(matches!(
+            client.recv_timeout(Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+
+        client.send(&beat(2)).unwrap(); // up 2: cut
+        client.send(&beat(3)).unwrap(); // up 3: heals the link
+                                        // The beats lost to the partition replay in sequence order before
+                                        // the fresh one is delivered.
+        let recv_up = || {
+            recv_retrying(&net.retry, |d| coord.recv_timeout(d), || client.retransmit_unacked())
+                .unwrap()
+        };
+        assert_eq!(recv_up(), beat(1), "lost beats replay in order after heal");
+        assert_eq!(recv_up(), beat(2));
+        assert_eq!(recv_up(), beat(3));
+        // The coordinator's swallowed payloads replay the same way.
+        let recv = || {
+            recv_retrying(&net.retry, |d| client.recv_timeout(d), || coord.retransmit_unacked())
+                .unwrap()
+        };
+        assert_eq!(recv(), a);
+        assert_eq!(recv(), b);
+        let s = *stats.lock();
+        assert!(s.bytes_retried > 0, "replay is ledgered as retransmission overhead");
+        assert_eq!(s.bytes_down, (17 + a.wire_size() + 17 + b.wire_size()) as u64);
+    }
+
+    #[test]
+    fn recv_or_dead_wraps_retry_context() {
+        let stats = new_stats();
+        let net = fast_net(FaultPlan {
+            partition_at: Some(1),
+            partition_client: 0,
+            ..Default::default()
+        });
+        let (client, coord) = link_with(stats, 0, &net);
+        client.send(&Message::Heartbeat { client: 0, tick: 0 }).unwrap(); // delivered
+        assert!(coord.recv().is_ok());
+        client.send(&Message::Ack).unwrap(); // cut forever
+        let policy = RetryPolicy { max_retries: 3, ..RetryPolicy::fast() };
+        let err = recv_or_dead(&policy, "latent-upload", 0, &coord, &client).unwrap_err();
+        let ProtocolError::SiloDead { client: c, phase, retry, .. } = err else {
+            panic!("expected SiloDead");
+        };
+        assert_eq!(c, 0);
+        assert_eq!(phase, "latent-upload");
+        let ctx = retry.expect("retry exhaustion carries context");
+        assert_eq!(ctx.attempts, 4);
+        assert_eq!(ctx.last_seq, Some(0), "seq 0 (the beat) was the last delivered frame");
     }
 
     #[test]

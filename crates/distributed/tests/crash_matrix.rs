@@ -47,6 +47,7 @@ fn crash_net(spec: &str, client: usize) -> NetConfig {
         ..Default::default()
     };
     NetConfig {
+        supervision: Default::default(),
         faults: Some(plan),
         retry: RetryPolicy {
             tick: Duration::from_millis(1),

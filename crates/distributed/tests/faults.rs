@@ -28,7 +28,7 @@ fn echo_policy() -> RetryPolicy {
 /// returns an error description instead of panicking inside the case.
 fn run_echo(plan: FaultPlan) -> Result<silofuse_distributed::CommStats, String> {
     let stats = new_stats();
-    let net = NetConfig { faults: Some(plan), retry: echo_policy() };
+    let net = NetConfig { faults: Some(plan), retry: echo_policy(), ..Default::default() };
     let (client, coord) = link_with(std::sync::Arc::clone(&stats), 0, &net);
 
     let server = std::thread::spawn(move || -> Result<(), String> {
@@ -106,6 +106,7 @@ fn disconnected_link_times_out_with_typed_error() {
     let net = NetConfig {
         faults: Some(plan),
         retry: RetryPolicy { recv_deadline: Duration::from_millis(100), ..echo_policy() },
+        ..Default::default()
     };
     let (client, coord) = link_with(std::sync::Arc::clone(&stats), 0, &net);
     client.send(&Message::Ack).expect("send into a black hole still succeeds locally");

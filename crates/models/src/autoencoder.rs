@@ -234,6 +234,7 @@ impl TabularAutoencoder {
             &Checkpointer::disabled(),
             "",
             "",
+            &mut |_| {},
         )
         .expect("checkpointing disabled: no I/O or injected crash can fail")
     }
@@ -259,6 +260,27 @@ impl TabularAutoencoder {
         name: &str,
         phase: &str,
     ) -> Result<f32, CheckpointError> {
+        self.fit_resumable_observed(table, steps, batch_size, rng, ckpt, name, phase, &mut |_| {})
+    }
+
+    /// [`TabularAutoencoder::fit_resumable`] with a per-step observer:
+    /// `on_step` is called with the completed-step count after every
+    /// training step. The observer consumes no RNG draws and cannot fail,
+    /// so the trained weights are bit-identical to the unobserved fit;
+    /// callers use it to emit liveness signals (heartbeats) keyed to the
+    /// *logical* training clock rather than wall time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_resumable_observed(
+        &mut self,
+        table: &Table,
+        steps: usize,
+        batch_size: usize,
+        rng: &mut StdRng,
+        ckpt: &Checkpointer,
+        name: &str,
+        phase: &str,
+        on_step: &mut dyn FnMut(u64),
+    ) -> Result<f32, CheckpointError> {
         let mut start = 0usize;
         if let Some(saved) = ckpt.load(name, phase)? {
             if saved.payload.len() < 8 {
@@ -275,7 +297,7 @@ impl TabularAutoencoder {
             ckpt.save(name, phase, 0, &payload)?;
         }
         ckpt.maybe_crash(phase, start as u64)?;
-        self.fit_loop(table, start, steps, batch_size, rng, ckpt, name, phase)
+        self.fit_loop(table, start, steps, batch_size, rng, ckpt, name, phase, on_step)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -289,6 +311,7 @@ impl TabularAutoencoder {
         ckpt: &Checkpointer,
         name: &str,
         phase: &str,
+        on_step: &mut dyn FnMut(u64),
     ) -> Result<f32, CheckpointError> {
         // Training math must never route through a reduced-precision
         // backend: pin dispatch to f32 for the duration of this fit.
@@ -311,6 +334,7 @@ impl TabularAutoencoder {
                 );
             }
             let done = (step + 1) as u64;
+            on_step(done);
             if ckpt.is_enabled() && ckpt.due(done, steps as u64) {
                 let payload = self.snapshot_with_rng(rng);
                 ckpt.save(name, phase, done, &payload)?;

@@ -82,6 +82,25 @@ pub mod names {
     /// Span wrapping every blocking transport receive; the per-actor
     /// comm-wait-vs-compute breakdown in `trace-report` sums these.
     pub const COMM_WAIT_SPAN: &str = "comm-wait";
+    /// Counter: transmissions swallowed by an active link partition.
+    pub const FAULT_PARTITION: &str = "fault.partition";
+    /// Gauge: silos currently Healthy in the membership table.
+    pub const MEMBERSHIP_HEALTHY: &str = "membership.healthy";
+    /// Gauge: silos currently Suspected (missed heartbeats, not yet dead).
+    pub const MEMBERSHIP_SUSPECTED: &str = "membership.suspected";
+    /// Gauge: silos currently Dead (retry budget exhausted).
+    pub const MEMBERSHIP_DEAD: &str = "membership.dead";
+    /// Gauge: silos that died and later rejoined the run.
+    pub const MEMBERSHIP_REJOINED: &str = "membership.rejoined";
+    /// Counter: heartbeats absorbed by the coordinator.
+    pub const SUPERVISION_HEARTBEATS: &str = "supervision.heartbeats";
+    /// Counter: heartbeat misses observed by the failure detector.
+    pub const SUPERVISION_MISSES: &str = "supervision.misses";
+    /// Counter: degradation events (a silo declared dead while the run
+    /// continued under quorum/best-effort).
+    pub const SUPERVISION_DEGRADED: &str = "supervision.degraded";
+    /// Counter: silos that completed the rejoin handshake mid-run.
+    pub const SUPERVISION_REJOINS: &str = "supervision.rejoins";
 }
 
 pub use events::{
