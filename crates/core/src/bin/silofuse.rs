@@ -223,7 +223,15 @@ USAGE:
   --precision f16 opts *inference* (synthesis) into half-precision operand
   storage with f32 accumulation; training always runs full-precision f32,
   so checkpoints and resume stay byte-identical. SILOFUSE_PRECISION and
-  SILOFUSE_SIMD (auto|sse2|scalar) are the matching environment knobs.";
+  SILOFUSE_SIMD (auto|sse2|scalar) are the matching environment knobs.
+
+  `synth` also accepts --encoding auto|dense|sparse: how categorical
+  batches reach the autoencoders and the linear GAN discriminator. `auto`
+  (default) switches to the sparse index+value path when the schema's
+  one-hot expansion is at least 4x (e.g. Churn's 2932-way column);
+  `dense` forces the one-hot oracle; `sparse` forces the sparse path.
+  Both paths train bit-identically, so the flag is purely a
+  speed/memory knob.";
 
 type Flags = HashMap<String, String>;
 
@@ -333,8 +341,12 @@ fn cmd_synth(flags: &Flags) -> Result<(), String> {
     let seed: u64 = parse_num(flags, "seed", 42)?;
     let clients: usize = parse_num(flags, "clients", 4)?;
     let kind = model_kind(flags.get("model").map(String::as_str).unwrap_or("silofuse"))?;
-    let budget =
+    let mut budget =
         if flags.contains_key("quick") { TrainBudget::quick() } else { TrainBudget::standard() };
+    if let Some(v) = flags.get("encoding") {
+        budget.encoding = silofuse_tabular::SparsePolicy::parse(v)
+            .ok_or_else(|| format!("--encoding needs auto, dense, or sparse, got `{v}`"))?;
+    }
     let mut net = match flags.get("faults") {
         None => NetConfig::default(),
         Some(spec) => {

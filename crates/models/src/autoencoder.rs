@@ -10,14 +10,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_nn::init::Init;
-use silofuse_nn::layers::{Activation, ActivationKind, Layer, Linear, Mode, Sequential};
+use silofuse_nn::layers::{
+    Activation, ActivationKind, EmbeddingGather, Layer, Linear, Mode, Sequential,
+};
 use silofuse_nn::loss::{gaussian_nll, grouped_softmax_cross_entropy};
 use silofuse_nn::optim::{Adam, Optimizer};
 use silofuse_nn::Tensor;
 use silofuse_observe as observe;
-use silofuse_tabular::encode::{ScalingKind, TableEncoder};
+use silofuse_tabular::encode::{CategoricalTargets, ScalingKind, TableEncoder};
 use silofuse_tabular::schema::ColumnKind;
 use silofuse_tabular::table::Table;
+use silofuse_tabular::{SparseBatch, SparsePolicy};
 
 /// Autoencoder hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -31,11 +34,16 @@ pub struct AutoencoderConfig {
     pub lr: f32,
     /// Initialisation / dropout seed.
     pub seed: u64,
+    /// Batch representation policy: [`SparsePolicy::Auto`] routes
+    /// high-expansion schemas through the sparse categorical path
+    /// (index+value batches, embedding-gather first layer); `Dense` and
+    /// `Sparse` force either path. Both paths train bit-identically.
+    pub encoding: SparsePolicy,
 }
 
 impl Default for AutoencoderConfig {
     fn default() -> Self {
-        Self { hidden_dim: 256, latent_dim: None, lr: 1e-3, seed: 0 }
+        Self { hidden_dim: 256, latent_dim: None, lr: 1e-3, seed: 0, encoding: SparsePolicy::Auto }
     }
 }
 
@@ -61,6 +69,10 @@ pub struct TabularAutoencoder {
     enc_opt: Adam,
     dec_opt: Adam,
     table_encoder: TableEncoder,
+    /// Reusable sparse batch when the sparse path is active; `None` means
+    /// every batch is densified. The buffer is cleared and refilled in
+    /// place each step, so steady-state training allocates nothing here.
+    sparse: Option<SparseBatch>,
     heads: HeadLayout,
     latent_dim: usize,
     lr: f32,
@@ -75,7 +87,7 @@ impl std::fmt::Debug for TabularAutoencoder {
 /// Targets extracted from a batch for the NLL loss.
 struct BatchTargets {
     numeric: Tensor,
-    categorical: Vec<Vec<u32>>,
+    categorical: CategoricalTargets,
 }
 
 impl TabularAutoencoder {
@@ -91,9 +103,20 @@ impl TabularAutoencoder {
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         let h = config.hidden_dim;
-        // Three linear layers per side, GELU activations (§V-A).
-        let encoder = Sequential::new()
-            .push(Linear::new(input_dim, h, Init::XavierUniform, &mut rng))
+        // Three linear layers per side, GELU activations (§V-A). When the
+        // schema's one-hot expansion crosses the sparse threshold the first
+        // encoder layer is an EmbeddingGather: same parameter layout, same
+        // initialiser draws (checkpoints interchange with the dense build),
+        // but batches arrive as index+value buffers instead of one-hot.
+        let use_sparse = config.encoding.selects_sparse(table.schema());
+        let mut encoder = Sequential::new();
+        if use_sparse {
+            let spec = crate::sparse::sparse_spec(table.schema());
+            encoder.add(Box::new(EmbeddingGather::new(spec, h, Init::XavierUniform, &mut rng)));
+        } else {
+            encoder.add(Box::new(Linear::new(input_dim, h, Init::XavierUniform, &mut rng)));
+        }
+        let encoder = encoder
             .push(Activation::new(ActivationKind::Gelu))
             .push(Linear::new(h, h, Init::XavierUniform, &mut rng))
             .push(Activation::new(ActivationKind::Gelu))
@@ -104,16 +127,29 @@ impl TabularAutoencoder {
             .push(Linear::new(h, h, Init::XavierUniform, &mut rng))
             .push(Activation::new(ActivationKind::Gelu))
             .push(Linear::new(h, heads.width(), Init::XavierUniform, &mut rng));
+        let sparse = use_sparse.then(|| table_encoder.sparse_batch());
         Self {
             encoder,
             decoder,
             enc_opt: Adam::new(config.lr),
             dec_opt: Adam::new(config.lr),
             table_encoder,
+            sparse,
             heads,
             latent_dim,
             lr: config.lr,
         }
+    }
+
+    /// True when batches are encoded sparsely (index+value buffers).
+    pub fn uses_sparse(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Bytes held by the most recently encoded sparse batch, or `None` on
+    /// the dense path. Scales with nonzeros, not with the one-hot width.
+    pub fn sparse_batch_bytes(&self) -> Option<usize> {
+        self.sparse.as_ref().map(SparseBatch::batch_bytes)
     }
 
     /// Latent width `s_i`.
@@ -126,7 +162,8 @@ impl TabularAutoencoder {
         &self.table_encoder
     }
 
-    /// Encodes a table into its input feature tensor.
+    /// Encodes a table into its *dense* input feature tensor (the one-hot
+    /// oracle representation, regardless of the configured encoding policy).
     pub fn features(&self, table: &Table) -> Tensor {
         let data = self.table_encoder.encode(table);
         Tensor::from_vec(table.n_rows(), self.table_encoder.encoded_width(), data)
@@ -134,24 +171,15 @@ impl TabularAutoencoder {
 
     fn targets(&self, table: &Table) -> BatchTargets {
         // Numeric targets in *scaled* space so the Gaussian heads see
-        // standardised values: reuse the feature encoding and pull the
-        // numeric slots.
-        let feats = self.features(table);
-        let mut numeric = Tensor::zeros(table.n_rows(), self.heads.n_numeric);
-        let mut slot = 0;
-        let mut num_idx = 0;
-        for meta in self.table_encoder.schema().columns() {
-            match meta.kind {
-                ColumnKind::Numeric => {
-                    for r in 0..table.n_rows() {
-                        numeric.row_mut(r)[num_idx] = feats.row(r)[slot];
-                    }
-                    num_idx += 1;
-                    slot += 1;
-                }
-                ColumnKind::Categorical { cardinality } => slot += cardinality as usize,
-            }
-        }
+        // standardised values. `numeric_features` emits exactly the numeric
+        // slots of the dense encoding (bitwise), without materialising the
+        // one-hot blocks — on wide schemas the dense detour dominated this
+        // path's allocation.
+        let numeric = Tensor::from_vec(
+            table.n_rows(),
+            self.heads.n_numeric,
+            self.table_encoder.numeric_features(table),
+        );
         BatchTargets { numeric, categorical: self.table_encoder.categorical_targets(table) }
     }
 
@@ -182,7 +210,7 @@ impl TabularAutoencoder {
             let (l, g) = grouped_softmax_cross_entropy(
                 &logits,
                 &self.heads.cat_widths,
-                &targets.categorical,
+                targets.categorical.as_slice(),
             );
             loss += l;
             grads.push(g);
@@ -193,11 +221,34 @@ impl TabularAutoencoder {
         (loss, grad)
     }
 
+    /// Runs the encoder on a batch through whichever representation is
+    /// active. The sparse path reuses `self.sparse`'s buffers (no per-step
+    /// allocation) and is bit-identical to the dense path for finite
+    /// weights — see the backend gather/scatter determinism docs.
+    fn encoder_forward(&mut self, table: &Table, mode: Mode) -> Tensor {
+        let Self { table_encoder, sparse, encoder, .. } = self;
+        match sparse {
+            Some(batch) => {
+                table_encoder
+                    .encode_sparse_into(table, batch)
+                    .expect("batch codes already validated against the fitted schema");
+                encoder.forward_sparse(crate::sparse::batch_ref(batch), mode)
+            }
+            None => {
+                let x = Tensor::from_vec(
+                    table.n_rows(),
+                    table_encoder.encoded_width(),
+                    table_encoder.encode(table),
+                );
+                encoder.forward(&x, mode)
+            }
+        }
+    }
+
     /// One optimisation step on a batch (rows of `table`); returns the loss.
     pub fn train_step(&mut self, batch: &Table) -> f32 {
-        let x = self.features(batch);
         let targets = self.targets(batch);
-        let z = self.encoder.forward(&x, Mode::Train);
+        let z = self.encoder_forward(batch, Mode::Train);
         let heads = self.decoder.forward(&z, Mode::Train);
         let (loss, grad_heads) = self.loss_and_head_grad(&heads, &targets);
         self.encoder.zero_grad();
@@ -353,8 +404,7 @@ impl TabularAutoencoder {
 
     /// Encodes a table into latents `Z_i = E_i(X_i)` (inference mode).
     pub fn encode(&mut self, table: &Table) -> Tensor {
-        let x = self.features(table);
-        self.encoder.forward(&x, Mode::Infer)
+        self.encoder_forward(table, Mode::Infer)
     }
 
     /// Decodes latents back into a table: numeric = μ head, categorical =
@@ -406,10 +456,10 @@ impl TabularAutoencoder {
     // Raw forward/backward plumbing for the end-to-end baselines.
     // ------------------------------------------------------------------
 
-    /// Encoder forward in training mode (caches for backward).
+    /// Encoder forward in training mode (caches for backward). Routes
+    /// through the sparse path when active, like [`Self::train_step`].
     pub fn encoder_forward_train(&mut self, table: &Table) -> Tensor {
-        let x = self.features(table);
-        self.encoder.forward(&x, Mode::Train)
+        self.encoder_forward(table, Mode::Train)
     }
 
     /// Decoder forward + NLL loss on `batch`, returning the loss and the
@@ -708,5 +758,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let loss = ae.fit(&part, 10, 32, &mut rng);
         assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn sparse_auto_path_is_bit_identical_to_dense() {
+        // Churn's 2 932-way column trips the auto threshold; training and
+        // encoding must match the dense oracle bit for bit.
+        let t = profiles::churn().generate(128, 13);
+        let cfg = AutoencoderConfig { hidden_dim: 32, ..Default::default() };
+        let mut sparse = TabularAutoencoder::new(&t, cfg);
+        let mut dense =
+            TabularAutoencoder::new(&t, AutoencoderConfig { encoding: SparsePolicy::Dense, ..cfg });
+        assert!(sparse.uses_sparse() && !dense.uses_sparse());
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        sparse.fit(&t, 8, 32, &mut rng_a);
+        dense.fit(&t, 8, 32, &mut rng_b);
+        assert_eq!(sparse.export_weights(), dense.export_weights());
+        assert_eq!(sparse.encode(&t), dense.encode(&t));
+        assert!(sparse.sparse_batch_bytes().unwrap() > 0);
+        // Loan's modest expansion stays dense under Auto.
+        assert!(!TabularAutoencoder::new(&toy_table(32), cfg).uses_sparse());
+    }
+
+    #[test]
+    fn checkpoints_interchange_across_representations() {
+        // A dense-trained state must resume on the sparse path (and keep
+        // training bit-identically): EmbeddingGather serialises exactly
+        // like Linear.
+        let t = profiles::churn().generate(96, 5);
+        let cfg = AutoencoderConfig { hidden_dim: 32, ..Default::default() };
+        let mut dense =
+            TabularAutoencoder::new(&t, AutoencoderConfig { encoding: SparsePolicy::Dense, ..cfg });
+        let mut rng = StdRng::seed_from_u64(21);
+        dense.fit(&t, 6, 32, &mut rng);
+        let blob = dense.export_train_state();
+
+        let mut sparse = TabularAutoencoder::new(
+            &t,
+            AutoencoderConfig { seed: 99, encoding: SparsePolicy::Sparse, ..cfg },
+        );
+        sparse.import_train_state(&blob).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(22);
+        let mut rng_b = StdRng::seed_from_u64(22);
+        dense.fit(&t, 6, 32, &mut rng_a);
+        sparse.fit(&t, 6, 32, &mut rng_b);
+        assert_eq!(dense.export_weights(), sparse.export_weights());
     }
 }

@@ -10,14 +10,16 @@ use rand::{Rng, SeedableRng};
 use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_nn::init::{randn, Init};
 use silofuse_nn::layers::{
-    Activation, ActivationKind, Conv1d, Layer, LayerNorm, Linear, Mode, Sequential,
+    Activation, ActivationKind, Conv1d, EmbeddingGather, Layer, LayerNorm, Linear, Mode, Sequential,
 };
 use silofuse_nn::loss::bce_with_logits;
 use silofuse_nn::optim::{Adam, Optimizer};
+use silofuse_nn::sparse::SparseSpec;
 use silofuse_nn::Tensor;
 use silofuse_observe as observe;
 use silofuse_tabular::encode::{ScalingKind, TableEncoder};
 use silofuse_tabular::table::Table;
+use silofuse_tabular::{SparseBatch, SparsePolicy};
 
 /// Generator/discriminator backbone flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +43,10 @@ pub struct GanConfig {
     pub lr: f32,
     /// Initialisation seed.
     pub seed: u64,
+    /// Batch representation policy for *real* discriminator batches.
+    /// Only the linear architecture has a sparse input layer; the conv
+    /// discriminator always densifies. Both paths train bit-identically.
+    pub encoding: SparsePolicy,
 }
 
 impl Default for GanConfig {
@@ -51,6 +57,7 @@ impl Default for GanConfig {
             hidden_dim: 256,
             lr: 2e-4,
             seed: 0,
+            encoding: SparsePolicy::Auto,
         }
     }
 }
@@ -71,6 +78,10 @@ pub struct TabularGan {
     g_opt: Adam,
     d_opt: Adam,
     table_encoder: TableEncoder,
+    /// Reusable sparse batch for real discriminator inputs when the sparse
+    /// path is active (linear architecture only); fake batches are
+    /// generator output and always dense.
+    sparse: Option<SparseBatch>,
     noise_dim: usize,
     lr: f32,
 }
@@ -87,41 +98,81 @@ impl TabularGan {
         let table_encoder = TableEncoder::fit(table, ScalingKind::MinMax);
         let width = table_encoder.encoded_width();
         let mut rng = StdRng::seed_from_u64(config.seed);
+        // Only the linear discriminator can take a sparse first layer; the
+        // conv stack convolves over the full one-hot signal.
+        let use_sparse = config.architecture == GanArchitecture::Linear
+            && config.encoding.selects_sparse(table.schema());
+        let spec = use_sparse.then(|| crate::sparse::sparse_spec(table.schema()));
         let (generator, discriminator) = match config.architecture {
             GanArchitecture::Linear => (
                 linear_generator(config.noise_dim, config.hidden_dim, width, &mut rng),
-                linear_discriminator(width, config.hidden_dim, &mut rng),
+                linear_discriminator(width, config.hidden_dim, spec, &mut rng),
             ),
             GanArchitecture::Conv => (
                 conv_generator(config.noise_dim, width, &mut rng),
                 conv_discriminator(width, &mut rng),
             ),
         };
+        let sparse = use_sparse.then(|| table_encoder.sparse_batch());
         Self {
             generator,
             discriminator,
             g_opt: Adam::with_betas(config.lr, 0.5, 0.999),
             d_opt: Adam::with_betas(config.lr, 0.5, 0.999),
             table_encoder,
+            sparse,
             noise_dim: config.noise_dim,
             lr: config.lr,
+        }
+    }
+
+    /// True when real batches are encoded sparsely (index+value buffers).
+    pub fn uses_sparse(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Bytes held by the most recently encoded sparse batch, or `None` on
+    /// the dense path. Scales with nonzeros, not with the one-hot width.
+    pub fn sparse_batch_bytes(&self) -> Option<usize> {
+        self.sparse.as_ref().map(SparseBatch::batch_bytes)
+    }
+
+    /// Discriminator forward over a *real* batch: sparse when the sparse
+    /// path is active (the EmbeddingGather first layer gathers weight rows
+    /// instead of multiplying one-hot zeros), dense otherwise. Encoding
+    /// consumes no RNG draws, so both paths leave the training random
+    /// stream identical.
+    fn discriminate_real(&mut self, real: &Table) -> Tensor {
+        let Self { table_encoder, sparse, discriminator, .. } = self;
+        match sparse {
+            Some(batch) => {
+                table_encoder
+                    .encode_sparse_into(real, batch)
+                    .expect("batch codes already validated against the fitted schema");
+                discriminator.forward_sparse(crate::sparse::batch_ref(batch), Mode::Train)
+            }
+            None => {
+                let x = Tensor::from_vec(
+                    real.n_rows(),
+                    table_encoder.encoded_width(),
+                    table_encoder.encode(real),
+                );
+                discriminator.forward(&x, Mode::Train)
+            }
         }
     }
 
     /// One adversarial step (one D update, one G update) on a real batch.
     pub fn train_step(&mut self, real: &Table, rng: &mut StdRng) -> GanLosses {
         let n = real.n_rows();
-        let x_real = Tensor::from_vec(
-            n,
-            self.table_encoder.encoded_width(),
-            self.table_encoder.encode(real),
-        );
         let noise = randn(n, self.noise_dim, rng);
         let x_fake = self.generator.forward(&noise, Mode::Train);
 
         // --- Discriminator update: maximise log D(x) + log(1 - D(G(z))).
+        // Real (possibly sparse) and fake (dense) batches go through the
+        // same first layer; each backward consumes the matching cache.
         self.discriminator.zero_grad();
-        let logits_real = self.discriminator.forward(&x_real, Mode::Train);
+        let logits_real = self.discriminate_real(real);
         let ones = Tensor::full(n, 1, 1.0);
         let (l_real, g_real) = bce_with_logits(&logits_real, &ones);
         let _ = self.discriminator.backward(&g_real);
@@ -286,10 +337,27 @@ fn linear_generator(noise: usize, hidden: usize, out: usize, rng: &mut StdRng) -
     seq
 }
 
-fn linear_discriminator(input: usize, hidden: usize, rng: &mut StdRng) -> Sequential {
+/// Linear discriminator; with a `sparse` spec the first layer becomes an
+/// [`EmbeddingGather`] (same parameters and initialiser draws as the
+/// `Linear` it replaces, so state dicts interchange).
+fn linear_discriminator(
+    input: usize,
+    hidden: usize,
+    sparse: Option<SparseSpec>,
+    rng: &mut StdRng,
+) -> Sequential {
     let mut seq = Sequential::new();
     let dims = [input, hidden, hidden, hidden, 1];
-    for i in 0..4 {
+    match sparse {
+        Some(spec) => {
+            debug_assert_eq!(spec.in_width(), input, "sparse spec width must match encoder");
+            seq.add(Box::new(EmbeddingGather::new(spec, dims[1], Init::KaimingNormal, rng)));
+        }
+        None => seq.add(Box::new(Linear::new(dims[0], dims[1], Init::KaimingNormal, rng))),
+    }
+    seq.add(Box::new(Activation::new(ActivationKind::LeakyRelu)));
+    seq.add(Box::new(LayerNorm::new(dims[1])));
+    for i in 1..4 {
         seq.add(Box::new(Linear::new(dims[i], dims[i + 1], Init::KaimingNormal, rng)));
         if i < 3 {
             seq.add(Box::new(Activation::new(ActivationKind::LeakyRelu)));
@@ -425,5 +493,32 @@ mod tests {
             .filter_map(|c| c.as_categorical())
             .any(|codes| codes.iter().any(|&v| v != codes[0]));
         assert!(varied, "all categorical outputs collapsed to constants");
+    }
+
+    #[test]
+    fn sparse_discriminator_is_bit_identical_to_dense() {
+        // Churn trips the auto threshold; the sparse real path must leave
+        // training (weights, optimizer state, samples) bit-identical.
+        let t = profiles::churn().generate(96, 4);
+        let cfg = GanConfig { hidden_dim: 32, noise_dim: 16, ..Default::default() };
+        let mut sparse = TabularGan::new(&t, cfg);
+        let mut dense = TabularGan::new(&t, GanConfig { encoding: SparsePolicy::Dense, ..cfg });
+        assert!(sparse.uses_sparse() && !dense.uses_sparse());
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        sparse.fit(&t, 5, 32, &mut rng_a);
+        dense.fit(&t, 5, 32, &mut rng_b);
+        assert_eq!(sparse.export_train_state(), dense.export_train_state());
+        assert_eq!(sparse.sample(8, &mut rng_a), dense.sample(8, &mut rng_b));
+        // The conv stack has no sparse input layer, even when forced.
+        let conv = TabularGan::new(
+            &t,
+            GanConfig {
+                architecture: GanArchitecture::Conv,
+                encoding: SparsePolicy::Sparse,
+                ..cfg
+            },
+        );
+        assert!(!conv.uses_sparse());
     }
 }

@@ -19,6 +19,7 @@ pub mod autoencoder;
 pub mod e2e;
 pub mod gan;
 pub mod latentdiff;
+pub(crate) mod sparse;
 pub mod synthesizer;
 pub mod tabddpm;
 

@@ -1,0 +1,59 @@
+//! Schema → sparse-layer glue shared by the model crates.
+//!
+//! [`silofuse_tabular::SparseBatch`] and the nn-side
+//! [`silofuse_nn::sparse::SparseSpec`] describe the same one-hot layout from
+//! two sides (encoder output vs. layer input); this module derives the spec
+//! from a fitted schema and bridges batch buffers into layer-ready views so
+//! the two crates stay decoupled.
+
+use silofuse_nn::sparse::{SparseBatchRef, SparseField, SparseSpec};
+use silofuse_tabular::schema::{ColumnKind, Schema};
+use silofuse_tabular::SparseBatch;
+
+/// Derives the sparse input layout of `schema`'s one-hot encoding: numeric
+/// columns occupy one slot each, categorical columns a `cardinality`-wide
+/// block, in schema order (exactly the `TableEncoder` layout).
+pub(crate) fn sparse_spec(schema: &Schema) -> SparseSpec {
+    let mut fields = Vec::with_capacity(schema.columns().len());
+    let mut offset = 0usize;
+    for meta in schema.columns() {
+        match meta.kind {
+            ColumnKind::Numeric => {
+                fields.push(SparseField::Numeric { slot: offset });
+                offset += 1;
+            }
+            ColumnKind::Categorical { cardinality } => {
+                let width = cardinality as usize;
+                fields.push(SparseField::Categorical { offset, width });
+                offset += width;
+            }
+        }
+    }
+    SparseSpec::new(fields)
+}
+
+/// Borrows an encoded batch as the layer-input view.
+pub(crate) fn batch_ref(batch: &SparseBatch) -> SparseBatchRef<'_> {
+    SparseBatchRef { rows: batch.rows(), numeric: batch.numeric(), indices: batch.indices() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silofuse_tabular::encode::{ScalingKind, TableEncoder};
+    use silofuse_tabular::profiles;
+
+    #[test]
+    fn spec_mirrors_encoder_layout() {
+        let t = profiles::churn().generate(32, 0);
+        let spec = sparse_spec(t.schema());
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        assert_eq!(spec.in_width(), enc.encoded_width());
+        assert_eq!(spec.n_numeric(), t.schema().numeric_count());
+        assert_eq!(spec.n_categorical(), t.schema().categorical_count());
+        // Every encoded index must land inside its spec block.
+        let mut batch = enc.sparse_batch();
+        enc.encode_sparse_into(&t, &mut batch).unwrap();
+        batch_ref(&batch).check(&spec);
+    }
+}

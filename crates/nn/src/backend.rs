@@ -46,6 +46,7 @@
 //! `--threads N`) or the `SILOFUSE_THREADS` environment variable; it
 //! defaults to a single-worker [`Parallel`], i.e. serial SIMD kernels.
 
+use crate::sparse::{SparseField, SparseSpec};
 use crate::{f16, simd, workspace};
 use std::fmt;
 use std::ops::Range;
@@ -102,6 +103,54 @@ pub trait Backend: Send + Sync + fmt::Debug {
 
     /// Row-wise numerically-stabilised softmax, in place.
     fn softmax_rows(&self, rows: usize, cols: usize, x: &mut [f32]);
+
+    /// Sparse one-hot forward: `out = X·W` where `X` is the densified
+    /// `rows × in_width` batch described by `spec` + (`numeric`,
+    /// `indices`), `W: in_width × n`, `out: rows × n` (overwritten).
+    ///
+    /// Per output element, contributions accumulate in ascending one-hot
+    /// slot order with separate multiply and add — exactly the dense
+    /// [`Backend::gemm`] order over the densified batch, minus the skipped
+    /// `0·w` terms, which cannot change a round-to-nearest accumulator
+    /// (`(+0)+(±0) = +0`, and a partial sum that starts at `+0` never
+    /// becomes `-0` by addition). The sparse path is therefore
+    /// **bit-identical** to the dense oracle for finite weights; only
+    /// non-finite weights (where `0·∞ = NaN` is skipped) diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_gemm(
+        &self,
+        rows: usize,
+        n: usize,
+        spec: &SparseSpec,
+        numeric: &[f32],
+        indices: &[u32],
+        w: &[f32],
+        out: &mut [f32],
+    ) {
+        gather_rows(0..rows, spec, numeric, indices, n, w, out);
+    }
+
+    /// Sparse weight-gradient scatter: `dw = Xᵀ·G` with the same densified
+    /// `X` as [`Backend::gather_gemm`], `G: rows × n`,
+    /// `dw: in_width × n` (overwritten).
+    ///
+    /// Per `dw` element, row contributions accumulate in ascending batch
+    /// row order — the dense [`Backend::transpose_gemm`] order — with the
+    /// skipped `0·g` terms again unable to perturb the accumulator, so the
+    /// result is bit-identical to the dense oracle for finite gradients.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_grad(
+        &self,
+        rows: usize,
+        n: usize,
+        spec: &SparseSpec,
+        numeric: &[f32],
+        indices: &[u32],
+        grad: &[f32],
+        dw: &mut [f32],
+    ) {
+        scatter_weight_rows(0..spec.in_width(), spec, rows, numeric, indices, n, grad, dw);
+    }
 
     /// How many workers this backend would apply to an element-wise op over
     /// `elems` elements. Callers use this to keep closures monomorphised
@@ -228,6 +277,91 @@ fn sum_rows_cols(cols: Range<usize>, rows: usize, stride: usize, x: &[f32], out_
         let row = &x[r * stride..(r + 1) * stride];
         for (o, c) in out_block.iter_mut().zip(cols.clone()) {
             *o += row[c];
+        }
+    }
+}
+
+/// `out_block = X[rows]·W` over a sparse batch: per row, walk the spec's
+/// fields in ascending slot order and accumulate one weight row per field
+/// via [`simd::axpy`] (separate multiply and add). Numeric fields apply
+/// `axpy(value, …)` even when the value is zero — matching the dense
+/// kernel's `0·w` terms bit for bit — while a categorical block
+/// contributes only its hot slot's weight row.
+fn gather_rows(
+    rows: Range<usize>,
+    spec: &SparseSpec,
+    numeric: &[f32],
+    indices: &[u32],
+    n: usize,
+    w: &[f32],
+    out_block: &mut [f32],
+) {
+    let n_num = spec.n_numeric();
+    let n_cat = spec.n_categorical();
+    out_block.fill(0.0);
+    for (local, r) in rows.clone().enumerate() {
+        let out_row = &mut out_block[local * n..(local + 1) * n];
+        let num_row = &numeric[r * n_num..(r + 1) * n_num];
+        let idx_row = &indices[r * n_cat..(r + 1) * n_cat];
+        let mut num_i = 0;
+        let mut cat_i = 0;
+        for field in spec.fields() {
+            let (alpha, slot) = match *field {
+                SparseField::Numeric { slot } => {
+                    num_i += 1;
+                    (num_row[num_i - 1], slot)
+                }
+                SparseField::Categorical { .. } => {
+                    cat_i += 1;
+                    (1.0, idx_row[cat_i - 1] as usize)
+                }
+            };
+            simd::axpy(alpha, &w[slot * n..(slot + 1) * n], out_row);
+        }
+    }
+}
+
+/// `dw_block = (Xᵀ·G)[wrows]` over a sparse batch — the output-row range
+/// `wrows` indexes rows of the weight gradient (slots of the densified
+/// input). Accumulation walks batch rows in ascending order and each row
+/// touches only the `dw` rows its nonzeros own, so partitioning by weight
+/// row keeps every element single-writer in dense order.
+#[allow(clippy::too_many_arguments)]
+fn scatter_weight_rows(
+    wrows: Range<usize>,
+    spec: &SparseSpec,
+    rows: usize,
+    numeric: &[f32],
+    indices: &[u32],
+    n: usize,
+    grad: &[f32],
+    dw_block: &mut [f32],
+) {
+    let n_num = spec.n_numeric();
+    let n_cat = spec.n_categorical();
+    dw_block.fill(0.0);
+    let start = wrows.start;
+    for r in 0..rows {
+        let g_row = &grad[r * n..(r + 1) * n];
+        let num_row = &numeric[r * n_num..(r + 1) * n_num];
+        let idx_row = &indices[r * n_cat..(r + 1) * n_cat];
+        let mut num_i = 0;
+        let mut cat_i = 0;
+        for field in spec.fields() {
+            let (alpha, slot) = match *field {
+                SparseField::Numeric { slot } => {
+                    num_i += 1;
+                    (num_row[num_i - 1], slot)
+                }
+                SparseField::Categorical { .. } => {
+                    cat_i += 1;
+                    (1.0, idx_row[cat_i - 1] as usize)
+                }
+            };
+            if wrows.contains(&slot) {
+                let local = slot - start;
+                simd::axpy(alpha, g_row, &mut dw_block[local * n..(local + 1) * n]);
+            }
         }
     }
 }
@@ -466,6 +600,48 @@ impl Backend for Parallel {
         });
     }
 
+    fn gather_gemm(
+        &self,
+        rows: usize,
+        n: usize,
+        spec: &SparseSpec,
+        numeric: &[f32],
+        indices: &[u32],
+        w: &[f32],
+        out: &mut [f32],
+    ) {
+        // Cost scales with nonzeros, not the densified width.
+        let madds = rows * spec.nnz_width() * n;
+        if self.threads == 1 || rows < 2 || madds < PAR_GEMM_MIN_MADDS {
+            return gather_rows(0..rows, spec, numeric, indices, n, w, out);
+        }
+        self.run_rows(rows, n, out, |rows, chunk| {
+            gather_rows(rows, spec, numeric, indices, n, w, chunk)
+        });
+    }
+
+    fn scatter_grad(
+        &self,
+        rows: usize,
+        n: usize,
+        spec: &SparseSpec,
+        numeric: &[f32],
+        indices: &[u32],
+        grad: &[f32],
+        dw: &mut [f32],
+    ) {
+        let madds = rows * spec.nnz_width() * n;
+        let in_width = spec.in_width();
+        if self.threads == 1 || in_width < 2 || madds < PAR_GEMM_MIN_MADDS {
+            return scatter_weight_rows(0..in_width, spec, rows, numeric, indices, n, grad, dw);
+        }
+        // Partition by weight row: each dw element has a single writer
+        // accumulating batch rows in ascending order, as Reference does.
+        self.run_rows(in_width, n, dw, |wrows, chunk| {
+            scatter_weight_rows(wrows, spec, rows, numeric, indices, n, grad, chunk)
+        });
+    }
+
     fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
         if self.threads == 1 || y.len() < PAR_ELEM_MIN {
             return simd::axpy(alpha, x, y);
@@ -630,6 +806,45 @@ impl Backend for HalfPrecision {
         self.inner.transpose_gemm(l, m, n, &qa, &qb, out);
         workspace::recycle_vec(qa);
         workspace::recycle_vec(qb);
+    }
+
+    fn gather_gemm(
+        &self,
+        rows: usize,
+        n: usize,
+        spec: &SparseSpec,
+        numeric: &[f32],
+        indices: &[u32],
+        w: &[f32],
+        out: &mut [f32],
+    ) {
+        // Quantizing the densified batch only touches its numeric slots —
+        // one-hot 1.0/0.0 entries are f16-exact — so rounding `numeric`
+        // and the weight table reproduces the dense f16 path exactly.
+        let qnum = Self::quantized(numeric);
+        let qw = Self::quantized(w);
+        self.inner.gather_gemm(rows, n, spec, &qnum, indices, &qw, out);
+        workspace::recycle_vec(qnum);
+        workspace::recycle_vec(qw);
+    }
+
+    fn scatter_grad(
+        &self,
+        rows: usize,
+        n: usize,
+        spec: &SparseSpec,
+        numeric: &[f32],
+        indices: &[u32],
+        grad: &[f32],
+        dw: &mut [f32],
+    ) {
+        // Training pins f32 via `force_f32`, so this path is exercised only
+        // by the property tests; keep the transpose_gemm operand semantics.
+        let qnum = Self::quantized(numeric);
+        let qg = Self::quantized(grad);
+        self.inner.scatter_grad(rows, n, spec, &qnum, indices, &qg, dw);
+        workspace::recycle_vec(qnum);
+        workspace::recycle_vec(qg);
     }
 
     fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
@@ -868,6 +1083,12 @@ pub const TRANSPOSE_GEMM_COUNTERS: KernelCounters = KernelCounters {
     calls: "nn.kernel.transpose_gemm.calls",
     nanos: "nn.kernel.transpose_gemm.ns",
 };
+/// Counters for [`Backend::gather_gemm`].
+pub const GATHER_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.gather.calls", nanos: "nn.kernel.gather.ns" };
+/// Counters for [`Backend::scatter_grad`].
+pub const SCATTER_COUNTERS: KernelCounters =
+    KernelCounters { calls: "nn.kernel.scatter.calls", nanos: "nn.kernel.scatter.ns" };
 /// Counters for [`Backend::axpy`] / [`Backend::scale`].
 pub const AXPY_COUNTERS: KernelCounters =
     KernelCounters { calls: "nn.kernel.axpy.calls", nanos: "nn.kernel.axpy.ns" };
@@ -889,6 +1110,8 @@ pub const KERNEL_COUNTERS: &[KernelCounters] = &[
     GEMM_COUNTERS,
     GEMM_TRANSPOSE_COUNTERS,
     TRANSPOSE_GEMM_COUNTERS,
+    GATHER_COUNTERS,
+    SCATTER_COUNTERS,
     AXPY_COUNTERS,
     MAP_COUNTERS,
     ZIP_COUNTERS,
@@ -1070,5 +1293,130 @@ mod tests {
         half.axpy(0.5, &b[..m * k], &mut y);
         Reference.axpy(0.5, &b[..m * k], &mut y_ref);
         assert_eq!(y, y_ref);
+    }
+
+    /// A deterministic sparse batch (interleaved numeric slots and one-hot
+    /// blocks) together with its densified `rows × in_width` oracle form.
+    fn sparse_fixture(rows: usize, seed: u64) -> (SparseSpec, Vec<f32>, Vec<u32>, Vec<f32>) {
+        let spec = SparseSpec::new(vec![
+            SparseField::Numeric { slot: 0 },
+            SparseField::Categorical { offset: 1, width: 37 },
+            SparseField::Numeric { slot: 38 },
+            SparseField::Categorical { offset: 39, width: 5 },
+            SparseField::Numeric { slot: 44 },
+            SparseField::Categorical { offset: 45, width: 211 },
+        ]);
+        let numeric = noise(rows * spec.n_numeric(), seed);
+        // Zero out some numeric slots: the dense oracle multiplies through
+        // them, so the sparse path must too.
+        let mut numeric = numeric;
+        for v in numeric.iter_mut().step_by(7) {
+            *v = 0.0;
+        }
+        let picks = noise(rows * spec.n_categorical(), seed + 1);
+        let blocks: Vec<(usize, usize)> = spec
+            .fields()
+            .iter()
+            .filter_map(|f| match *f {
+                SparseField::Categorical { offset, width } => Some((offset, width)),
+                SparseField::Numeric { .. } => None,
+            })
+            .collect();
+        let mut indices = vec![0u32; rows * blocks.len()];
+        for r in 0..rows {
+            for (c, &(offset, width)) in blocks.iter().enumerate() {
+                let pick = picks[r * blocks.len() + c].abs() as usize % width;
+                indices[r * blocks.len() + c] = (offset + pick) as u32;
+            }
+        }
+        let mut dense = vec![0.0f32; rows * spec.in_width()];
+        for r in 0..rows {
+            let row = &mut dense[r * spec.in_width()..(r + 1) * spec.in_width()];
+            let mut num_i = 0;
+            for field in spec.fields() {
+                if let SparseField::Numeric { slot } = *field {
+                    row[slot] = numeric[r * spec.n_numeric() + num_i];
+                    num_i += 1;
+                }
+            }
+            for c in 0..blocks.len() {
+                row[indices[r * blocks.len() + c] as usize] = 1.0;
+            }
+        }
+        (spec, numeric, indices, dense)
+    }
+
+    #[test]
+    fn gather_bit_identical_to_dense_gemm() {
+        // Sizes straddling the fan-out threshold; n varies to hit SIMD
+        // tails in axpy.
+        for (rows, n) in [(1, 1), (3, 9), (40, 33), (512, 96)] {
+            let (spec, numeric, indices, dense) = sparse_fixture(rows, 41);
+            let w = noise(spec.in_width() * n, 42);
+            let mut want = vec![0.0; rows * n];
+            Reference.gemm(rows, spec.in_width(), n, &dense, &w, &mut want);
+            let mut got = vec![f32::NAN; rows * n];
+            Reference.gather_gemm(rows, n, &spec, &numeric, &indices, &w, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "gather vs dense gemm rows={rows} n={n}"
+            );
+            for threads in [1, 2, 4, 7] {
+                let mut got_p = vec![f32::NAN; rows * n];
+                Parallel::new(threads)
+                    .gather_gemm(rows, n, &spec, &numeric, &indices, &w, &mut got_p);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "parallel gather rows={rows} n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_bit_identical_to_dense_transpose_gemm() {
+        for (rows, n) in [(1, 1), (5, 7), (64, 48), (300, 64)] {
+            let (spec, numeric, indices, dense) = sparse_fixture(rows, 51);
+            let grad = noise(rows * n, 52);
+            let mut want = vec![0.0; spec.in_width() * n];
+            Reference.transpose_gemm(rows, spec.in_width(), n, &dense, &grad, &mut want);
+            let mut got = vec![f32::NAN; spec.in_width() * n];
+            Reference.scatter_grad(rows, n, &spec, &numeric, &indices, &grad, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "scatter vs dense transpose_gemm rows={rows} n={n}"
+            );
+            for threads in [1, 2, 4, 7] {
+                let mut got_p = vec![f32::NAN; spec.in_width() * n];
+                Parallel::new(threads)
+                    .scatter_grad(rows, n, &spec, &numeric, &indices, &grad, &mut got_p);
+                assert_eq!(
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got_p.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "parallel scatter rows={rows} n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_precision_gather_matches_dense_f16_path() {
+        let rows = 9;
+        let n = 13;
+        let (spec, numeric, indices, dense) = sparse_fixture(rows, 61);
+        let w = noise(spec.in_width() * n, 62);
+        let half = HalfPrecision::new(Arc::new(Reference));
+        let mut want = vec![0.0; rows * n];
+        half.gemm(rows, spec.in_width(), n, &dense, &w, &mut want);
+        let mut got = vec![0.0; rows * n];
+        half.gather_gemm(rows, n, &spec, &numeric, &indices, &w, &mut got);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "f16 gather must equal f16 gemm over the densified batch"
+        );
     }
 }

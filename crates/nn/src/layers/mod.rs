@@ -10,6 +10,7 @@
 mod activation;
 mod conv;
 mod dropout;
+mod embedding_gather;
 mod linear;
 mod norm;
 mod sequential;
@@ -17,10 +18,12 @@ mod sequential;
 pub use activation::{Activation, ActivationKind};
 pub use conv::Conv1d;
 pub use dropout::Dropout;
+pub use embedding_gather::EmbeddingGather;
 pub use linear::Linear;
 pub use norm::{BatchNorm1d, LayerNorm};
 pub use sequential::{mlp, Sequential};
 
+use crate::sparse::SparseBatchRef;
 use crate::tensor::Tensor;
 
 /// Whether a forward pass is part of training (dropout active, batch-norm
@@ -76,6 +79,15 @@ pub trait Layer {
     /// # Panics
     /// May panic if called without a preceding `forward` in `Train` mode.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Attempts a forward pass over a sparse one-hot batch. Layers without
+    /// a sparse input path return `None` (the default);
+    /// [`EmbeddingGather`] consumes the batch, and [`Sequential`] delegates
+    /// to its first layer.
+    fn try_forward_sparse(&mut self, batch: SparseBatchRef<'_>, mode: Mode) -> Option<Tensor> {
+        let _ = (batch, mode);
+        None
+    }
 
     /// Visits every trainable parameter (stable order across calls).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));

@@ -1,6 +1,7 @@
 //! Composition of layers.
 
 use super::{Layer, Mode, Param};
+use crate::sparse::SparseBatchRef;
 use crate::tensor::Tensor;
 
 /// A stack of layers applied in order; backward runs in reverse.
@@ -41,6 +42,18 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Forward pass over a sparse one-hot batch: the first layer must be a
+    /// sparse consumer ([`super::EmbeddingGather`]); the rest of the stack
+    /// runs dense with the usual arena ping-pong.
+    ///
+    /// # Panics
+    /// Panics when the stack is empty or the first layer has no sparse
+    /// input path.
+    pub fn forward_sparse(&mut self, batch: SparseBatchRef<'_>, mode: Mode) -> Tensor {
+        self.try_forward_sparse(batch, mode)
+            .expect("Sequential::forward_sparse: first layer does not accept sparse batches")
+    }
 }
 
 impl Layer for Sequential {
@@ -71,6 +84,16 @@ impl Layer for Sequential {
             crate::workspace::recycle(std::mem::replace(&mut g, g_in));
         }
         g
+    }
+
+    fn try_forward_sparse(&mut self, batch: SparseBatchRef<'_>, mode: Mode) -> Option<Tensor> {
+        let (first, rest) = self.layers.split_first_mut()?;
+        let mut x = first.try_forward_sparse(batch, mode)?;
+        for layer in rest {
+            let y = layer.forward(&x, mode);
+            crate::workspace::recycle(std::mem::replace(&mut x, y));
+        }
+        Some(x)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

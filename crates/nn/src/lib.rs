@@ -45,6 +45,7 @@ pub mod loss;
 pub mod optim;
 pub mod serialize;
 pub mod simd;
+pub mod sparse;
 pub mod tensor;
 pub mod workspace;
 

@@ -39,28 +39,30 @@ pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
 /// Softmax cross entropy over row-wise logit groups.
 ///
 /// `groups` gives the width of each categorical feature's logit block inside
-/// a row; `targets[r][g]` is the class index for feature `g` of row `r`.
+/// a row; `targets` is a single **column-major** buffer of class indices —
+/// `targets[g * rows + r]` is the class for feature `g` of row `r` (the
+/// layout `silofuse_tabular`'s `CategoricalTargets::as_slice` produces).
 /// The loss is averaged over rows and features; the returned gradient has the
 /// same shape as `logits`.
 pub fn grouped_softmax_cross_entropy(
     logits: &Tensor,
     groups: &[usize],
-    targets: &[Vec<u32>],
+    targets: &[u32],
 ) -> (f32, Tensor) {
     let total: usize = groups.iter().sum();
     assert_eq!(logits.cols(), total, "logit width must equal sum of group widths");
-    assert_eq!(logits.rows(), targets.len(), "one target row per logit row");
     let rows = logits.rows();
+    assert_eq!(targets.len(), rows * groups.len(), "one target per (row, group)");
     let denom = (rows * groups.len().max(1)) as f32;
     let mut loss = 0.0f32;
     let mut grad = workspace::take(rows, total);
-    for (r, row_targets) in targets.iter().enumerate() {
+    for r in 0..rows {
         let row = logits.row(r);
         let g_row = grad.row_mut(r);
         let mut offset = 0;
         for (g, &width) in groups.iter().enumerate() {
             let block = &row[offset..offset + width];
-            let target = row_targets[g] as usize;
+            let target = targets[g * rows + r] as usize;
             debug_assert!(target < width, "target class out of range");
             let max = block.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
@@ -168,7 +170,7 @@ mod tests {
     fn grouped_ce_perfect_prediction_has_low_loss() {
         // Two features with 2 and 3 classes.
         let logits = Tensor::from_vec(1, 5, vec![10.0, -10.0, -10.0, 10.0, -10.0]);
-        let targets = vec![vec![0u32, 1u32]];
+        let targets = [0u32, 1u32];
         let (l, _) = grouped_softmax_cross_entropy(&logits, &[2, 3], &targets);
         assert!(l < 1e-3, "loss {l}");
     }
@@ -177,7 +179,8 @@ mod tests {
     fn grouped_ce_grad_sums_to_zero_per_group() {
         let logits =
             Tensor::from_vec(2, 5, vec![0.3, -0.2, 0.1, 0.9, -0.5, 1.0, 2.0, -1.0, 0.0, 0.5]);
-        let targets = vec![vec![1u32, 2u32], vec![0u32, 0u32]];
+        // Row targets (1, 2) and (0, 0), column-major: group 0 then group 1.
+        let targets = [1u32, 0, 2, 0];
         let (_, g) = grouped_softmax_cross_entropy(&logits, &[2, 3], &targets);
         for r in 0..2 {
             let row = g.row(r);
@@ -189,7 +192,7 @@ mod tests {
     #[test]
     fn grouped_ce_finite_difference() {
         let logits = Tensor::from_vec(1, 4, vec![0.2, -0.3, 0.5, 0.1]);
-        let targets = vec![vec![1u32, 0u32]];
+        let targets = [1u32, 0u32];
         let groups = [2, 2];
         let (_, g) = grouped_softmax_cross_entropy(&logits, &groups, &targets);
         let eps = 1e-3;

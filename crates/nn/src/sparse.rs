@@ -1,0 +1,188 @@
+//! Sparse one-hot input descriptions for the embedding-gather input layer.
+//!
+//! A [`SparseSpec`] describes how a logical input row of width `in_width`
+//! decomposes into dense numeric slots and one-hot categorical blocks, in
+//! ascending slot order. A [`SparseBatchRef`] is the matching batch view:
+//! `rows × n_numeric` dense values plus `rows × n_categorical` absolute
+//! one-hot slot indices. Together they let the backend gather/scatter
+//! kernels ([`crate::backend::Backend::gather_gemm`] /
+//! [`crate::backend::Backend::scatter_grad`]) reproduce the dense first
+//! layer's arithmetic bit for bit while touching only the nonzeros.
+
+/// One field of a sparse input row, positioned by its one-hot slot(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseField {
+    /// A dense numeric value occupying one slot.
+    Numeric {
+        /// The slot this value lands on in the densified row.
+        slot: usize,
+    },
+    /// A one-hot block: exactly one of `width` consecutive slots is 1.0.
+    Categorical {
+        /// First slot of the block.
+        offset: usize,
+        /// Number of slots (the column's cardinality).
+        width: usize,
+    },
+}
+
+/// The field layout of a sparse input row: fields in ascending slot order,
+/// contiguously covering `0..in_width`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseSpec {
+    fields: Vec<SparseField>,
+    n_numeric: usize,
+    n_categorical: usize,
+    in_width: usize,
+}
+
+impl SparseSpec {
+    /// Builds a spec from fields in ascending slot order.
+    ///
+    /// # Panics
+    /// Panics when the fields do not tile `0..in_width` contiguously — the
+    /// gather kernels rely on ascending slot order to match the dense
+    /// GEMM's ascending-`k` accumulation bit for bit.
+    pub fn new(fields: Vec<SparseField>) -> Self {
+        let mut next = 0;
+        let mut n_numeric = 0;
+        let mut n_categorical = 0;
+        for field in &fields {
+            match *field {
+                SparseField::Numeric { slot } => {
+                    assert_eq!(slot, next, "numeric field out of slot order");
+                    next += 1;
+                    n_numeric += 1;
+                }
+                SparseField::Categorical { offset, width } => {
+                    assert_eq!(offset, next, "categorical field out of slot order");
+                    assert!(width > 0, "categorical field with zero width");
+                    next += width;
+                    n_categorical += 1;
+                }
+            }
+        }
+        Self { fields, n_numeric, n_categorical, in_width: next }
+    }
+
+    /// The fields in ascending slot order.
+    pub fn fields(&self) -> &[SparseField] {
+        &self.fields
+    }
+
+    /// Numeric slots per row.
+    pub fn n_numeric(&self) -> usize {
+        self.n_numeric
+    }
+
+    /// Categorical blocks per row.
+    pub fn n_categorical(&self) -> usize {
+        self.n_categorical
+    }
+
+    /// Width of the densified row (the dense layer's `fan_in`).
+    pub fn in_width(&self) -> usize {
+        self.in_width
+    }
+
+    /// Nonzero entries per row: every numeric slot plus one per block.
+    pub fn nnz_width(&self) -> usize {
+        self.n_numeric + self.n_categorical
+    }
+}
+
+/// A borrowed sparse batch matching a [`SparseSpec`].
+///
+/// Both buffers are row-major: `numeric` is `rows × n_numeric` (numeric
+/// fields in slot order), `indices` is `rows × n_categorical` absolute
+/// one-hot slot indices (each inside its block's `offset..offset+width`).
+#[derive(Debug, Clone, Copy)]
+pub struct SparseBatchRef<'a> {
+    /// Rows in the batch.
+    pub rows: usize,
+    /// Dense numeric values, `rows × n_numeric`.
+    pub numeric: &'a [f32],
+    /// Absolute one-hot slot indices, `rows × n_categorical`.
+    pub indices: &'a [u32],
+}
+
+impl SparseBatchRef<'_> {
+    /// Asserts the buffers are sized for `spec`, and in debug builds that
+    /// every index falls inside its block.
+    pub fn check(&self, spec: &SparseSpec) {
+        assert_eq!(self.numeric.len(), self.rows * spec.n_numeric(), "numeric buffer size");
+        assert_eq!(self.indices.len(), self.rows * spec.n_categorical(), "index buffer size");
+        #[cfg(debug_assertions)]
+        {
+            let blocks: Vec<(usize, usize)> = spec
+                .fields()
+                .iter()
+                .filter_map(|f| match *f {
+                    SparseField::Categorical { offset, width } => Some((offset, width)),
+                    SparseField::Numeric { .. } => None,
+                })
+                .collect();
+            for r in 0..self.rows {
+                for (c, &(offset, width)) in blocks.iter().enumerate() {
+                    let idx = self.indices[r * blocks.len() + c] as usize;
+                    debug_assert!(
+                        (offset..offset + width).contains(&idx),
+                        "row {r} block {c}: index {idx} outside {offset}..{}",
+                        offset + width
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_tracks_counts_and_width() {
+        let spec = SparseSpec::new(vec![
+            SparseField::Numeric { slot: 0 },
+            SparseField::Categorical { offset: 1, width: 5 },
+            SparseField::Numeric { slot: 6 },
+            SparseField::Categorical { offset: 7, width: 3 },
+        ]);
+        assert_eq!(spec.in_width(), 10);
+        assert_eq!(spec.n_numeric(), 2);
+        assert_eq!(spec.n_categorical(), 2);
+        assert_eq!(spec.nnz_width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of slot order")]
+    fn spec_rejects_gaps() {
+        let _ = SparseSpec::new(vec![
+            SparseField::Numeric { slot: 0 },
+            SparseField::Categorical { offset: 2, width: 3 },
+        ]);
+    }
+
+    #[test]
+    fn batch_ref_check_validates_sizes() {
+        let spec = SparseSpec::new(vec![
+            SparseField::Numeric { slot: 0 },
+            SparseField::Categorical { offset: 1, width: 4 },
+        ]);
+        let numeric = [0.5f32, -1.0];
+        let indices = [2u32, 4];
+        SparseBatchRef { rows: 2, numeric: &numeric, indices: &indices }.check(&spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "index buffer size")]
+    fn batch_ref_check_rejects_short_indices() {
+        let spec = SparseSpec::new(vec![
+            SparseField::Numeric { slot: 0 },
+            SparseField::Categorical { offset: 1, width: 4 },
+        ]);
+        let numeric = [0.5f32, -1.0];
+        let indices = [2u32];
+        SparseBatchRef { rows: 2, numeric: &numeric, indices: &indices }.check(&spec);
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::math::{normal_cdf, normal_ppf};
 use crate::schema::{ColumnKind, Schema};
+use crate::sparse::SparseBatch;
 use crate::table::{Column, Table, TableError};
 
 /// How numeric columns are scaled before entering a model.
@@ -216,9 +217,16 @@ impl TableEncoder {
     /// Encodes a table into a row-major `f32` buffer of width
     /// [`Self::encoded_width`].
     ///
+    /// # Errors
+    /// Returns [`TableError::CategoryOutOfRange`] when a categorical code is
+    /// `>= cardinality` of the fitted schema. [`Table::new`] already rejects
+    /// such codes, but a corrupted or hand-assembled table would otherwise
+    /// set a one-hot bit inside a *neighboring* column's block — validate
+    /// here rather than write out of range.
+    ///
     /// # Panics
     /// Panics if the table's schema disagrees with the fitted schema.
-    pub fn encode(&self, table: &Table) -> Vec<f32> {
+    pub fn try_encode(&self, table: &Table) -> Result<Vec<f32>, TableError> {
         assert_eq!(table.schema(), &self.schema, "encode: schema mismatch");
         let width = self.encoded_width();
         let rows = table.n_rows();
@@ -238,21 +246,137 @@ impl TableEncoder {
                 Column::Categorical(codes) => {
                     let card = self.schema.columns()[col_idx].kind.one_hot_width();
                     for (r, &code) in codes.iter().enumerate() {
+                        if code as usize >= card {
+                            return Err(TableError::CategoryOutOfRange {
+                                column: col_idx,
+                                code,
+                                cardinality: card as u32,
+                            });
+                        }
                         out[r * width + offset + code as usize] = 1.0;
                     }
                     offset += card;
                 }
             }
         }
+        Ok(out)
+    }
+
+    /// Encodes a table into a row-major `f32` buffer of width
+    /// [`Self::encoded_width`].
+    ///
+    /// # Panics
+    /// Panics if the table's schema disagrees with the fitted schema, or if
+    /// a categorical code is out of range (use [`Self::try_encode`] to
+    /// surface that as [`TableError::CategoryOutOfRange`]).
+    pub fn encode(&self, table: &Table) -> Vec<f32> {
+        self.try_encode(table).unwrap_or_else(|e| panic!("TableEncoder::encode: {e}"))
+    }
+
+    /// Encodes a table into a reusable [`SparseBatch`]: scaled numeric slots
+    /// stay dense, each categorical column contributes one absolute one-hot
+    /// slot index. Numeric values are bitwise identical to the dense slots
+    /// from [`Self::encode`].
+    ///
+    /// # Errors
+    /// Returns [`TableError::CategoryOutOfRange`] exactly as
+    /// [`Self::try_encode`] does.
+    ///
+    /// # Panics
+    /// Panics if the table's schema disagrees with the fitted schema or the
+    /// batch was shaped for a different schema.
+    pub fn encode_sparse_into(
+        &self,
+        table: &Table,
+        out: &mut SparseBatch,
+    ) -> Result<(), TableError> {
+        assert_eq!(table.schema(), &self.schema, "encode_sparse_into: schema mismatch");
+        assert_eq!(
+            (out.n_numeric(), out.n_categorical()),
+            (self.schema.numeric_count(), self.schema.categorical_count()),
+            "encode_sparse_into: batch shaped for a different schema"
+        );
+        let rows = table.n_rows();
+        let n_num = out.n_numeric();
+        let n_cat = out.n_categorical();
+        out.reset(rows);
+        let (numeric, indices) = out.buffers_mut();
+        let mut offset = 0;
+        let mut num_idx = 0;
+        let mut cat_idx = 0;
+        for (col_idx, col) in table.columns().iter().enumerate() {
+            match col {
+                Column::Numeric(values) => {
+                    let codec = self.numeric_codecs[col_idx]
+                        .as_ref()
+                        .expect("numeric codec fitted for numeric column");
+                    for (r, &v) in values.iter().enumerate() {
+                        numeric[r * n_num + num_idx] = codec.encode(v) as f32;
+                    }
+                    num_idx += 1;
+                    offset += 1;
+                }
+                Column::Categorical(codes) => {
+                    let card = self.schema.columns()[col_idx].kind.one_hot_width();
+                    for (r, &code) in codes.iter().enumerate() {
+                        if code as usize >= card {
+                            return Err(TableError::CategoryOutOfRange {
+                                column: col_idx,
+                                code,
+                                cardinality: card as u32,
+                            });
+                        }
+                        indices[r * n_cat + cat_idx] = (offset + code as usize) as u32;
+                    }
+                    cat_idx += 1;
+                    offset += card;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A [`SparseBatch`] shaped for this encoder's schema, ready for
+    /// [`Self::encode_sparse_into`] and reusable across steps.
+    pub fn sparse_batch(&self) -> SparseBatch {
+        SparseBatch::for_schema(&self.schema)
+    }
+
+    /// Scaled numeric features only, row-major `rows × numeric_count`, in
+    /// schema order. Values are bitwise identical to the numeric slots of
+    /// [`Self::encode`] — this is the numeric-head regression target without
+    /// materialising the one-hot blocks.
+    pub fn numeric_features(&self, table: &Table) -> Vec<f32> {
+        assert_eq!(table.schema(), &self.schema, "numeric_features: schema mismatch");
+        let rows = table.n_rows();
+        let n_num = self.schema.numeric_count();
+        let mut out = vec![0.0f32; rows * n_num];
+        let mut num_idx = 0;
+        for (col_idx, col) in table.columns().iter().enumerate() {
+            if let Column::Numeric(values) = col {
+                let codec = self.numeric_codecs[col_idx]
+                    .as_ref()
+                    .expect("numeric codec fitted for numeric column");
+                for (r, &v) in values.iter().enumerate() {
+                    out[r * n_num + num_idx] = codec.encode(v) as f32;
+                }
+                num_idx += 1;
+            }
+        }
         out
     }
 
-    /// Per-row category codes for each categorical column (schema order),
-    /// as targets for grouped cross-entropy losses.
-    pub fn categorical_targets(&self, table: &Table) -> Vec<Vec<u32>> {
+    /// Category codes for each categorical column (schema order), flattened
+    /// column-major, as targets for grouped cross-entropy losses.
+    pub fn categorical_targets(&self, table: &Table) -> CategoricalTargets {
         let cat_cols: Vec<&[u32]> =
             table.columns().iter().filter_map(Column::as_categorical).collect();
-        (0..table.n_rows()).map(|r| cat_cols.iter().map(|col| col[r]).collect()).collect()
+        let rows = table.n_rows();
+        let mut codes = Vec::with_capacity(rows * cat_cols.len());
+        for col in &cat_cols {
+            codes.extend_from_slice(col);
+        }
+        CategoricalTargets { rows, groups: cat_cols.len(), codes }
     }
 
     /// Decodes a row-major `f32` buffer back into a table. Numeric slots are
@@ -286,7 +410,13 @@ impl TableEncoder {
                     let codes = (0..rows)
                         .map(|r| {
                             let block = &data[r * width + offset..r * width + offset + card];
-                            argmax(block) as u32
+                            let code = argmax(block);
+                            debug_assert!(
+                                code < card,
+                                "decode: argmax produced code {code} outside cardinality {card} \
+                                 for column {col_idx}"
+                            );
+                            code as u32
                         })
                         .collect();
                     columns.push(Column::Categorical(codes));
@@ -295,6 +425,46 @@ impl TableEncoder {
             }
         }
         Table::new(self.schema.clone(), columns)
+    }
+}
+
+/// Grouped cross-entropy targets: one category code per (row, categorical
+/// column), flattened **column-major** into a single allocation —
+/// `codes[g * rows + r]` is row `r`'s code for group `g`. Column-major means
+/// each group's codes are contiguous, so building from a column-major
+/// [`Table`] is a straight `extend_from_slice` per column and per-group
+/// consumers walk a contiguous slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoricalTargets {
+    rows: usize,
+    groups: usize,
+    codes: Vec<u32>,
+}
+
+impl CategoricalTargets {
+    /// Rows in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of categorical groups (columns).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Row `r`'s code for group `g`.
+    pub fn class(&self, r: usize, g: usize) -> u32 {
+        self.codes[g * self.rows + r]
+    }
+
+    /// All codes for group `g`, contiguous, one per row.
+    pub fn group(&self, g: usize) -> &[u32] {
+        &self.codes[g * self.rows..(g + 1) * self.rows]
+    }
+
+    /// The flat column-major buffer (`groups × rows`).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.codes
     }
 }
 
@@ -498,5 +668,129 @@ mod tests {
     fn argmax_first_on_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
         assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn out_of_range_code_is_a_typed_encode_error() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        // Simulate a corrupted table: column "c" has cardinality 3 but a
+        // row carries code 7. Table::new would reject this, so build it
+        // unchecked — encode must catch it instead of flipping a bit in
+        // column "y"'s block (or past the buffer end).
+        let bad = Table::new_unchecked(
+            t.schema().clone(),
+            vec![
+                Column::Numeric(vec![1.0, 2.0]),
+                Column::Categorical(vec![0, 7]),
+                Column::Numeric(vec![0.0, 0.0]),
+            ],
+        );
+        let expected = TableError::CategoryOutOfRange { column: 1, code: 7, cardinality: 3 };
+        assert_eq!(enc.try_encode(&bad).unwrap_err(), expected);
+        let mut batch = enc.sparse_batch();
+        assert_eq!(enc.encode_sparse_into(&bad, &mut batch).unwrap_err(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside fitted cardinality")]
+    fn encode_panics_on_out_of_range_code() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        let bad = Table::new_unchecked(
+            t.schema().clone(),
+            vec![
+                Column::Numeric(vec![1.0]),
+                Column::Categorical(vec![3]),
+                Column::Numeric(vec![0.0]),
+            ],
+        );
+        let _ = enc.encode(&bad);
+    }
+
+    #[test]
+    fn categorical_targets_are_column_major() {
+        let t = demo(); // one categorical column: codes [0, 2, 1, 2]
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        let targets = enc.categorical_targets(&t);
+        assert_eq!(targets.rows(), 4);
+        assert_eq!(targets.groups(), 1);
+        assert_eq!(targets.as_slice(), &[0, 2, 1, 2]);
+        assert_eq!(targets.group(0), &[0, 2, 1, 2]);
+        assert_eq!(targets.class(1, 0), 2);
+
+        // Two categorical columns: each group contiguous.
+        let schema = Schema::new(vec![
+            ColumnMeta::categorical("a", 3),
+            ColumnMeta::numeric("x"),
+            ColumnMeta::categorical("b", 4),
+        ]);
+        let t2 = Table::new(
+            schema,
+            vec![
+                Column::Categorical(vec![1, 0]),
+                Column::Numeric(vec![0.5, 1.5]),
+                Column::Categorical(vec![3, 2]),
+            ],
+        )
+        .unwrap();
+        let enc2 = TableEncoder::fit(&t2, ScalingKind::Standard);
+        let targets2 = enc2.categorical_targets(&t2);
+        assert_eq!(targets2.as_slice(), &[1, 0, 3, 2]);
+        assert_eq!(targets2.class(0, 1), 3);
+        assert_eq!(targets2.class(1, 1), 2);
+    }
+
+    #[test]
+    fn sparse_encoding_matches_dense_bitwise() {
+        let t = demo();
+        for kind in [ScalingKind::Standard, ScalingKind::MinMax, ScalingKind::QuantileGaussian] {
+            let enc = TableEncoder::fit(&t, kind);
+            let dense = enc.encode(&t);
+            let width = enc.encoded_width();
+            let mut batch = enc.sparse_batch();
+            enc.encode_sparse_into(&t, &mut batch).unwrap();
+            assert_eq!(batch.rows(), t.n_rows());
+            assert_eq!(batch.n_numeric(), 2);
+            assert_eq!(batch.n_categorical(), 1);
+            let numeric = enc.numeric_features(&t);
+            assert_eq!(batch.numeric(), &numeric[..], "{kind:?}");
+            for r in 0..t.n_rows() {
+                // Numeric slots bitwise identical to the dense encoding
+                // (schema layout: x at slot 0, c block at 1..4, y at 4).
+                assert_eq!(
+                    batch.numeric()[r * 2].to_bits(),
+                    dense[r * width].to_bits(),
+                    "{kind:?} row {r} slot x"
+                );
+                assert_eq!(
+                    batch.numeric()[r * 2 + 1].to_bits(),
+                    dense[r * width + 4].to_bits(),
+                    "{kind:?} row {r} slot y"
+                );
+                // The index is the absolute one-hot slot carrying the 1.0.
+                let slot = batch.indices()[r] as usize;
+                assert!((1..4).contains(&slot), "{kind:?} row {r} slot {slot}");
+                assert_eq!(dense[r * width + slot], 1.0, "{kind:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_batch_reuse_across_batches() {
+        let t = demo();
+        let enc = TableEncoder::fit(&t, ScalingKind::Standard);
+        let mut batch = enc.sparse_batch();
+        batch.reserve_rows(t.n_rows());
+        enc.encode_sparse_into(&t, &mut batch).unwrap();
+        let first: Vec<u32> = batch.indices().to_vec();
+        // Re-encode a smaller batch into the same buffers.
+        let small = t.select_rows(&[2]);
+        enc.encode_sparse_into(&small, &mut batch).unwrap();
+        assert_eq!(batch.rows(), 1);
+        assert_eq!(batch.indices(), &first[2..3]);
+        // And the full batch again: identical to the first pass.
+        enc.encode_sparse_into(&t, &mut batch).unwrap();
+        assert_eq!(batch.indices(), &first[..]);
     }
 }

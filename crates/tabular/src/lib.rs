@@ -30,10 +30,12 @@ pub mod math;
 pub mod partition;
 pub mod profiles;
 pub mod schema;
+pub mod sparse;
 pub mod split;
 pub mod synthetic;
 pub mod table;
 
-pub use encode::{ScalingKind, TableEncoder};
+pub use encode::{CategoricalTargets, ScalingKind, TableEncoder};
 pub use schema::{ColumnKind, ColumnMeta, Schema};
+pub use sparse::{SparseBatch, SparsePolicy};
 pub use table::{Column, Table, TableError};

@@ -135,9 +135,47 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
     vec![loan(), adult(), cardio(), abalone(), churn(), diabetes(), cover(), intrusion(), heloc()]
 }
 
-/// Looks a profile up by its (case-insensitive) paper name.
+/// Looks a profile up by its (case-insensitive) paper name. Covers the nine
+/// Table II benchmarks plus the synthetic high-cardinality stress family.
 pub fn profile_by_name(name: &str) -> Option<DatasetProfile> {
-    all_profiles().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    all_profiles()
+        .into_iter()
+        .chain(high_cardinality_profiles())
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+/// Synthetic high-cardinality stress family for the sparse categorical
+/// path. Deliberately *not* part of [`all_profiles`] — that list is pinned
+/// to the paper's nine Table II benchmarks — but resolvable through
+/// [`profile_by_name`] for the CLI, scenario matrices, and benches.
+pub fn high_cardinality_profiles() -> Vec<DatasetProfile> {
+    vec![high_card_1k(), high_card_10k()]
+}
+
+/// HighCard1k: a 1 000-way identifier-like column next to small
+/// categoricals, one-hot 7 → 1 016.
+pub fn high_card_1k() -> DatasetProfile {
+    DatasetProfile {
+        name: "HighCard1k",
+        rows: 10_000,
+        feature_cardinalities: vec![1_000, 8, 3],
+        n_numeric_features: 3,
+        task: TaskKind::Classification { classes: 2 },
+        correlation_strength: 0.4,
+    }
+}
+
+/// HighCard10k: a 10 000-way column (3.4× Churn's widest), one-hot
+/// 7 → 10 021 — the scenario axis the dense encoding cannot afford.
+pub fn high_card_10k() -> DatasetProfile {
+    DatasetProfile {
+        name: "HighCard10k",
+        rows: 10_000,
+        feature_cardinalities: vec![10_000, 12, 4],
+        n_numeric_features: 3,
+        task: TaskKind::Classification { classes: 2 },
+        correlation_strength: 0.4,
+    }
 }
 
 /// Loan: 5 000 rows, 7 cat / 6 num, one-hot 13 → 23.
@@ -317,5 +355,21 @@ mod tests {
         assert!(profile_by_name("heloc").is_some());
         assert!(profile_by_name("HELOC").is_some());
         assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn high_cardinality_family_resolves_but_stays_out_of_table_ii() {
+        let p1k = profile_by_name("highcard1k").expect("HighCard1k resolvable");
+        assert_eq!(p1k.one_hot_width(), 1_016);
+        let p10k = profile_by_name("HighCard10k").expect("HighCard10k resolvable");
+        assert_eq!(p10k.width(), 7);
+        assert_eq!(p10k.one_hot_width(), 10_021);
+        assert!(p10k.expansion_factor() > 1000.0);
+        // The paper benchmark list stays exactly the nine Table II rows.
+        assert!(all_profiles().iter().all(|p| !p.name.starts_with("HighCard")));
+        // Generation works at 10k-way cardinality and matches the stats.
+        let t = p10k.generate(64, 3);
+        assert_eq!(t.schema().one_hot_width(), p10k.one_hot_width());
+        assert_eq!(t.n_rows(), 64);
     }
 }

@@ -75,6 +75,18 @@ pub enum TableError {
         /// Index of the offending column.
         column: usize,
     },
+    /// A categorical code seen at encode time is `>= cardinality` of the
+    /// fitted schema. Raised by [`crate::encode::TableEncoder`] as defense
+    /// in depth: a corrupted or hand-assembled table would otherwise set a
+    /// one-hot bit inside a *neighboring* column's block.
+    CategoryOutOfRange {
+        /// Index of the offending column.
+        column: usize,
+        /// The offending code.
+        code: u32,
+        /// The fitted cardinality.
+        cardinality: u32,
+    },
 }
 
 impl std::fmt::Display for TableError {
@@ -92,6 +104,12 @@ impl std::fmt::Display for TableError {
             }
             TableError::DegenerateColumn { column } => {
                 write!(f, "numeric column {column} has no finite values to fit on")
+            }
+            TableError::CategoryOutOfRange { column, code, cardinality } => {
+                write!(
+                    f,
+                    "encode: column {column} has code {code} outside fitted cardinality {cardinality}"
+                )
             }
         }
     }
@@ -136,6 +154,15 @@ impl Table {
             }
         }
         Ok(Self { schema, columns, rows })
+    }
+
+    /// Assembles a table without validating shapes or codes. Only for
+    /// crate-internal tests that need to simulate corrupted data (e.g. a
+    /// code past its cardinality) reaching the encoders.
+    #[cfg(test)]
+    pub(crate) fn new_unchecked(schema: Schema, columns: Vec<Column>) -> Self {
+        let rows = columns.first().map_or(0, Column::len);
+        Self { schema, columns, rows }
     }
 
     /// Creates an empty table with the given schema.
