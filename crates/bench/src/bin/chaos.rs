@@ -114,6 +114,7 @@ fn main() {
         max_backoff: Duration::from_millis(8),
         max_retries: 12,
         recv_deadline: opts.retry_deadline.unwrap_or(Duration::from_millis(80)),
+        reorder_window: 64,
     };
     let retry =
         RetryPolicy { max_backoff: opts.retry_max_backoff.unwrap_or(retry.max_backoff), ..retry };

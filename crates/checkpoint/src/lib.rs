@@ -43,7 +43,7 @@ pub const VERSION: u32 = 1;
 pub mod names {
     pub use silofuse_observe::names::{
         CHECKPOINT_BYTES, CHECKPOINT_CRASH, CHECKPOINT_LOADS, CHECKPOINT_LOAD_SPAN,
-        CHECKPOINT_WRITES, CHECKPOINT_WRITE_SPAN,
+        CHECKPOINT_TMP_SWEPT, CHECKPOINT_WRITES, CHECKPOINT_WRITE_SPAN,
     };
 }
 
@@ -404,6 +404,38 @@ impl Checkpointer {
         Ok(Some(ckpt))
     }
 
+    /// Removes stale `*.tmp` siblings left in the checkpoint directory by
+    /// a crash between [`write_atomic`]'s create and rename — debris that
+    /// is by construction incomplete and must never be mistaken for a
+    /// checkpoint. Call at startup before the first load (the model
+    /// registry and the resume path both do). Returns how many files were
+    /// swept; a missing directory is a fresh start, not an error.
+    pub fn sweep_stale_tmp(&self) -> Result<usize, CheckpointError> {
+        if !self.enabled {
+            return Ok(0);
+        }
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(source) if source.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(source) => return Err(CheckpointError::Io { path: self.dir.clone(), source }),
+        };
+        let mut swept = 0usize;
+        for entry in entries {
+            let entry =
+                entry.map_err(|source| CheckpointError::Io { path: self.dir.clone(), source })?;
+            let path = entry.path();
+            if path.is_file() && path.extension().is_some_and(|ext| ext == "tmp") {
+                std::fs::remove_file(&path)
+                    .map_err(|source| CheckpointError::Io { path: path.clone(), source })?;
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            observe::count(names::CHECKPOINT_TMP_SWEPT, swept as u64);
+        }
+        Ok(swept)
+    }
+
     /// Step counter of the checkpoint named `name` written by `phase`,
     /// without keeping the payload around. This is the rejoin handshake's
     /// "resume step": a restarted silo reads it to tell the coordinator
@@ -516,6 +548,29 @@ mod tests {
         // Phase mismatch stays a typed error, never a silent wrong step.
         assert!(ck.latest_step("silo0-ae", "latent-train").is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_sweep_removes_crash_debris_but_not_checkpoints() {
+        let dir = tmp_dir("sweep");
+        let ck = Checkpointer::new(&dir, 10).with_resume(true);
+        ck.save("model", "train", 7, b"good").unwrap();
+        // Simulate a crash between create and rename: torn .tmp siblings
+        // (one for an existing checkpoint, one orphaned) litter the dir.
+        std::fs::write(dir.join("model.tmp"), b"SILOCKPT torn mid-write").unwrap();
+        std::fs::write(dir.join("orphan.tmp"), b"partial").unwrap();
+        assert_eq!(ck.sweep_stale_tmp().unwrap(), 2);
+        assert!(!dir.join("model.tmp").exists());
+        assert!(!dir.join("orphan.tmp").exists());
+        // The completed checkpoint is untouched and still loads.
+        let loaded = ck.load("model", "train").unwrap().unwrap();
+        assert_eq!(loaded.step, 7);
+        assert_eq!(loaded.payload, b"good");
+        // Idempotent, and a fresh-start (missing) directory is a no-op.
+        assert_eq!(ck.sweep_stale_tmp().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(ck.sweep_stale_tmp().unwrap(), 0);
+        assert_eq!(Checkpointer::disabled().sweep_stale_tmp().unwrap(), 0);
     }
 
     #[test]

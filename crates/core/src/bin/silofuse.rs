@@ -13,8 +13,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use silofuse_core::distributed::faults::parse_duration;
 use silofuse_core::{
-    build_synthesizer_with_net, Checkpointer, DegradePolicy, FaultPlan, ModelKind, NetConfig,
-    SiloFuse, SiloFuseConfig, SupervisorConfig, TrainBudget,
+    build_synthesizer_with_net, Checkpointer, DegradePolicy, FaultPlan, ModelKind, ModelRegistry,
+    ModelSpec, NetConfig, ServeConfig, ServeError, SiloFuse, SiloFuseConfig, SupervisorConfig,
+    SynthesisServer, TrainBudget,
 };
 use silofuse_metrics::{
     privacy, resemblance, utility, PrivacyConfig, ResemblanceConfig, UtilityConfig,
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags),
         "synth" => cmd_synth(&flags),
+        "serve" => cmd_serve(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "inspect" => cmd_inspect(&flags),
         "trace-report" => cmd_trace_report(&flags),
@@ -195,6 +197,18 @@ USAGE:
       (e.g. 250ms, 2s) tune the transport's bounded-receive lease and
       retransmission backoff cap.
 
+  silofuse serve [--models Loan,Adult] [--train-rows N] [--tenants T]
+      [--jobs-per-tenant J] [--fetch-rows R] [--chunk-rows C]
+      [--max-in-flight M] [--per-tenant Q] [--quick] [--seed S]
+      [--checkpoint-dir D] [--checkpoint-every N] [--threads T]
+      Run the in-process multi-tenant synthesis service: fit (or reload
+      bit-identically from D's checkpoints) one model per profile, then
+      serve T concurrent tenants J paginated jobs each. Load beyond the
+      admission bounds is rejected with a typed Overloaded answer, never
+      queued; a rejected tenant backs off and retries. Rows stream in
+      C-row chunks; any cursor split of a job returns bytes identical to
+      one big fetch, even across a restart.
+
   silofuse evaluate --real <real.csv> --synth <synth.csv>
       [--holdout <holdout.csv>] [--seed S]
       Score resemblance (+ utility when a holdout is given) and privacy.
@@ -295,6 +309,98 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let models_arg = flags.get("models").map(String::as_str).unwrap_or("Loan");
+    let train_rows: usize = parse_num(flags, "train-rows", 512)?;
+    let tenants: usize = parse_num(flags, "tenants", 2)?;
+    let jobs: usize = parse_num(flags, "jobs-per-tenant", 4)?;
+    let fetch_rows: u32 = parse_num(flags, "fetch-rows", 1024)?;
+    let seed: u64 = parse_num(flags, "seed", 42)?;
+    let every: u64 = parse_num(flags, "checkpoint-every", 50)?;
+    if tenants == 0 || jobs == 0 {
+        return Err("--tenants and --jobs-per-tenant must be at least 1".into());
+    }
+    let budget =
+        if flags.contains_key("quick") { TrainBudget::quick() } else { TrainBudget::standard() };
+    let specs: Vec<ModelSpec> = models_arg
+        .split(',')
+        .map(|p| ModelSpec::new(p.trim().to_lowercase(), p.trim(), train_rows, seed, budget))
+        .collect();
+    let dir = flags.get("checkpoint-dir").map(std::path::PathBuf::from);
+    if let Some(d) = &dir {
+        eprintln!("registry checkpoints under {} (resume on)", d.display());
+    }
+    eprintln!("opening registry: {} model(s), {train_rows} training rows each...", specs.len());
+    let registry = ModelRegistry::open(dir.as_deref(), every, &specs).map_err(|e| e.to_string())?;
+    let model_count = registry.len();
+    let config = ServeConfig {
+        max_in_flight: parse_num(flags, "max-in-flight", 4)?,
+        per_tenant_max: parse_num(flags, "per-tenant", 2)?,
+        chunk_rows: parse_num(flags, "chunk-rows", 2048)?,
+        net: NetConfig::default(),
+    };
+    let mut server = SynthesisServer::new(registry, config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {model_count} model(s): {tenants} tenant(s) x {jobs} job(s) x {fetch_rows} rows"
+    );
+    let started = std::time::Instant::now();
+    let workers: Vec<_> = (0..tenants)
+        .map(|t| {
+            let client = server.connect(&format!("tenant{t}"));
+            std::thread::spawn(move || {
+                let (mut rows_ok, mut jobs_ok, mut rejections) = (0u64, 0u64, 0u64);
+                for j in 0..jobs {
+                    let model = ((t + j) % model_count) as u32;
+                    let job = (t as u64) << 32 | j as u64;
+                    // Paginate each job in two cursor fetches to exercise
+                    // the resumable path; overload answers back off and
+                    // retry instead of queueing server-side.
+                    let half = fetch_rows / 2;
+                    let mut fetched = 0u32;
+                    let mut backoff = Duration::from_millis(2);
+                    while fetched < fetch_rows {
+                        let take = if fetched == 0 { half.max(1) } else { fetch_rows - fetched };
+                        match client.fetch(model, job, u64::from(fetched), take) {
+                            Ok(part) => fetched += part.n_rows() as u32,
+                            Err(ServeError::Rejected { .. }) => {
+                                rejections += 1;
+                                std::thread::sleep(backoff);
+                                backoff = (backoff * 2).min(Duration::from_millis(64));
+                            }
+                            Err(e) => {
+                                eprintln!("tenant{t} job {j}: {e}");
+                                return (rows_ok, jobs_ok, rejections);
+                            }
+                        }
+                    }
+                    rows_ok += u64::from(fetched);
+                    jobs_ok += 1;
+                }
+                (rows_ok, jobs_ok, rejections)
+            })
+        })
+        .collect();
+    let (mut rows_ok, mut jobs_ok, mut rejections) = (0u64, 0u64, 0u64);
+    for worker in workers {
+        let (r, k, x) = worker.join().map_err(|_| "tenant thread panicked".to_string())?;
+        rows_ok += r;
+        jobs_ok += k;
+        rejections += x;
+    }
+    let elapsed = started.elapsed();
+    let stats = server.comm_stats();
+    server.shutdown();
+    println!(
+        "served {jobs_ok} job(s) / {rows_ok} rows to {tenants} tenant(s) in {:.2}s \
+         ({:.1} jobs/s); {rejections} overload rejection(s) answered typed, \
+         {} control-plane bytes on the wire",
+        elapsed.as_secs_f64(),
+        jobs_ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.bytes_control,
+    );
+    Ok(())
+}
+
 fn model_kind(name: &str) -> Result<ModelKind, String> {
     Ok(match name {
         "silofuse" => ModelKind::SiloFuse,
@@ -322,7 +428,14 @@ fn checkpointer_from_flags(flags: &Flags) -> Result<Option<Checkpointer>, String
                 "checkpointing every {every} steps to {dir}{}",
                 if flags.contains_key("resume") { " (resuming)" } else { "" }
             );
-            Ok(Some(Checkpointer::new(dir, every).with_resume(flags.contains_key("resume"))))
+            let ck = Checkpointer::new(dir, every).with_resume(flags.contains_key("resume"));
+            // Crash debris from a previous run's interrupted atomic write
+            // must be cleared before any load can trip over it.
+            let swept = ck.sweep_stale_tmp().map_err(|e| e.to_string())?;
+            if swept > 0 {
+                eprintln!("swept {swept} stale .tmp checkpoint file(s)");
+            }
+            Ok(Some(ck))
         }
         None if flags.contains_key("resume") => {
             Err("--resume needs --checkpoint-dir to load from".into())

@@ -39,11 +39,13 @@
 pub mod baselines;
 pub mod budget;
 pub mod pipeline;
+pub mod serve;
 pub mod silofuse;
 
 pub use baselines::{build_synthesizer, build_synthesizer_with_net, ModelKind};
 pub use budget::TrainBudget;
 pub use pipeline::{evaluate_model, DatasetRun, ModelScores, RunConfig};
+pub use serve::{ModelRegistry, ModelSpec, ServeConfig, ServeError, SynthesisServer, TenantClient};
 pub use silofuse::{SiloFuse, SiloFuseConfig};
 pub use silofuse_checkpoint::{CheckpointError, Checkpointer, CrashPoint};
 pub use silofuse_distributed::{

@@ -1,0 +1,148 @@
+//! Admission control for the synthesis service: a global in-flight bound
+//! plus a per-tenant quota, enforced by *rejecting* excess requests with
+//! a typed [`ProtocolError::Overloaded`] — never by queueing them. A
+//! loaded server therefore answers immediately (back off and retry)
+//! instead of building an invisible backlog.
+
+use silofuse_distributed::ProtocolError;
+use silofuse_observe as observe;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct AdmissionState {
+    /// Jobs currently synthesizing, all tenants.
+    total: usize,
+    /// Requests between arrival and the admit/reject decision.
+    waiting: usize,
+    /// Jobs currently synthesizing, per tenant.
+    per_tenant: HashMap<String, usize>,
+}
+
+/// Shared admission gate; see the module docs.
+pub(crate) struct Admission {
+    max_in_flight: usize,
+    per_tenant_max: usize,
+    state: Mutex<AdmissionState>,
+}
+
+impl Admission {
+    pub(crate) fn new(max_in_flight: usize, per_tenant_max: usize) -> Arc<Self> {
+        Arc::new(Self {
+            max_in_flight,
+            per_tenant_max,
+            state: Mutex::new(AdmissionState::default()),
+        })
+    }
+
+    /// Marks a request as waiting at the gate (`delta = +1` on arrival,
+    /// `-1` once decided) and publishes the queue-depth gauge.
+    pub(crate) fn note_waiting(&self, delta: isize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.waiting = st.waiting.saturating_add_signed(delta);
+        Self::global_gauge(observe::names::SERVE_QUEUE_DEPTH, st.waiting as f64);
+    }
+
+    /// Admits one job for `tenant` or rejects it with
+    /// [`ProtocolError::Overloaded`] naming the bound that tripped. The
+    /// returned [`Permit`] releases the slot on drop.
+    pub(crate) fn try_admit(self: &Arc<Self>, tenant: &str) -> Result<Permit, ProtocolError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.total >= self.max_in_flight {
+            return Err(ProtocolError::Overloaded {
+                tenant: tenant.to_string(),
+                in_flight: st.total,
+                limit: self.max_in_flight,
+            });
+        }
+        let used = st.per_tenant.get(tenant).copied().unwrap_or(0);
+        if used >= self.per_tenant_max {
+            return Err(ProtocolError::Overloaded {
+                tenant: tenant.to_string(),
+                in_flight: used,
+                limit: self.per_tenant_max,
+            });
+        }
+        st.total += 1;
+        *st.per_tenant.entry(tenant.to_string()).or_default() += 1;
+        Self::global_gauge(observe::names::SERVE_IN_FLIGHT, st.total as f64);
+        Ok(Permit { admission: Arc::clone(self), tenant: tenant.to_string() })
+    }
+
+    /// Gauges describing the whole server go to the default scope, not
+    /// the per-tenant scope the calling service thread sits in.
+    fn global_gauge(name: &str, value: f64) {
+        if let Some(hub) = observe::hub() {
+            hub.default_scope().metrics().gauge(name).set(value);
+        }
+    }
+}
+
+/// RAII admission slot: dropping it releases the tenant's and the global
+/// in-flight count.
+pub(crate) struct Permit {
+    admission: Arc<Admission>,
+    tenant: String,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.admission.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.total = st.total.saturating_sub(1);
+        if let Some(used) = st.per_tenant.get_mut(&self.tenant) {
+            *used = used.saturating_sub(1);
+            if *used == 0 {
+                st.per_tenant.remove(&self.tenant);
+            }
+        }
+        Admission::global_gauge(observe::names::SERVE_IN_FLIGHT, st.total as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_bound_rejects_with_typed_overload() {
+        let gate = Admission::new(2, 2);
+        let _a = gate.try_admit("t1").unwrap();
+        let _b = gate.try_admit("t2").unwrap();
+        match gate.try_admit("t3").err().expect("third job must be rejected") {
+            ProtocolError::Overloaded { tenant, in_flight, limit } => {
+                assert_eq!(tenant, "t3");
+                assert_eq!(in_flight, 2);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn per_tenant_quota_bites_before_the_global_bound() {
+        let gate = Admission::new(8, 1);
+        let held = gate.try_admit("greedy").unwrap();
+        let err = gate.try_admit("greedy").err().expect("quota must reject");
+        assert!(matches!(err, ProtocolError::Overloaded { in_flight: 1, limit: 1, .. }));
+        // Other tenants are unaffected, and dropping the permit frees
+        // the quota.
+        let _other = gate.try_admit("polite").unwrap();
+        drop(held);
+        let _again = gate.try_admit("greedy").unwrap();
+    }
+
+    #[test]
+    fn permits_release_on_drop_even_under_churn() {
+        let gate = Admission::new(3, 3);
+        for _ in 0..50 {
+            let p1 = gate.try_admit("t").unwrap();
+            let p2 = gate.try_admit("t").unwrap();
+            drop(p1);
+            let p3 = gate.try_admit("t").unwrap();
+            drop(p2);
+            drop(p3);
+        }
+        assert_eq!(gate.state.lock().unwrap().total, 0);
+        assert!(gate.state.lock().unwrap().per_tenant.is_empty());
+    }
+}

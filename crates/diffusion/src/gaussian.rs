@@ -11,6 +11,62 @@ use silofuse_nn::loss::mse;
 use silofuse_nn::optim::{Adam, Optimizer};
 use silofuse_nn::{workspace, Tensor};
 
+/// A synthesis request asked for `chunk_rows == 0`. A zero chunk size
+/// would make the streaming sampler spin forever without producing a
+/// row, so it is rejected at the request boundary instead of being
+/// silently clamped to 1 (which would let a bad request change chunking
+/// behavior behind the caller's back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChunkRows;
+
+impl std::fmt::Display for InvalidChunkRows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "synthesis chunk_rows must be at least 1")
+    }
+}
+
+impl std::error::Error for InvalidChunkRows {}
+
+/// Everything a sampling request can be rejected for before any reverse
+/// diffusion runs: a bad strided-schedule length or a zero chunk size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleRequestError {
+    /// `inference_steps` was zero or exceeded the schedule's `T`.
+    Steps(InvalidInferenceSteps),
+    /// `chunk_rows` was zero.
+    ChunkRows(InvalidChunkRows),
+}
+
+impl std::fmt::Display for SampleRequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleRequestError::Steps(e) => e.fmt(f),
+            SampleRequestError::ChunkRows(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SampleRequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SampleRequestError::Steps(e) => Some(e),
+            SampleRequestError::ChunkRows(e) => Some(e),
+        }
+    }
+}
+
+impl From<InvalidInferenceSteps> for SampleRequestError {
+    fn from(e: InvalidInferenceSteps) -> Self {
+        SampleRequestError::Steps(e)
+    }
+}
+
+impl From<InvalidChunkRows> for SampleRequestError {
+    fn from(e: InvalidChunkRows) -> Self {
+        SampleRequestError::ChunkRows(e)
+    }
+}
+
 /// What the backbone is trained to predict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parameterization {
@@ -328,7 +384,12 @@ impl GaussianDdpm {
     ) -> Result<Tensor, InvalidInferenceSteps> {
         let _span = silofuse_observe::span("ddpm-sample");
         let dim = self.backbone.config().data_dim;
-        let mut sampler = self.chunked_sampler(n, inference_steps, eta, n.max(1), rng)?;
+        let mut sampler = match self.chunked_sampler(n, inference_steps, eta, n.max(1), rng) {
+            Ok(s) => s,
+            Err(SampleRequestError::Steps(e)) => return Err(e),
+            // chunk_rows is n.max(1) >= 1, so ChunkRows cannot occur here.
+            Err(SampleRequestError::ChunkRows(_)) => unreachable!("chunk_rows >= 1"),
+        };
         match sampler.next_chunk() {
             Some((_, x)) => Ok(x),
             None => Ok(Tensor::zeros(0, dim)),
@@ -346,7 +407,8 @@ impl GaussianDdpm {
     /// per-row oracle [`GaussianDdpm::sample_rows_reference`].
     ///
     /// # Errors
-    /// [`InvalidInferenceSteps`] when `inference_steps == 0` or `> T`.
+    /// [`SampleRequestError`] when `inference_steps == 0` or `> T`, or
+    /// when `chunk_rows == 0`.
     pub fn chunked_sampler(
         &mut self,
         n: usize,
@@ -354,7 +416,7 @@ impl GaussianDdpm {
         eta: f32,
         chunk_rows: usize,
         rng: &mut StdRng,
-    ) -> Result<ChunkedSampler<'_>, InvalidInferenceSteps> {
+    ) -> Result<ChunkedSampler<'_>, SampleRequestError> {
         let base = rng.gen::<u64>();
         self.chunked_sampler_from_base(n, inference_steps, eta, chunk_rows, base)
     }
@@ -364,7 +426,8 @@ impl GaussianDdpm {
     /// base regenerates the exact same rows after a crash.
     ///
     /// # Errors
-    /// [`InvalidInferenceSteps`] when `inference_steps == 0` or `> T`.
+    /// [`SampleRequestError`] when `inference_steps == 0` or `> T`, or
+    /// when `chunk_rows == 0`.
     pub fn chunked_sampler_from_base(
         &mut self,
         n: usize,
@@ -372,17 +435,43 @@ impl GaussianDdpm {
         eta: f32,
         chunk_rows: usize,
         base: u64,
-    ) -> Result<ChunkedSampler<'_>, InvalidInferenceSteps> {
+    ) -> Result<ChunkedSampler<'_>, SampleRequestError> {
+        self.chunked_sampler_range_from_base(0, n, inference_steps, eta, chunk_rows, base)
+    }
+
+    /// Cursor-range variant of [`GaussianDdpm::chunked_sampler_from_base`]:
+    /// yields only rows `start_row .. start_row + rows` of the stream the
+    /// base seed defines. Because every row derives its noise from
+    /// `(base, row)` alone, draining `[0, k)` now and `[k, n)` later is
+    /// bit-identical to draining `[0, n)` in one pass — the entry point
+    /// cursor pagination in `silofuse-serve` resumes from.
+    ///
+    /// # Errors
+    /// [`SampleRequestError`] when `inference_steps == 0` or `> T`, or
+    /// when `chunk_rows == 0`.
+    pub fn chunked_sampler_range_from_base(
+        &mut self,
+        start_row: usize,
+        rows: usize,
+        inference_steps: usize,
+        eta: f32,
+        chunk_rows: usize,
+        base: u64,
+    ) -> Result<ChunkedSampler<'_>, SampleRequestError> {
+        if chunk_rows == 0 {
+            return Err(InvalidChunkRows.into());
+        }
         silofuse_nn::backend::record_telemetry();
-        silofuse_observe::count("diffusion.sampled_rows", n as u64);
+        silofuse_observe::count("diffusion.sampled_rows", rows as u64);
         let coeffs = SampleCoefficients::build(&self.diffusion.schedule, inference_steps, eta)?;
         Ok(ChunkedSampler {
             ddpm: self,
             coeffs,
             base,
-            n,
-            chunk_rows: chunk_rows.max(1),
-            next_row: 0,
+            start_row,
+            n: start_row + rows,
+            chunk_rows,
+            next_row: start_row,
         })
     }
 
@@ -592,6 +681,7 @@ pub struct ChunkedSampler<'a> {
     ddpm: &'a mut GaussianDdpm,
     coeffs: SampleCoefficients,
     base: u64,
+    start_row: usize,
     n: usize,
     chunk_rows: usize,
     next_row: usize,
@@ -604,7 +694,9 @@ impl ChunkedSampler<'_> {
         self.base
     }
 
-    /// Total rows this sampler will produce.
+    /// The absolute row cursor this sampler stops at (equals the row
+    /// count for a from-zero sampler; a range sampler produces
+    /// `rows_total() - first_row` rows starting at its cursor).
     pub fn rows_total(&self) -> usize {
         self.n
     }
@@ -614,14 +706,14 @@ impl ChunkedSampler<'_> {
         self.ddpm.backbone.config().data_dim
     }
 
-    /// Rows produced so far.
+    /// The absolute row index the next chunk starts at.
     pub fn rows_done(&self) -> usize {
         self.next_row
     }
 
     /// Number of chunks a full drain will yield.
     pub fn total_chunks(&self) -> usize {
-        self.n.div_ceil(self.chunk_rows)
+        (self.n - self.start_row).div_ceil(self.chunk_rows)
     }
 
     /// Produces the next chunk as `(first_row, latents)`, or `None` once
@@ -929,6 +1021,59 @@ mod tests {
         assert_eq!(err, InvalidInferenceSteps { requested: 0, timesteps: 50 });
         let err = ddpm.try_sample(4, 51, 1.0, &mut rng).unwrap_err();
         assert_eq!(err.requested, 51);
+    }
+
+    #[test]
+    fn zero_chunk_rows_is_a_typed_error() {
+        let mut ddpm = small_ddpm(2, Parameterization::PredictX0, 41);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = ddpm.chunked_sampler(4, 5, 1.0, 0, &mut rng).err().unwrap();
+        assert_eq!(err, SampleRequestError::ChunkRows(InvalidChunkRows));
+        assert_eq!(err.to_string(), "synthesis chunk_rows must be at least 1");
+        // The step error still comes through the combined type.
+        let err = ddpm.chunked_sampler(4, 0, 1.0, 2, &mut rng).err().unwrap();
+        assert!(matches!(err, SampleRequestError::Steps(_)));
+    }
+
+    #[test]
+    fn range_sampler_matches_the_matching_slice_of_a_full_drain() {
+        let mut ddpm = small_ddpm(3, Parameterization::PredictNoise, 43);
+        let base = 0xfeed_beef_u64;
+        let mut whole = Tensor::zeros(13, 3);
+        {
+            let mut sampler = ddpm.chunked_sampler_from_base(13, 6, 1.0, 5, base).unwrap();
+            while let Some((first, part)) = sampler.next_chunk() {
+                for r in 0..part.rows() {
+                    whole.row_mut(first + r).copy_from_slice(part.row(r));
+                }
+                silofuse_nn::workspace::recycle(part);
+            }
+        }
+        // Any (start, len) window, drained with any chunking, reproduces
+        // the same bytes the full pass put at those rows.
+        for (start, len, chunk) in [(0usize, 13usize, 4usize), (4, 9, 3), (7, 2, 1), (12, 1, 8)] {
+            let mut sampler =
+                ddpm.chunked_sampler_range_from_base(start, len, 6, 1.0, chunk, base).unwrap();
+            assert_eq!(sampler.total_chunks(), len.div_ceil(chunk));
+            assert_eq!(sampler.rows_done(), start);
+            assert_eq!(sampler.rows_total(), start + len);
+            let mut covered = 0usize;
+            while let Some((first, part)) = sampler.next_chunk() {
+                for r in 0..part.rows() {
+                    let got = part.row(r);
+                    let want = whole.row(first + r);
+                    for (g, w) in got.iter().zip(want) {
+                        assert_eq!(g.to_bits(), w.to_bits(), "row {} start={start}", first + r);
+                    }
+                }
+                covered += part.rows();
+                silofuse_nn::workspace::recycle(part);
+            }
+            assert_eq!(covered, len);
+        }
+        // An empty range yields no chunks.
+        let mut empty = ddpm.chunked_sampler_range_from_base(5, 0, 6, 1.0, 4, base).unwrap();
+        assert!(empty.next_chunk().is_none());
     }
 
     #[test]

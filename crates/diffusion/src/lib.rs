@@ -37,7 +37,8 @@ pub mod schedule;
 
 pub use backbone::{BackboneConfig, DiffusionBackbone};
 pub use gaussian::{
-    ChunkedSampler, GaussianDdpm, GaussianDiffusion, Parameterization, SampleCoefficients,
+    ChunkedSampler, GaussianDdpm, GaussianDiffusion, InvalidChunkRows, Parameterization,
+    SampleCoefficients, SampleRequestError,
 };
 pub use multinomial::MultinomialDiffusion;
 pub use schedule::{InvalidInferenceSteps, NoiseSchedule, ScheduleKind};

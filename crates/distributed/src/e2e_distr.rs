@@ -576,8 +576,9 @@ impl E2eDistributed {
     /// Overrides the synthesis chunk size after fitting. Purely a
     /// memory/throughput knob: synthetic output is bit-identical for any
     /// value (rows own independent RNG streams keyed off one base seed).
+    /// A zero value is stored as-is and rejected at synthesis time.
     pub fn set_synth_chunk_rows(&mut self, rows: usize) {
-        self.config.synth_chunk_rows = rows.max(1);
+        self.config.synth_chunk_rows = rows;
     }
 
     /// Synthesis: identical stacking of DDPM + local decoders as SiloFuse,
@@ -599,7 +600,7 @@ impl E2eDistributed {
                 })
                 .collect();
         }
-        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let chunk_rows = self.config.synth_chunk_rows;
         let widths: Vec<usize> = self.clients.iter().map(|c| c.latent_dim).collect();
         let ddpm = self.ddpm.as_mut().expect("model is fitted");
         let mut sampler = ddpm
@@ -642,7 +643,7 @@ impl E2eDistributed {
     /// trained on; a dead model silo's latent columns are discarded, not
     /// decoded on its behalf.
     pub fn synthesize_supervised(&mut self, n: usize, rng: &mut StdRng) -> Vec<SiloOutput> {
-        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let chunk_rows = self.config.synth_chunk_rows;
         let model_silos = self.model_silos.clone();
         let widths: Vec<usize> = model_silos.iter().map(|&i| self.clients[i].latent_dim).collect();
         let ddpm = self.ddpm.as_mut().expect("model is fitted");

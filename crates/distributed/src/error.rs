@@ -83,12 +83,25 @@ pub enum ProtocolError {
         source: CheckpointError,
     },
     /// A request carried parameters the protocol must reject (e.g. an
-    /// inference-step count of zero or above the schedule length).
+    /// inference-step count of zero or above the schedule length, or a
+    /// zero synthesis chunk size).
     InvalidRequest {
         /// Protocol phase that rejected the request.
         phase: &'static str,
         /// The cause of the rejection.
-        source: silofuse_diffusion::InvalidInferenceSteps,
+        source: silofuse_diffusion::SampleRequestError,
+    },
+    /// The serving layer refused to admit a new synthesis job: either
+    /// the server-wide in-flight bound or the tenant's own quota is
+    /// already full. The request was rejected immediately instead of
+    /// queuing forever — the caller should back off and retry.
+    Overloaded {
+        /// Tenant whose job was refused.
+        tenant: String,
+        /// Jobs currently running against the contended bound.
+        in_flight: usize,
+        /// The bound that was hit (server-wide or per-tenant).
+        limit: usize,
     },
 }
 
@@ -121,6 +134,13 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::InvalidRequest { phase, source } => {
                 write!(f, "invalid request during {phase}: {source}")
             }
+            ProtocolError::Overloaded { tenant, in_flight, limit } => {
+                write!(
+                    f,
+                    "tenant {tenant} rejected: {in_flight} jobs in flight at limit {limit}; \
+                     back off and retry"
+                )
+            }
         }
     }
 }
@@ -133,7 +153,8 @@ impl std::error::Error for ProtocolError {
             ProtocolError::InvalidRequest { source, .. } => Some(source),
             ProtocolError::Unexpected { .. }
             | ProtocolError::Crashed { .. }
-            | ProtocolError::QuorumLost { .. } => None,
+            | ProtocolError::QuorumLost { .. }
+            | ProtocolError::Overloaded { .. } => None,
         }
     }
 }
@@ -175,6 +196,16 @@ mod tests {
         // A silo never heard from renders explicitly.
         let ctx = RetryContext { attempts: 3, backoff_ticks: 3, last_seq: None };
         assert!(ctx.to_string().contains("never heard from"));
+    }
+
+    #[test]
+    fn overloaded_display_names_tenant_and_bound() {
+        let e = ProtocolError::Overloaded { tenant: "acme".to_string(), in_flight: 4, limit: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("acme"), "{msg}");
+        assert!(msg.contains("4 jobs in flight at limit 4"), "{msg}");
+        assert!(msg.contains("back off"), "{msg}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

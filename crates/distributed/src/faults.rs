@@ -217,6 +217,12 @@ pub struct RetryPolicy {
     /// Overall budget for a single blocking receive; a peer that stays
     /// silent this long is dead (replaces the seed's block-forever recv).
     pub recv_deadline: Duration,
+    /// Receive-side reorder buffer cap, in frames. An out-of-order frame
+    /// whose sequence number is `>= next_expected + reorder_window` is
+    /// dropped instead of buffered (the sender's retransmission recovers
+    /// it), so dup/reorder-heavy fault plans cannot grow the buffer
+    /// without bound. Must be at least 1.
+    pub reorder_window: usize,
 }
 
 impl Default for RetryPolicy {
@@ -226,6 +232,7 @@ impl Default for RetryPolicy {
             max_backoff: Duration::from_millis(64),
             max_retries: 16,
             recv_deadline: Duration::from_secs(30),
+            reorder_window: 64,
         }
     }
 }
@@ -238,6 +245,7 @@ impl RetryPolicy {
             max_backoff: Duration::from_millis(8),
             max_retries: 10,
             recv_deadline: Duration::from_millis(400),
+            reorder_window: 64,
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod transport;
 pub use e2e_distr::E2eDistributed;
 pub use error::{ProtocolError, RetryContext};
 pub use faults::{FaultPlan, NetConfig, RetryPolicy};
-pub use message::Message;
+pub use message::{Message, ServeRejectCode};
 pub use stacked::SiloFuseModel;
 pub use supervision::{DegradePolicy, MembershipTable, SiloHealth, SiloOutput, SupervisorConfig};
 pub use transport::CommStats;

@@ -93,6 +93,72 @@ pub enum Message {
         /// Training step recovered from the silo's checkpoint.
         resume_step: u64,
     },
+    /// Tenant → server: ask for synthetic rows `start_row ..
+    /// start_row + rows` of model `model`'s deterministic row stream —
+    /// the cursor-pagination request of `silofuse-serve`. Serving rides
+    /// the control-byte ledger (see [`Message::is_control`]) so Fig. 10
+    /// protocol accounting is untouched by serve traffic.
+    ServeRequest {
+        /// Registry index of the model to sample from.
+        model: u32,
+        /// Tenant-chosen job id, echoed on every response frame.
+        job: u64,
+        /// Absolute row cursor the fetch starts at.
+        start_row: u64,
+        /// Rows requested from the cursor.
+        rows: u32,
+    },
+    /// Server → tenant: one streamed chunk of a serve job's rows, as a
+    /// row-major f32 grid (numeric values and categorical codes).
+    ServeChunk {
+        /// Job id this chunk answers.
+        job: u64,
+        /// Absolute row index of the chunk's first row.
+        first_row: u64,
+        /// Rows in this chunk.
+        rows: u32,
+        /// Output table width.
+        cols: u32,
+        /// Row-major cell values.
+        data: Vec<f32>,
+    },
+    /// Server → tenant: the job was refused before any sampling ran.
+    ServeReject {
+        /// Job id that was refused.
+        job: u64,
+        /// Why — see [`ServeRejectCode`].
+        code: ServeRejectCode,
+    },
+}
+
+/// Typed reasons a [`Message::ServeReject`] carries on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeRejectCode {
+    /// Admission control refused the job (server or tenant bound full).
+    Overloaded,
+    /// The request parameters were invalid (e.g. zero rows per chunk).
+    InvalidRequest,
+    /// The requested model is not in the registry.
+    UnknownModel,
+}
+
+impl ServeRejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ServeRejectCode::Overloaded => 1,
+            ServeRejectCode::InvalidRequest => 2,
+            ServeRejectCode::UnknownModel => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ServeRejectCode::Overloaded),
+            2 => Some(ServeRejectCode::InvalidRequest),
+            3 => Some(ServeRejectCode::UnknownModel),
+            _ => None,
+        }
+    }
 }
 
 /// Codec errors.
@@ -123,6 +189,9 @@ const TAG_REQUEST: u8 = 5;
 const TAG_ACK: u8 = 6;
 const TAG_HEARTBEAT: u8 = 7;
 const TAG_REJOIN: u8 = 8;
+const TAG_SERVE_REQUEST: u8 = 9;
+const TAG_SERVE_CHUNK: u8 = 10;
+const TAG_SERVE_REJECT: u8 = 11;
 const TAG_TRACED: u8 = 0x7C;
 
 /// Size of the optional trace header: tag + three little-endian u64s.
@@ -141,17 +210,28 @@ impl Message {
             Message::Ack => "Ack",
             Message::Heartbeat { .. } => "Heartbeat",
             Message::RejoinRequest { .. } => "RejoinRequest",
+            Message::ServeRequest { .. } => "ServeRequest",
+            Message::ServeChunk { .. } => "ServeChunk",
+            Message::ServeReject { .. } => "ServeReject",
         }
     }
 
-    /// True for supervision control traffic (heartbeats, rejoin
-    /// handshake). Control messages are ledgered in
+    /// True for traffic outside the training/synthesis protocols:
+    /// supervision (heartbeats, rejoin handshake) and the serve-layer
+    /// request/response messages. Control messages are ledgered in
     /// [`crate::transport::CommStats::bytes_control`] instead of
     /// `bytes_up`/`bytes_down`, keeping protocol byte accounting (and
     /// the paper's Fig. 10 comparison) identical whether or not
-    /// supervision is enabled.
+    /// supervision or serving is active.
     pub fn is_control(&self) -> bool {
-        matches!(self, Message::Heartbeat { .. } | Message::RejoinRequest { .. })
+        matches!(
+            self,
+            Message::Heartbeat { .. }
+                | Message::RejoinRequest { .. }
+                | Message::ServeRequest { .. }
+                | Message::ServeChunk { .. }
+                | Message::ServeReject { .. }
+        )
     }
 
     /// Serialises to wire bytes without a trace header.
@@ -199,6 +279,29 @@ impl Message {
                 buf.put_u8(TAG_REJOIN);
                 buf.put_u32_le(*client);
                 buf.put_u64_le(*resume_step);
+            }
+            Message::ServeRequest { model, job, start_row, rows } => {
+                buf.put_u8(TAG_SERVE_REQUEST);
+                buf.put_u32_le(*model);
+                buf.put_u64_le(*job);
+                buf.put_u64_le(*start_row);
+                buf.put_u32_le(*rows);
+            }
+            Message::ServeChunk { job, first_row, rows, cols, data } => {
+                debug_assert_eq!(data.len(), *rows as usize * *cols as usize);
+                buf.put_u8(TAG_SERVE_CHUNK);
+                buf.put_u64_le(*job);
+                buf.put_u64_le(*first_row);
+                buf.put_u32_le(*rows);
+                buf.put_u32_le(*cols);
+                for &v in data {
+                    buf.put_f32_le(v);
+                }
+            }
+            Message::ServeReject { job, code } => {
+                buf.put_u8(TAG_SERVE_REJECT);
+                buf.put_u64_le(*job);
+                buf.put_u8(code.to_u8());
             }
         }
         buf.freeze()
@@ -266,6 +369,47 @@ impl Message {
                     Message::RejoinRequest { client, resume_step: word }
                 })
             }
+            TAG_SERVE_REQUEST => {
+                if bytes.remaining() < 24 {
+                    return Err(CodecError::Truncated);
+                }
+                let model = bytes.get_u32_le();
+                let job = bytes.get_u64_le();
+                let start_row = bytes.get_u64_le();
+                let rows = bytes.get_u32_le();
+                Ok(Message::ServeRequest { model, job, start_row, rows })
+            }
+            TAG_SERVE_CHUNK => {
+                if bytes.remaining() < 24 {
+                    return Err(CodecError::Truncated);
+                }
+                let job = bytes.get_u64_le();
+                let first_row = bytes.get_u64_le();
+                let rows = bytes.get_u32_le();
+                let cols = bytes.get_u32_le();
+                // Same overflow-safe length validation as decode_matrix:
+                // reject a lying header before any allocation.
+                let len = u64::from(rows) * u64::from(cols);
+                let need = len.checked_mul(4).ok_or(CodecError::Truncated)?;
+                if (bytes.remaining() as u64) < need {
+                    return Err(CodecError::Truncated);
+                }
+                let len = len as usize;
+                let mut data = Vec::with_capacity(len);
+                for _ in 0..len {
+                    data.push(bytes.get_f32_le());
+                }
+                Ok(Message::ServeChunk { job, first_row, rows, cols, data })
+            }
+            TAG_SERVE_REJECT => {
+                if bytes.remaining() < 9 {
+                    return Err(CodecError::Truncated);
+                }
+                let job = bytes.get_u64_le();
+                let raw = bytes.get_u8();
+                let code = ServeRejectCode::from_u8(raw).ok_or(CodecError::BadTag(raw))?;
+                Ok(Message::ServeReject { job, code })
+            }
             other => Err(CodecError::BadTag(other)),
         }
     }
@@ -281,6 +425,9 @@ impl Message {
             Message::SynthesisRequest { .. } => 1 + 8,
             Message::Ack => 1,
             Message::Heartbeat { .. } | Message::RejoinRequest { .. } => 1 + 12,
+            Message::ServeRequest { .. } => 1 + 24,
+            Message::ServeChunk { data, .. } => 1 + 24 + 4 * data.len(),
+            Message::ServeReject { .. } => 1 + 9,
         }
     }
 }
@@ -437,9 +584,15 @@ mod tests {
     }
 
     #[test]
-    fn only_supervision_messages_are_control() {
+    fn only_supervision_and_serve_messages_are_control() {
         assert!(Message::Heartbeat { client: 0, tick: 0 }.is_control());
         assert!(Message::RejoinRequest { client: 0, resume_step: 0 }.is_control());
+        // Serve traffic is outside the training/synthesis protocols, so
+        // it rides the control ledger and leaves Fig. 10 accounting clean.
+        assert!(Message::ServeRequest { model: 0, job: 1, start_row: 0, rows: 8 }.is_control());
+        assert!(Message::ServeChunk { job: 1, first_row: 0, rows: 1, cols: 1, data: vec![0.0] }
+            .is_control());
+        assert!(Message::ServeReject { job: 1, code: ServeRejectCode::Overloaded }.is_control());
         // Application-level Ack predates supervision and stays in the
         // protocol byte ledgers; Fig. 10 tests pin its accounting.
         assert!(!Message::Ack.is_control());
@@ -447,6 +600,40 @@ mod tests {
         assert!(
             !Message::LatentUpload { client: 0, rows: 1, cols: 1, data: vec![0.0] }.is_control()
         );
+    }
+
+    #[test]
+    fn serve_messages_round_trip() {
+        for m in [
+            Message::ServeRequest { model: 3, job: u64::MAX - 5, start_row: 1 << 40, rows: 8192 },
+            Message::ServeChunk {
+                job: 9,
+                first_row: 8192,
+                rows: 2,
+                cols: 3,
+                data: vec![1.5, -2.0, 0.0, 4.25, 5.0, -0.5],
+            },
+            Message::ServeReject { job: 11, code: ServeRejectCode::Overloaded },
+            Message::ServeReject { job: 12, code: ServeRejectCode::InvalidRequest },
+            Message::ServeReject { job: 13, code: ServeRejectCode::UnknownModel },
+        ] {
+            assert_eq!(m.encode().len(), m.wire_size());
+            assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        }
+        // A lying ServeChunk header must cost a typed error, not an alloc.
+        let mut buf = BytesMut::new();
+        buf.put_u8(super::TAG_SERVE_CHUNK);
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        assert_eq!(Message::decode(buf.freeze()), Err(CodecError::Truncated));
+        // An unknown reject code is a BadTag, not a default.
+        let mut buf = BytesMut::new();
+        buf.put_u8(super::TAG_SERVE_REJECT);
+        buf.put_u64_le(0);
+        buf.put_u8(77);
+        assert_eq!(Message::decode(buf.freeze()), Err(CodecError::BadTag(77)));
     }
 
     #[test]

@@ -621,8 +621,10 @@ impl SiloFuseModel {
     /// Overrides the synthesis chunk size after fitting. Purely a
     /// memory/throughput knob: synthetic output is bit-identical for any
     /// value (rows own independent RNG streams keyed off one base seed).
+    /// A zero value is stored as-is and rejected at synthesis time with
+    /// a typed [`ProtocolError::InvalidRequest`].
     pub fn set_synth_chunk_rows(&mut self, rows: usize) {
-        self.config.synth_chunk_rows = rows.max(1);
+        self.config.synth_chunk_rows = rows;
     }
 
     /// Fallible [`SiloFuseModel::synthesize_partitioned_with_steps`]: under
@@ -697,7 +699,7 @@ impl SiloFuseModel {
         // engine, so coordinator memory and per-message payloads stay
         // bounded by the chunk size for any `n`.
         let steps = inference_steps.unwrap_or(self.config.inference_steps);
-        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let chunk_rows = self.config.synth_chunk_rows;
         let ckpt = self.ckpt.clone();
         let synth_name = format!("coordinator-synth{}", self.synth_calls);
         self.synth_calls += 1;
@@ -915,7 +917,7 @@ impl SiloFuseModel {
         }
 
         let steps = inference_steps.unwrap_or(self.config.inference_steps);
-        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let chunk_rows = self.config.synth_chunk_rows;
         let ckpt = self.ckpt.clone();
         let synth_name = format!("coordinator-synth{}", self.synth_calls);
         self.synth_calls += 1;

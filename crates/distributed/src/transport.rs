@@ -73,6 +73,15 @@ pub struct CommStats {
     pub bytes_control: u64,
     /// Supervision control-plane messages, both directions.
     pub messages_control: u64,
+    /// Out-of-order frames dropped because they landed beyond the
+    /// receive-side reorder window ([`RetryPolicy::reorder_window`]);
+    /// recovered by sender retransmission, so delivery semantics are
+    /// unchanged — only buffering is bounded.
+    pub reorder_dropped: u64,
+    /// High-water mark of frames held in the reorder buffer, across
+    /// every link of the run. Bounded by the configured reorder window;
+    /// the fault proptests assert this.
+    pub reorder_buffered_peak: u64,
 }
 
 impl CommStats {
@@ -403,8 +412,25 @@ impl Half {
                         st.delivered.push_back(p);
                         st.next_expected += 1;
                     }
-                } else if st.buffered.insert(seq, payload).is_some() {
-                    self.note_duplicate();
+                } else if seq - st.next_expected >= rel.policy.reorder_window.max(1) as u64 {
+                    // Beyond the reorder window: drop instead of buffering.
+                    // The frame is still unacked on the sender, so a later
+                    // retransmission redelivers it once the gap closes —
+                    // the buffer stays bounded under reorder/dup-heavy
+                    // fault plans without changing delivery semantics.
+                    self.note_reorder_drop();
+                } else {
+                    if st.buffered.insert(seq, payload).is_some() {
+                        self.note_duplicate();
+                    }
+                    let held = st.buffered.len() as u64;
+                    debug_assert!(
+                        held <= rel.policy.reorder_window.max(1) as u64,
+                        "reorder buffer {held} exceeded window {}",
+                        rel.policy.reorder_window
+                    );
+                    let mut s = self.stats.lock();
+                    s.reorder_buffered_peak = s.reorder_buffered_peak.max(held);
                 }
                 self.send_ack(&st);
             }
@@ -415,6 +441,11 @@ impl Half {
     fn note_duplicate(&self) {
         self.stats.lock().duplicates_dropped += 1;
         observe::count(observe::names::TRANSPORT_DUPLICATE, 1);
+    }
+
+    fn note_reorder_drop(&self) {
+        self.stats.lock().reorder_dropped += 1;
+        observe::count(observe::names::TRANSPORT_REORDER_DROP, 1);
     }
 
     fn apply_ack(st: &mut ReliableState, ack: u64) {

@@ -54,6 +54,7 @@ fn crash_net(spec: &str, client: usize) -> NetConfig {
             max_backoff: Duration::from_millis(8),
             max_retries: 12,
             recv_deadline: Duration::from_secs(5),
+            reorder_window: 64,
         },
     }
 }

@@ -43,6 +43,7 @@ fn test_policy() -> RetryPolicy {
         max_backoff: Duration::from_millis(8),
         max_retries: 12,
         recv_deadline: Duration::from_secs(5),
+        reorder_window: 64,
     }
 }
 

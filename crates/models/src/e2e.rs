@@ -116,9 +116,12 @@ impl E2eCentralized {
     /// bounded by the chunk size.
     ///
     /// # Panics
-    /// Panics if called before [`E2eCentralized::fit`].
+    /// Panics if called before [`E2eCentralized::fit`], or if
+    /// [`LatentDiffConfig::synth_chunk_rows`] is zero (the typed
+    /// [`silofuse_diffusion::gaussian::SampleRequestError`] surfaces
+    /// through this panicking convenience API).
     pub fn synthesize(&mut self, n: usize, rng: &mut StdRng) -> Table {
-        let chunk_rows = self.config.synth_chunk_rows.max(1);
+        let chunk_rows = self.config.synth_chunk_rows;
         let fitted = self.fitted.as_mut().expect("E2eCentralized::fit must be called first");
         let mut sampler = fitted
             .ddpm

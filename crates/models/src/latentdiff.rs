@@ -8,11 +8,13 @@
 
 use crate::autoencoder::{AutoencoderConfig, TabularAutoencoder};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use silofuse_checkpoint::{CheckpointError, Checkpointer};
 use silofuse_diffusion::backbone::{BackboneConfig, DiffusionBackbone};
-use silofuse_diffusion::gaussian::{GaussianDdpm, GaussianDiffusion, Parameterization};
-use silofuse_diffusion::schedule::{InvalidInferenceSteps, NoiseSchedule, ScheduleKind};
+use silofuse_diffusion::gaussian::{
+    GaussianDdpm, GaussianDiffusion, InvalidChunkRows, Parameterization, SampleRequestError,
+};
+use silofuse_diffusion::schedule::{NoiseSchedule, ScheduleKind};
 use silofuse_nn::Tensor;
 use silofuse_observe as observe;
 use silofuse_tabular::table::Table;
@@ -289,6 +291,13 @@ impl LatentDiff {
         Ok(())
     }
 
+    /// The fitted output schema, or `None` before [`LatentDiff::fit`].
+    /// The serving layer hands this to tenants so streamed row grids can
+    /// be reassembled into typed tables.
+    pub fn schema(&self) -> Option<&silofuse_tabular::Schema> {
+        self.fitted.as_ref().map(|f| f.ae.table_encoder().schema())
+    }
+
     /// Generates `n` synthetic rows.
     ///
     /// # Panics
@@ -318,7 +327,11 @@ impl LatentDiff {
     /// memory stays bounded by the chunk size.
     ///
     /// # Errors
-    /// [`InvalidInferenceSteps`] when the step count is zero or exceeds `T`.
+    /// [`SampleRequestError`] when the step count is zero or exceeds `T`,
+    /// or when [`LatentDiffConfig::synth_chunk_rows`] is zero. A zero
+    /// chunk size used to be silently clamped to 1; it is now rejected at
+    /// the request boundary so a bad request cannot quietly change
+    /// chunking behavior.
     ///
     /// # Panics
     /// Panics if called before [`LatentDiff::fit`].
@@ -327,11 +340,54 @@ impl LatentDiff {
         n: usize,
         inference_steps: Option<usize>,
         rng: &mut StdRng,
-    ) -> Result<Table, InvalidInferenceSteps> {
-        let chunk_rows = self.config.synth_chunk_rows.max(1);
+    ) -> Result<Table, SampleRequestError> {
+        if self.config.synth_chunk_rows == 0 {
+            return Err(InvalidChunkRows.into());
+        }
+        let chunk_rows = self.config.synth_chunk_rows;
         let fitted = self.fitted.as_mut().expect("LatentDiff::fit must be called first");
         let steps = inference_steps.unwrap_or(fitted.inference_steps);
-        let mut sampler = fitted.ddpm.chunked_sampler(n, steps, fitted.eta, chunk_rows, rng)?;
+        let base = rng.gen::<u64>();
+        Self::synthesize_range_inner(fitted, 0, n, steps, chunk_rows, base)
+    }
+
+    /// Cursor-range synthesis with an explicit base seed: decodes only
+    /// rows `start_row .. start_row + rows` of the deterministic row
+    /// stream `base` defines. Fetching `[0, k)` now and `[k, n)` later is
+    /// byte-identical to one `try_synthesize_with_steps(n)` call that
+    /// drew the same base — the serving layer's pagination entry point.
+    ///
+    /// # Errors
+    /// [`SampleRequestError`] as for [`LatentDiff::try_synthesize_with_steps`].
+    ///
+    /// # Panics
+    /// Panics if called before [`LatentDiff::fit`].
+    pub fn try_synthesize_range(
+        &mut self,
+        start_row: usize,
+        rows: usize,
+        base: u64,
+    ) -> Result<Table, SampleRequestError> {
+        if self.config.synth_chunk_rows == 0 {
+            return Err(InvalidChunkRows.into());
+        }
+        let chunk_rows = self.config.synth_chunk_rows;
+        let fitted = self.fitted.as_mut().expect("LatentDiff::fit must be called first");
+        let steps = fitted.inference_steps;
+        Self::synthesize_range_inner(fitted, start_row, rows, steps, chunk_rows, base)
+    }
+
+    fn synthesize_range_inner(
+        fitted: &mut Fitted,
+        start_row: usize,
+        rows: usize,
+        steps: usize,
+        chunk_rows: usize,
+        base: u64,
+    ) -> Result<Table, SampleRequestError> {
+        let mut sampler = fitted.ddpm.chunked_sampler_range_from_base(
+            start_row, rows, steps, fitted.eta, chunk_rows, base,
+        )?;
         let mut parts: Vec<Table> = Vec::with_capacity(sampler.total_chunks());
         loop {
             let chunk = {
@@ -345,7 +401,7 @@ impl LatentDiff {
             parts.push(fitted.ae.decode(&latents));
         }
         if parts.is_empty() {
-            // n == 0: decode an empty latent batch so the schema survives.
+            // rows == 0: decode an empty latent batch so the schema survives.
             let latent_dim = fitted.scaler.mean().len();
             return Ok(fitted.ae.decode(&Tensor::zeros(0, latent_dim)));
         }

@@ -125,6 +125,12 @@ fn metric_name(name: &str, suffix: &str) -> String {
     out
 }
 
+// Label values come from scope names, which since the serve layer can
+// embed caller-chosen tenant names — treat them as hostile. Quote, slash,
+// and newline get the Prometheus escapes; every other ASCII control
+// character (\r, \0, tab, ANSI ESC, ...) is replaced outright so a
+// malicious name can neither smuggle extra exposition lines nor corrupt
+// terminals tailing the snapshot.
 fn label_value(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
@@ -133,6 +139,7 @@ fn label_value(value: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            c if c.is_control() => out.push('_'),
             c => out.push(c),
         }
     }
@@ -259,6 +266,29 @@ mod tests {
         assert!(doc.contains("silofuse_comm_bytes_Ack_up_sum{scope=\"main\"} 1026"));
         assert!(doc.contains("silofuse_comm_bytes_Ack_up_count{scope=\"main\"} 3"));
         assert!(doc.contains("silofuse_comm_bytes_Ack_up_nan_total{scope=\"main\"} 1"));
+    }
+
+    #[test]
+    fn malicious_tenant_scope_names_cannot_break_exposition() {
+        // A serve tenant gets to pick its own name; this one tries to
+        // inject a fake metric line via \n and \r, smuggle a quote, and
+        // slip ANSI/control bytes into the snapshot.
+        let hostile = "evil\"} 999\nfake_metric{scope=\"x\r\t\0\x1b[31m";
+        let hub = TelemetryHub::new("prom-hostile", DEFAULT_ACTOR);
+        hub.scope(hostile).metrics().counter("serve.rows").add(1);
+        let doc = render_prometheus(&hub);
+        // The embedded newline must not mint a line of its own: the fake
+        // family may appear only escaped inside the label, never at the
+        // start of an exposition line.
+        assert!(
+            !doc.lines().any(|line| line.starts_with("fake_metric")),
+            "injected line leaked:\n{doc}"
+        );
+        assert!(doc.contains(
+            "silofuse_serve_rows_total{scope=\"evil\\\"} 999\\nfake_metric{scope=\\\"x____[31m\"} 1"
+        ), "unexpected rendering:\n{doc}");
+        // No raw control bytes survive anywhere in the document.
+        assert!(doc.chars().all(|c| c == '\n' || !c.is_control()), "control byte leaked");
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub mod names {
     pub const TRANSPORT_TIMEOUT: &str = "transport.timeout";
     /// Counter: replayed frames discarded by the dedup window.
     pub const TRANSPORT_DUPLICATE: &str = "transport.duplicate_dropped";
+    /// Counter: out-of-order frames dropped beyond the reorder window
+    /// (recovered later by sender retransmission).
+    pub const TRANSPORT_REORDER_DROP: &str = "transport.reorder_dropped";
     /// Counter: checkpoints written by `silofuse-checkpoint`.
     pub const CHECKPOINT_WRITES: &str = "checkpoint.writes";
     /// Counter: checkpoints loaded for resume.
@@ -73,6 +76,21 @@ pub mod names {
     pub const CHECKPOINT_WRITE_SPAN: &str = "checkpoint.write";
     /// Span wrapping each checkpoint load + verification.
     pub const CHECKPOINT_LOAD_SPAN: &str = "checkpoint.load";
+    /// Counter: stale `.tmp` files swept at checkpointer startup (debris
+    /// of a crash mid-atomic-write).
+    pub const CHECKPOINT_TMP_SWEPT: &str = "checkpoint.tmp_swept";
+    /// Counter: synthesis jobs admitted by the serve layer.
+    pub const SERVE_JOBS: &str = "serve.jobs";
+    /// Counter: synthesis jobs rejected at admission (overload/quota).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Counter: synthetic rows served, recorded in each tenant's scope.
+    pub const SERVE_ROWS: &str = "serve.rows_served";
+    /// Gauge: jobs currently synthesizing across all tenants.
+    pub const SERVE_IN_FLIGHT: &str = "serve.in_flight";
+    /// Gauge: requests waiting at the admission gate right now.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Span wrapping one admitted synthesis job end to end.
+    pub const SERVE_JOB_SPAN: &str = "serve.job";
     /// Counter: synthetic latent rows produced by the batched sampler.
     pub const SYNTH_ROWS: &str = "synth.rows";
     /// Counter: latent chunks streamed by the batched sampler.

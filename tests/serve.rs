@@ -1,0 +1,189 @@
+//! Integration tests of the multi-tenant synthesis service: cursor
+//! pagination must be byte-identical under ANY split of a job's row
+//! range — across streamed chunk boundaries, nn-backend thread counts,
+//! and full server restarts (registry reload from checkpoints) — and
+//! overload must answer with a typed rejection instead of queueing.
+
+use proptest::prelude::*;
+use silofuse_core::serve::{ModelRegistry, ModelSpec, ServeConfig, ServeError, SynthesisServer};
+use silofuse_core::TrainBudget;
+use silofuse_distributed::ServeRejectCode;
+use silofuse_tabular::Table;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Small enough to fit in seconds, real enough to exercise both phases.
+fn tiny_budget() -> TrainBudget {
+    TrainBudget::quick().scaled_down(8)
+}
+
+fn specs() -> Vec<ModelSpec> {
+    vec![ModelSpec::new("loan", "Loan", 128, 11, tiny_budget())]
+}
+
+fn serve_config(chunk_rows: usize) -> ServeConfig {
+    ServeConfig { chunk_rows, ..ServeConfig::default() }
+}
+
+/// Checkpoints of one trained registry, shared by every pagination case;
+/// each `ModelRegistry::open` over it is a bit-identical fast-forward —
+/// exactly what a server restart does.
+fn trained_dir() -> &'static PathBuf {
+    static TRAINED: OnceLock<PathBuf> = OnceLock::new();
+    TRAINED.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("silofuse-serve-pagination-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry =
+            ModelRegistry::open(Some(&dir), 25, &specs()).expect("initial training must succeed");
+        assert_eq!(registry.len(), 1);
+        dir
+    })
+}
+
+/// Fetches rows `start..start+rows` of `job` on a freshly restarted
+/// server (new registry instance loaded from the shared checkpoints).
+fn fetch_on_fresh_server(job: u64, start: u64, rows: u32) -> Result<Table, ServeError> {
+    let registry = ModelRegistry::open(Some(trained_dir()), 25, &specs())?;
+    let mut server = SynthesisServer::new(registry, serve_config(16))?;
+    let client = server.connect("paginator");
+    let model = client.model_id("loan").expect("loan is cataloged");
+    let table = client.fetch(model, job, start, rows);
+    drop(client);
+    server.shutdown();
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The acceptance property: ANY split of `n` rows into cursor-resumed
+    /// fetches — every fetch on its own restarted server — reassembles
+    /// into exactly the table a single fetch returns, at 1, 2, and 4
+    /// backend threads.
+    #[test]
+    fn any_cursor_split_across_restarts_and_threads_matches_one_fetch(
+        n in 8u32..48,
+        raw_cuts in proptest::collection::vec(1u32..48, 0..3),
+        job in 0u64..1_000_000,
+    ) {
+        let mut cuts: Vec<u32> = raw_cuts.iter().map(|c| c % n).filter(|c| *c != 0).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut bounds = vec![0u32];
+        bounds.extend(cuts);
+        bounds.push(n);
+
+        let mut per_thread_count: Vec<Table> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            silofuse_nn::backend::set_threads(threads);
+            let reference = fetch_on_fresh_server(job, 0, n)
+                .map_err(|e| TestCaseError::fail(format!("reference fetch: {e}")))?;
+            prop_assert_eq!(reference.n_rows(), n as usize);
+
+            let mut parts = Vec::new();
+            for w in bounds.windows(2) {
+                let part = fetch_on_fresh_server(job, u64::from(w[0]), w[1] - w[0])
+                    .map_err(|e| TestCaseError::fail(format!("fetch [{}, {}): {e}", w[0], w[1])))?;
+                parts.push(part);
+            }
+            let refs: Vec<&Table> = parts.iter().collect();
+            let stitched = Table::concat_rows(&refs);
+            prop_assert_eq!(&stitched, &reference);
+            per_thread_count.push(reference);
+        }
+        // And the three thread counts agree with each other bit for bit.
+        prop_assert_eq!(&per_thread_count[0], &per_thread_count[1]);
+        prop_assert_eq!(&per_thread_count[1], &per_thread_count[2]);
+    }
+}
+
+#[test]
+fn overload_answers_a_typed_rejection_instead_of_queueing() {
+    let registry = ModelRegistry::open(None, 50, &specs()).expect("training must succeed");
+    let mut server = SynthesisServer::new(
+        registry,
+        ServeConfig {
+            max_in_flight: 1,
+            per_tenant_max: 1,
+            chunk_rows: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let busy = server.connect("acme");
+    let probe = server.connect("acme"); // second connection, same quota
+    let model = busy.model_id("loan").unwrap();
+
+    // A long job: thousands of rows in 8-row chunks keeps the only
+    // in-flight slot occupied for a while.
+    let big = std::thread::spawn(move || busy.fetch(model, 1, 0, 3000));
+    std::thread::sleep(Duration::from_millis(200));
+
+    // While it runs, the same tenant's second connection must be told
+    // "overloaded" immediately — the request is answered, not parked.
+    match probe.fetch(model, 2, 0, 1) {
+        Err(ServeError::Rejected { job: 2, code: ServeRejectCode::Overloaded }) => {}
+        Ok(_) => panic!("probe was served while the quota was exhausted"),
+        Err(e) => panic!("expected a typed Overloaded rejection, got {e}"),
+    }
+
+    let served = big.join().expect("busy tenant panicked").expect("big job must complete");
+    assert_eq!(served.n_rows(), 3000);
+
+    // Capacity freed: the probe's retry succeeds. The final chunk can
+    // reach the client a beat before the server releases the permit, so
+    // honor the contract and back off between attempts.
+    let mut retry = probe.fetch(model, 3, 0, 4);
+    for _ in 0..200 {
+        match &retry {
+            Err(ServeError::Rejected { code: ServeRejectCode::Overloaded, .. }) => {
+                std::thread::sleep(Duration::from_millis(10));
+                retry = probe.fetch(model, 3, 0, 4);
+            }
+            _ => break,
+        }
+    }
+    assert_eq!(retry.expect("retry after back-off must be admitted").n_rows(), 4);
+    drop(probe);
+    server.shutdown();
+}
+
+#[test]
+fn zero_chunk_rows_is_a_typed_error_at_every_layer() {
+    // Serve config: the server refuses to start.
+    let registry = ModelRegistry::open(None, 50, &specs()).expect("training must succeed");
+    let err = SynthesisServer::new(registry, ServeConfig { chunk_rows: 0, ..Default::default() })
+        .err()
+        .expect("zero chunk_rows must not start a server");
+    assert!(matches!(err, ServeError::Config(_)), "{err}");
+
+    // Model config: the old `.max(1)` clamp is gone — a zero
+    // `synth_chunk_rows` is rejected at the request boundary.
+    use rand::{rngs::StdRng, SeedableRng};
+    use silofuse_core::diffusion::SampleRequestError;
+    use silofuse_core::models::LatentDiff;
+    let mut cfg = tiny_budget().latent_config(3);
+    cfg.synth_chunk_rows = 0;
+    let table = silofuse_tabular::profiles::profile_by_name("Loan").unwrap().generate(64, 3);
+    let mut model = LatentDiff::new(cfg);
+    let mut rng = StdRng::seed_from_u64(3);
+    model.fit(&table, &mut rng);
+    let err = model.try_synthesize_with_steps(8, None, &mut rng).err().unwrap();
+    assert!(matches!(err, SampleRequestError::ChunkRows(_)), "{err}");
+    let err = model.try_synthesize_range(0, 8, 7).err().unwrap();
+    assert!(matches!(err, SampleRequestError::ChunkRows(_)), "{err}");
+}
+
+#[test]
+fn catalog_rejects_unknown_models_client_side() {
+    let registry = ModelRegistry::open(None, 50, &specs()).expect("training must succeed");
+    let mut server = SynthesisServer::new(registry, serve_config(32)).unwrap();
+    let client = server.connect("curious");
+    assert!(client.model_id("no-such-model").is_none());
+    let err = client.fetch(99, 1, 0, 8).expect_err("uncataloged id must fail");
+    assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    drop(client);
+    server.shutdown();
+}
